@@ -1,0 +1,1 @@
+bench/tables.ml: Attribute Authz Authz_gen Catalog Data_gen Distsim Float Fmt Joinpath List Plan Planner Printf Query_gen Relalg Rng Scenario Schema Server String System_gen Unix Workload

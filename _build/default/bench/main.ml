@@ -1,0 +1,251 @@
+(* bench/main.exe — the full reproduction harness.
+
+   Part 1 regenerates every figure of the paper (the paper has no
+   measured tables; Figures 1-7 ARE its artifacts — see DESIGN.md).
+   Part 2 prints the synthetic experiment tables EXP-A..EXP-F.
+   Part 3 runs Bechamel micro-benchmarks, one per experiment table.
+
+   Run: dune exec bench/main.exe            (everything)
+        dune exec bench/main.exe -- quick   (figures + tables, no micro) *)
+
+open Bechamel
+open Toolkit
+open Relalg
+open Workload
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: micro-benchmarks.                                           *)
+
+let medical_plan = lazy (Scenario.Medical.example_plan ())
+
+(* One planning problem per chain length, shared by setup. *)
+let chain_case joins =
+  let relations = joins + 1 in
+  let rng = Rng.make ~seed:123 in
+  let sys =
+    System_gen.generate rng ~relations ~servers:4 ~extra:2
+      ~topology:System_gen.Chain
+  in
+  let policy =
+    Authz_gen.generate (Rng.make ~seed:9) ~max_path:joins ~attr_keep:1.0
+      ~density:1.0 sys
+  in
+  let plan =
+    match Query_gen.generate_plan (Rng.make ~seed:3) ~joins sys with
+    | Some p -> p
+    | None -> assert false
+  in
+  (sys, policy, plan)
+
+let bench_planner_chain joins =
+  let sys, policy, plan = chain_case joins in
+  Test.make
+    ~name:(Printf.sprintf "planner/chain-%d" joins)
+    (Staged.stage (fun () ->
+         ignore (Planner.Safe_planner.plan sys.System_gen.catalog policy plan)))
+
+let bench_planner_medical =
+  Test.make ~name:"planner/medical (Fig 7)"
+    (Staged.stage (fun () ->
+         ignore
+           (Planner.Safe_planner.plan Scenario.Medical.catalog
+              Scenario.Medical.policy (Lazy.force medical_plan))))
+
+let bench_can_view =
+  let profile =
+    Authz.Profile.make
+      ~pi:
+        (Attribute.Set.of_list
+           (List.map Scenario.Medical.attr [ "Holder"; "Plan" ]))
+      ~join:Joinpath.empty ~sigma:Attribute.Set.empty
+  in
+  Test.make ~name:"authz/can_view"
+    (Staged.stage (fun () ->
+         ignore
+           (Authz.Policy.can_view Scenario.Medical.policy profile
+              Scenario.Medical.s_n)))
+
+let bench_chase =
+  Test.make ~name:"authz/chase-medical"
+    (Staged.stage (fun () ->
+         ignore
+           (Authz.Chase.close ~joins:Scenario.Medical.join_graph
+              Scenario.Medical.policy)))
+
+let bench_parse =
+  Test.make ~name:"sql/parse-example-2.2"
+    (Staged.stage (fun () ->
+         ignore
+           (Sql_parser.parse Scenario.Medical.catalog
+              Scenario.Medical.example_query_sql)))
+
+let bench_engine_medical =
+  let assignment =
+    lazy
+      (match
+         Planner.Safe_planner.plan Scenario.Medical.catalog
+           Scenario.Medical.policy (Lazy.force medical_plan)
+       with
+       | Ok r -> r.Planner.Safe_planner.assignment
+       | Error _ -> assert false)
+  in
+  Test.make ~name:"engine/medical-execution"
+    (Staged.stage (fun () ->
+         ignore
+           (Distsim.Engine.execute Scenario.Medical.catalog
+              ~instances:Scenario.Medical.instances (Lazy.force medical_plan)
+              (Lazy.force assignment))))
+
+let bench_exhaustive_medical =
+  Test.make ~name:"planner/exhaustive-medical"
+    (Staged.stage (fun () ->
+         ignore
+           (Planner.Exhaustive.count_safe Scenario.Medical.catalog
+              Scenario.Medical.policy (Lazy.force medical_plan))))
+
+let bench_audit =
+  let network =
+    lazy
+      (match
+         Planner.Safe_planner.plan Scenario.Medical.catalog
+           Scenario.Medical.policy (Lazy.force medical_plan)
+       with
+       | Error _ -> assert false
+       | Ok { assignment; _ } ->
+         (match
+            Distsim.Engine.execute Scenario.Medical.catalog
+              ~instances:Scenario.Medical.instances (Lazy.force medical_plan)
+              assignment
+          with
+          | Ok { network; _ } -> network
+          | Error _ -> assert false))
+  in
+  Test.make ~name:"audit/medical-run"
+    (Staged.stage (fun () ->
+         ignore
+           (Distsim.Audit.run Scenario.Medical.policy (Lazy.force network))))
+
+let bench_engine_scale =
+  (* Engine throughput at 1000 rows per relation (single semi-join). *)
+  let fixture =
+    lazy
+      (let rng = Workload.Rng.make ~seed:77 in
+       let sys =
+         Workload.System_gen.generate rng ~relations:2 ~servers:2 ~extra:2
+           ~topology:Workload.System_gen.Chain
+       in
+       let plan =
+         Option.get
+           (Workload.Query_gen.generate_plan (Workload.Rng.make ~seed:1)
+              ~joins:1 sys)
+       in
+       let policy =
+         Workload.Authz_gen.generate (Workload.Rng.make ~seed:9)
+           ~attr_keep:1.0 ~density:1.0 sys
+       in
+       let assignment =
+         match Planner.Safe_planner.plan sys.catalog policy plan with
+         | Ok r -> r.Planner.Safe_planner.assignment
+         | Error _ -> assert false
+       in
+       let instances =
+         Workload.Data_gen.instances (Workload.Rng.make ~seed:5) ~rows:1000
+           ~domain_scale:2.0 sys
+       in
+       (sys, plan, assignment, instances))
+  in
+  Test.make ~name:"engine/single-join-1000-rows"
+    (Staged.stage (fun () ->
+         let sys, plan, assignment, instances = Lazy.force fixture in
+         ignore
+           (Distsim.Engine.execute sys.Workload.System_gen.catalog ~instances
+              plan assignment)))
+
+let bench_optimizer_medical =
+  let query = lazy (Scenario.Medical.example_query ()) in
+  let model = Planner.Cost.uniform ~card:1000.0 in
+  Test.make ~name:"optimizer/medical-4-orders"
+    (Staged.stage (fun () ->
+         ignore
+           (Planner.Optimizer.optimize model Scenario.Medical.catalog
+              Scenario.Medical.policy (Lazy.force query))))
+
+let bench_advisor_pricing =
+  let plan = lazy (Scenario.Supply_chain.pricing_plan ()) in
+  Test.make ~name:"advisor/pricing-repair"
+    (Staged.stage (fun () ->
+         ignore
+           (Planner.Advisor.advise Scenario.Supply_chain.catalog
+              Scenario.Supply_chain.policy (Lazy.force plan))))
+
+let bench_coordinator_research =
+  let plan = lazy (Scenario.Research.outcomes_plan ()) in
+  Test.make ~name:"planner/coordinator-rescue"
+    (Staged.stage (fun () ->
+         ignore
+           (Planner.Third_party.plan ~helpers:[ Scenario.Research.s_t ]
+              Scenario.Research.catalog Scenario.Research.policy
+              (Lazy.force plan))))
+
+let all_micro =
+  Test.make_grouped ~name:"cisqp"
+    [
+      bench_planner_medical;
+      bench_planner_chain 2;
+      bench_planner_chain 4;
+      bench_planner_chain 8;
+      bench_planner_chain 16;
+      bench_planner_chain 32;
+      bench_can_view;
+      bench_chase;
+      bench_parse;
+      bench_engine_medical;
+      bench_exhaustive_medical;
+      bench_audit;
+      bench_engine_scale;
+      bench_optimizer_medical;
+      bench_advisor_pricing;
+      bench_coordinator_research;
+    ]
+
+let run_micro () =
+  Fmt.pr "@.%s@.Micro-benchmarks (Bechamel, ns per run)@.%s@."
+    (String.make 72 '-') (String.make 72 '-');
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] all_micro in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> est
+          | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Fmt.pr "%-40s %16s@." "benchmark" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if ns > 1e6 then Printf.sprintf "%10.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%10.2f us" (ns /. 1e3)
+        else Printf.sprintf "%10.0f ns" ns
+      in
+      Fmt.pr "%-40s %16s@." name human)
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  Fmt.pr "%s@." (Scenario.Paper_figures.all ());
+  Tables.run_all ~seeds:(if quick then 40 else 100);
+  if not quick then run_micro ()

@@ -1,0 +1,483 @@
+(* cisqp — command-line front end.
+
+   Subcommands:
+     repro  [FIG]          reproduce the paper's figures
+     plan   SQL            plan a query (trace + assignment)
+     run    SQL            plan, execute, audit, estimate makespan
+     advise SQL            explain an infeasible query, propose grants
+     sweep  ...            feasibility-vs-density synthetic experiment
+
+   The federation is a built-in scenario (-s medical | supply-chain |
+   research) or loaded from files (--schema/--authz/--data, in the
+   formats of lib/text). *)
+
+open Cmdliner
+open Relalg
+
+type federation = {
+  name : string;
+  catalog : Catalog.t;
+  policy : Authz.Policy.t;
+  instances : string -> Relation.t option;
+  helpers : Server.t list;
+}
+
+let medical =
+  {
+    name = "medical";
+    catalog = Scenario.Medical.catalog;
+    policy = Scenario.Medical.policy;
+    instances = Scenario.Medical.instances;
+    helpers = [];
+  }
+
+let supply_chain =
+  {
+    name = "supply-chain";
+    catalog = Scenario.Supply_chain.catalog;
+    policy = Scenario.Supply_chain.policy;
+    instances = Scenario.Supply_chain.instances;
+    helpers = [ Scenario.Supply_chain.s_b ];
+  }
+
+let research =
+  {
+    name = "research";
+    catalog = Scenario.Research.catalog;
+    policy = Scenario.Research.policy;
+    instances = Scenario.Research.instances;
+    helpers = [ Scenario.Research.s_t ];
+  }
+
+let scenarios = [ medical; supply_chain; research ]
+
+let scenario_conv =
+  let parse s =
+    match List.find_opt (fun sc -> sc.name = s) scenarios with
+    | Some sc -> Ok sc
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown scenario %S (try: %s)" s
+             (String.concat ", " (List.map (fun sc -> sc.name) scenarios))))
+  in
+  Arg.conv (parse, fun ppf sc -> Fmt.string ppf sc.name)
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt scenario_conv medical
+    & info [ "s"; "scenario" ] ~docv:"SCENARIO"
+        ~doc:
+          "Built-in federation: $(b,medical), $(b,supply-chain) or \
+           $(b,research).")
+
+let schema_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "schema" ] ~docv:"FILE"
+        ~doc:"Schema file (see lib/text/schema_text.mli for the format).")
+
+let authz_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "authz" ] ~docv:"FILE" ~doc:"Authorization file (Figure-3 notation).")
+
+let data_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "data" ] ~docv:"FILE" ~doc:"Data bundle (@relation sections).")
+
+let helpers_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "helper" ] ~docv:"SERVER"
+        ~doc:"Additional third-party server (with --schema federations).")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let die fmt = Fmt.kstr (fun msg -> Fmt.epr "error: %s@." msg; exit 1) fmt
+
+(* Resolve the federation from flags: files override the scenario. *)
+let federation_of scenario schema authz data extra_helpers =
+  match schema with
+  | None ->
+    { scenario with
+      helpers =
+        scenario.helpers @ List.map Server.make extra_helpers }
+  | Some schema_path ->
+    let sys =
+      match Text.Schema_text.parse (read_file schema_path) with
+      | Ok s -> s
+      | Error e -> die "%s: %a" schema_path Text.Line_reader.pp_error e
+    in
+    let policy =
+      match authz with
+      | None -> die "--schema requires --authz"
+      | Some path ->
+        (match Text.Authz_text.parse sys.catalog (read_file path) with
+         | Ok p -> p
+         | Error e -> die "%s: %a" path Text.Line_reader.pp_error e)
+    in
+    let instances =
+      match data with
+      | None -> fun _ -> None
+      | Some path ->
+        (match Text.Data_text.parse sys.catalog (read_file path) with
+         | Ok i -> i
+         | Error e -> die "%s: %a" path Text.Line_reader.pp_error e)
+    in
+    {
+      name = schema_path;
+      catalog = sys.catalog;
+      policy;
+      instances;
+      helpers = List.map Server.make extra_helpers;
+    }
+
+let federation_term =
+  Term.(
+    const federation_of $ scenario_arg $ schema_file $ authz_file $ data_file
+    $ helpers_arg)
+
+let sql_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SQL" ~doc:"The query, e.g. 'SELECT ... FROM ... JOIN ...'.")
+
+let third_party_flag =
+  Arg.(
+    value & flag
+    & info [ "third-party" ]
+        ~doc:"Allow third-party joins (footnote 3) using the helpers.")
+
+let no_semijoins_flag =
+  Arg.(
+    value & flag
+    & info [ "no-semijoins" ]
+        ~doc:"Restrict the planner to regular joins (baseline).")
+
+let optimize_flag =
+  Arg.(
+    value & flag
+    & info [ "optimize" ]
+        ~doc:
+          "Explore alternative join orders (two-step optimization) and keep \
+           the cheapest feasible one.")
+
+(* ------------------------------------------------------------------ *)
+
+let repro_cmd =
+  let fig =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"FIG" ~doc:"One of fig1..fig5, fig7, all.")
+  in
+  let run fig =
+    let module F = Scenario.Paper_figures in
+    match fig with
+    | "fig1" -> print_endline (F.fig1_schema ())
+    | "fig2" -> print_endline (F.fig2_query_plan ())
+    | "fig3" -> print_endline (F.fig3_authorizations ())
+    | "fig4" -> print_endline (F.fig4_profile_rules ())
+    | "fig5" -> print_endline (F.fig5_execution_modes ())
+    | "fig6" | "fig7" -> print_endline (F.fig7_algorithm_trace ())
+    | "all" -> print_endline (F.all ())
+    | other -> die "unknown figure %S" other
+  in
+  Cmd.v
+    (Cmd.info "repro" ~doc:"Reproduce the figures of the paper.")
+    Term.(const run $ fig)
+
+let parse_query fed sql =
+  match Sql_parser.parse fed.catalog sql with
+  | Ok q -> q
+  | Error e -> die "%a" Sql_parser.pp_error e
+
+let plan_query fed query ~third_party ~no_semijoins ~optimize =
+  let config =
+    {
+      Planner.Safe_planner.default_config with
+      allow_semijoins = not no_semijoins;
+    }
+  in
+  let helpers = if third_party then fed.helpers else [] in
+  if optimize then begin
+    let model = Planner.Cost.uniform ~card:1000.0 in
+    let t = Planner.Optimizer.optimize ~config model fed.catalog fed.policy query in
+    match t.Planner.Optimizer.best with
+    | Some { order; plan; outcome = Planner.Optimizer.Feasible (assignment, cost) } ->
+      Fmt.pr "join order: %a (estimated cost %.0f)@."
+        Fmt.(list ~sep:(any " > ") string)
+        order cost;
+      (plan, assignment, None)
+    | Some { outcome = Planner.Optimizer.Infeasible _; _ } | None ->
+      die "no feasible join order"
+  end
+  else
+    let plan = Query.to_plan query in
+    match Planner.Safe_planner.plan ~config ~helpers fed.catalog fed.policy plan with
+    | Ok { assignment; trace } -> (plan, assignment, Some trace)
+    | Error f -> die "%a" Planner.Safe_planner.pp_failure f
+
+let plan_cmd =
+  let dot_flag =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:
+            "Emit Graphviz DOT of the assigned plan (clusters per server, \
+             dashed red data flows) instead of text.")
+  in
+  let script_flag =
+    Arg.(
+      value & flag
+      & info [ "script" ]
+          ~doc:
+            "Emit the per-server execution script (SQL + transfers) instead \
+             of the planner trace.")
+  in
+  let run fed sql third_party no_semijoins optimize dot script =
+    let query = parse_query fed sql in
+    let plan, assignment, trace =
+      plan_query fed query ~third_party ~no_semijoins ~optimize
+    in
+    if script then
+      match Planner.Script.of_assignment ~third_party fed.catalog plan assignment with
+      | Ok s -> Fmt.pr "%a@." Planner.Script.pp s
+      | Error e -> die "%a" Planner.Safety.pp_error e
+    else if dot then
+      print_string
+        (Planner.Dot.assignment_to_dot ~third_party fed.catalog plan
+           assignment)
+    else begin
+      Fmt.pr "Query tree plan:@.%a@.@." Plan.pp plan;
+      Option.iter
+        (fun t -> Fmt.pr "%a@.@." Planner.Safe_planner.pp_trace t)
+        trace;
+      Fmt.pr "Assignment:@.%a@." Planner.Assignment.pp assignment
+    end
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Find a safe executor assignment for a query.")
+    Term.(
+      const run $ federation_term $ sql_arg $ third_party_flag
+      $ no_semijoins_flag $ optimize_flag $ dot_flag $ script_flag)
+
+let run_cmd =
+  let makespan_flag =
+    Arg.(
+      value & flag
+      & info [ "makespan" ]
+          ~doc:"Estimate the makespan under a 1 ms / 10 MB/s network model.")
+  in
+  let run fed sql third_party no_semijoins optimize makespan =
+    let query = parse_query fed sql in
+    let plan, assignment, _ =
+      plan_query fed query ~third_party ~no_semijoins ~optimize
+    in
+    match
+      Distsim.Engine.execute ~third_party fed.catalog
+        ~instances:fed.instances plan assignment
+    with
+    | Error e -> die "execution error: %a" Distsim.Engine.pp_error e
+    | Ok ({ result; location; network; _ } as outcome) ->
+      Fmt.pr "Assignment:@.%a@.@.Result (at %a):@.%a@.@.Data flows:@.%a@."
+        Planner.Assignment.pp assignment Server.pp location Relation.pp
+        result Distsim.Network.pp network;
+      (match Distsim.Audit.run fed.policy network with
+       | Ok entries ->
+         Fmt.pr "@.Audit: clean (%d flows authorized)@." (List.length entries)
+       | Error violations ->
+         Fmt.pr "@.Audit: %d VIOLATIONS@.%a@." (List.length violations)
+           Fmt.(list ~sep:(any "@\n") Distsim.Audit.pp_violation)
+           violations);
+      if makespan then
+        let schedule =
+          Distsim.Timing.makespan (Distsim.Timing.uniform ()) plan assignment
+            outcome
+        in
+        Fmt.pr "@.Makespan (1 ms latency, 10 MB/s):@.%a@."
+          Distsim.Timing.pp_schedule schedule
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Plan a query, execute it on the simulator and audit the flows.")
+    Term.(
+      const run $ federation_term $ sql_arg $ third_party_flag
+      $ no_semijoins_flag $ optimize_flag $ makespan_flag)
+
+let advise_cmd =
+  let run fed sql =
+    let query = parse_query fed sql in
+    let plan = Query.to_plan query in
+    match Planner.Safe_planner.plan fed.catalog fed.policy plan with
+    | Ok _ -> Fmt.pr "the query is already feasible; nothing to grant@."
+    | Error failure ->
+      Fmt.pr "blocked at n%d; options:@.%a@.@."
+        failure.Planner.Safe_planner.failed_at
+        Fmt.(
+          list ~sep:(any "@\n")
+            Planner.Advisor.pp_option)
+        (Planner.Advisor.explain fed.catalog fed.policy plan failure);
+      (match Planner.Advisor.advise fed.catalog fed.policy plan with
+       | None -> Fmt.pr "no repair found@."
+       | Some proposal ->
+         Fmt.pr "proposed repair:@.%a@." Planner.Advisor.pp_proposal proposal)
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:
+         "Explain why a query cannot be planned safely and propose minimal \
+          additional authorizations.")
+    Term.(const run $ federation_term $ sql_arg)
+
+let impact_cmd =
+  let sqls =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"SQL"
+          ~doc:"Queries of the workload (one per positional argument).")
+  in
+  let run fed sqls =
+    let plans =
+      List.map (fun sql -> Query.to_plan (parse_query fed sql)) sqls
+    in
+    let impacts = Planner.Revocation.impact fed.catalog fed.policy plans in
+    Fmt.pr "Impact of revoking each rule on %d quer%s:@." (List.length plans)
+      (if List.length plans = 1 then "y" else "ies");
+    List.iter
+      (fun i -> Fmt.pr "  %a@." Planner.Revocation.pp_impact i)
+      impacts;
+    (* Per-query support sets. *)
+    List.iter2
+      (fun sql plan ->
+        match Planner.Safe_planner.plan fed.catalog fed.policy plan with
+        | Error _ -> Fmt.pr "@.%s: infeasible@." sql
+        | Ok { assignment; _ } ->
+          (match
+             Planner.Revocation.support fed.catalog fed.policy plan assignment
+           with
+           | Ok rules ->
+             Fmt.pr "@.%s@.  relies on:@.%a@." sql
+               Fmt.(
+                 list ~sep:(any "@\n")
+                   (fun ppf a -> Fmt.pf ppf "    %a" Authz.Authorization.pp a))
+               rules
+           | Error msg -> Fmt.pr "@.%s: %s@." sql msg))
+      sqls plans
+  in
+  Cmd.v
+    (Cmd.info "impact"
+       ~doc:
+         "Revocation analysis: which rules a workload's safety relies on, \
+          and what breaks if each is revoked.")
+    Term.(const run $ federation_term $ sqls)
+
+let chase_cmd =
+  let run fed =
+    if Authz.Policy.is_open fed.policy then
+      die "the chase applies to closed policies only"
+    else begin
+      (* Derive the join graph from the built-in scenarios or from the
+         policy's own paths. *)
+      let joins =
+        List.concat_map
+          (fun (a : Authz.Authorization.t) -> Joinpath.conditions a.path)
+          (Authz.Policy.authorizations fed.policy)
+        |> List.sort_uniq Joinpath.Cond.compare
+      in
+      let closed = Authz.Chase.close ~joins fed.policy in
+      let derived =
+        List.filter
+          (fun a ->
+            not
+              (List.exists
+                 (Authz.Authorization.equal a)
+                 (Authz.Policy.authorizations fed.policy)))
+          (Authz.Policy.authorizations closed)
+      in
+      Fmt.pr "%d explicit rules, %d derived by the chase:@."
+        (Authz.Policy.cardinality fed.policy)
+        (List.length derived);
+      List.iter (fun a -> Fmt.pr "  %a@." Authz.Authorization.pp a) derived
+    end
+  in
+  Cmd.v
+    (Cmd.info "chase"
+       ~doc:
+         "Close the policy under derivation (Section 3.2) and print the \
+          implied authorizations.")
+    Term.(const run $ federation_term)
+
+let sweep_cmd =
+  let relations =
+    Arg.(
+      value & opt int 6
+      & info [ "relations" ] ~doc:"Relations in the system.")
+  in
+  let joins =
+    Arg.(value & opt int 3 & info [ "joins" ] ~doc:"Joins per query.")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 100
+      & info [ "seeds" ] ~doc:"Random systems per density.")
+  in
+  let run relations joins seeds =
+    Fmt.pr "density feasible@.";
+    List.iter
+      (fun density ->
+        let feasible = ref 0 and total = ref 0 in
+        for seed = 1 to seeds do
+          let rng = Workload.Rng.make ~seed in
+          let sys =
+            Workload.System_gen.generate rng ~relations ~servers:relations
+              ~extra:2 ~topology:Workload.System_gen.Chain
+          in
+          let policy = Workload.Authz_gen.generate rng ~density sys in
+          match Workload.Query_gen.generate_plan rng ~joins sys with
+          | None -> ()
+          | Some plan ->
+            incr total;
+            if Planner.Safe_planner.feasible sys.catalog policy plan then
+              incr feasible
+        done;
+        Fmt.pr "%.2f    %.3f@." density
+          (float_of_int !feasible /. float_of_int (max 1 !total)))
+      [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Feasibility vs authorization density on random systems.")
+    Term.(const run $ relations $ joins $ seeds)
+
+let () =
+  (* Honour CISQP_VERBOSE=1 for engine/network debug traces. *)
+  (match Sys.getenv_opt "CISQP_VERBOSE" with
+   | Some ("1" | "true") ->
+     Logs.set_reporter (Logs.format_reporter ());
+     Logs.set_level (Some Logs.Debug)
+   | _ -> ());
+  let info =
+    Cmd.info "cisqp" ~version:"1.0.0"
+      ~doc:
+        "Controlled information sharing in collaborative distributed query \
+         processing (ICDCS 2008)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            repro_cmd; plan_cmd; run_cmd; advise_cmd; impact_cmd; chase_cmd;
+            sweep_cmd;
+          ]))

@@ -1,0 +1,68 @@
+(* Randomized soak: 2000 random federations through the full pipeline.
+
+   Checks, per case: greedy-infeasible implies exhaustively infeasible
+   (completeness on small plans), planner output passes the independent
+   safety checker, distributed execution equals centralized evaluation,
+   and the runtime audit is clean. Exits non-zero on any failure.
+
+   Slower than the unit suite; run on demand:
+     dune exec bin/soak.exe
+
+   Historical note: this soak is what exposed the co-location gap in
+   the paper's Figure-6 pseudo-code (see DESIGN.md, "Local joins"). *)
+open Relalg
+open Workload
+
+let () =
+  let failures = ref 0 and planned = ref 0 and total = ref 0 in
+  for seed = 1 to 2000 do
+    let rng = Rng.make ~seed in
+    let topology =
+      match seed mod 3 with
+      | 0 -> System_gen.Chain
+      | 1 -> System_gen.Star
+      | _ -> System_gen.Random { extra_edges = 2 }
+    in
+    let relations = 4 + (seed mod 4) in
+    let sys =
+      System_gen.generate ~replication:(if seed mod 5 = 0 then 0.5 else 0.0)
+        rng ~relations ~servers:relations ~extra:2 ~topology
+    in
+    let density = [| 0.2; 0.4; 0.6; 0.9 |].(seed mod 4) in
+    let policy = Authz_gen.generate rng ~density sys in
+    match Query_gen.generate_plan rng ~joins:(2 + (seed mod 3)) sys with
+    | None -> ()
+    | Some plan ->
+      incr total;
+      (match Planner.Safe_planner.plan sys.catalog policy plan with
+       | Error _ ->
+         if Plan.join_count plan <= 3
+            && Planner.Exhaustive.feasible sys.catalog policy plan then begin
+           incr failures;
+           Fmt.pr "INCOMPLETE greedy at seed %d@." seed
+         end
+       | Ok { assignment; _ } ->
+         incr planned;
+         (match Planner.Safety.check sys.catalog policy plan assignment with
+          | Ok _ -> ()
+          | Error _ ->
+            incr failures;
+            Fmt.pr "UNSAFE plan at seed %d@." seed);
+         let instances = Data_gen.instances rng ~rows:12 sys in
+         (match Distsim.Engine.execute sys.catalog ~instances plan assignment with
+          | Error e ->
+            incr failures;
+            Fmt.pr "ENGINE error at seed %d: %a@." seed Distsim.Engine.pp_error e
+          | Ok { result; network; _ } ->
+            let reference = Distsim.Engine.centralized ~instances plan in
+            if not (Relation.equal result reference) then begin
+              incr failures;
+              Fmt.pr "WRONG RESULT at seed %d@." seed
+            end;
+            if not (Distsim.Audit.is_clean policy network) then begin
+              incr failures;
+              Fmt.pr "AUDIT failure at seed %d@." seed
+            end))
+  done;
+  Fmt.pr "soak: %d cases, %d planned, %d failures@." !total !planned !failures;
+  exit (if !failures = 0 then 0 else 1)

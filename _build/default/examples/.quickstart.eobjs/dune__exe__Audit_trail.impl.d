@@ -1,0 +1,1 @@
+examples/audit_trail.ml: Distsim Fmt List Planner Scenario

@@ -1,0 +1,1 @@
+examples/concurrent_workload.ml: Distsim Fmt List Planner Printf Scenario

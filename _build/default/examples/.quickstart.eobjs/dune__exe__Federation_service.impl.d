@@ -1,0 +1,1 @@
+examples/federation_service.ml: Authz Distsim Federation Fmt List Relalg Scenario

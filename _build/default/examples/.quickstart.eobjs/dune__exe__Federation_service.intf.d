@@ -1,0 +1,1 @@
+examples/federation_service.mli:

@@ -1,0 +1,1 @@
+examples/medical_walkthrough.ml: Attribute Authz Distsim Fmt Joinpath Planner Relalg Relation Scenario Schema Server

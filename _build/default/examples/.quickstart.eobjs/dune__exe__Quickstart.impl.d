@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attribute Authorization Authz Catalog Distsim Fmt Joinpath List Plan Planner Policy Query Relalg Relation Schema Server Sql_parser Value

@@ -1,0 +1,1 @@
+examples/research_matching.ml: Authz Catalog Distsim Fmt Planner Relalg Relation Scenario Server

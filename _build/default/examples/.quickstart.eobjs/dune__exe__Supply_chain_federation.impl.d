@@ -1,0 +1,1 @@
+examples/supply_chain_federation.ml: Authz Catalog Distsim Fmt Planner Relalg Relation Scenario Server

@@ -1,0 +1,1 @@
+lib/authz/authorization.ml: Attribute Fmt Joinpath List Relalg Server String

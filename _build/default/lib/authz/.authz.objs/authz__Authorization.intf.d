@@ -1,0 +1,1 @@
+lib/authz/authorization.mli: Attribute Fmt Joinpath Relalg Server

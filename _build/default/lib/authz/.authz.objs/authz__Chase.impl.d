@@ -1,0 +1,1 @@
+lib/authz/chase.ml: Attribute Authorization Joinpath List Policy Printf Profile Relalg Server

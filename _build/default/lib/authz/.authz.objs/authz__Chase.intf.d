@@ -1,0 +1,1 @@
+lib/authz/chase.mli: Joinpath Policy Profile Relalg Server

@@ -1,0 +1,1 @@
+lib/authz/policy.ml: Attribute Authorization Bool Fmt Joinpath List Map Option Profile Relalg Server Set

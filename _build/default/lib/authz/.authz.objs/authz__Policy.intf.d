@@ -1,0 +1,1 @@
+lib/authz/policy.mli: Authorization Fmt Profile Relalg Server

@@ -1,0 +1,1 @@
+lib/authz/profile.ml: Algebra Attribute Fmt Joinpath Predicate Relalg Schema

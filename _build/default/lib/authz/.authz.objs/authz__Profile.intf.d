@@ -1,0 +1,1 @@
+lib/authz/profile.mli: Algebra Attribute Fmt Joinpath Relalg Schema

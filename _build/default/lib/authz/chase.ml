@@ -1,0 +1,55 @@
+open Relalg
+
+(* One merge step: can [j] combine the views of [a1] and [a2]?  Both
+   sides of [j] must be visible, one side per view (in either
+   orientation), and the two rules must belong to the same server. *)
+let merge (a1 : Authorization.t) (a2 : Authorization.t) j =
+  if not (Server.equal a1.server a2.server) then None
+  else
+    let covers attrs side = List.for_all (fun a -> Attribute.Set.mem a attrs) side in
+    let jl = Joinpath.Cond.left j and jr = Joinpath.Cond.right j in
+    let ok =
+      (covers a1.attrs jl && covers a2.attrs jr)
+      || (covers a1.attrs jr && covers a2.attrs jl)
+    in
+    if not ok then None
+    else
+      let path = Joinpath.add j (Joinpath.union a1.path a2.path) in
+      (* Skip merges that add nothing: same path and no new attribute. *)
+      let attrs = Attribute.Set.union a1.attrs a2.attrs in
+      match Authorization.make ~attrs ~path a1.server with
+      | Ok derived -> Some derived
+      | Error _ -> None
+
+let close ?(max_rules = 100_000) ~joins policy =
+  let rec fixpoint policy =
+    if Policy.cardinality policy > max_rules then
+      invalid_arg
+        (Printf.sprintf "Chase.close: closure exceeds %d rules" max_rules);
+    let rules = Policy.authorizations policy in
+    let fresh =
+      List.concat_map
+        (fun a1 ->
+          List.concat_map
+            (fun a2 ->
+              List.filter_map
+                (fun j ->
+                  match merge a1 a2 j with
+                  | Some d when not (Policy.can_view policy
+                                       (Profile.make ~pi:d.Authorization.attrs
+                                          ~join:d.Authorization.path
+                                          ~sigma:Attribute.Set.empty)
+                                       d.Authorization.server) ->
+                    Some d
+                  | _ -> None)
+                joins)
+            rules)
+        rules
+    in
+    if fresh = [] then policy
+    else fixpoint (List.fold_left (fun p d -> Policy.add d p) policy fresh)
+  in
+  fixpoint policy
+
+let derives ~joins policy profile s =
+  Policy.can_view (close ~joins policy) profile s

@@ -1,0 +1,40 @@
+(** Closure of a policy under derivation — the "chase" procedure of
+    Section 3.2.
+
+    The paper observes that a server holding authorizations for all the
+    base relations underlying a view can compute the view by itself, so
+    the authorization for the view is {e implied}, and assumes the
+    policy closed "by means of a chase procedure \[2\] that derives all
+    the authorizations implied directly or indirectly by those
+    explicitly specified" — without giving the procedure. Our concrete
+    reading (documented in DESIGN.md):
+
+    a server [S] with rules [\[A1, J1\] -> S] and [\[A2, J2\] -> S] can
+    locally join its two authorized views on a join condition [j]
+    (drawn from the system's join graph) whenever both sides of [j] are
+    visible to it ([j_l ⊆ A1] and [j_r ⊆ A2]); the result is the view
+    [\[A1 ∪ A2, J1 ∪ J2 ∪ {j}\] -> S]. We iterate this inference to a
+    fixpoint.
+
+    Projection closure needs no new rules: condition 1 of
+    Definition 3.3 already accepts any subset of an authorized
+    attribute set. *)
+
+open Relalg
+
+(** [close ~joins policy] is the least fixpoint of the merge rule above
+    over the join conditions [joins] (the join graph — the lines of
+    Figure 1). The result contains [policy].
+
+    [max_rules] (default [100_000]) bounds the size of the closure; the
+    bound can only be hit on pathological inputs (the closure is finite
+    — at most one rule per (attribute set, join path) pair — but can be
+    exponential in the join graph).
+
+    @raise Invalid_argument when the bound is exceeded. *)
+val close : ?max_rules:int -> joins:Joinpath.Cond.t list -> Policy.t -> Policy.t
+
+(** [derives ~joins policy profile s] — convenience: does the closure
+    admit the release of [profile] to [s]? *)
+val derives :
+  joins:Joinpath.Cond.t list -> Policy.t -> Profile.t -> Server.t -> bool

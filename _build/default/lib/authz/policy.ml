@@ -1,0 +1,144 @@
+open Relalg
+module Auth_set = Set.Make (Authorization)
+
+(* [can_view] (Definition 3.3) requires join-path EQUALITY, so rules are
+   additionally indexed by (server, canonical path): a membership test
+   inspects only the rules that can possibly match, which keeps the
+   planner's inner loop fast on large policies. *)
+module Key = struct
+  type t = Server.t * Joinpath.t
+
+  let compare (s1, p1) (s2, p2) =
+    match Server.compare s1 s2 with
+    | 0 -> Joinpath.compare p1 p2
+    | c -> c
+end
+
+module Index = Map.Make (Key)
+
+type t = {
+  rules : Auth_set.t;
+  index : Attribute.Set.t list Index.t;
+      (** attribute sets granted per (server, path) *)
+  negative : Auth_set.t;  (** denials; only consulted when [open_mode] *)
+  open_mode : bool;
+}
+
+let empty =
+  {
+    rules = Auth_set.empty;
+    index = Index.empty;
+    negative = Auth_set.empty;
+    open_mode = false;
+  }
+
+let add (a : Authorization.t) t =
+  if Auth_set.mem a t.rules then t
+  else
+    {
+      t with
+      rules = Auth_set.add a t.rules;
+      index =
+        Index.update
+          (a.server, a.path)
+          (fun existing ->
+            Some (a.attrs :: Option.value ~default:[] existing))
+          t.index;
+    }
+
+let remove (a : Authorization.t) t =
+  if not (Auth_set.mem a t.rules) then t
+  else
+    {
+      t with
+      rules = Auth_set.remove a t.rules;
+      index =
+        Index.update
+          (a.server, a.path)
+          (fun existing ->
+            match
+              List.filter
+                (fun attrs -> not (Attribute.Set.equal attrs a.attrs))
+                (Option.value ~default:[] existing)
+            with
+            | [] -> None
+            | rest -> Some rest)
+          t.index;
+    }
+
+let of_list auths = List.fold_left (fun t a -> add a t) empty auths
+
+let open_policy denials =
+  { empty with negative = Auth_set.of_list denials; open_mode = true }
+
+let is_open t = t.open_mode
+let denials t = Auth_set.elements t.negative
+let add_denial a t = { t with negative = Auth_set.add a t.negative }
+let remove_denial a t = { t with negative = Auth_set.remove a t.negative }
+
+let union a b = Auth_set.fold add b.rules a
+
+let authorizations t = Auth_set.elements t.rules
+
+let view t s =
+  Auth_set.elements
+    (Auth_set.filter
+       (fun (a : Authorization.t) -> Server.equal a.server s)
+       t.rules)
+
+let cardinality t = Auth_set.cardinal t.rules
+
+let servers t =
+  Auth_set.fold
+    (fun (a : Authorization.t) acc -> Server.Set.add a.server acc)
+    t.rules Server.Set.empty
+
+(* A denial [A, J] -> S matches when all of A is visible and the view's
+   path contains J. *)
+let denied t (profile : Profile.t) s =
+  let visible = Profile.visible profile in
+  Auth_set.exists
+    (fun (d : Authorization.t) ->
+      Server.equal d.server s
+      && Attribute.Set.subset d.attrs visible
+      && Joinpath.subset d.path profile.join)
+    t.negative
+
+let can_view t (profile : Profile.t) s =
+  if t.open_mode then not (denied t profile s)
+  else
+    match Index.find_opt (s, profile.join) t.index with
+    | None -> false
+    | Some grants ->
+      let visible = Profile.visible profile in
+      List.exists (fun attrs -> Attribute.Set.subset visible attrs) grants
+
+let authorizing_rule t (profile : Profile.t) s =
+  if t.open_mode then None
+  else
+    let admits (a : Authorization.t) =
+      Attribute.Set.subset (Profile.visible profile) a.attrs
+      && Joinpath.equal profile.join a.path
+    in
+    List.find_opt admits (view t s)
+
+let equal a b =
+  Bool.equal a.open_mode b.open_mode
+  && Auth_set.equal a.rules b.rules
+  && Auth_set.equal a.negative b.negative
+
+let pp ppf t =
+  if t.open_mode then
+    let pp_denial ppf (i, a) =
+      Fmt.pf ppf "%2d DENY %a" (i + 1) Authorization.pp a
+    in
+    Fmt.pf ppf "@[<v>(open policy)@,%a@]"
+      Fmt.(list ~sep:(any "@\n") pp_denial)
+      (List.mapi (fun i a -> (i, a)) (denials t))
+  else
+    let pp_numbered ppf (i, a) =
+      Fmt.pf ppf "%2d %a" (i + 1) Authorization.pp a
+    in
+    Fmt.(list ~sep:(any "@\n") pp_numbered)
+      ppf
+      (List.mapi (fun i a -> (i, a)) (authorizations t))

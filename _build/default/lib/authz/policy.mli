@@ -1,0 +1,66 @@
+(** Policies: the set [A] of authorizations of the distributed system,
+    and the access-control decision of Definition 3.3.
+
+    The default policy is "closed" (Section 3.1): a release is allowed
+    only if some authorization explicitly permits it. Footnote 1 notes
+    the approach "can be adapted to an open policy scenario, where data
+    are visible by default and negative rules specify restrictions" —
+    {!open_policy} builds such a policy. Our reading of a negative rule
+    [\[A, J\] -> S] (DESIGN.md): [S] must not receive any view revealing
+    {e all} of [A] under a join path {e containing} [J] (denials are
+    upward-closed in information: with [J ⊆ path] and [A ⊆ visible],
+    more information is still denied; the empty [J] denies the
+    association [A] in every context). Everything not denied is
+    allowed. *)
+
+open Relalg
+
+type t
+
+val empty : t
+val add : Authorization.t -> t -> t
+
+(** [remove a t] — [t] without rule [a] (no-op when absent). *)
+val remove : Authorization.t -> t -> t
+val of_list : Authorization.t list -> t
+val union : t -> t -> t
+
+(** An open policy from its negative rules. *)
+val open_policy : Authorization.t list -> t
+
+val is_open : t -> bool
+
+(** Negative rules of an open policy ([[]] for closed ones). *)
+val denials : t -> Authorization.t list
+
+val add_denial : Authorization.t -> t -> t
+val remove_denial : Authorization.t -> t -> t
+
+(** All authorizations, sorted. *)
+val authorizations : t -> Authorization.t list
+
+(** [view t s] is the list of rules granted to [s] — the [view(S)] used
+    by the paper's [CanView] function (Figure 6). *)
+val view : t -> Server.t -> Authorization.t list
+
+val cardinality : t -> int
+val servers : t -> Server.Set.t
+
+(** [can_view t profile s] decides Definition 3.3: true iff some
+    authorization [\[A, J\] -> s] satisfies both
+
+    + [profile.pi ∪ profile.sigma ⊆ A], and
+    + [profile.join = J] (equality — a containing path would leak the
+      association with relations the server may not see, Section 3.2).
+
+    This is the paper's [CanView] (Figure 6). *)
+val can_view : t -> Profile.t -> Server.t -> bool
+
+(** The authorization justifying the release, if any — used by audit
+    trails to cite the admitting rule. *)
+val authorizing_rule : t -> Profile.t -> Server.t -> Authorization.t option
+
+val equal : t -> t -> bool
+
+(** Figure-3 style listing, numbered from 1. *)
+val pp : t Fmt.t

@@ -1,0 +1,51 @@
+open Relalg
+
+type t = {
+  pi : Attribute.Set.t;
+  join : Joinpath.t;
+  sigma : Attribute.Set.t;
+}
+
+let make ~pi ~join ~sigma = { pi; join; sigma }
+
+let of_base schema =
+  {
+    pi = Schema.attribute_set schema;
+    join = Joinpath.empty;
+    sigma = Attribute.Set.empty;
+  }
+
+let project attrs t = { t with pi = attrs }
+let select attrs t = { t with sigma = Attribute.Set.union t.sigma attrs }
+
+let join cond l r =
+  {
+    pi = Attribute.Set.union l.pi r.pi;
+    join = Joinpath.add cond (Joinpath.union l.join r.join);
+    sigma = Attribute.Set.union l.sigma r.sigma;
+  }
+
+let rec of_algebra = function
+  | Algebra.Relation schema -> of_base schema
+  | Algebra.Project (attrs, e) -> project attrs (of_algebra e)
+  | Algebra.Select (pred, e) ->
+    select (Predicate.attributes pred) (of_algebra e)
+  | Algebra.Join (cond, l, r) -> join cond (of_algebra l) (of_algebra r)
+
+let visible t = Attribute.Set.union t.pi t.sigma
+
+let compare a b =
+  match Attribute.Set.compare a.pi b.pi with
+  | 0 ->
+    (match Joinpath.compare a.join b.join with
+     | 0 -> Attribute.Set.compare a.sigma b.sigma
+     | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>[%a, %a, %a]@]" Attribute.Set.pp t.pi Joinpath.pp t.join
+    Attribute.Set.pp t.sigma
+
+let to_string = Fmt.to_to_string pp

@@ -1,0 +1,54 @@
+(** Relation profiles (Definition 3.2).
+
+    The profile of a relation [R] — base or computed — is the triple
+    [\[R^pi, R^join, R^sigma\]]:
+
+    - [pi]: the attributes of [R]'s schema;
+    - [join]: the join path used in the construction of [R];
+    - [sigma]: the attributes involved in selection conditions in the
+      construction of [R].
+
+    Profiles compose under the relational operators exactly as in
+    Figure 4; {!project}, {!select} and {!join} implement its three
+    rows. *)
+
+open Relalg
+
+type t = {
+  pi : Attribute.Set.t;
+  join : Joinpath.t;
+  sigma : Attribute.Set.t;
+}
+
+val make :
+  pi:Attribute.Set.t -> join:Joinpath.t -> sigma:Attribute.Set.t -> t
+
+(** Profile of a base relation: [\[{A1..An}, ∅, ∅\]]. *)
+val of_base : Schema.t -> t
+
+(** Figure 4, row [π_X(R_l)]: [\[X, R_l^join, R_l^sigma\]]. *)
+val project : Attribute.Set.t -> t -> t
+
+(** Figure 4, row [σ_X(R_l)]: [\[R_l^pi, R_l^join, R_l^sigma ∪ X\]].
+    [attrs] is the set of attributes of the selection condition. *)
+val select : Attribute.Set.t -> t -> t
+
+(** Figure 4, row [R_l ⋈_j R_r]:
+    [\[R_l^pi ∪ R_r^pi, R_l^join ∪ R_r^join ∪ j, R_l^sigma ∪ R_r^sigma\]]. *)
+val join : Joinpath.Cond.t -> t -> t -> t
+
+(** Profile of the relation computed by an algebra expression, obtained
+    by folding the Figure-4 rules bottom-up. *)
+val of_algebra : Algebra.t -> t
+
+(** The information the relation carries about attribute values:
+    [pi ∪ sigma] (both sides of condition 1 of Definition 3.3). *)
+val visible : t -> Attribute.Set.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [\[{...}, {...}, {...}\]] in the paper's notation. *)
+val pp : t Fmt.t
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/distsim/audit.ml: Attribute Authorization Authz Fmt List Network Policy Profile Relalg Relation Result

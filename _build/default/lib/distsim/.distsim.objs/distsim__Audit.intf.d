@@ -1,0 +1,1 @@
+lib/distsim/audit.mli: Attribute Authorization Authz Fmt Network Policy Relalg

@@ -1,0 +1,1 @@
+lib/distsim/des.ml: Engine Float Fmt Hashtbl List Network Option Plan Planner Printf Relalg Relation Server String Timing

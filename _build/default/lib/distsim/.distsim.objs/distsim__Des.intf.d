@@ -1,0 +1,1 @@
+lib/distsim/des.mli: Engine Fmt Plan Planner Relalg Server Timing

@@ -1,0 +1,1 @@
+lib/distsim/engine.ml: Algebra Attribute Authz Catalog Fmt Int Joinpath List Logs Network Plan Planner Predicate Printf Profile Relalg Relation Schema Server

@@ -1,0 +1,1 @@
+lib/distsim/engine.mli: Catalog Fmt Network Plan Planner Relalg Relation Server

@@ -1,0 +1,1 @@
+lib/distsim/network.ml: Authz Fmt Hashtbl List Logs Option Profile Relalg Relation Server

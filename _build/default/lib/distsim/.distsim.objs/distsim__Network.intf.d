@@ -1,0 +1,1 @@
+lib/distsim/network.mli: Authz Fmt Profile Relalg Relation Server

@@ -1,0 +1,1 @@
+lib/distsim/timing.ml: Engine Float Fmt Int List Network Plan Planner Printf Relalg Relation Server

@@ -1,0 +1,1 @@
+lib/distsim/timing.mli: Engine Fmt Plan Planner Relalg Server

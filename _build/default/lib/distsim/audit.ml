@@ -1,0 +1,60 @@
+open Relalg
+open Authz
+
+type reason =
+  | Unauthorized
+  | Header_mismatch of {
+      header : Attribute.Set.t;
+      claimed : Attribute.Set.t;
+    }
+
+type violation = {
+  message : Network.message;
+  reason : reason;
+}
+
+type entry = {
+  message : Network.message;
+  admitted_by : Authorization.t option;
+}
+
+let check_message policy (m : Network.message) =
+  let header = Relation.attribute_set m.data in
+  let claimed = m.profile.Profile.pi in
+  if not (Attribute.Set.equal header claimed) then
+    Error { message = m; reason = Header_mismatch { header; claimed } }
+  else if Policy.can_view policy m.profile m.receiver then
+    (* [admitted_by] is [None] for open policies: no positive rule
+       exists, the flow is admitted because no denial matches. *)
+    Ok { message = m; admitted_by = Policy.authorizing_rule policy m.profile m.receiver }
+  else Error { message = m; reason = Unauthorized }
+
+let run policy network =
+  let entries, violations =
+    List.fold_left
+      (fun (es, vs) m ->
+        match check_message policy m with
+        | Ok e -> (e :: es, vs)
+        | Error v -> (es, v :: vs))
+      ([], [])
+      (Network.messages network)
+  in
+  if violations = [] then Ok (List.rev entries) else Error (List.rev violations)
+
+let is_clean policy network = Result.is_ok (run policy network)
+
+let pp_reason ppf = function
+  | Unauthorized -> Fmt.string ppf "no authorization admits this flow"
+  | Header_mismatch { header; claimed } ->
+    Fmt.pf ppf "transmitted attributes %a differ from declared profile %a"
+      Attribute.Set.pp header Attribute.Set.pp claimed
+
+let pp_violation ppf (v : violation) =
+  Fmt.pf ppf "VIOLATION %a: %a" Network.pp_message v.message pp_reason v.reason
+
+let pp_entry ppf (e : entry) =
+  match e.admitted_by with
+  | Some rule ->
+    Fmt.pf ppf "%a@,  admitted by %a" Network.pp_message e.message
+      Authorization.pp rule
+  | None -> Network.pp_message ppf e.message

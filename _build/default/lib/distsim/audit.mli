@@ -1,0 +1,42 @@
+(** Runtime audit of a distributed execution.
+
+    Replays the message log of an execution against the policy: every
+    transmitted relation must be covered by an authorization of its
+    receiver (Definition 3.3), and the transmitted data must actually
+    match the profile it claims (its header must equal the profile's
+    [pi] component).
+
+    The audit is the last line of defence: the planner proves safety at
+    planning time, the engine recomputes profiles at run time, and the
+    audit cross-checks the two. A tampered assignment that somehow
+    reached execution is caught here. *)
+
+open Relalg
+open Authz
+
+type reason =
+  | Unauthorized  (** no authorization admits the flow *)
+  | Header_mismatch of {
+      header : Attribute.Set.t;
+      claimed : Attribute.Set.t;
+    }  (** transmitted attributes differ from the declared profile *)
+
+type violation = {
+  message : Network.message;
+  reason : reason;
+}
+
+(** A full report: every message paired with the authorization that
+    admitted it. *)
+type entry = {
+  message : Network.message;
+  admitted_by : Authorization.t option;  (** [None] for violations *)
+}
+
+val run : Policy.t -> Network.t -> (entry list, violation list) result
+
+(** [is_clean policy network] — no violation. *)
+val is_clean : Policy.t -> Network.t -> bool
+
+val pp_violation : violation Fmt.t
+val pp_entry : entry Fmt.t

@@ -1,0 +1,72 @@
+(** Discrete-event simulation of query executions under resource
+    contention.
+
+    {!Timing.makespan} assumes servers and links are never busy —
+    fine for one query, wrong for a workload. This module simulates
+    non-preemptive list scheduling over single-capacity resources
+    (one CPU per server, one FIFO channel per directed link), so
+    concurrent queries contend realistically: a shared master
+    serialises their joins, a shared link serialises their transfers.
+
+    A query execution is decomposed into a task graph by
+    {!tasks_of_execution}: one compute task per plan node, plus the
+    transfer and remote-compute tasks of its join protocols (regular,
+    semi-join, coordinator, proxy — mirroring {!Engine}). Task
+    durations come from the {e measured} execution (tuple counts and
+    message sizes), priced by a {!Timing.model}.
+
+    The scheduler is deterministic: among runnable tasks it starts the
+    one with the earliest feasible start time (ties broken by ready
+    time, then id), matching FIFO service at every resource. *)
+
+open Relalg
+
+type task = {
+  id : string;  (** unique within one {!simulate} call *)
+  resource : string;  (** ["cpu:SERVER"] or ["link:SRC->DST"] *)
+  duration : float;  (** seconds *)
+  deps : string list;  (** ids that must finish first *)
+  release : float;  (** earliest start (query arrival time) *)
+}
+
+type scheduled = {
+  task : task;
+  start : float;
+  finish : float;
+}
+
+type run = {
+  schedule : scheduled list;  (** by increasing start time *)
+  makespan : float;  (** latest finish, 0 for an empty task list *)
+  utilization : (string * float) list;
+      (** per resource: busy time / makespan (sorted by name) *)
+}
+
+(** Simulate a task set.
+    @raise Invalid_argument on duplicate ids, unknown dependencies or
+    dependency cycles. *)
+val simulate : task list -> run
+
+(** [cpu server] and [link ~src ~dst] build resource names. *)
+val cpu : Server.t -> string
+
+val link : src:Server.t -> dst:Server.t -> string
+
+(** Decompose one executed query into tasks. [prefix] namespaces the
+    ids so several queries can share a simulation; [release] is the
+    query's arrival time (default 0). The [outcome] must come from
+    {!Engine.execute} on the same plan and assignment. *)
+val tasks_of_execution :
+  ?prefix:string ->
+  ?release:float ->
+  Timing.model ->
+  Plan.t ->
+  Planner.Assignment.t ->
+  Engine.outcome ->
+  task list
+
+(** Completion time of a query's root task within a run.
+    @raise Not_found if the prefix does not appear. *)
+val query_finish : run -> prefix:string -> float
+
+val pp_run : run Fmt.t

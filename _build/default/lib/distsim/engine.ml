@@ -1,0 +1,294 @@
+open Relalg
+open Authz
+
+let src = Logs.Src.create "cisqp.engine" ~doc:"Distributed execution engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type outcome = {
+  result : Relation.t;
+  location : Server.t;
+  network : Network.t;
+  node_rows : (int * int) list;
+}
+
+type error =
+  | Structure of Planner.Safety.error
+  | Missing_instance of string
+
+let pp_error ppf = function
+  | Structure e -> Planner.Safety.pp_error ppf e
+  | Missing_instance r -> Fmt.pf ppf "no instance for base relation %S" r
+
+exception Fail of error
+
+module Assignment = Planner.Assignment
+
+(* One evaluated sub-plan: its value, the server holding it, and its
+   profile (recomputed here from the operations performed, not taken
+   from the planner). *)
+type piece = {
+  value : Relation.t;
+  at : Server.t;
+  profile : Profile.t;
+}
+
+let execute ?(third_party = false) catalog ~instances plan assignment =
+  let network = Network.create () in
+  let rows = ref [] in
+  let exec_of (n : Plan.node) =
+    match Assignment.find_opt assignment n.id with
+    | Some e -> e
+    | None -> raise (Fail (Structure (Planner.Safety.Unassigned_node n.id)))
+  in
+  let rec go (n : Plan.node) : piece =
+    let piece = go_op n in
+    rows := (n.id, Relation.cardinality piece.value) :: !rows;
+    Log.debug (fun m ->
+        m "n%d done at %a: %d tuples" n.id Server.pp piece.at
+          (Relation.cardinality piece.value));
+    piece
+
+  and go_op (n : Plan.node) : piece =
+    let exec = exec_of n in
+    let master = exec.Assignment.master in
+    match n.op with
+    | Plan.Leaf schema ->
+      let name = Schema.name schema in
+      if not (Catalog.stores catalog name master) then begin
+        let home =
+          match Catalog.server_of catalog name with
+          | Ok s -> s
+          | Error _ -> master
+        in
+        raise
+          (Fail
+             (Structure
+                (Planner.Safety.Leaf_not_at_home
+                   { node = n.id; expected = home; got = master })))
+      end;
+      let value =
+        match instances name with
+        | Some r -> r
+        | None -> raise (Fail (Missing_instance name))
+      in
+      { value; at = master; profile = Profile.of_base schema }
+    | Plan.Project (attrs, c) ->
+      let child = go c in
+      if not (Server.equal master child.at) then
+        raise
+          (Fail
+             (Structure
+                (Planner.Safety.Unary_moved
+                   { node = n.id; expected = child.at; got = master })));
+      {
+        value = Relation.project attrs child.value;
+        at = master;
+        profile = Profile.project attrs child.profile;
+      }
+    | Plan.Select (pred, c) ->
+      let child = go c in
+      if not (Server.equal master child.at) then
+        raise
+          (Fail
+             (Structure
+                (Planner.Safety.Unary_moved
+                   { node = n.id; expected = child.at; got = master })));
+      {
+        value = Relation.select pred child.value;
+        at = master;
+        profile = Profile.select (Predicate.attributes pred) child.profile;
+      }
+    | Plan.Join (cond, l, r) ->
+      let lp = go l and rp = go r in
+      let cond = Planner.Safety.oriented_cond cond l in
+      let profile = Profile.join cond lp.profile rp.profile in
+      let join_here lpiece rpiece =
+        Relation.equi_join cond lpiece.value rpiece.value
+      in
+      if Server.equal lp.at rp.at && Server.equal master lp.at then
+        (* Fully local. *)
+        { value = join_here lp rp; at = master; profile }
+      else
+        (* [semi ~m ~o ~mj] runs the five-step protocol of Figure 5
+           with [m] the master-side piece (joining on its [mj]
+           attributes) and [o] the other (slave-side) piece. *)
+        let semi ~slave ~(m : piece) ~(o : piece) ~mj ~oj =
+          (* Step 1: master projects its join attributes. *)
+          let mj_set = Attribute.Set.of_list mj in
+          let r_j = Relation.project mj_set m.value in
+          let p_j = Profile.project mj_set m.profile in
+          (* Step 2: ship them to the slave. *)
+          let r_j =
+            Network.send network ~sender:master ~receiver:slave ~profile:p_j
+              ~purpose:(Network.Join_attributes { join = n.id })
+              ~note:(Printf.sprintf "join attributes for n%d" n.id)
+              r_j
+          in
+          (* Step 3: slave joins them with its operand. *)
+          let sided_cond = Joinpath.Cond.make ~left:mj ~right:oj in
+          let r_jlr = Relation.equi_join sided_cond r_j o.value in
+          let p_jlr = Profile.join cond p_j o.profile in
+          (* Step 4: ship the reduced operand back to the master. *)
+          let r_jlr =
+            Network.send network ~sender:slave ~receiver:master
+              ~profile:p_jlr
+              ~purpose:(Network.Semijoin_result { join = n.id })
+              ~note:(Printf.sprintf "semi-join result for n%d" n.id)
+              r_jlr
+          in
+          (* Step 5: the master completes with a natural join. *)
+          let value = Relation.natural_join r_jlr m.value in
+          (* Restore the canonical header/profile of the node. *)
+          { value; at = master; profile }
+        in
+        let regular ~(m : piece) ~(o : piece) ~left_is_master =
+          let shipped =
+            Network.send network ~sender:o.at ~receiver:master
+              ~profile:o.profile
+              ~purpose:(Network.Full_operand { join = n.id })
+              ~note:(Printf.sprintf "full operand for n%d" n.id)
+              o.value
+          in
+          let value =
+            if left_is_master then Relation.equi_join cond m.value shipped
+            else Relation.equi_join cond shipped m.value
+          in
+          { value; at = master; profile }
+        in
+        (* Coordinator join (footnote 3): a third party matches the
+           join columns of both operands; the non-master operand is
+           reduced to the matching tuples and shipped to the master. *)
+        let coordinated ~t ~(m : piece) ~(o : piece) ~mj ~oj ~left_master =
+          let mj_set = Attribute.Set.of_list mj in
+          let oj_set = Attribute.Set.of_list oj in
+          let joined_info pi =
+            Profile.make ~pi
+              ~join:
+                (Joinpath.add cond
+                   (Joinpath.union m.profile.Profile.join
+                      o.profile.Profile.join))
+              ~sigma:
+                (Attribute.Set.union m.profile.Profile.sigma
+                   o.profile.Profile.sigma)
+          in
+          let m_keys =
+            Network.send network ~sender:m.at ~receiver:t
+              ~profile:(Profile.project mj_set m.profile)
+              ~purpose:(Network.Join_attributes { join = n.id })
+              ~note:(Printf.sprintf "master join attributes for n%d" n.id)
+              (Relation.project mj_set m.value)
+          in
+          let o_keys =
+            Network.send network ~sender:o.at ~receiver:t
+              ~profile:(Profile.project oj_set o.profile)
+              ~purpose:(Network.Join_attributes { join = n.id })
+              ~note:(Printf.sprintf "other join attributes for n%d" n.id)
+              (Relation.project oj_set o.value)
+          in
+          let matched_at_t =
+            Relation.project oj_set
+              (Relation.equi_join
+                 (Joinpath.Cond.make ~left:mj ~right:oj)
+                 m_keys o_keys)
+          in
+          let matched =
+            Network.send network ~sender:t ~receiver:o.at
+              ~profile:(joined_info oj_set)
+              ~purpose:(Network.Matched_keys { join = n.id })
+              ~note:(Printf.sprintf "matched keys for n%d" n.id)
+              matched_at_t
+          in
+          let reduced =
+            Relation.semi_join
+              (Joinpath.Cond.make ~left:oj ~right:oj)
+              o.value matched
+          in
+          let reduced =
+            Network.send network ~sender:o.at ~receiver:master
+              ~profile:(joined_info o.profile.Profile.pi)
+              ~purpose:(Network.Semijoin_result { join = n.id })
+              ~note:(Printf.sprintf "reduced operand for n%d" n.id)
+              reduced
+          in
+          let value =
+            if left_master then Relation.equi_join cond m.value reduced
+            else Relation.equi_join cond reduced m.value
+          in
+          { value; at = master; profile }
+        in
+        let jl = Joinpath.Cond.left cond and jr = Joinpath.Cond.right cond in
+        match exec.Assignment.coordinator with
+        | Some t ->
+          if
+            Server.equal master lp.at
+            && exec.Assignment.slave = Some rp.at
+          then coordinated ~t ~m:lp ~o:rp ~mj:jl ~oj:jr ~left_master:true
+          else if
+            Server.equal master rp.at
+            && exec.Assignment.slave = Some lp.at
+          then coordinated ~t ~m:rp ~o:lp ~mj:jr ~oj:jl ~left_master:false
+          else
+            raise
+              (Fail (Structure (Planner.Safety.Slave_not_other_operand n.id)))
+        | None ->
+        if Server.equal master lp.at then (
+          match exec.Assignment.slave with
+          | None -> regular ~m:lp ~o:rp ~left_is_master:true
+          | Some slave ->
+            if not (Server.equal slave rp.at) then
+              raise
+                (Fail
+                   (Structure (Planner.Safety.Slave_not_other_operand n.id)));
+            semi ~slave ~m:lp ~o:rp ~mj:jl ~oj:jr)
+        else if Server.equal master rp.at then (
+          match exec.Assignment.slave with
+          | None -> regular ~m:rp ~o:lp ~left_is_master:false
+          | Some slave ->
+            if not (Server.equal slave lp.at) then
+              raise
+                (Fail
+                   (Structure (Planner.Safety.Slave_not_other_operand n.id)));
+            semi ~slave ~m:rp ~o:lp ~mj:jr ~oj:jl)
+        else if third_party && exec.Assignment.slave = None then (
+          (* Proxy join: both operands ship their results. *)
+          let lv =
+            Network.send network ~sender:lp.at ~receiver:master
+              ~profile:lp.profile
+              ~purpose:(Network.Proxy_operand { join = n.id; side = `Left })
+              ~note:(Printf.sprintf "left operand for proxy n%d" n.id)
+              lp.value
+          in
+          let rv =
+            Network.send network ~sender:rp.at ~receiver:master
+              ~profile:rp.profile
+              ~purpose:(Network.Proxy_operand { join = n.id; side = `Right })
+              ~note:(Printf.sprintf "right operand for proxy n%d" n.id)
+              rp.value
+          in
+          { value = Relation.equi_join cond lv rv; at = master; profile })
+        else
+          raise
+            (Fail (Structure (Planner.Safety.Master_not_an_operand n.id)))
+  in
+  match go (Plan.root plan) with
+  | piece ->
+    Ok
+      {
+        result = piece.value;
+        location = piece.at;
+        network;
+        node_rows = List.sort (fun (a, _) (b, _) -> Int.compare a b) !rows;
+      }
+  | exception Fail e -> Error e
+
+let centralized ~instances plan =
+  let lookup schema =
+    match instances (Schema.name schema) with
+    | Some r -> r
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Engine.centralized: no instance for %s"
+           (Schema.name schema))
+  in
+  Algebra.eval ~lookup (Plan.to_algebra plan)

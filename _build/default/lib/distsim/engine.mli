@@ -1,0 +1,56 @@
+(** Distributed execution of a safely-assigned query plan.
+
+    The engine runs a {!Relalg.Plan} under an executor assignment
+    exactly as Figure 5 prescribes:
+
+    - leaves are read at their storage server;
+    - unary operations run at their operand's executor;
+    - a regular join ships the non-master operand to the master;
+    - a semi-join performs the five-step protocol: the master projects
+      its join attributes, ships them to the slave, the slave joins
+      them with its operand and ships the (reduced) result back, and
+      the master completes with a natural join;
+    - a third-party proxy join (footnote 3) receives both operands.
+
+    Every transfer is logged to a {!Network.t} with the profile of the
+    transmitted relation, recomputed from the operations actually
+    performed — independently of the planner — so that {!Audit.run}
+    cross-checks planning-time safety against runtime behaviour. *)
+
+open Relalg
+
+type outcome = {
+  result : Relation.t;  (** the query answer *)
+  location : Server.t;  (** server holding it (root master) *)
+  network : Network.t;  (** everything that crossed a boundary *)
+  node_rows : (int * int) list;
+      (** cardinality of each node's result, by node id — consumed by
+          {!Timing} *)
+}
+
+type error =
+  | Structure of Planner.Safety.error
+      (** the assignment violates Definition 4.1 *)
+  | Missing_instance of string  (** no instance for a base relation *)
+
+(** Alias of {!Planner.Assignment}, for the signature below. *)
+module Assignment = Planner.Assignment
+
+val pp_error : error Fmt.t
+
+(** [execute catalog ~instances plan assignment] runs the plan.
+    [instances] maps base-relation names to their stored instances.
+    [third_party] (default [false]) accepts proxy joins. *)
+val execute :
+  ?third_party:bool ->
+  Catalog.t ->
+  instances:(string -> Relation.t option) ->
+  Plan.t ->
+  Assignment.t ->
+  (outcome, error) result
+
+(** Centralized reference evaluation of the same plan (no distribution,
+    no authorization): the ground truth the distributed result must
+    equal. @raise Invalid_argument on a missing instance. *)
+val centralized :
+  instances:(string -> Relation.t option) -> Plan.t -> Relation.t

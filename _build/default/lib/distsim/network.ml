@@ -1,0 +1,78 @@
+open Relalg
+open Authz
+
+let src = Logs.Src.create "cisqp.network" ~doc:"Simulated network transfers"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type purpose =
+  | Full_operand of { join : int }
+  | Join_attributes of { join : int }
+  | Semijoin_result of { join : int }
+  | Matched_keys of { join : int }
+  | Proxy_operand of { join : int; side : [ `Left | `Right ] }
+
+type message = {
+  seq : int;
+  sender : Server.t;
+  receiver : Server.t;
+  data : Relation.t;
+  profile : Profile.t;
+  purpose : purpose;
+  note : string;
+}
+
+let join_of = function
+  | Full_operand { join }
+  | Join_attributes { join }
+  | Semijoin_result { join }
+  | Matched_keys { join }
+  | Proxy_operand { join; _ } ->
+    join
+
+type t = { mutable log : message list (* reversed *) }
+
+let create () = { log = [] }
+
+let send t ~sender ~receiver ~profile ~purpose ~note data =
+  let seq = List.length t.log in
+  Log.debug (fun m ->
+      m "#%d %a -> %a: %d tuples (%s)" seq Server.pp sender Server.pp receiver
+        (Relation.cardinality data) note);
+  t.log <- { seq; sender; receiver; data; profile; purpose; note } :: t.log;
+  data
+
+let at_join t join =
+  List.filter (fun m -> join_of m.purpose = join) (List.rev t.log)
+
+let messages t = List.rev t.log
+let message_count t = List.length t.log
+
+let total_tuples t =
+  List.fold_left (fun acc m -> acc + Relation.cardinality m.data) 0 t.log
+
+let total_bytes t =
+  List.fold_left (fun acc m -> acc + Relation.byte_size m.data) 0 t.log
+
+let traffic_matrix t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let key = (m.sender, m.receiver) in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (prev + Relation.byte_size m.data))
+    t.log;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun ((a1, b1), _) ((a2, b2), _) ->
+         match Server.compare a1 a2 with
+         | 0 -> Server.compare b1 b2
+         | c -> c)
+
+let pp_message ppf m =
+  Fmt.pf ppf "#%d %a -> %a: %d tuples, %d bytes (%s) %a" m.seq Server.pp
+    m.sender Server.pp m.receiver
+    (Relation.cardinality m.data)
+    (Relation.byte_size m.data)
+    m.note Profile.pp m.profile
+
+let pp ppf t = Fmt.(list ~sep:(any "@\n") pp_message) ppf (messages t)

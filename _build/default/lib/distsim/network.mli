@@ -1,0 +1,66 @@
+(** The message log of a simulated distributed execution.
+
+    Every relation crossing a server boundary is recorded together with
+    the profile describing its information content; the log is what the
+    {!module:Audit} checks against the policy, and what benches measure
+    (bytes and tuples actually moved). *)
+
+open Relalg
+open Authz
+
+(** Why a message was sent — the protocol step of Figure 5 it
+    implements, keyed by the join node. *)
+type purpose =
+  | Full_operand of { join : int }
+      (** regular join: the non-master operand's result *)
+  | Join_attributes of { join : int }
+      (** semi-join step 2: the master's join-attribute projection *)
+  | Semijoin_result of { join : int }
+      (** semi-join step 4: the reduced operand going back *)
+  | Matched_keys of { join : int }
+      (** coordinator join: matching join-column values sent by the
+          coordinator to the non-master operand *)
+  | Proxy_operand of { join : int; side : [ `Left | `Right ] }
+      (** third-party join: an operand shipped to the proxy *)
+
+type message = {
+  seq : int;  (** send order, from 0 *)
+  sender : Server.t;
+  receiver : Server.t;
+  data : Relation.t;
+  profile : Profile.t;
+  purpose : purpose;
+  note : string;  (** human-readable step, e.g. ["semi-join at n1"] *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Record a transfer; returns the sent data unchanged so sends chain
+    naturally inside expressions. *)
+val send :
+  t ->
+  sender:Server.t ->
+  receiver:Server.t ->
+  profile:Profile.t ->
+  purpose:purpose ->
+  note:string ->
+  Relation.t ->
+  Relation.t
+
+(** Messages belonging to one join node, in send order. *)
+val at_join : t -> int -> message list
+
+(** Messages in send order. *)
+val messages : t -> message list
+
+val message_count : t -> int
+val total_tuples : t -> int
+val total_bytes : t -> int
+
+(** Bytes per (sender, receiver) pair, lexicographic order. *)
+val traffic_matrix : t -> ((Server.t * Server.t) * int) list
+
+val pp_message : message Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,199 @@
+open Relalg
+
+type cached = {
+  c_plan : Plan.t;
+  c_assignment : Planner.Assignment.t;
+  c_rescues : Planner.Third_party.rescue list;
+}
+
+type stats = {
+  queries_served : int;
+  infeasible : int;
+  cache_hits : int;
+  total_messages : int;
+  total_bytes : int;
+}
+
+type t = {
+  catalog : Catalog.t;
+  policy : Authz.Policy.t;
+  helpers : Server.t list;
+  instances : string -> Relation.t option;
+  plan_cache : (string, cached) Hashtbl.t;
+  mutable audit_entries : Distsim.Audit.entry list;  (* newest first *)
+  mutable queries_served : int;
+  mutable infeasible_count : int;
+  mutable cache_hits : int;
+  mutable total_messages : int;
+  mutable total_bytes : int;
+}
+
+let create ~catalog ~policy ?(helpers = []) ?close_under ~instances () =
+  let policy =
+    match close_under with
+    | Some joins when not (Authz.Policy.is_open policy) ->
+      Authz.Chase.close ~joins policy
+    | _ -> policy
+  in
+  {
+    catalog;
+    policy;
+    helpers;
+    instances;
+    plan_cache = Hashtbl.create 16;
+    audit_entries = [];
+    queries_served = 0;
+    infeasible_count = 0;
+    cache_hits = 0;
+    total_messages = 0;
+    total_bytes = 0;
+  }
+
+let of_text ~schema ~authz ?data ?(helpers = []) () =
+  let ( let* ) = Result.bind in
+  let lift what r =
+    Result.map_error
+      (fun e -> Fmt.str "%s: %a" what Text.Line_reader.pp_error e)
+      r
+  in
+  let* sys = lift "schema" (Text.Schema_text.parse schema) in
+  let* policy = lift "authz" (Text.Authz_text.parse sys.catalog authz) in
+  let* instances =
+    match data with
+    | None -> Ok (fun _ -> None)
+    | Some data -> lift "data" (Text.Data_text.parse sys.catalog data)
+  in
+  Ok
+    (create ~catalog:sys.catalog ~policy
+       ~helpers:(List.map Server.make helpers)
+       ~instances ())
+
+type response = {
+  plan : Plan.t;
+  assignment : Planner.Assignment.t;
+  rescues : Planner.Third_party.rescue list;
+  result : Relation.t;
+  location : Server.t;
+  messages : int;
+  bytes : int;
+  from_cache : bool;
+}
+
+type error =
+  | Parse_error of string
+  | Infeasible of {
+      failed_at : int;
+      advice : Planner.Advisor.proposal option;
+    }
+  | Execution_error of string
+  | Audit_violation of string
+
+let pp_error ppf = function
+  | Parse_error msg -> Fmt.pf ppf "parse error: %s" msg
+  | Infeasible { failed_at; advice } ->
+    Fmt.pf ppf "no safe execution exists (blocked at n%d)%a" failed_at
+      (fun ppf -> function
+        | None -> ()
+        | Some p ->
+          Fmt.pf ppf "; it would become feasible with:@,%a"
+            Planner.Advisor.pp_proposal p)
+      advice
+  | Execution_error msg -> Fmt.pf ppf "execution error: %s" msg
+  | Audit_violation msg -> Fmt.pf ppf "AUDIT VIOLATION: %s" msg
+
+let parse t sql =
+  match Sql_parser.parse t.catalog sql with
+  | Ok q -> Ok q
+  | Error e -> Error (Parse_error (Fmt.str "%a" Sql_parser.pp_error e))
+
+let plan_sql t sql =
+  match Hashtbl.find_opt t.plan_cache sql with
+  | Some cached ->
+    t.cache_hits <- t.cache_hits + 1;
+    Ok (cached, true)
+  | None ->
+    (match parse t sql with
+     | Error e -> Error e
+     | Ok query ->
+       let plan = Query.to_plan query in
+       (match
+          Planner.Third_party.plan ~helpers:t.helpers t.catalog t.policy plan
+        with
+        | Ok { assignment; rescues } ->
+          let cached =
+            { c_plan = plan; c_assignment = assignment; c_rescues = rescues }
+          in
+          Hashtbl.replace t.plan_cache sql cached;
+          Ok (cached, false)
+        | Error f ->
+          t.infeasible_count <- t.infeasible_count + 1;
+          let advice = Planner.Advisor.advise t.catalog t.policy plan in
+          Error
+            (Infeasible
+               { failed_at = f.Planner.Third_party.failed_at; advice })))
+
+let query t sql =
+  match plan_sql t sql with
+  | Error e -> Error e
+  | Ok (cached, from_cache) ->
+    let third_party = cached.c_rescues <> [] in
+    (match
+       Distsim.Engine.execute ~third_party t.catalog ~instances:t.instances
+         cached.c_plan cached.c_assignment
+     with
+     | Error e ->
+       Error (Execution_error (Fmt.str "%a" Distsim.Engine.pp_error e))
+     | Ok { result; location; network; _ } ->
+       (match Distsim.Audit.run t.policy network with
+        | Error violations ->
+          Error
+            (Audit_violation
+               (Fmt.str "%a"
+                  Fmt.(list ~sep:(any "; ") Distsim.Audit.pp_violation)
+                  violations))
+        | Ok entries ->
+          t.audit_entries <- List.rev_append entries t.audit_entries;
+          t.queries_served <- t.queries_served + 1;
+          let messages = Distsim.Network.message_count network in
+          let bytes = Distsim.Network.total_bytes network in
+          t.total_messages <- t.total_messages + messages;
+          t.total_bytes <- t.total_bytes + bytes;
+          Ok
+            {
+              plan = cached.c_plan;
+              assignment = cached.c_assignment;
+              rescues = cached.c_rescues;
+              result;
+              location;
+              messages;
+              bytes;
+              from_cache;
+            }))
+
+let explain t sql =
+  match parse t sql with
+  | Error e -> Error e
+  | Ok query ->
+    let plan = Query.to_plan query in
+    (match Planner.Safe_planner.plan ~helpers:t.helpers t.catalog t.policy plan with
+     | Ok { trace; _ } -> Ok trace
+     | Error f ->
+       let advice = Planner.Advisor.advise t.catalog t.policy plan in
+       Error (Infeasible { failed_at = f.Planner.Safe_planner.failed_at; advice }))
+
+let audit_log t = List.rev t.audit_entries
+
+let stats t =
+  {
+    queries_served = t.queries_served;
+    infeasible = t.infeasible_count;
+    cache_hits = t.cache_hits;
+    total_messages = t.total_messages;
+    total_bytes = t.total_bytes;
+  }
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "@[<v>queries served: %d@,infeasible:     %d@,plan-cache hits: %d@,\
+     messages:       %d@,bytes:          %d@]"
+    s.queries_served s.infeasible s.cache_hits s.total_messages s.total_bytes

@@ -1,0 +1,96 @@
+(** The one-module front door.
+
+    A [Federation.t] bundles a catalog, a policy, instances and
+    optional third-party helpers, and serves queries end to end:
+    parse → plan (with a plan cache) → execute → audit. Failures come
+    back as typed errors, infeasibility with the policy advisor's
+    repair proposal attached. The federation accumulates the audit
+    entries of everything it ever executed — the compliance log an
+    operator would keep.
+
+    {[
+      let fed =
+        Federation.create ~catalog ~policy ~instances ()
+      in
+      match Federation.query fed "SELECT ... FROM ... JOIN ..." with
+      | Ok r -> Fmt.pr "%a@." Relalg.Relation.pp r.result
+      | Error e -> Fmt.epr "%a@." Federation.pp_error e
+    ]} *)
+
+open Relalg
+
+type t
+
+(** [create ~catalog ~policy ~instances ()] — [helpers] (default none)
+    are offered to the third-party planner when the operands cannot
+    execute a join; [close_under] (default none) closes the policy
+    under the chase over the given join graph before serving queries
+    (Section 3.2 assumes policies chase-closed — EXP-F' measures what
+    raw policies lose). *)
+val create :
+  catalog:Catalog.t ->
+  policy:Authz.Policy.t ->
+  ?helpers:Server.t list ->
+  ?close_under:Joinpath.Cond.t list ->
+  instances:(string -> Relation.t option) ->
+  unit ->
+  t
+
+(** Build from the text formats (file {e contents}, not paths):
+    a schema definition, an authorization file (positive or [DENY]
+    rules) and optionally a data bundle. *)
+val of_text :
+  schema:string ->
+  authz:string ->
+  ?data:string ->
+  ?helpers:string list ->
+  unit ->
+  (t, string) result
+
+type response = {
+  plan : Plan.t;
+  assignment : Planner.Assignment.t;
+  rescues : Planner.Third_party.rescue list;
+      (** non-empty when a helper had to step in *)
+  result : Relation.t;
+  location : Server.t;
+  messages : int;  (** transfers this execution performed *)
+  bytes : int;
+  from_cache : bool;  (** the plan (not the result) was cached *)
+}
+
+type error =
+  | Parse_error of string
+  | Infeasible of {
+      failed_at : int;
+      advice : Planner.Advisor.proposal option;
+          (** minimal grants that would repair it, when one exists *)
+    }
+  | Execution_error of string
+  | Audit_violation of string
+      (** defence in depth: an executed flow failed the runtime audit —
+          the response is withheld *)
+
+val pp_error : error Fmt.t
+
+(** Serve one SQL query. Plans are cached per SQL string; execution and
+    auditing always run. *)
+val query : t -> string -> (response, error) result
+
+(** Planner trace for a query, without executing it. *)
+val explain : t -> string -> (Planner.Safe_planner.trace, error) result
+
+(** All audit entries accumulated across successful executions, oldest
+    first. *)
+val audit_log : t -> Distsim.Audit.entry list
+
+type stats = {
+  queries_served : int;
+  infeasible : int;
+  cache_hits : int;
+  total_messages : int;
+  total_bytes : int;
+}
+
+val stats : t -> stats
+val pp_stats : stats Fmt.t

@@ -1,0 +1,1 @@
+lib/planner/advisor.ml: Assignment Attribute Authorization Authz Fmt Int Joinpath List Option Plan Policy Profile Relalg Safe_planner Safety Server

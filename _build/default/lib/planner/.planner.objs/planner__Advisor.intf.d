@@ -1,0 +1,1 @@
+lib/planner/advisor.mli: Assignment Authorization Authz Catalog Fmt Plan Policy Relalg Safe_planner Server

@@ -1,0 +1,1 @@
+lib/planner/assignment.ml: Fmt Int Map Option Relalg Server

@@ -1,0 +1,1 @@
+lib/planner/assignment.mli: Fmt Relalg Server

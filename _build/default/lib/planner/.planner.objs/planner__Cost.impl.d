@@ -1,0 +1,1 @@
+lib/planner/cost.ml: Attribute Authz Float List Plan Printf Relalg Safety Schema

@@ -1,0 +1,1 @@
+lib/planner/cost.mli: Assignment Catalog Plan Relalg Safety

@@ -1,0 +1,1 @@
+lib/planner/dot.ml: Array Assignment Attribute Authz Buffer Fmt Joinpath List Option Plan Predicate Printf Relalg Safety Schema Server String

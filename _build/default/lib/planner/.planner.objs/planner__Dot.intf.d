@@ -1,0 +1,1 @@
+lib/planner/dot.mli: Assignment Catalog Plan Relalg

@@ -1,0 +1,1 @@
+lib/planner/exhaustive.ml: Assignment Attribute Authz Catalog Cost Fmt Fun Joinpath List Plan Policy Profile Relalg Safety Schema Seq Server

@@ -1,0 +1,1 @@
+lib/planner/exhaustive.mli: Assignment Authz Catalog Cost Plan Policy Relalg

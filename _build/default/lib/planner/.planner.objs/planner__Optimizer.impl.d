@@ -1,0 +1,1 @@
+lib/planner/optimizer.ml: Assignment Attribute Cost Fmt Joinpath List Option Plan Query Relalg Safe_planner String

@@ -1,0 +1,1 @@
+lib/planner/optimizer.mli: Assignment Authz Catalog Cost Plan Query Relalg Safe_planner

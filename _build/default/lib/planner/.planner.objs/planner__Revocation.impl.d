@@ -1,0 +1,1 @@
+lib/planner/revocation.ml: Authorization Authz Fmt Int List Policy Safe_planner Safety

@@ -1,0 +1,1 @@
+lib/planner/revocation.mli: Assignment Authorization Authz Catalog Fmt Plan Policy Relalg

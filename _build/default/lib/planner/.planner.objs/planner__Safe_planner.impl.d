@@ -1,0 +1,1 @@
+lib/planner/safe_planner.ml: Assignment Attribute Authz Catalog Fmt Hashtbl Int Joinpath List Option Plan Policy Predicate Profile Relalg Safety Schema Server

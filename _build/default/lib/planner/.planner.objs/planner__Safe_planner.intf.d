@@ -1,0 +1,1 @@
+lib/planner/safe_planner.mli: Assignment Authz Catalog Fmt Plan Policy Profile Relalg Server Stdlib

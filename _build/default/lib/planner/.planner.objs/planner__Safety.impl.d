@@ -1,0 +1,1 @@
+lib/planner/safety.ml: Assignment Attribute Authorization Authz Catalog Fmt Joinpath List Plan Policy Predicate Profile Relalg Result Schema Server

@@ -1,0 +1,1 @@
+lib/planner/safety.mli: Assignment Authorization Authz Catalog Fmt Joinpath Plan Policy Profile Relalg Server

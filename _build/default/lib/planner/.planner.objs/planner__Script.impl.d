@@ -1,0 +1,1 @@
+lib/planner/script.ml: Assignment Attribute Fmt Joinpath List Option Plan Predicate Printf Relalg Safety Schema Server String

@@ -1,0 +1,1 @@
+lib/planner/script.mli: Assignment Catalog Fmt Plan Relalg Safety Server

@@ -1,0 +1,1 @@
+lib/planner/stats.ml: Attribute Catalog Cost Float Fmt Joinpath List Map Relalg Relation Schema Set String Tuple Value

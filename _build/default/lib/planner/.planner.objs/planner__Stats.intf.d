@@ -1,0 +1,1 @@
+lib/planner/stats.mli: Attribute Catalog Cost Fmt Joinpath Relalg Relation

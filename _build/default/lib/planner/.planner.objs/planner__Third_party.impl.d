@@ -1,0 +1,1 @@
+lib/planner/third_party.ml: Assignment Fmt List Plan Relalg Safe_planner Server

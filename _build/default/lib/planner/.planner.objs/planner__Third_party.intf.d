@@ -1,0 +1,1 @@
+lib/planner/third_party.mli: Assignment Authz Catalog Fmt Plan Policy Relalg Server Stdlib

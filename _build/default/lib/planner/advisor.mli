@@ -1,0 +1,49 @@
+(** Policy advisor: explain infeasibility and propose minimal
+    additional authorizations.
+
+    When [Find_candidates] exits at a node (Definition 4.3 fails), an
+    administrator wants to know {e which} release is missing and what
+    the smallest policy change restoring feasibility would be. The
+    advisor recomputes the Figure-5 views at the blocked join and:
+
+    - {!explain} lists, per execution mode and candidate server, the
+      exact view (profile) that would have to be authorized;
+    - {!advise} greedily repairs the plan: at each blocked join it
+      picks the option needing the fewest new rules (ties broken by
+      the fewest released attributes), adds them, and re-plans, until
+      the plan is feasible or no option exists.
+
+    Proposed rules are genuine {!Authz.Authorization} values: what the
+    advisor suggests is exactly what an administrator would write. *)
+
+open Relalg
+open Authz
+
+(** One way to unblock a join: the mode, the servers involved and the
+    missing grants ([] means already authorized — cannot happen for
+    the blocked node itself). *)
+type option_ = {
+  node : int;
+  mode : Safe_planner.mode;
+  master : Server.t;
+  missing : Authorization.t list;
+}
+
+(** Options for the blocked node of a failed plan, cheapest first.
+    Empty when even new grants cannot help (no candidate executors in
+    the children — impossible for well-formed plans). *)
+val explain :
+  Catalog.t -> Policy.t -> Plan.t -> Safe_planner.failure -> option_ list
+
+type proposal = {
+  grants : Authorization.t list;  (** all rules added, in order *)
+  assignment : Assignment.t;  (** safe assignment under the extended policy *)
+  extended : Policy.t;  (** the original policy plus [grants] *)
+}
+
+(** [advise catalog policy plan] — [None] if the plan is feasible
+    already (nothing to do) or cannot be repaired. *)
+val advise : Catalog.t -> Policy.t -> Plan.t -> proposal option
+
+val pp_option : option_ Fmt.t
+val pp_proposal : proposal Fmt.t

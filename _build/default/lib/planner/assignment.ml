@@ -1,0 +1,36 @@
+open Relalg
+module Int_map = Map.Make (Int)
+
+type executor = {
+  master : Server.t;
+  slave : Server.t option;
+  coordinator : Server.t option;
+}
+
+let executor ?slave ?coordinator master = { master; slave; coordinator }
+
+let pp_executor ppf e =
+  (match e.slave with
+   | None -> Fmt.pf ppf "[%a, NULL]" Server.pp e.master
+   | Some s -> Fmt.pf ppf "[%a, %a]" Server.pp e.master Server.pp s);
+  match e.coordinator with
+  | None -> ()
+  | Some t -> Fmt.pf ppf " via %a" Server.pp t
+
+type t = executor Int_map.t
+
+let empty = Int_map.empty
+let set = Int_map.add
+let find t id = Int_map.find id t
+let find_opt t id = Int_map.find_opt id t
+let bindings = Int_map.bindings
+
+let equal =
+  Int_map.equal (fun a b ->
+      Server.equal a.master b.master
+      && Option.equal Server.equal a.slave b.slave
+      && Option.equal Server.equal a.coordinator b.coordinator)
+
+let pp ppf t =
+  let pp_binding ppf (id, e) = Fmt.pf ppf "n%d: %a" id pp_executor e in
+  Fmt.(list ~sep:(any "@\n") pp_binding) ppf (bindings t)

@@ -1,0 +1,35 @@
+(** Executor assignments — the function [λ_T] of Definition 4.1.
+
+    Each plan node is mapped to a pair [\[master, slave\]]: the master
+    executes the node's operation; for joins, a non-NULL slave
+    cooperates in a semi-join (Figure 5). Leaves are assigned the server
+    storing the relation; unary nodes their operand's server. *)
+
+open Relalg
+
+type executor = {
+  master : Server.t;
+  slave : Server.t option;  (** [None] is the paper's NULL *)
+  coordinator : Server.t option;
+      (** footnote 3's coordinator: a third party that matches the two
+          operands' join columns without seeing either relation; the
+          join's result still lands at [master] *)
+}
+
+val executor : ?slave:Server.t -> ?coordinator:Server.t -> Server.t -> executor
+val pp_executor : executor Fmt.t
+
+type t
+
+val empty : t
+val set : int -> executor -> t -> t
+
+(** @raise Not_found for unassigned nodes. *)
+val find : t -> int -> executor
+
+val find_opt : t -> int -> executor option
+val bindings : t -> (int * executor) list
+val equal : t -> t -> bool
+
+(** [λ_T(n) = \[S_H, S_N\]] listing, one node per line. *)
+val pp : t Fmt.t

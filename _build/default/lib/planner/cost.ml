@@ -1,0 +1,64 @@
+open Relalg
+
+type model = {
+  card : string -> float;
+  join_selectivity : float;
+  select_selectivity : float;
+  attr_bytes : float;
+}
+
+let uniform ~card =
+  {
+    card = (fun _ -> card);
+    join_selectivity = 1.0;
+    select_selectivity = 0.5;
+    attr_bytes = 8.0;
+  }
+
+let rec node_rows model (n : Plan.node) =
+  match n.op with
+  | Plan.Leaf schema -> model.card (Schema.name schema)
+  | Plan.Project (_, c) -> node_rows model c
+  | Plan.Select (_, c) -> model.select_selectivity *. node_rows model c
+  | Plan.Join (_, l, r) ->
+    model.join_selectivity
+    *. Float.max (node_rows model l) (node_rows model r)
+
+let width attrs = float_of_int (Attribute.Set.cardinal attrs)
+
+let flow_bytes model plan (flow : Safety.flow) =
+  let node id =
+    match Plan.node plan id with
+    | Some n -> n
+    | None -> invalid_arg (Printf.sprintf "Cost.flow_bytes: unknown node n%d" id)
+  in
+  let bytes rows attrs = rows *. width attrs *. model.attr_bytes in
+  match flow.payload with
+  | Safety.Full_result id ->
+    let n = node id in
+    bytes (node_rows model n) (Plan.output n)
+  | Safety.Join_attributes id ->
+    (* π_J of the master child: at most its rows, J attributes wide
+       (the profile of the flow carries exactly J in pi). *)
+    let n = node id in
+    bytes (node_rows model n) flow.profile.Authz.Profile.pi
+  | Safety.Matched_keys { node = id; side_child } ->
+    (* Distinct matching key values: bounded like the semi-join answer,
+       but only join-columns wide. *)
+    let rows =
+      Float.min (node_rows model (node id)) (node_rows model (node side_child))
+    in
+    bytes rows flow.profile.Authz.Profile.pi
+  | Safety.Semijoin_result { node = id; slave_child } ->
+    (* The tuples of the slave's operand that participate in the join:
+       bounded by the slave operand and by the join result. *)
+    let rows =
+      Float.min (node_rows model (node id)) (node_rows model (node slave_child))
+    in
+    bytes rows flow.profile.Authz.Profile.pi
+
+let assignment_cost ?third_party model catalog plan assignment =
+  match Safety.flows ?third_party catalog plan assignment with
+  | Error _ -> infinity
+  | Ok flows ->
+    List.fold_left (fun acc f -> acc +. flow_bytes model plan f) 0.0 flows

@@ -1,0 +1,41 @@
+(** Communication cost model.
+
+    The paper argues (Section 4) that semi-joins "minimize
+    communication, which also benefits security". This module estimates
+    the bytes moved by an assignment so that baselines can be compared
+    and the exhaustive planner can pick a minimum-cost safe assignment.
+    The distributed simulator measures the {e actual} bytes; benches
+    report both. *)
+
+open Relalg
+
+type model = {
+  card : string -> float;  (** base-relation cardinality, by name *)
+  join_selectivity : float;
+      (** |L ⋈ R| ≈ selectivity × max(|L|, |R|) — the standard
+          foreign-key-join approximation *)
+  select_selectivity : float;  (** fraction surviving a selection *)
+  attr_bytes : float;  (** average width of one attribute value *)
+}
+
+(** [uniform ~card] — every base relation has [card] rows, selectivity
+    1.0 for joins (key–foreign-key), 0.5 for selections, 8-byte
+    attributes. *)
+val uniform : card:float -> model
+
+(** Estimated rows produced by the sub-plan rooted at the node. *)
+val node_rows : model -> Plan.node -> float
+
+(** Estimated bytes of one flow (its payload sized with the model). *)
+val flow_bytes : model -> Plan.t -> Safety.flow -> float
+
+(** Total estimated bytes moved by the assignment: the sum over the
+    flows derived by {!Safety.flows}. Structural errors yield
+    [infinity] (an unusable assignment never wins a comparison). *)
+val assignment_cost :
+  ?third_party:bool ->
+  model ->
+  Catalog.t ->
+  Plan.t ->
+  Assignment.t ->
+  float

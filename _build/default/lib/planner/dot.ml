@@ -1,0 +1,130 @@
+open Relalg
+
+let escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let node_label (n : Plan.node) =
+  match n.op with
+  | Plan.Leaf schema -> Printf.sprintf "%s\\n%s" (Plan.label n) (Schema.name schema)
+  | Plan.Project (attrs, _) ->
+    Printf.sprintf "%s\\nπ %s" (Plan.label n)
+      (escape (Fmt.str "%a" Attribute.Set.pp attrs))
+  | Plan.Select (pred, _) ->
+    Printf.sprintf "%s\\nσ %s" (Plan.label n)
+      (escape (Fmt.str "%a" Predicate.pp pred))
+  | Plan.Join (cond, _, _) ->
+    Printf.sprintf "%s\\n⋈ %s" (Plan.label n)
+      (escape (Fmt.str "%a" Joinpath.Cond.pp_sql cond))
+
+let shape (n : Plan.node) =
+  match n.op with
+  | Plan.Leaf _ -> "box"
+  | Plan.Join _ -> "diamond"
+  | Plan.Project _ | Plan.Select _ -> "ellipse"
+
+(* A fixed colour wheel for server clusters. *)
+let palette =
+  [| "#cfe2f3"; "#d9ead3"; "#fff2cc"; "#f4cccc"; "#d9d2e9"; "#fce5cd" |]
+
+let plan_to_dot plan =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph plan {\n  rankdir=BT;\n";
+  List.iter
+    (fun (n : Plan.node) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\", shape=%s];\n" n.id
+           (node_label n) (shape n)))
+    (Plan.nodes plan);
+  List.iter
+    (fun (n : Plan.node) ->
+      List.iter
+        (fun (child : Plan.node) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d;\n" child.Plan.id n.id))
+        (Plan.children n))
+    (Plan.nodes plan);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let assignment_to_dot ?third_party catalog plan assignment =
+  let flows =
+    match Safety.flows ?third_party catalog plan assignment with
+    | Ok fs -> fs
+    | Error e ->
+      invalid_arg (Fmt.str "Dot.assignment_to_dot: %a" Safety.pp_error e)
+  in
+  (* Group plan nodes per executing server. *)
+  let servers =
+    List.sort_uniq Server.compare
+      (List.concat_map
+         (fun (n : Plan.node) ->
+           let e = Assignment.find assignment n.id in
+           e.Assignment.master
+           :: (Option.to_list e.Assignment.slave
+              @ Option.to_list e.Assignment.coordinator))
+         (Plan.nodes plan))
+  in
+  let colour_of =
+    let table =
+      List.mapi
+        (fun i s -> (s, palette.(i mod Array.length palette)))
+        servers
+    in
+    fun s -> List.assoc s table
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph assignment {\n  rankdir=BT;\n  compound=true;\n";
+  (* One cluster per server containing its nodes. *)
+  List.iteri
+    (fun i server ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  subgraph cluster_%d {\n    label=\"%s\";\n    style=filled;\n    color=\"%s\";\n"
+           i
+           (escape (Server.name server))
+           (colour_of server));
+      List.iter
+        (fun (n : Plan.node) ->
+          let e = Assignment.find assignment n.id in
+          if Server.equal e.Assignment.master server then
+            Buffer.add_string buf
+              (Printf.sprintf "    n%d [label=\"%s\", shape=%s];\n" n.id
+                 (node_label n) (shape n)))
+        (Plan.nodes plan);
+      Buffer.add_string buf "  }\n")
+    servers;
+  (* Tree edges. *)
+  List.iter
+    (fun (n : Plan.node) ->
+      List.iter
+        (fun (child : Plan.node) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d;\n" child.Plan.id n.id))
+        (Plan.children n))
+    (Plan.nodes plan);
+  (* Flow edges: dashed, from the sub-plan whose data moves to the join
+     that consumes it, labelled sender→receiver with the profile. *)
+  let source_of (f : Safety.flow) =
+    match f.Safety.payload with
+    | Safety.Full_result id | Safety.Join_attributes id -> id
+    | Safety.Semijoin_result { slave_child; _ } -> slave_child
+    | Safety.Matched_keys { side_child; _ } -> side_child
+  in
+  List.iter
+    (fun (f : Safety.flow) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  n%d -> n%d [style=dashed, color=red, label=\"%s→%s\\n%s\"];\n"
+           (source_of f) f.Safety.at
+           (escape (Server.name f.Safety.sender))
+           (escape (Server.name f.Safety.receiver))
+           (escape (Fmt.str "%a" Authz.Profile.pp f.Safety.profile))))
+    flows;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Graphviz (DOT) rendering of plans and assignments.
+
+    [dune exec bin/cisqp.exe -- plan --dot ...] emits a digraph with
+    one node per plan operator; when an assignment is supplied, nodes
+    are grouped per executor server (colour-coded clusters) and the
+    data flows entailed by the assignment appear as labelled dashed
+    edges — the picture version of {!Safety.flows}. *)
+
+open Relalg
+
+(** DOT source of the bare plan. *)
+val plan_to_dot : Plan.t -> string
+
+(** DOT source of the plan with its executor assignment and the
+    resulting flows. [third_party] as in {!Safety.flows}.
+    @raise Invalid_argument if the assignment does not fit the plan. *)
+val assignment_to_dot :
+  ?third_party:bool ->
+  Catalog.t ->
+  Plan.t ->
+  Assignment.t ->
+  string

@@ -1,0 +1,199 @@
+open Relalg
+
+type outcome =
+  | Feasible of Assignment.t * float
+  | Infeasible of int
+
+type explored = {
+  order : string list;
+  plan : Plan.t;
+  outcome : outcome;
+}
+
+type t = {
+  best : explored option;
+  explored : explored list;
+  truncated : bool;
+}
+
+let relations_of_cond cond =
+  Joinpath.Cond.attributes cond
+  |> Attribute.Set.elements
+  |> List.map Attribute.relation
+  |> List.sort_uniq String.compare
+
+let conds_of (q : Query.t) = List.map snd q.joins
+
+(* A condition is attached to the first position where all its
+   relations are present. The attachment is legal only if every pair
+   of the condition crosses the boundary between the prefix and the
+   relation just added — otherwise an equality would degenerate into a
+   post-join selection and change the profile. *)
+let cond_status cond ~prefix ~fresh =
+  let covered =
+    List.for_all
+      (fun rel -> rel = fresh || List.mem rel prefix)
+      (relations_of_cond cond)
+  in
+  if not covered then `Pending
+  else if not (List.mem fresh (relations_of_cond cond)) then `Already
+  else
+    let crosses l r =
+      let lr = Attribute.relation l and rr = Attribute.relation r in
+      (lr = fresh) <> (rr = fresh)
+    in
+    if List.for_all2 crosses (Joinpath.Cond.left cond) (Joinpath.Cond.right cond)
+    then `Attach
+    else `Illegal
+
+(* Merge the conditions attached at one step into a single equi-join
+   condition, oriented with the fresh relation's attributes on the
+   right. *)
+let merge_step_conds conds ~fresh =
+  let pairs =
+    List.concat_map
+      (fun cond ->
+        List.map2
+          (fun l r ->
+            if Attribute.relation r = fresh then (l, r) else (r, l))
+          (Joinpath.Cond.left cond) (Joinpath.Cond.right cond))
+      conds
+  in
+  Joinpath.Cond.make ~left:(List.map fst pairs) ~right:(List.map snd pairs)
+
+(* Enumerate orders by DFS. Each extension must attach at least one
+   condition (connectivity) and may not make any condition illegal. *)
+let valid_orders ?(max_orders = 720) (q : Query.t) =
+  let all = Query.relations q in
+  let conds = conds_of q in
+  let original = all in
+  let results = ref [] and count = ref 0 and truncated = ref false in
+  let emit order =
+    if order <> original then
+      if !count < max_orders then begin
+        incr count;
+        results := order :: !results
+      end
+      else truncated := true
+  in
+  let rec extend prefix_rev remaining used =
+    if !count >= max_orders then truncated := true
+    else if remaining = [] then emit (List.rev prefix_rev)
+    else
+      List.iter
+        (fun fresh ->
+          let prefix = List.rev prefix_rev in
+          let statuses =
+            List.filter_map
+              (fun cond ->
+                if List.memq cond used then None
+                else Some (cond, cond_status cond ~prefix ~fresh))
+              conds
+          in
+          let illegal =
+            List.exists (fun (_, s) -> s = `Illegal) statuses
+          in
+          let attached =
+            List.filter_map
+              (fun (c, s) -> if s = `Attach then Some c else None)
+              statuses
+          in
+          if (not illegal) && attached <> [] then
+            extend (fresh :: prefix_rev)
+              (List.filter (fun r -> r <> fresh) remaining)
+              (attached @ used))
+        remaining
+  in
+  (match all with
+   | [] -> ()
+   | [ _ ] -> ()
+   | _ ->
+     List.iter
+       (fun base ->
+         extend [ base ] (List.filter (fun r -> r <> base) all) [])
+       all);
+  let alternatives = List.rev !results in
+  ignore !truncated;
+  original :: alternatives
+
+(* Was enumeration truncated? Re-derivable, but cheaper to recompute
+   alongside; kept simple by re-running the bound check. *)
+let orders_with_truncation ?max_orders q =
+  let orders = valid_orders ?max_orders q in
+  let bound = Option.value ~default:720 max_orders in
+  (orders, List.length orders > bound)
+
+let reorder catalog (q : Query.t) order =
+  let all = Query.relations q in
+  if List.sort compare order <> List.sort compare all then
+    invalid_arg "Optimizer.reorder: not a permutation of the FROM clause";
+  match order with
+  | [] -> invalid_arg "Optimizer.reorder: empty order"
+  | base :: rest ->
+    let conds = conds_of q in
+    let joins, _, _ =
+      List.fold_left
+        (fun (joins, prefix, used) fresh ->
+          let statuses =
+            List.filter_map
+              (fun cond ->
+                if List.memq cond used then None
+                else Some (cond, cond_status cond ~prefix ~fresh))
+              conds
+          in
+          (match List.find_opt (fun (_, s) -> s = `Illegal) statuses with
+           | Some (cond, _) ->
+             invalid_arg
+               (Fmt.str
+                  "Optimizer.reorder: condition %a does not cross at %s"
+                  Joinpath.Cond.pp cond fresh)
+           | None -> ());
+          let attached =
+            List.filter_map
+              (fun (c, s) -> if s = `Attach then Some c else None)
+              statuses
+          in
+          if attached = [] then
+            invalid_arg
+              (Fmt.str "Optimizer.reorder: %s does not connect to the prefix"
+                 fresh);
+          ( joins @ [ (fresh, merge_step_conds attached ~fresh) ],
+            fresh :: prefix,
+            attached @ used ))
+        ([], [ base ], []) rest
+    in
+    (match
+       Query.make catalog ~select:q.select ~base ~joins ~where:q.where
+     with
+     | Ok q' -> q'
+     | Error e ->
+       invalid_arg (Fmt.str "Optimizer.reorder: %a" Query.pp_error e))
+
+let optimize ?max_orders ?config model catalog policy query =
+  let orders, truncated = orders_with_truncation ?max_orders query in
+  let explored =
+    List.map
+      (fun order ->
+        let q = if order = Query.relations query then query else reorder catalog query order in
+        let plan = Query.to_plan q in
+        let outcome =
+          match Safe_planner.plan ?config catalog policy plan with
+          | Ok { assignment; _ } ->
+            Feasible (assignment, Cost.assignment_cost model catalog plan assignment)
+          | Error f -> Infeasible f.Safe_planner.failed_at
+        in
+        { order; plan; outcome })
+      orders
+  in
+  let best =
+    List.fold_left
+      (fun best e ->
+        match e.outcome, best with
+        | Feasible (_, c), Some { outcome = Feasible (_, c'); _ } when c >= c'
+          ->
+          best
+        | Feasible _, _ -> Some e
+        | Infeasible _, _ -> best)
+      None explored
+  in
+  { best; explored; truncated }

@@ -1,0 +1,57 @@
+(** Two-step distributed query optimization (Section 5).
+
+    The paper situates its algorithm inside the classical two-step
+    optimizer \[12\]: first pick a good logical plan, then assign
+    operations to servers. This module implements the first step on top
+    of {!Safe_planner}: it enumerates alternative left-deep join orders
+    of the FROM clause (every prefix connected through the query's join
+    conditions), runs the Figure-6 algorithm on each, and keeps the
+    cheapest {e feasible} combination under a {!Cost.model}.
+
+    Because authorizations constrain who may see what, join order
+    affects more than cost: an order can be infeasible while another
+    one is safe — reordering {e recovers feasibility}, not just
+    performance (experiment EXP-G). A condition is attached to the
+    first position where all its relations are joined; orders that
+    would turn a join equality into a post-hoc selection (changing the
+    information profile) are skipped. *)
+
+open Relalg
+
+type outcome =
+  | Feasible of Assignment.t * float  (** assignment and estimated cost *)
+  | Infeasible of int  (** node at which the greedy planner gave up *)
+
+type explored = {
+  order : string list;  (** FROM relations, in the explored order *)
+  plan : Plan.t;
+  outcome : outcome;
+}
+
+type t = {
+  best : explored option;  (** cheapest feasible order, if any *)
+  explored : explored list;  (** everything tried, in exploration order *)
+  truncated : bool;  (** hit [max_orders] before exhausting orders *)
+}
+
+(** [optimize model catalog policy query] explores up to [max_orders]
+    (default [720]) join orders. [config] is passed through to the
+    planner. The original order is always explored first, so
+    [List.hd t.explored] reports the paper-default behaviour. *)
+val optimize :
+  ?max_orders:int ->
+  ?config:Safe_planner.config ->
+  Cost.model ->
+  Catalog.t ->
+  Authz.Policy.t ->
+  Query.t ->
+  t
+
+(** Orders whose every prefix is connected (and condition-preserving),
+    original order first. Exposed for tests. *)
+val valid_orders : ?max_orders:int -> Query.t -> string list list
+
+(** Rebuild the query with its FROM clause permuted to [order].
+    @raise Invalid_argument if [order] is not a valid order of the
+    query's relations. *)
+val reorder : Catalog.t -> Query.t -> string list -> Query.t

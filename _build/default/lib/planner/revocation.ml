@@ -1,0 +1,52 @@
+open Authz
+
+let support catalog policy plan assignment =
+  match Safety.check catalog policy plan assignment with
+  | Error (`Structure e) -> Error (Fmt.str "%a" Safety.pp_error e)
+  | Error (`Violations _) -> Error "assignment is not safe"
+  | Ok flows ->
+    let rules =
+      List.filter_map
+        (fun (f : Safety.flow) ->
+          Policy.authorizing_rule policy f.profile f.receiver)
+        flows
+    in
+    Ok (List.sort_uniq Authorization.compare rules)
+
+let load_bearing catalog policy plan =
+  if not (Safe_planner.feasible catalog policy plan) then []
+  else
+    List.filter
+      (fun rule ->
+        not
+          (Safe_planner.feasible catalog (Policy.remove rule policy) plan))
+      (Policy.authorizations policy)
+
+type impact = {
+  rule : Authorization.t;
+  total : int;
+  broken : int;
+}
+
+let impact catalog policy plans =
+  let feasible_plans =
+    List.filter (fun p -> Safe_planner.feasible catalog policy p) plans
+  in
+  let total = List.length feasible_plans in
+  Policy.authorizations policy
+  |> List.map (fun rule ->
+         let without = Policy.remove rule policy in
+         let broken =
+           List.length
+             (List.filter
+                (fun p -> not (Safe_planner.feasible catalog without p))
+                feasible_plans)
+         in
+         { rule; total; broken })
+  |> List.sort (fun a b ->
+         match Int.compare b.broken a.broken with
+         | 0 -> Authorization.compare a.rule b.rule
+         | c -> c)
+
+let pp_impact ppf i =
+  Fmt.pf ppf "%a breaks %d/%d plans" Authorization.pp i.rule i.broken i.total

@@ -1,0 +1,43 @@
+(** Revocation analysis — the administrative converse of
+    {!module:Advisor}.
+
+    Before revoking an authorization, an administrator wants to know
+    what it currently enables:
+
+    - {!support}: the rules an assignment's safety actually cites (one
+      admitting rule per flow) — the certificate of Definition 4.2;
+    - {!load_bearing}: the rules whose individual removal makes a plan
+      infeasible (stronger than membership in a support set: another
+      rule might cover the same flow);
+    - {!impact}: across a workload of plans, how many become
+      infeasible if a given rule is revoked. *)
+
+open Relalg
+open Authz
+
+(** Rules admitting the flows of the given assignment (deduplicated,
+    sorted). [Error] if the assignment is not safe in the first
+    place. *)
+val support :
+  Catalog.t ->
+  Policy.t ->
+  Plan.t ->
+  Assignment.t ->
+  (Authorization.t list, string) result
+
+(** Rules [r] of the policy such that the plan is feasible under the
+    policy but infeasible under [policy - r]. Plans that are already
+    infeasible have no load-bearing rules. *)
+val load_bearing : Catalog.t -> Policy.t -> Plan.t -> Authorization.t list
+
+type impact = {
+  rule : Authorization.t;
+  total : int;  (** plans feasible under the full policy *)
+  broken : int;  (** of those, plans infeasible after revoking [rule] *)
+}
+
+(** Impact of revoking each rule of the policy on a workload of
+    plans, sorted by decreasing [broken]. *)
+val impact : Catalog.t -> Policy.t -> Plan.t list -> impact list
+
+val pp_impact : impact Fmt.t

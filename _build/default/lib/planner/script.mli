@@ -1,0 +1,46 @@
+(** Compilation of an executor assignment into the per-server execution
+    script — the sequence of local SQL statements and transfers each
+    party runs.
+
+    The paper argues its model "is certainly easier to integrate with
+    the mechanisms and approaches that are used by current database
+    servers" (Section 6); this module makes that concrete: every plan
+    node becomes a temporary table at its executor, joins expand into
+    the Figure-5 protocols, and the output is plain SQL over base
+    relations and received temporaries — exactly what a federation of
+    ordinary DBMSs would execute.
+
+    Temporary names are [t<node>] (plus protocol-internal suffixes like
+    [t1_keys]); a [Ship] step transfers a temporary between servers. *)
+
+open Relalg
+
+type step =
+  | Local of {
+      at : Server.t;
+      defines : string;  (** temporary created by this statement *)
+      sql : string;
+    }
+  | Ship of {
+      src : Server.t;
+      dst : Server.t;
+      temp : string;
+    }
+
+type t = {
+  steps : step list;  (** in execution order *)
+  result : string;  (** temporary holding the query answer *)
+  location : Server.t;
+}
+
+(** Compile; fails with the same structural errors as {!Safety.flows}.
+    [third_party] as there. *)
+val of_assignment :
+  ?third_party:bool ->
+  Catalog.t ->
+  Plan.t ->
+  Assignment.t ->
+  (t, Safety.error) result
+
+val pp_step : step Fmt.t
+val pp : t Fmt.t

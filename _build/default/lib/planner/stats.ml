@@ -1,0 +1,89 @@
+open Relalg
+module String_map = Map.Make (String)
+
+module Value_set = Set.Make (Value)
+
+type t = {
+  cards : int String_map.t;  (* relation name -> rows *)
+  distincts : int Attribute.Map.t;
+}
+
+let of_instances catalog instances =
+  List.fold_left
+    (fun acc schema ->
+      match instances (Schema.name schema) with
+      | None -> acc
+      | Some rel ->
+        let cards =
+          String_map.add (Schema.name schema) (Relation.cardinality rel)
+            acc.cards
+        in
+        let distincts =
+          List.fold_left
+            (fun distincts attr ->
+              let values =
+                List.fold_left
+                  (fun set tuple -> Value_set.add (Tuple.find tuple attr) set)
+                  Value_set.empty (Relation.tuples rel)
+              in
+              Attribute.Map.add attr (Value_set.cardinal values) distincts)
+            acc.distincts (Schema.attributes schema)
+        in
+        { cards; distincts })
+    { cards = String_map.empty; distincts = Attribute.Map.empty }
+    (Catalog.schemas catalog)
+
+let cardinality t name = String_map.find_opt name t.cards
+let distinct t attr = Attribute.Map.find_opt attr t.distincts
+
+let join_selectivity t cond =
+  let pair_sel l r =
+    match (distinct t l, distinct t r) with
+    | Some dl, Some dr when dl > 0 && dr > 0 ->
+      Some (1.0 /. float_of_int (max dl dr))
+    | _ -> None
+  in
+  List.fold_left2
+    (fun acc l r ->
+      match (acc, pair_sel l r) with
+      | Some s, Some p -> Some (s *. p)
+      | _ -> None)
+    (Some 1.0) (Joinpath.Cond.left cond) (Joinpath.Cond.right cond)
+
+let to_cost_model ?(default_card = 1000.0) ~conds t =
+  let sels = List.filter_map (join_selectivity t) conds in
+  let join_selectivity =
+    match sels with
+    | [] -> 1.0
+    | _ ->
+      (* Average of the per-condition estimates, scaled to the model's
+         convention: |L ⋈ R| ≈ sel × max(|L|, |R|), i.e. the estimate
+         sel(cond) × |L| × |R| / max = sel(cond) × min. We approximate
+         min ≈ mean distinct-side cardinality by folding the
+         per-condition sel × mean-card into one factor. Keeping it
+         simple and bounded: mean of sel(cond) × default_card, clamped
+         to [0.01, 1]. *)
+      let mean = List.fold_left ( +. ) 0.0 sels /. float_of_int (List.length sels) in
+      Float.min 1.0 (Float.max 0.01 (mean *. default_card /. 10.0))
+  in
+  {
+    Cost.card =
+      (fun name ->
+        match cardinality t name with
+        | Some c -> float_of_int c
+        | None -> default_card);
+    join_selectivity;
+    select_selectivity = 0.5;
+    attr_bytes = 8.0;
+  }
+
+let pp ppf t =
+  let pp_card ppf (name, c) = Fmt.pf ppf "%s: %d rows" name c in
+  let pp_distinct ppf (a, d) =
+    Fmt.pf ppf "%a: %d distinct" Attribute.pp_qualified a d
+  in
+  Fmt.pf ppf "@[<v>%a@,%a@]"
+    Fmt.(list ~sep:(any "@,") pp_card)
+    (String_map.bindings t.cards)
+    Fmt.(list ~sep:(any "@,") pp_distinct)
+    (Attribute.Map.bindings t.distincts)

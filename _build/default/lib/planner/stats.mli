@@ -1,0 +1,42 @@
+(** Data statistics for cost estimation.
+
+    {!Cost.uniform} prices plans with fixed cardinalities and
+    selectivities; when instances are available, classical statistics
+    do better: per-relation cardinalities and per-attribute distinct
+    counts, with the textbook equi-join selectivity estimate
+
+    {v sel(L.a = R.b) = 1 / max(distinct(a), distinct(b)) v}
+
+    {!to_cost_model} plugs these into a {!Cost.model} (the model keeps
+    a single global join selectivity, so the per-condition estimates
+    are averaged over the conditions the statistics have seen — the
+    plan-level knobs the optimizer and the exhaustive baseline use). *)
+
+open Relalg
+
+type t
+
+(** Collect statistics for every catalogued relation with an instance
+    (relations without instances are skipped and fall back to
+    [default_card] at use sites). *)
+val of_instances : Catalog.t -> (string -> Relation.t option) -> t
+
+(** Rows of a relation; [None] when no instance was seen. *)
+val cardinality : t -> string -> int option
+
+(** Distinct values of an attribute; [None] when unseen. *)
+val distinct : t -> Attribute.t -> int option
+
+(** Textbook selectivity estimate for an equi-join condition (product
+    over its attribute pairs); [None] when either side is unseen. *)
+val join_selectivity : t -> Joinpath.Cond.t -> float option
+
+(** Build a {!Cost.model}: cardinalities from the statistics
+    ([default_card], default [1000.], for unseen relations); join
+    selectivity averaged over [conds] (falling back to [1.0] when no
+    estimate is available); selection selectivity 0.5; 8-byte
+    attributes. *)
+val to_cost_model :
+  ?default_card:float -> conds:Joinpath.Cond.t list -> t -> Cost.model
+
+val pp : t Fmt.t

@@ -1,0 +1,53 @@
+open Relalg
+
+type kind =
+  | Proxy
+  | Coordinator
+
+type rescue = {
+  node : int;
+  helper : Server.t;
+  kind : kind;
+}
+
+type result = {
+  assignment : Assignment.t;
+  rescues : rescue list;
+}
+
+type failure = {
+  failed_at : int;
+  tried : Server.t list;
+}
+
+(* A join was rescued when its master is neither operand's executor
+   (proxy) or when a coordinator was recorded. *)
+let rescues_of plan assignment =
+  List.filter_map
+    (fun (n : Plan.node) ->
+      match n.op with
+      | Plan.Join (_, l, r) ->
+        let exec (m : Plan.node) = Assignment.find assignment m.id in
+        let me = (exec n).Assignment.master in
+        (match (exec n).Assignment.coordinator with
+         | Some t -> Some { node = n.id; helper = t; kind = Coordinator }
+         | None ->
+           if
+             Server.equal me (exec l).Assignment.master
+             || Server.equal me (exec r).Assignment.master
+           then None
+           else Some { node = n.id; helper = me; kind = Proxy })
+      | Plan.Leaf _ | Plan.Project _ | Plan.Select _ -> None)
+    (Plan.nodes plan)
+
+let plan ~helpers catalog policy p =
+  match Safe_planner.plan ~helpers catalog policy p with
+  | Ok { assignment; _ } ->
+    Ok { assignment; rescues = rescues_of p assignment }
+  | Error (f : Safe_planner.failure) ->
+    Error { failed_at = f.failed_at; tried = helpers }
+
+let pp_rescue ppf r =
+  Fmt.pf ppf "join n%d rescued by third party %a (as %s)" r.node Server.pp
+    r.helper
+    (match r.kind with Proxy -> "proxy" | Coordinator -> "coordinator")

@@ -1,0 +1,1 @@
+lib/relalg/algebra.ml: Attribute Fmt Joinpath List Predicate Relation Result Schema

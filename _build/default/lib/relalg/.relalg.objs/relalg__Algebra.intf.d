@@ -1,0 +1,1 @@
+lib/relalg/algebra.mli: Attribute Fmt Joinpath Predicate Relation Schema

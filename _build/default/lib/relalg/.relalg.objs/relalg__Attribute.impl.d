@@ -1,0 +1,1 @@
+lib/relalg/attribute.ml: Fmt List Map Set String

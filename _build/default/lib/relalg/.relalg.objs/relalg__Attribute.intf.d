@@ -1,0 +1,1 @@
+lib/relalg/attribute.mli: Fmt Map Set

@@ -1,0 +1,1 @@
+lib/relalg/catalog.ml: Attribute Fmt List Map Schema Server String

@@ -1,0 +1,1 @@
+lib/relalg/joinpath.ml: Attribute Fmt List Set String

@@ -1,0 +1,1 @@
+lib/relalg/joinpath.mli: Attribute Fmt

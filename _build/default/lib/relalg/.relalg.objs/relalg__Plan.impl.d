@@ -1,0 +1,1 @@
+lib/relalg/plan.ml: Algebra Attribute Fmt Int Joinpath List Predicate Printf Queue Schema

@@ -1,0 +1,1 @@
+lib/relalg/plan.mli: Algebra Attribute Fmt Joinpath Predicate Schema

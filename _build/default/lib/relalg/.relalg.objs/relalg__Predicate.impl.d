@@ -1,0 +1,1 @@
+lib/relalg/predicate.ml: Attribute Fmt List Value

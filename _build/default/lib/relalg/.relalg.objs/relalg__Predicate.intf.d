@@ -1,0 +1,1 @@
+lib/relalg/predicate.mli: Attribute Fmt Value

@@ -1,0 +1,1 @@
+lib/relalg/query.ml: Algebra Attribute Catalog Fmt Joinpath List Plan Predicate Result Schema

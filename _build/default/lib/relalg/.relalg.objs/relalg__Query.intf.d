@@ -1,0 +1,1 @@
+lib/relalg/query.mli: Algebra Attribute Catalog Fmt Joinpath Plan Predicate Schema

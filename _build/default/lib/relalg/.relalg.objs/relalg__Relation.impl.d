@@ -1,0 +1,1 @@
+lib/relalg/relation.ml: Attribute Fmt Joinpath List Map Option Predicate Schema Set Tuple Value

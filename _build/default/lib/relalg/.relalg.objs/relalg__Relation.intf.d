@@ -1,0 +1,1 @@
+lib/relalg/relation.mli: Attribute Fmt Joinpath Predicate Schema Tuple Value

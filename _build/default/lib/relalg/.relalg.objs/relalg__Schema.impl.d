@@ -1,0 +1,1 @@
+lib/relalg/schema.ml: Attribute Fmt List Printf String

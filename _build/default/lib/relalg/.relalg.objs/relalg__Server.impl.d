@@ -1,0 +1,1 @@
+lib/relalg/server.ml: Fmt Map Set String

@@ -1,0 +1,1 @@
+lib/relalg/server.mli: Fmt Map Set

@@ -1,0 +1,1 @@
+lib/relalg/sql_parser.ml: Catalog Fmt Joinpath List Predicate Printf Query Schema String Value

@@ -1,0 +1,1 @@
+lib/relalg/sql_parser.mli: Catalog Fmt Query

@@ -1,0 +1,1 @@
+lib/relalg/tuple.ml: Attribute Fmt List Value

@@ -1,0 +1,47 @@
+(** Relational algebra expressions — the operator trees of
+    [π_A(σ_C(R1 ⋈ ... ⋈ Rn+1))] queries (Section 2).
+
+    An expression is the {e logical} side of a query tree plan; the
+    numbered tree handed to the planner is {!module:Plan}. *)
+
+type t =
+  | Relation of Schema.t
+  | Project of Attribute.Set.t * t
+  | Select of Predicate.t * t
+  | Join of Joinpath.Cond.t * t * t
+
+type error =
+  | Projection_out_of_scope of Attribute.Set.t
+  | Selection_out_of_scope of Attribute.Set.t
+  | Join_attributes_misplaced of Joinpath.Cond.t
+  | Overlapping_operands of Attribute.Set.t
+
+val pp_error : error Fmt.t
+
+(** Output attributes of the expression (its header). *)
+val output : t -> Attribute.Set.t
+
+(** Names of base relations appearing as leaves, leftmost first. *)
+val relations : t -> string list
+
+(** Structural checks: projections/selections within scope, each join
+    condition sided correctly (its left attributes produced by the left
+    operand, right by the right), operands attribute-disjoint. *)
+val validate : t -> (unit, error) result
+
+(** [eval ~lookup e] evaluates [e] bottom-up on the instances provided
+    by [lookup] (one call per leaf). This is the centralized reference
+    semantics that the distributed engine is tested against.
+    @raise Invalid_argument on expressions that do not {!validate}. *)
+val eval : lookup:(Schema.t -> Relation.t) -> t -> Relation.t
+
+(** Number of [Join] nodes. *)
+val join_count : t -> int
+
+(** Number of nodes. *)
+val size : t -> int
+
+(** Multi-line indented tree rendering. *)
+val pp : t Fmt.t
+
+val to_string : t -> string

@@ -1,0 +1,37 @@
+type t = { relation : string; name : string }
+
+let make ~relation name =
+  if relation = "" then invalid_arg "Attribute.make: empty relation name";
+  if name = "" then invalid_arg "Attribute.make: empty attribute name";
+  { relation; name }
+
+let relation t = t.relation
+let name t = t.name
+
+let compare a b =
+  match String.compare a.name b.name with
+  | 0 -> String.compare a.relation b.relation
+  | c -> c
+
+let equal a b = compare a b = 0
+let pp ppf t = Fmt.string ppf t.name
+let pp_qualified ppf t = Fmt.pf ppf "%s.%s" t.relation t.name
+let to_string = Fmt.to_to_string pp
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = struct
+  include Set.Make (Ord)
+
+  let pp ppf s =
+    Fmt.pf ppf "@[<h>{%a}@]" Fmt.(list ~sep:(any ", ") pp) (elements s)
+
+  let of_names ~relation names =
+    of_list (List.map (fun n -> make ~relation n) names)
+end
+
+module Map = Map.Make (Ord)

@@ -1,0 +1,42 @@
+(** Attribute identities.
+
+    The paper assumes every attribute name is globally unique across the
+    distributed system ("all attributes in the different relations have
+    distinct names", Section 2), falling back to dot notation otherwise.
+    We keep the relation of origin as part of the identity, which makes
+    the dot notation implicit, and print the bare name (the paper's
+    convention) by default. *)
+
+type t = private { relation : string; name : string }
+
+(** [make ~relation name] builds the identity of attribute [name] of
+    relation [relation]. Raises [Invalid_argument] on empty components. *)
+val make : relation:string -> string -> t
+
+val relation : t -> string
+val name : t -> string
+
+(** Lexicographic on [(name, relation)] so that printing sorted sets
+    lists attributes alphabetically, as the paper's figures do. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** Bare name, e.g. ["Holder"]. *)
+val pp : t Fmt.t
+
+(** Dotted name, e.g. ["Insurance.Holder"]. *)
+val pp_qualified : t Fmt.t
+
+val to_string : t -> string
+
+module Set : sig
+  include Set.S with type elt = t
+
+  (** [{A, B, C}] with bare names, sorted. *)
+  val pp : t Fmt.t
+
+  val of_names : relation:string -> string list -> t
+end
+
+module Map : Map.S with type key = t

@@ -1,0 +1,119 @@
+module String_map = Map.Make (String)
+
+type t = {
+  relations : (Schema.t * Server.t list) String_map.t;
+      (* servers holding a copy, primary first *)
+  order : string list;  (* declaration order, for stable printing *)
+}
+
+type error =
+  | Unknown_relation of string
+  | Unknown_attribute of string
+  | Ambiguous_attribute of string * Attribute.t list
+  | Duplicate_relation of string
+
+let pp_error ppf = function
+  | Unknown_relation r -> Fmt.pf ppf "unknown relation %S" r
+  | Unknown_attribute a -> Fmt.pf ppf "unknown attribute %S" a
+  | Ambiguous_attribute (a, cands) ->
+    Fmt.pf ppf "ambiguous attribute %S (candidates: %a)" a
+      Fmt.(list ~sep:(any ", ") Attribute.pp_qualified)
+      cands
+  | Duplicate_relation r -> Fmt.pf ppf "duplicate relation %S" r
+
+let empty = { relations = String_map.empty; order = [] }
+
+let add t schema ~at =
+  let name = Schema.name schema in
+  if String_map.mem name t.relations then Error (Duplicate_relation name)
+  else
+    Ok
+      {
+        relations = String_map.add name (schema, [ at ]) t.relations;
+        order = t.order @ [ name ];
+      }
+
+let replicate t name ~at =
+  match String_map.find_opt name t.relations with
+  | None -> Error (Unknown_relation name)
+  | Some (schema, servers) ->
+    let servers =
+      if List.exists (Server.equal at) servers then servers
+      else servers @ [ at ]
+    in
+    Ok { t with relations = String_map.add name (schema, servers) t.relations }
+
+let of_list placements =
+  List.fold_left
+    (fun t (schema, at) ->
+      match add t schema ~at with
+      | Ok t -> t
+      | Error e -> invalid_arg (Fmt.str "Catalog.of_list: %a" pp_error e))
+    empty placements
+
+let in_order t = List.filter_map (fun n -> String_map.find_opt n t.relations) t.order
+let schemas t = List.map fst (in_order t)
+
+let servers t =
+  List.fold_left
+    (fun acc (_, ss) -> List.fold_left (fun acc s -> Server.Set.add s acc) acc ss)
+    Server.Set.empty (in_order t)
+
+let relation t name =
+  match String_map.find_opt name t.relations with
+  | Some (schema, _) -> Ok schema
+  | None -> Error (Unknown_relation name)
+
+let server_of t name =
+  match String_map.find_opt name t.relations with
+  | Some (_, server :: _) -> Ok server
+  | Some (_, []) -> assert false (* add always records one server *)
+  | None -> Error (Unknown_relation name)
+
+let servers_of t name =
+  match String_map.find_opt name t.relations with
+  | Some (_, servers) -> Ok servers
+  | None -> Error (Unknown_relation name)
+
+let stores t name server =
+  match String_map.find_opt name t.relations with
+  | Some (_, servers) -> List.exists (Server.equal server) servers
+  | None -> false
+
+let server_of_attribute t a = server_of t (Attribute.relation a)
+
+let resolve_attribute t name =
+  match String.index_opt name '.' with
+  | Some i ->
+    let rel = String.sub name 0 i in
+    let attr = String.sub name (i + 1) (String.length name - i - 1) in
+    (match relation t rel with
+     | Error e -> Error e
+     | Ok schema ->
+       (match Schema.attribute schema attr with
+        | Some a -> Ok a
+        | None -> Error (Unknown_attribute name)))
+  | None ->
+    let candidates =
+      List.filter_map
+        (fun (schema, _) -> Schema.attribute schema name)
+        (in_order t)
+    in
+    (match candidates with
+     | [ a ] -> Ok a
+     | [] -> Error (Unknown_attribute name)
+     | _ :: _ -> Error (Ambiguous_attribute (name, candidates)))
+
+let all_attributes t =
+  List.fold_left
+    (fun acc (schema, _) ->
+      Attribute.Set.union acc (Schema.attribute_set schema))
+    Attribute.Set.empty (in_order t)
+
+let pp ppf t =
+  let pp_entry ppf (schema, servers) =
+    Fmt.pf ppf "%a: %a"
+      Fmt.(list ~sep:(any ", ") Server.pp)
+      servers Schema.pp schema
+  in
+  Fmt.(list ~sep:(any "@\n") pp_entry) ppf (in_order t)

@@ -1,0 +1,60 @@
+(** The catalog of a distributed system: which relations exist and at
+    which server each is stored (Figure 1 of the paper is exactly a
+    catalog drawing).
+
+    The catalog also resolves the paper's bare-name notation: because
+    attribute names are assumed globally distinct, a name like [Holder]
+    denotes a unique attribute; the catalog performs that lookup and
+    reports ambiguities. *)
+
+type t
+
+type error =
+  | Unknown_relation of string
+  | Unknown_attribute of string
+  | Ambiguous_attribute of string * Attribute.t list
+  | Duplicate_relation of string
+
+val pp_error : error Fmt.t
+
+(** [empty] contains no relations. *)
+val empty : t
+
+(** [add t schema ~at] stores [schema] at server [at].
+    Errors with [Duplicate_relation] if the name is already taken. *)
+val add : t -> Schema.t -> at:Server.t -> (t, error) result
+
+(** [replicate t name ~at] adds a replica of an existing relation at
+    another server. Idempotent when the replica already exists. *)
+val replicate : t -> string -> at:Server.t -> (t, error) result
+
+(** [of_list placements] builds a catalog from [(schema, server)] pairs.
+    @raise Invalid_argument on duplicate relation names. *)
+val of_list : (Schema.t * Server.t) list -> t
+
+val schemas : t -> Schema.t list
+val servers : t -> Server.Set.t
+
+val relation : t -> string -> (Schema.t, error) result
+
+(** Primary server of the given relation (the [~at] of {!add}). *)
+val server_of : t -> string -> (Server.t, error) result
+
+(** All servers holding a copy, primary first. *)
+val servers_of : t -> string -> (Server.t list, error) result
+
+(** [stores t name server] — does [server] hold a copy of [name]? *)
+val stores : t -> string -> Server.t -> bool
+
+(** [server_of_attribute t a] is the server storing [a]'s relation. *)
+val server_of_attribute : t -> Attribute.t -> (Server.t, error) result
+
+(** Resolve a possibly-dotted attribute name ("Holder" or
+    "Insurance.Holder"). *)
+val resolve_attribute : t -> string -> (Attribute.t, error) result
+
+(** All attributes of all relations. *)
+val all_attributes : t -> Attribute.Set.t
+
+(** One line per relation: [server: schema]. *)
+val pp : t Fmt.t

@@ -1,0 +1,101 @@
+module Cond = struct
+  (* [pairs] is the canonical form: each equality oriented so that its
+     smaller attribute comes first, the list of equalities sorted.
+     [left]/[right] keep the user-supplied sided lists for the planner
+     and for printing. *)
+  type t = {
+    left : Attribute.t list;
+    right : Attribute.t list;
+    pairs : (Attribute.t * Attribute.t) list;
+  }
+
+  let canonical_pairs left right =
+    let orient (a, b) = if Attribute.compare a b <= 0 then (a, b) else (b, a) in
+    let cmp (a1, b1) (a2, b2) =
+      match Attribute.compare a1 a2 with
+      | 0 -> Attribute.compare b1 b2
+      | c -> c
+    in
+    List.sort_uniq cmp (List.map orient (List.combine left right))
+
+  let make ~left ~right =
+    if left = [] then invalid_arg "Joinpath.Cond.make: empty condition";
+    if List.length left <> List.length right then
+      invalid_arg "Joinpath.Cond.make: sides of different lengths";
+    let pairs = canonical_pairs left right in
+    if List.length pairs <> List.length left then
+      invalid_arg "Joinpath.Cond.make: repeated equality";
+    { left; right; pairs }
+
+  let eq l r = make ~left:[ l ] ~right:[ r ]
+  let left t = t.left
+  let right t = t.right
+  let flip t = { t with left = t.right; right = t.left }
+
+  let attributes t =
+    Attribute.Set.union
+      (Attribute.Set.of_list t.left)
+      (Attribute.Set.of_list t.right)
+
+  let compare a b =
+    List.compare
+      (fun (a1, b1) (a2, b2) ->
+        match Attribute.compare a1 a2 with
+        | 0 -> Attribute.compare b1 b2
+        | c -> c)
+      a.pairs b.pairs
+
+  let equal a b = compare a b = 0
+
+  let pp ppf t =
+    match t.left, t.right with
+    | [ l ], [ r ] -> Fmt.pf ppf "@[<h>\xe2\x9f\xa8%a, %a\xe2\x9f\xa9@]" Attribute.pp l Attribute.pp r
+    | _ ->
+      let pp_pair ppf (l, r) =
+        Fmt.pf ppf "(%a,%a)" Attribute.pp l Attribute.pp r
+      in
+      Fmt.pf ppf "@[<h>\xe2\x9f\xa8%a\xe2\x9f\xa9@]"
+        Fmt.(list ~sep:(any ", ") pp_pair)
+        (List.combine t.left t.right)
+
+  let pp_sql ppf t =
+    let pp_pair ppf (l, r) =
+      Fmt.pf ppf "%a = %a" Attribute.pp l Attribute.pp r
+    in
+    Fmt.(list ~sep:(any " AND ") pp_pair) ppf (List.combine t.left t.right)
+
+  let to_string = Fmt.to_to_string pp
+end
+
+module Cond_set = Set.Make (Cond)
+
+type t = Cond_set.t
+
+let empty = Cond_set.empty
+let is_empty = Cond_set.is_empty
+let singleton = Cond_set.singleton
+let add = Cond_set.add
+let of_list = Cond_set.of_list
+let conditions = Cond_set.elements
+let length = Cond_set.cardinal
+let union = Cond_set.union
+let equal = Cond_set.equal
+let compare = Cond_set.compare
+let subset = Cond_set.subset
+
+let attributes t =
+  Cond_set.fold
+    (fun c acc -> Attribute.Set.union (Cond.attributes c) acc)
+    t Attribute.Set.empty
+
+let relations t =
+  attributes t |> Attribute.Set.elements
+  |> List.map Attribute.relation
+  |> List.sort_uniq String.compare
+
+let pp ppf t =
+  if is_empty t then Fmt.string ppf "-"
+  else
+    Fmt.pf ppf "@[<h>{%a}@]" Fmt.(list ~sep:(any ", ") Cond.pp) (conditions t)
+
+let to_string = Fmt.to_to_string pp

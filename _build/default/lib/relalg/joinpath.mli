@@ -1,0 +1,99 @@
+(** Equi-join conditions and join paths (Definition 2.1).
+
+    A {e condition} is the conjunction of equalities of one join,
+    written as a pair [⟨J_l, J_r⟩] of attribute lists: the i-th
+    attribute of [J_l] must equal the i-th of [J_r].
+
+    A {e join path} is the set of conditions accumulated along the
+    construction of a relation.
+
+    Identity matters: Definition 3.3 compares the join path of a profile
+    with the join path of an authorization for {e equality}. The paper
+    itself spells the same join both ways (Figure 3 uses
+    [⟨Holder, Patient⟩] in authorization 2 and [⟨Patient, Holder⟩] in
+    authorization 5), so equality must be insensitive to
+
+    - the orientation of a condition ([⟨A,B⟩ = ⟨B,A⟩]), and
+    - the order in which equalities of one condition are listed
+      ([⟨(A,B),(C,D)⟩] as pairs {(A=B), (C=D)}).
+
+    We therefore canonicalise conditions to a sorted set of oriented
+    attribute pairs and paths to sorted sets of conditions. *)
+
+module Cond : sig
+  type t
+
+  (** [make ~left ~right] is the condition equating [left_i = right_i].
+      The sided lists are preserved (the planner needs to know which
+      attributes belong to the left and right operand) while comparison
+      uses the canonical form.
+
+      @raise Invalid_argument if the lists are empty, have different
+      lengths, or repeat a pair. *)
+  val make : left:Attribute.t list -> right:Attribute.t list -> t
+
+  (** Single-equality condition [⟨l, r⟩]. *)
+  val eq : Attribute.t -> Attribute.t -> t
+
+  (** Attributes of the left operand, in declaration order. *)
+  val left : t -> Attribute.t list
+
+  val right : t -> Attribute.t list
+
+  (** [flip c] swaps sides: [⟨J_r, J_l⟩]. Equal to [c]. *)
+  val flip : t -> t
+
+  (** All attributes mentioned on either side. *)
+  val attributes : t -> Attribute.Set.t
+
+  (** Orientation- and order-insensitive comparison. *)
+  val compare : t -> t -> int
+
+  val equal : t -> t -> bool
+
+  (** [⟨A, B⟩] or [⟨(A1,B1), (A2,B2)⟩] for multi-pair conditions. *)
+  val pp : t Fmt.t
+
+  (** [A = B AND C = D], SQL style. *)
+  val pp_sql : t Fmt.t
+
+  val to_string : t -> string
+end
+
+type t
+
+(** The empty join path ("-" in Figure 3). *)
+val empty : t
+
+val is_empty : t -> bool
+val singleton : Cond.t -> t
+val add : Cond.t -> t -> t
+val of_list : Cond.t list -> t
+val conditions : t -> Cond.t list
+val length : t -> int
+
+(** Set union of the two paths (used by the join profile rule of
+    Figure 4). *)
+val union : t -> t -> t
+
+(** Path equality, per the canonical condition identity. *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** [subset a b] tests whether every condition of [a] occurs in [b].
+    Not used by [can_view] (the paper requires equality) but used by
+    the chase closure and by tests documenting {e why} equality is
+    required. *)
+val subset : t -> t -> bool
+
+(** All attributes mentioned by any condition. *)
+val attributes : t -> Attribute.Set.t
+
+(** Relations mentioned by any condition. *)
+val relations : t -> string list
+
+(** [{⟨A,B⟩, ⟨C,D⟩}]; the empty path prints ["-"] as in Figure 3. *)
+val pp : t Fmt.t
+
+val to_string : t -> string

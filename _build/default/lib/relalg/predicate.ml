@@ -1,0 +1,79 @@
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type operand =
+  | Const of Value.t
+  | Attr of Attribute.t
+
+type t =
+  | True
+  | Cmp of Attribute.t * comparison * operand
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let comparison_of_string = function
+  | "=" -> Some Eq
+  | "<>" | "!=" -> Some Neq
+  | "<" -> Some Lt
+  | "<=" -> Some Le
+  | ">" -> Some Gt
+  | ">=" -> Some Ge
+  | _ -> None
+
+let pp_comparison ppf c =
+  Fmt.string ppf
+    (match c with
+     | Eq -> "="
+     | Neq -> "<>"
+     | Lt -> "<"
+     | Le -> "<="
+     | Gt -> ">"
+     | Ge -> ">=")
+
+let conj = function
+  | [] -> True
+  | p :: ps -> List.fold_left (fun acc q -> And (acc, q)) p ps
+
+let rec attributes = function
+  | True -> Attribute.Set.empty
+  | Cmp (a, _, Const _) -> Attribute.Set.singleton a
+  | Cmp (a, _, Attr b) -> Attribute.Set.of_list [ a; b ]
+  | And (p, q) | Or (p, q) ->
+    Attribute.Set.union (attributes p) (attributes q)
+  | Not p -> attributes p
+
+let compare_values c va vb =
+  match va, vb with
+  | Value.Null, Value.Null -> c = Eq
+  | Value.Null, _ | _, Value.Null -> false
+  | _ ->
+    let k = Value.compare va vb in
+    (match c with
+     | Eq -> k = 0
+     | Neq -> k <> 0
+     | Lt -> k < 0
+     | Le -> k <= 0
+     | Gt -> k > 0
+     | Ge -> k >= 0)
+
+let rec eval lookup = function
+  | True -> true
+  | Cmp (a, c, op) ->
+    let va = lookup a in
+    let vb = match op with Const v -> v | Attr b -> lookup b in
+    compare_values c va vb
+  | And (p, q) -> eval lookup p && eval lookup q
+  | Or (p, q) -> eval lookup p || eval lookup q
+  | Not p -> not (eval lookup p)
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "TRUE"
+  | Cmp (a, c, Const v) ->
+    Fmt.pf ppf "%a %a %a" Attribute.pp a pp_comparison c Value.pp v
+  | Cmp (a, c, Attr b) ->
+    Fmt.pf ppf "%a %a %a" Attribute.pp a pp_comparison c Attribute.pp b
+  | And (p, q) -> Fmt.pf ppf "(%a AND %a)" pp p pp q
+  | Or (p, q) -> Fmt.pf ppf "(%a OR %a)" pp p pp q
+  | Not p -> Fmt.pf ppf "NOT %a" pp p
+
+let to_string = Fmt.to_to_string pp

@@ -1,0 +1,38 @@
+(** Selection conditions for the WHERE clause.
+
+    The security model only needs the {e set of attributes} a condition
+    mentions (the [R^sigma] component of a profile, Definition 3.2); the
+    execution engine additionally needs to evaluate it on tuples. *)
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type operand =
+  | Const of Value.t
+  | Attr of Attribute.t
+
+type t =
+  | True
+  | Cmp of Attribute.t * comparison * operand
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val comparison_of_string : string -> comparison option
+val pp_comparison : comparison Fmt.t
+
+(** Conjunction of a list; [True] for the empty list. *)
+val conj : t list -> t
+
+(** Attributes mentioned anywhere in the condition (including on the
+    right-hand side of comparisons): this is what flows into
+    [R^sigma]. *)
+val attributes : t -> Attribute.Set.t
+
+(** [eval lookup t] evaluates [t] on a tuple presented as a lookup
+    function. Comparisons involving [Null] are false (SQL-ish
+    three-valued logic collapsed to two values), except [Eq] on two
+    nulls. @raise Not_found if [lookup] does. *)
+val eval : (Attribute.t -> Value.t) -> t -> bool
+
+val pp : t Fmt.t
+val to_string : t -> string

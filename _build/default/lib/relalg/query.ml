@@ -1,0 +1,180 @@
+type t = {
+  select : Attribute.t list;
+  base : Schema.t;
+  joins : (Schema.t * Joinpath.Cond.t) list;
+  where : Predicate.t;
+}
+
+type error =
+  | Catalog of Catalog.error
+  | Join_condition_unrelated of string * Joinpath.Cond.t
+  | Select_out_of_scope of Attribute.t
+  | Where_out_of_scope of Attribute.t
+  | Empty_select
+
+let pp_error ppf = function
+  | Catalog e -> Catalog.pp_error ppf e
+  | Join_condition_unrelated (rel, cond) ->
+    Fmt.pf ppf "condition %a of JOIN %s does not relate %s to the FROM clause"
+      Joinpath.Cond.pp cond rel rel
+  | Select_out_of_scope a ->
+    Fmt.pf ppf "selected attribute %a not in the FROM clause"
+      Attribute.pp_qualified a
+  | Where_out_of_scope a ->
+    Fmt.pf ppf "WHERE attribute %a not in the FROM clause"
+      Attribute.pp_qualified a
+  | Empty_select -> Fmt.string ppf "empty SELECT clause"
+
+let ( let* ) = Result.bind
+
+let schema_of catalog name =
+  Result.map_error (fun e -> Catalog e) (Catalog.relation catalog name)
+
+(* Normalise a join condition so that its left side belongs to the
+   accumulated left operand and its right side to the newly joined
+   relation. *)
+let orient_join ~left_attrs ~right_attrs rel cond =
+  let fits c =
+    List.for_all
+      (fun a -> Attribute.Set.mem a left_attrs)
+      (Joinpath.Cond.left c)
+    && List.for_all
+         (fun a -> Attribute.Set.mem a right_attrs)
+         (Joinpath.Cond.right c)
+  in
+  if fits cond then Ok cond
+  else
+    let flipped = Joinpath.Cond.flip cond in
+    if fits flipped then Ok flipped
+    else Error (Join_condition_unrelated (rel, cond))
+
+let make catalog ~select ~base ~joins ~where =
+  let* () = if select = [] then Error Empty_select else Ok () in
+  let* base_schema = schema_of catalog base in
+  let* joins, scope =
+    List.fold_left
+      (fun acc (rel, cond) ->
+        let* joins, left_attrs = acc in
+        let* schema = schema_of catalog rel in
+        let right_attrs = Schema.attribute_set schema in
+        let* cond = orient_join ~left_attrs ~right_attrs rel cond in
+        Ok
+          ( joins @ [ (schema, cond) ],
+            Attribute.Set.union left_attrs right_attrs ))
+      (Ok ([], Schema.attribute_set base_schema))
+      joins
+  in
+  let check_in_scope err a =
+    if Attribute.Set.mem a scope then Ok () else Error (err a)
+  in
+  let* () =
+    List.fold_left
+      (fun acc a ->
+        let* () = acc in
+        check_in_scope (fun a -> Select_out_of_scope a) a)
+      (Ok ()) select
+  in
+  let* () =
+    Attribute.Set.fold
+      (fun a acc ->
+        let* () = acc in
+        check_in_scope (fun a -> Where_out_of_scope a) a)
+      (Predicate.attributes where)
+      (Ok ())
+  in
+  Ok { select; base = base_schema; joins; where }
+
+let relations t =
+  Schema.name t.base :: List.map (fun (s, _) -> Schema.name s) t.joins
+
+let join_path t = Joinpath.of_list (List.map snd t.joins)
+
+(* Flatten a predicate into its top-level conjuncts. *)
+let rec conjuncts = function
+  | Predicate.True -> []
+  | Predicate.And (p, q) -> conjuncts p @ conjuncts q
+  | p -> [ p ]
+
+let to_algebra ?(push_selections = true) t =
+  let all_where = conjuncts t.where in
+  let pushable pred schema_attrs =
+    push_selections
+    && Attribute.Set.subset (Predicate.attributes pred) schema_attrs
+  in
+  (* A conjunct is pushed to the first FROM relation that covers it. *)
+  let from_schemas = t.base :: List.map fst t.joins in
+  let home_of pred =
+    List.find_opt
+      (fun s -> pushable pred (Schema.attribute_set s))
+      from_schemas
+  in
+  let top_where = List.filter (fun p -> home_of p = None) all_where in
+  let join_attrs =
+    List.fold_left
+      (fun acc (_, cond) ->
+        Attribute.Set.union acc (Joinpath.Cond.attributes cond))
+      Attribute.Set.empty t.joins
+  in
+  (* Attributes needed above the leaves: selected, joined on, or used
+     by conjuncts evaluated at the top. *)
+  let needed_above =
+    Attribute.Set.union
+      (Attribute.Set.of_list t.select)
+      (List.fold_left
+         (fun acc p -> Attribute.Set.union acc (Predicate.attributes p))
+         join_attrs top_where)
+  in
+  let leaf schema =
+    let attrs = Schema.attribute_set schema in
+    let pushed =
+      List.filter
+        (fun p ->
+          match home_of p with
+          | Some home -> Schema.equal home schema
+          | None -> false)
+        all_where
+    in
+    let keep = Attribute.Set.inter needed_above attrs in
+    let base = Algebra.Relation schema in
+    let with_select =
+      match pushed with
+      | [] -> base
+      | ps -> Algebra.Select (Predicate.conj ps, base)
+    in
+    if Attribute.Set.equal keep attrs || Attribute.Set.is_empty keep then
+      with_select
+    else Algebra.Project (keep, with_select)
+  in
+  let joined =
+    List.fold_left
+      (fun acc (schema, cond) -> Algebra.Join (cond, acc, leaf schema))
+      (leaf t.base) t.joins
+  in
+  let filtered =
+    match top_where with
+    | [] -> joined
+    | ps -> Algebra.Select (Predicate.conj ps, joined)
+  in
+  let out = Algebra.output filtered in
+  let select_set = Attribute.Set.of_list t.select in
+  if Attribute.Set.equal select_set out then filtered
+  else Algebra.Project (select_set, filtered)
+
+let to_plan ?push_selections t =
+  Plan.of_algebra (to_algebra ?push_selections t)
+
+let pp ppf t =
+  let pp_join ppf (schema, cond) =
+    Fmt.pf ppf "JOIN %s ON %a" (Schema.name schema) Joinpath.Cond.pp_sql cond
+  in
+  Fmt.pf ppf "@[<hv>SELECT %a@ FROM %s%a%a@]"
+    Fmt.(list ~sep:(any ", ") Attribute.pp)
+    t.select (Schema.name t.base)
+    Fmt.(list ~sep:nop (any " " ++ pp_join))
+    t.joins
+    (fun ppf -> function
+      | Predicate.True -> ()
+      | w -> Fmt.pf ppf "@ WHERE %a" Predicate.pp w)
+    t.where
+
+let to_string = Fmt.to_to_string pp

@@ -1,0 +1,66 @@
+(** In-memory relation instances and the relational operators the paper
+    relies on: projection, selection, equi-join and semi-join.
+
+    A relation instance is a header (ordered attribute list) plus a set
+    of tuples. Instances obey set semantics — duplicates are removed —
+    matching the paper's relational model. *)
+
+type t
+
+(** [make attrs tuples] builds an instance.
+    @raise Invalid_argument if the header is empty or some tuple does
+    not bind exactly the header attributes. *)
+val make : Attribute.t list -> Tuple.t list -> t
+
+(** Instance of a base relation from rows of values listed in schema
+    attribute order.
+    @raise Invalid_argument if a row's length differs from the arity. *)
+val of_rows : Schema.t -> Value.t list list -> t
+
+val header : t -> Attribute.t list
+val attribute_set : t -> Attribute.Set.t
+val tuples : t -> Tuple.t list
+val cardinality : t -> int
+val is_empty : t -> bool
+
+(** Sum of tuple byte widths; the unit of the communication cost
+    model. *)
+val byte_size : t -> int
+
+(** [project attrs t] is [π_attrs(t)] (set semantics: duplicates
+    collapse). Header keeps the original attribute order.
+    @raise Invalid_argument if [attrs] is not a subset of the header. *)
+val project : Attribute.Set.t -> t -> t
+
+(** [select pred t] is [σ_pred(t)].
+    @raise Invalid_argument if the predicate mentions attributes outside
+    the header. *)
+val select : Predicate.t -> t -> t
+
+(** [equi_join cond l r] joins on [cond]'s left attributes (which must
+    belong to [l]) equalling its right attributes (in [r]). A hash join;
+    the result header is [l]'s header followed by [r]'s attributes.
+    Headers must be disjoint (the paper assumes globally distinct
+    attribute names).
+    @raise Invalid_argument on sided attributes missing from the
+    respective operand or on overlapping headers. *)
+val equi_join : Joinpath.Cond.t -> t -> t -> t
+
+(** [semi_join cond l r] is [l ⋉_cond r]: the tuples of [l] that join
+    with at least one tuple of [r]. Used by step 3 of the semi-join
+    protocol of Figure 5. *)
+val semi_join : Joinpath.Cond.t -> t -> t -> t
+
+(** Natural join on the shared attributes of the two headers (step 5 of
+    the semi-join protocol: [R_Jlr ⋈ R_l]). The shared attribute set
+    must be non-empty.
+    @raise Invalid_argument if the headers share no attribute. *)
+val natural_join : t -> t -> t
+
+val union : t -> t -> t
+
+(** Set equality: same attribute set and same set of tuples. *)
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,20 @@
+type t = string
+
+let make name =
+  if name = "" then invalid_arg "Server.make: empty server name";
+  name
+
+let name t = t
+let compare = String.compare
+let equal = String.equal
+let pp = Fmt.string
+let to_string t = t
+
+module Set = struct
+  include Set.Make (String)
+
+  let pp ppf s =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") string) (elements s)
+end
+
+module Map = Map.Make (String)

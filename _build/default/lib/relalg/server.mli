@@ -1,0 +1,26 @@
+(** Servers of the distributed system.
+
+    A server is identified by its name (the paper writes [S_I], [S_H],
+    ...). Every base relation is stored at exactly one server (the
+    placement lives in {!module:Catalog}); authorizations grant views to
+    servers; executor assignments pick servers for each plan node. *)
+
+type t = private string
+
+(** [make name] is the server called [name]; raises [Invalid_argument]
+    on the empty string. *)
+val make : string -> t
+
+val name : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val pp : t Fmt.t
+end
+
+module Map : Map.S with type key = t

@@ -1,0 +1,293 @@
+type error =
+  | Syntax of { offset : int; message : string }
+  | Semantics of Query.error
+
+let pp_error ppf = function
+  | Syntax { offset; message } ->
+    Fmt.pf ppf "syntax error at offset %d: %s" offset message
+  | Semantics e -> Query.pp_error ppf e
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+
+type token =
+  | Kw of string  (* uppercased keyword *)
+  | Ident of string  (* possibly dotted *)
+  | Number of string
+  | Str of string
+  | Op of string  (* = <> != < <= > >= *)
+  | Comma
+  | Lparen
+  | Rparen
+  | Star
+  | Eof
+
+type lexeme = { token : token; offset : int }
+
+let keywords = [ "SELECT"; "FROM"; "JOIN"; "ON"; "WHERE"; "AND"; "OR"; "NOT"; "TRUE"; "NULL" ]
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then Ok (List.rev ({ token = Eof; offset = i } :: acc))
+    else
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1) acc
+      else if c = ',' then go (i + 1) ({ token = Comma; offset = i } :: acc)
+      else if c = '(' then go (i + 1) ({ token = Lparen; offset = i } :: acc)
+      else if c = ')' then go (i + 1) ({ token = Rparen; offset = i } :: acc)
+      else if c = '*' then go (i + 1) ({ token = Star; offset = i } :: acc)
+      else if c = '\'' then (
+        match String.index_from_opt input (i + 1) '\'' with
+        | None -> Error (Syntax { offset = i; message = "unterminated string" })
+        | Some j ->
+          let s = String.sub input (i + 1) (j - i - 1) in
+          go (j + 1) ({ token = Str s; offset = i } :: acc))
+      else if c = '<' || c = '>' || c = '=' || c = '!' then (
+        let two =
+          if i + 1 < n then Some (String.sub input i 2) else None
+        in
+        match two with
+        | Some (("<=" | ">=" | "<>" | "!=") as op) ->
+          go (i + 2) ({ token = Op op; offset = i } :: acc)
+        | _ ->
+          let op = String.make 1 c in
+          if op = "!" then
+            Error (Syntax { offset = i; message = "unexpected '!'" })
+          else go (i + 1) ({ token = Op op; offset = i } :: acc))
+      else if is_digit c || (c = '-' && i + 1 < n && is_digit input.[i + 1])
+      then (
+        let j = ref (i + 1) in
+        while
+          !j < n && (is_digit input.[!j] || input.[!j] = '.' || input.[!j] = 'e')
+        do
+          incr j
+        done;
+        go !j ({ token = Number (String.sub input i (!j - i)); offset = i } :: acc))
+      else if is_ident_start c then (
+        let j = ref (i + 1) in
+        while !j < n && is_ident_char input.[!j] do
+          incr j
+        done;
+        let word = String.sub input i (!j - i) in
+        let upper = String.uppercase_ascii word in
+        let token =
+          if List.mem upper keywords then Kw upper else Ident word
+        in
+        go !j ({ token; offset = i } :: acc))
+      else
+        Error
+          (Syntax
+             { offset = i; message = Printf.sprintf "unexpected character %C" c })
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+type state = { mutable rest : lexeme list }
+
+exception Fail of error
+
+let fail offset message = raise (Fail (Syntax { offset; message }))
+
+let peek st =
+  match st.rest with
+  | l :: _ -> l
+  | [] -> assert false (* Eof is always present *)
+
+let advance st =
+  match st.rest with
+  | _ :: rest -> st.rest <- rest
+  | [] -> ()
+
+let expect_kw st kw =
+  let l = peek st in
+  match l.token with
+  | Kw k when k = kw -> advance st
+  | _ -> fail l.offset (Printf.sprintf "expected %s" kw)
+
+let accept_kw st kw =
+  let l = peek st in
+  match l.token with
+  | Kw k when k = kw ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_ident st what =
+  let l = peek st in
+  match l.token with
+  | Ident id ->
+    advance st;
+    id
+  | _ -> fail l.offset (Printf.sprintf "expected %s" what)
+
+let resolve catalog offset name =
+  match Catalog.resolve_attribute catalog name with
+  | Ok a -> a
+  | Error e -> fail offset (Fmt.str "%a" Catalog.pp_error e)
+
+(* comparison := attr op (literal | attr) *)
+let parse_comparison catalog st =
+  let l = peek st in
+  let left = expect_ident st "attribute" in
+  let left = resolve catalog l.offset left in
+  let lop = peek st in
+  match lop.token with
+  | Op op ->
+    advance st;
+    let cmp =
+      match Predicate.comparison_of_string op with
+      | Some c -> c
+      | None -> fail lop.offset (Printf.sprintf "unknown operator %s" op)
+    in
+    let rhs = peek st in
+    (match rhs.token with
+     | Ident id ->
+       advance st;
+       Predicate.Cmp (left, cmp, Predicate.Attr (resolve catalog rhs.offset id))
+     | Number num ->
+       advance st;
+       Predicate.Cmp (left, cmp, Predicate.Const (Value.of_literal num))
+     | Str s ->
+       advance st;
+       Predicate.Cmp (left, cmp, Predicate.Const (Value.String s))
+     | Kw "TRUE" ->
+       advance st;
+       Predicate.Cmp (left, cmp, Predicate.Const (Value.Bool true))
+     | Kw "NULL" ->
+       advance st;
+       Predicate.Cmp (left, cmp, Predicate.Const Value.Null)
+     | _ -> fail rhs.offset "expected literal or attribute")
+  | _ -> fail lop.offset "expected comparison operator"
+
+(* condition := or_term; or_term := and_term (OR and_term)*;
+   and_term := atom (AND atom)*; atom := NOT atom | ( condition ) | cmp *)
+let rec parse_condition catalog st =
+  let left = parse_and catalog st in
+  if accept_kw st "OR" then Predicate.Or (left, parse_condition catalog st)
+  else left
+
+and parse_and catalog st =
+  let left = parse_atom catalog st in
+  if accept_kw st "AND" then Predicate.And (left, parse_and catalog st)
+  else left
+
+and parse_atom catalog st =
+  let l = peek st in
+  match l.token with
+  | Kw "NOT" ->
+    advance st;
+    Predicate.Not (parse_atom catalog st)
+  | Kw "TRUE" ->
+    advance st;
+    Predicate.True
+  | Lparen ->
+    advance st;
+    let p = parse_condition catalog st in
+    let r = peek st in
+    (match r.token with
+     | Rparen ->
+       advance st;
+       p
+     | _ -> fail r.offset "expected ')'")
+  | _ -> parse_comparison catalog st
+
+(* ON clause: conjunction of attribute equalities, one join condition. *)
+let parse_on catalog st =
+  let rec eqs acc =
+    let loff = peek st in
+    let lname = expect_ident st "attribute" in
+    let left = resolve catalog loff.offset lname in
+    let op = peek st in
+    (match op.token with
+     | Op "=" -> advance st
+     | _ -> fail op.offset "expected '=' in ON clause");
+    let roff = peek st in
+    let rname = expect_ident st "attribute" in
+    let right = resolve catalog roff.offset rname in
+    let acc = (left, right) :: acc in
+    if accept_kw st "AND" then eqs acc else List.rev acc
+  in
+  let pairs = eqs [] in
+  Joinpath.Cond.make ~left:(List.map fst pairs) ~right:(List.map snd pairs)
+
+let parse_select_list catalog st =
+  let star = peek st in
+  match star.token with
+  | Star ->
+    advance st;
+    `Star
+  | _ ->
+    let rec cols acc =
+      let l = peek st in
+      let name = expect_ident st "attribute" in
+      let a = resolve catalog l.offset name in
+      let acc = a :: acc in
+      let c = peek st in
+      match c.token with
+      | Comma ->
+        advance st;
+        cols acc
+      | _ -> List.rev acc
+    in
+    `Cols (cols [])
+
+let parse catalog input =
+  match tokenize input with
+  | Error e -> Error e
+  | Ok lexemes ->
+    let st = { rest = lexemes } in
+    (try
+       expect_kw st "SELECT";
+       let select = parse_select_list catalog st in
+       expect_kw st "FROM";
+       let base = expect_ident st "relation name" in
+       let rec joins acc =
+         if accept_kw st "JOIN" then (
+           let rel = expect_ident st "relation name" in
+           expect_kw st "ON";
+           let cond = parse_on catalog st in
+           joins ((rel, cond) :: acc))
+         else List.rev acc
+       in
+       let joins = joins [] in
+       let where =
+         if accept_kw st "WHERE" then parse_condition catalog st
+         else Predicate.True
+       in
+       let fin = peek st in
+       (match fin.token with
+        | Eof -> ()
+        | _ -> fail fin.offset "trailing input after query");
+       let select =
+         match select with
+         | `Cols cols -> cols
+         | `Star ->
+           (* All attributes of the FROM relations, in declaration
+              order. *)
+           List.concat_map
+             (fun rel ->
+               match Catalog.relation catalog rel with
+               | Ok schema -> Schema.attributes schema
+               | Error e -> fail 0 (Fmt.str "%a" Catalog.pp_error e))
+             (base :: List.map fst joins)
+       in
+       match
+         Query.make catalog ~select ~base ~joins ~where
+       with
+       | Ok q -> Ok q
+       | Error e -> Error (Semantics e)
+     with Fail e -> Error e)
+
+let parse_exn catalog input =
+  match parse catalog input with
+  | Ok q -> q
+  | Error e -> invalid_arg (Fmt.str "Sql_parser.parse: %a" pp_error e)

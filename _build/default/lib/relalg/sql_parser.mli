@@ -1,0 +1,25 @@
+(** Parser for the paper's query fragment:
+
+    {v
+    SELECT a, b, ... | *
+    FROM R [JOIN S ON x = y [AND u = v ...]] ...
+    [WHERE condition]
+    v}
+
+    Conditions are boolean combinations ([AND], [OR], [NOT],
+    parentheses) of comparisons between an attribute and a literal or
+    another attribute. Attribute names may be bare (the paper's
+    convention — names are globally unique) or dotted
+    ([Insurance.Holder]). Keywords are case-insensitive. *)
+
+type error =
+  | Syntax of { offset : int; message : string }
+  | Semantics of Query.error
+
+val pp_error : error Fmt.t
+
+(** Parse and resolve a query against a catalog. *)
+val parse : Catalog.t -> string -> (Query.t, error) result
+
+(** [parse_exn] raises [Invalid_argument] with a rendered error. *)
+val parse_exn : Catalog.t -> string -> Query.t

@@ -1,0 +1,72 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+let type_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | String _ -> 4
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | String x, String y -> String.compare x y
+  | (Null | Bool _ | Int _ | Float _ | String _), _ ->
+    Int.compare (type_rank a) (type_rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 17
+  | Bool b -> if b then 31 else 37
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+
+let byte_width = function
+  | Null | Bool _ -> 1
+  | Int _ | Float _ -> 8
+  | String s -> String.length s
+
+let of_literal s =
+  let s = String.trim s in
+  let is_quoted =
+    String.length s >= 2 && s.[0] = '\'' && s.[String.length s - 1] = '\''
+  in
+  if String.uppercase_ascii s = "NULL" then Null
+  else if s = "true" then Bool true
+  else if s = "false" then Bool false
+  else if is_quoted then String (String.sub s 1 (String.length s - 2))
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None ->
+      (match float_of_string_opt s with
+       | Some f -> Float f
+       | None -> String s)
+
+let pp ppf = function
+  | Null -> Fmt.string ppf "NULL"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | String s -> Fmt.pf ppf "'%s'" s
+
+let to_string = Fmt.to_to_string pp

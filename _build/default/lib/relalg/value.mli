@@ -1,0 +1,39 @@
+(** Atomic values stored in relation instances.
+
+    The model of the paper is schema-level (authorizations talk about
+    attributes, not values), but the distributed execution engine
+    ({!module:Distsim}) moves concrete tuples around, so we need a small
+    dynamically-typed value domain. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+(** Total order over values. Values of distinct runtime types are ordered
+    by a fixed type rank ([Null < Bool < Int < Float < String]), except
+    that [Int] and [Float] compare numerically against each other, as an
+    equi-join between an integer and a float column should behave
+    arithmetically. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** [hash v] is compatible with {!equal}. *)
+val hash : t -> int
+
+(** Name of the runtime type, e.g. ["int"]. *)
+val type_name : t -> string
+
+(** Width in bytes used by the communication cost model: 1 for [Null]
+    and [Bool], 8 for [Int] and [Float], string length for [String]. *)
+val byte_width : t -> int
+
+(** Parse a literal: [NULL], [true]/[false], integers, floats, and
+    single-quoted strings; anything else is a bare string. *)
+val of_literal : string -> t
+
+val pp : t Fmt.t
+val to_string : t -> string

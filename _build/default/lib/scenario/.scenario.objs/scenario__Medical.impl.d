@@ -1,0 +1,1 @@
+lib/scenario/medical.ml: Attribute Authorization Authz Catalog Fmt Joinpath List Policy Query Relalg Relation Schema Server Sql_parser Value

@@ -1,0 +1,1 @@
+lib/scenario/medical.mli: Attribute Authz Catalog Joinpath Plan Query Relalg Relation Schema Server

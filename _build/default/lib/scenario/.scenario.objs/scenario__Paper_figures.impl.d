@@ -1,0 +1,1 @@
+lib/scenario/paper_figures.ml: Attribute Authorization Authz Catalog Fmt Joinpath List Medical Plan Planner Printf Profile Relalg String

@@ -1,0 +1,1 @@
+lib/scenario/paper_figures.mli:

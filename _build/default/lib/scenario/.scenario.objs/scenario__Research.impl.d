@@ -1,0 +1,1 @@
+lib/scenario/research.ml: Attribute Authorization Authz Catalog Fmt Joinpath List Policy Query Relalg Relation Schema Server Sql_parser Value

@@ -1,0 +1,1 @@
+lib/scenario/research.mli: Attribute Authz Catalog Joinpath Plan Relalg Relation Schema Server

@@ -1,0 +1,1 @@
+lib/scenario/supply_chain.mli: Attribute Authz Catalog Joinpath Plan Relalg Relation Schema Server

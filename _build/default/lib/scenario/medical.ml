@@ -1,0 +1,164 @@
+open Relalg
+open Authz
+
+let s_i = Server.make "S_I"
+let s_h = Server.make "S_H"
+let s_n = Server.make "S_N"
+let s_d = Server.make "S_D"
+
+let insurance = Schema.make "Insurance" ~key:[ "Holder" ] [ "Holder"; "Plan" ]
+
+let hospital =
+  Schema.make "Hospital" ~key:[ "Patient" ]
+    [ "Patient"; "Disease"; "Physician" ]
+
+let nat_registry =
+  Schema.make "Nat_registry" ~key:[ "Citizen" ] [ "Citizen"; "HealthAid" ]
+
+let disease_list =
+  Schema.make "Disease_list" ~key:[ "Illness" ] [ "Illness"; "Treatment" ]
+
+let catalog =
+  Catalog.of_list
+    [
+      (insurance, s_i);
+      (hospital, s_h);
+      (nat_registry, s_n);
+      (disease_list, s_d);
+    ]
+
+let attr name =
+  match Catalog.resolve_attribute catalog name with
+  | Ok a -> a
+  | Error e -> invalid_arg (Fmt.str "Medical.attr: %a" Catalog.pp_error e)
+
+let holder = attr "Holder"
+let plan_a = attr "Plan"
+let patient = attr "Patient"
+let disease = attr "Disease"
+let physician = attr "Physician"
+let citizen = attr "Citizen"
+let healthaid = attr "HealthAid"
+let illness = attr "Illness"
+let treatment = attr "Treatment"
+
+let join_graph =
+  [
+    Joinpath.Cond.eq holder patient;
+    Joinpath.Cond.eq holder citizen;
+    Joinpath.Cond.eq patient citizen;
+    Joinpath.Cond.eq disease illness;
+  ]
+
+let auth n attrs path server =
+  ignore n;
+  Authorization.make_exn ~attrs:(Attribute.Set.of_list attrs)
+    ~path:(Joinpath.of_list path) server
+
+(* Figure 3, authorizations 1-15 in order. *)
+let authorizations =
+  [
+    auth 1 [ holder; plan_a ] [] s_i;
+    auth 2 [ holder; plan_a; patient; physician ]
+      [ Joinpath.Cond.eq holder patient ]
+      s_i;
+    auth 3 [ holder; plan_a; treatment ]
+      [ Joinpath.Cond.eq holder patient; Joinpath.Cond.eq disease illness ]
+      s_i;
+    auth 4 [ patient; disease; physician ] [] s_h;
+    auth 5
+      [ patient; disease; physician; holder; plan_a ]
+      [ Joinpath.Cond.eq patient holder ]
+      s_h;
+    auth 6
+      [ patient; disease; physician; citizen; healthaid ]
+      [ Joinpath.Cond.eq patient citizen ]
+      s_h;
+    auth 7
+      [ patient; disease; physician; holder; plan_a; citizen; healthaid ]
+      [ Joinpath.Cond.eq patient citizen; Joinpath.Cond.eq citizen holder ]
+      s_h;
+    auth 8 [ citizen; healthaid ] [] s_n;
+    auth 9 [ holder; plan_a ] [] s_n;
+    auth 10 [ patient; disease ] [] s_n;
+    auth 11
+      [ citizen; healthaid; patient; disease ]
+      [ Joinpath.Cond.eq citizen patient ]
+      s_n;
+    auth 12
+      [ citizen; healthaid; holder; plan_a ]
+      [ Joinpath.Cond.eq citizen holder ]
+      s_n;
+    auth 13
+      [ patient; disease; holder; plan_a ]
+      [ Joinpath.Cond.eq patient holder ]
+      s_n;
+    auth 14
+      [ citizen; healthaid; patient; disease; holder; plan_a ]
+      [ Joinpath.Cond.eq citizen patient; Joinpath.Cond.eq citizen holder ]
+      s_n;
+    auth 15 [ illness; treatment ] [] s_d;
+  ]
+
+let policy = Policy.of_list authorizations
+
+let example_query_sql =
+  "SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN \
+   Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient"
+
+let example_query () = Sql_parser.parse_exn catalog example_query_sql
+let example_plan () = Query.to_plan (example_query ())
+
+(* A small consistent population: citizens c1..c8; some are insurance
+   holders, some are hospital patients, diseases drawn from the
+   disease list. *)
+let str s = Value.String s
+
+let insurance_rows =
+  [
+    [ str "c1"; str "gold" ];
+    [ str "c2"; str "silver" ];
+    [ str "c4"; str "gold" ];
+    [ str "c5"; str "basic" ];
+    [ str "c7"; str "silver" ];
+  ]
+
+let hospital_rows =
+  [
+    [ str "c1"; str "flu"; str "Dr.Kay" ];
+    [ str "c2"; str "asthma"; str "Dr.Lin" ];
+    [ str "c3"; str "flu"; str "Dr.Kay" ];
+    [ str "c5"; str "diabetes"; str "Dr.Moss" ];
+    [ str "c6"; str "asthma"; str "Dr.Lin" ];
+  ]
+
+let nat_registry_rows =
+  [
+    [ str "c1"; str "none" ];
+    [ str "c2"; str "partial" ];
+    [ str "c3"; str "full" ];
+    [ str "c4"; str "none" ];
+    [ str "c5"; str "partial" ];
+    [ str "c6"; str "full" ];
+    [ str "c7"; str "none" ];
+    [ str "c8"; str "full" ];
+  ]
+
+let disease_list_rows =
+  [
+    [ str "flu"; str "rest" ];
+    [ str "asthma"; str "inhaler" ];
+    [ str "diabetes"; str "insulin" ];
+    [ str "anemia"; str "iron" ];
+  ]
+
+let instances =
+  let table =
+    [
+      ("Insurance", Relation.of_rows insurance insurance_rows);
+      ("Hospital", Relation.of_rows hospital hospital_rows);
+      ("Nat_registry", Relation.of_rows nat_registry nat_registry_rows);
+      ("Disease_list", Relation.of_rows disease_list disease_list_rows);
+    ]
+  in
+  fun name -> List.assoc_opt name table

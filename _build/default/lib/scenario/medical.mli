@@ -1,0 +1,53 @@
+(** The paper's running example: the medical distributed system of
+    Figure 1, the fifteen authorizations of Figure 3, and the query of
+    Example 2.2 whose tree plan is Figure 2.
+
+    Four relations at four servers:
+
+    - [Insurance(Holder*, Plan)] at [S_I];
+    - [Hospital(Patient*, Disease, Physician)] at [S_H];
+    - [Nat_registry(Citizen*, HealthAid)] at [S_N];
+    - [Disease_list(Illness*, Treatment)] at [S_D]. *)
+
+open Relalg
+
+val s_i : Server.t
+val s_h : Server.t
+val s_n : Server.t
+val s_d : Server.t
+
+val insurance : Schema.t
+val hospital : Schema.t
+val nat_registry : Schema.t
+val disease_list : Schema.t
+
+val catalog : Catalog.t
+
+(** Look up one of the scenario's attributes by bare name.
+    @raise Invalid_argument on unknown names. *)
+val attr : string -> Attribute.t
+
+(** The possible joins of the schema — the lines of Figure 1:
+    Holder–Patient, Holder–Citizen, Patient–Citizen, Disease–Illness. *)
+val join_graph : Joinpath.Cond.t list
+
+(** The fifteen authorizations of Figure 3, in order. *)
+val authorizations : Authz.Authorization.t list
+
+val policy : Authz.Policy.t
+
+(** Example 2.2:
+    [SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN
+    Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient]. *)
+val example_query_sql : string
+
+val example_query : unit -> Query.t
+
+(** The query tree plan of Figure 2 (projection on Hospital pushed
+    down), nodes numbered n0..n6 as in the paper. *)
+val example_plan : unit -> Plan.t
+
+(** Deterministic sample instances (a small population of patients,
+    insurance holders and citizens with overlapping identifiers, so
+    that every join is non-trivial). *)
+val instances : string -> Relation.t option

@@ -1,0 +1,27 @@
+(** Textual reproduction of every figure of the paper, regenerated from
+    the implementation (nothing is hard-coded except the captions):
+
+    - Figure 1: the medical catalog;
+    - Figure 2: the query tree plan of Example 2.2, with the projection
+      on Hospital pushed down;
+    - Figure 3: the fifteen authorizations;
+    - Figure 4: the profile-composition rules, demonstrated
+      symbolically on the scenario's relations;
+    - Figure 5: the four join execution modes with the views each
+      requires, demonstrated on the join of Example 2.2;
+    - Figure 6/7: the run of the algorithm — candidates found by the
+      post-order traversal and executors assigned by the pre-order one.
+
+    Each [figN] function renders to a string so that tests can assert
+    on the content and [bench/main.exe] / [bin/cisqp.exe] can print
+    it. *)
+
+val fig1_schema : unit -> string
+val fig2_query_plan : unit -> string
+val fig3_authorizations : unit -> string
+val fig4_profile_rules : unit -> string
+val fig5_execution_modes : unit -> string
+val fig7_algorithm_trace : unit -> string
+
+(** All figures, captioned, in order. *)
+val all : unit -> string

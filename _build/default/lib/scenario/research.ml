@@ -1,0 +1,106 @@
+open Relalg
+open Authz
+
+let s_r = Server.make "S_R"
+let s_c = Server.make "S_C"
+let s_g = Server.make "S_G"
+let s_t = Server.make "S_T"
+
+let participants =
+  Schema.make "Participants" ~key:[ "Pid" ] [ "Pid"; "Cohort" ]
+
+let visits =
+  Schema.make "Visits" ~key:[ "Vid" ] [ "Vid"; "Subject"; "Outcome" ]
+
+let genomes = Schema.make "Genomes" ~key:[ "Gid" ] [ "Gid"; "Marker" ]
+
+let catalog =
+  Catalog.of_list [ (participants, s_r); (visits, s_c); (genomes, s_g) ]
+
+let attr name =
+  match Catalog.resolve_attribute catalog name with
+  | Ok a -> a
+  | Error e -> invalid_arg (Fmt.str "Research.attr: %a" Catalog.pp_error e)
+
+let pid = attr "Pid"
+let cohort = attr "Cohort"
+let subject = attr "Subject"
+let outcome = attr "Outcome"
+let gid = attr "Gid"
+let marker = attr "Marker"
+let pid_subject = Joinpath.Cond.eq pid subject
+let pid_gid = Joinpath.Cond.eq pid gid
+
+let join_graph = [ pid_subject; pid_gid ]
+
+let auth attrs path server =
+  Authorization.make_exn ~attrs:(Attribute.Set.of_list attrs)
+    ~path:(Joinpath.of_list path) server
+
+let policy =
+  Policy.of_list
+    [
+      (* Base grants. *)
+      auth [ pid; cohort ] [] s_r;
+      auth [ attr "Vid"; subject; outcome ] [] s_c;
+      auth [ gid; marker ] [] s_g;
+      (* The trusted matcher sees bare identifiers, nothing more. *)
+      auth [ pid ] [] s_t;
+      auth [ subject ] [] s_t;
+      auth [ gid ] [] s_t;
+      (* The clinic may learn which of its subjects participate in the
+         study (instance-based restriction: Subject values under the
+         join path only). *)
+      auth [ subject ] [ pid_subject ] s_c;
+      (* The registry may see outcomes of matched participants only. *)
+      auth [ subject; outcome ] [ pid_subject ] s_r;
+      (* Genomics side: the lab may learn participant identifiers
+         (semi-join slave view), the registry may see markers of its
+         participants. *)
+      auth [ pid ] [] s_g;
+      auth [ pid; gid; marker ] [ pid_gid ] s_r;
+    ]
+
+let outcomes_query_sql =
+  "SELECT Cohort, Outcome FROM Participants JOIN Visits ON Pid = Subject"
+
+let markers_query_sql =
+  "SELECT Cohort, Marker FROM Participants JOIN Genomes ON Pid = Gid"
+
+let plan_of sql = Query.to_plan (Sql_parser.parse_exn catalog sql)
+let outcomes_plan () = plan_of outcomes_query_sql
+let markers_plan () = plan_of markers_query_sql
+
+let str s = Value.String s
+
+let participants_rows =
+  [
+    [ str "p1"; str "treatment" ];
+    [ str "p2"; str "control" ];
+    [ str "p3"; str "treatment" ];
+  ]
+
+let visits_rows =
+  [
+    [ str "v1"; str "p1"; str "improved" ];
+    [ str "v2"; str "p2"; str "stable" ];
+    [ str "v3"; str "p9"; str "worse" ];
+    [ str "v4"; str "p1"; str "improved" ];
+  ]
+
+let genomes_rows =
+  [
+    [ str "p1"; str "m-alpha" ];
+    [ str "p3"; str "m-beta" ];
+    [ str "p7"; str "m-alpha" ];
+  ]
+
+let instances =
+  let table =
+    [
+      ("Participants", Relation.of_rows participants participants_rows);
+      ("Visits", Relation.of_rows visits visits_rows);
+      ("Genomes", Relation.of_rows genomes genomes_rows);
+    ]
+  in
+  fun name -> List.assoc_opt name table

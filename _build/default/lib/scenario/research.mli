@@ -1,0 +1,51 @@
+(** A clinical-research federation built around footnote 3's
+    {e coordinator}: a trusted matcher [S_T] that may see bare record
+    identifiers — and nothing else — links participants across parties
+    that must not see each other's data.
+
+    - [Participants(Pid*, Cohort)] at [S_R] (study registry);
+    - [Visits(Vid*, Subject, Outcome)] at [S_C] (clinic);
+    - [Genomes(Gid*, Marker)] at [S_G] (genomics lab);
+    - [S_T] stores nothing and is granted only the identifier columns.
+
+    The {e outcomes} query (registry ⋈ clinic) is infeasible among the
+    operands and cannot be proxied ([S_T] may not see cohorts or
+    outcomes); it IS feasible with [S_T] as coordinator: the clinic
+    learns which of its subjects participate (an instance-based
+    restriction it is granted), the registry receives outcomes of
+    matched participants only.
+
+    The {e markers} query (registry ⋈ genomics) is a plain semi-join —
+    no third party involved. *)
+
+open Relalg
+
+val s_r : Server.t
+val s_c : Server.t
+val s_g : Server.t
+val s_t : Server.t  (** the trusted matcher; stores no relation *)
+
+val participants : Schema.t
+val visits : Schema.t
+val genomes : Schema.t
+val catalog : Catalog.t
+
+(** @raise Invalid_argument on unknown names. *)
+val attr : string -> Attribute.t
+
+val join_graph : Joinpath.Cond.t list
+val policy : Authz.Policy.t
+
+(** [SELECT Cohort, Outcome FROM Participants JOIN Visits ON
+    Pid=Subject] — coordinator-only. *)
+val outcomes_query_sql : string
+
+(** [SELECT Cohort, Marker FROM Participants JOIN Genomes ON Pid=Gid]
+    — a plain semi-join. *)
+val markers_query_sql : string
+
+val outcomes_plan : unit -> Plan.t
+val markers_plan : unit -> Plan.t
+
+(** Deterministic sample instances. *)
+val instances : string -> Relation.t option

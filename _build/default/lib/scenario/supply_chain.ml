@@ -1,0 +1,118 @@
+open Relalg
+open Authz
+
+let s_m = Server.make "S_M"
+let s_p = Server.make "S_P"
+let s_l = Server.make "S_L"
+let s_b = Server.make "S_B"
+
+let orders =
+  Schema.make "Orders" ~key:[ "OrderId" ] [ "OrderId"; "Part"; "Customer" ]
+
+let parts = Schema.make "Parts" ~key:[ "PartNo" ] [ "PartNo"; "Price" ]
+
+let shipments =
+  Schema.make "Shipments" ~key:[ "ShipId" ]
+    [ "ShipId"; "OrderRef"; "Carrier" ]
+
+let catalog =
+  Catalog.of_list [ (orders, s_m); (parts, s_p); (shipments, s_l) ]
+
+let attr name =
+  match Catalog.resolve_attribute catalog name with
+  | Ok a -> a
+  | Error e -> invalid_arg (Fmt.str "Supply_chain.attr: %a" Catalog.pp_error e)
+
+let order_id = attr "OrderId"
+let part = attr "Part"
+let customer = attr "Customer"
+let part_no = attr "PartNo"
+let price = attr "Price"
+let order_ref = attr "OrderRef"
+let carrier = attr "Carrier"
+
+let join_graph =
+  [ Joinpath.Cond.eq part part_no; Joinpath.Cond.eq order_id order_ref ]
+
+let auth attrs path server =
+  Authorization.make_exn ~attrs:(Attribute.Set.of_list attrs)
+    ~path:(Joinpath.of_list path) server
+
+let policy =
+  Policy.of_list
+    [
+      (* Base grants: each server sees its own relation. *)
+      auth [ order_id; part; customer ] [] s_m;
+      auth [ part_no; price ] [] s_p;
+      auth [ attr "ShipId"; order_ref; carrier ] [] s_l;
+      (* The broker may see order lines and the price list — enough to
+         act as third party for the pricing query. *)
+      auth [ order_id; part; customer ] [] s_b;
+      auth [ part_no; price ] [] s_b;
+      (* Logistics may learn which order identifiers exist (semi-join
+         slave view for the tracking query). *)
+      auth [ order_id ] [] s_l;
+      (* The manufacturer may see carriers of its own orders — exactly
+         the semi-join master view of the tracking query. *)
+      auth
+        [ order_id; order_ref; carrier ]
+        [ Joinpath.Cond.eq order_id order_ref ]
+        s_m;
+      (* Part numbers are public to the manufacturer (slave view of the
+         customers query). *)
+      auth [ part_no ] [] s_m;
+      (* Instance-based restriction (Section 3.1): the supplier may see
+         customers only for orders involving its parts. *)
+      auth
+        [ customer; part; part_no; price ]
+        [ Joinpath.Cond.eq part part_no ]
+        s_p;
+    ]
+
+let pricing_query_sql =
+  "SELECT OrderId, Customer, Price FROM Orders JOIN Parts ON Part=PartNo"
+
+let tracking_query_sql =
+  "SELECT Customer, Carrier FROM Orders JOIN Shipments ON OrderId=OrderRef"
+
+let customers_query_sql =
+  "SELECT Customer, PartNo FROM Orders JOIN Parts ON Part=PartNo"
+
+let plan_of sql = Query.to_plan (Sql_parser.parse_exn catalog sql)
+let pricing_plan () = plan_of pricing_query_sql
+let tracking_plan () = plan_of tracking_query_sql
+let customers_plan () = plan_of customers_query_sql
+
+let str s = Value.String s
+
+let orders_rows =
+  [
+    [ str "o1"; str "p1"; str "alice" ];
+    [ str "o2"; str "p2"; str "bob" ];
+    [ str "o3"; str "p1"; str "carol" ];
+    [ str "o4"; str "p3"; str "dave" ];
+  ]
+
+let parts_rows =
+  [
+    [ str "p1"; str "cheap" ];
+    [ str "p2"; str "expensive" ];
+    [ str "p4"; str "cheap" ];
+  ]
+
+let shipments_rows =
+  [
+    [ str "s1"; str "o1"; str "FastShip" ];
+    [ str "s2"; str "o3"; str "SlowBoat" ];
+    [ str "s3"; str "o9"; str "FastShip" ];
+  ]
+
+let instances =
+  let table =
+    [
+      ("Orders", Relation.of_rows orders orders_rows);
+      ("Parts", Relation.of_rows parts parts_rows);
+      ("Shipments", Relation.of_rows shipments shipments_rows);
+    ]
+  in
+  fun name -> List.assoc_opt name table

@@ -1,0 +1,57 @@
+(** A three-party supply-chain federation plus a broker, designed to
+    exercise the corners of the model that the medical example does
+    not:
+
+    - a query that is {e infeasible} among the operand servers but
+      rescued by a third party (footnote 3);
+    - a query where only the {e semi-join} modes are authorized, so the
+      regular-join-only baseline fails while the full planner succeeds;
+    - an {e instance-based restriction} (Section 3.1): the supplier may
+      see customers only for orders that concern its own parts.
+
+    Relations: [Orders(OrderId*, Part, Customer)] at [S_M]
+    (manufacturer), [Parts(PartNo*, Price)] at [S_P] (supplier),
+    [Shipments(ShipId*, OrderRef, Carrier)] at [S_L] (logistics);
+    the broker [S_B] stores nothing. *)
+
+open Relalg
+
+val s_m : Server.t
+val s_p : Server.t
+val s_l : Server.t
+val s_b : Server.t  (** the broker — a third party, stores no relation *)
+
+val orders : Schema.t
+val parts : Schema.t
+val shipments : Schema.t
+val catalog : Catalog.t
+
+(** @raise Invalid_argument on unknown names. *)
+val attr : string -> Attribute.t
+
+(** Edges: Part–PartNo, OrderId–OrderRef. *)
+val join_graph : Joinpath.Cond.t list
+
+val policy : Authz.Policy.t
+
+(** [SELECT Customer, Price FROM Orders JOIN Parts ON Part=PartNo] —
+    infeasible among [S_M]/[S_P]; the broker can rescue it. *)
+val pricing_query_sql : string
+
+(** [SELECT Customer, Carrier FROM Orders JOIN Shipments ON
+    OrderId=OrderRef] — feasible only as a semi-join ([S_M] master,
+    [S_L] slave). *)
+val tracking_query_sql : string
+
+(** [SELECT Customer, PartNo FROM Orders JOIN Parts ON Part=PartNo] —
+    feasible only as a semi-join with [S_P] master, exercising the
+    instance-based restriction: the supplier learns customers only of
+    orders that involve its parts. *)
+val customers_query_sql : string
+
+val pricing_plan : unit -> Plan.t
+val tracking_plan : unit -> Plan.t
+val customers_plan : unit -> Plan.t
+
+(** Deterministic sample instances. *)
+val instances : string -> Relation.t option

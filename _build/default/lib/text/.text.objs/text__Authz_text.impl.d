@@ -1,0 +1,1 @@
+lib/text/authz_text.ml: Attribute Authorization Authz Buffer Catalog Fmt Joinpath Line_reader List Policy Printf Relalg Server String

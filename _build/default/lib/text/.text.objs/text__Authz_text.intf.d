@@ -1,0 +1,1 @@
+lib/text/authz_text.mli: Authz Catalog Line_reader Relalg

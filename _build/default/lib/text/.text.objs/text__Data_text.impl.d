@@ -1,0 +1,1 @@
+lib/text/data_text.ml: Attribute Buffer Catalog Fmt Line_reader List Printf Relalg Relation Schema String Tuple Value

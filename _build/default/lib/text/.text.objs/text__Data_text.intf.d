@@ -1,0 +1,1 @@
+lib/text/data_text.mli: Catalog Line_reader Relalg Relation

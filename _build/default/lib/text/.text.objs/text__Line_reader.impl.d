@@ -1,0 +1,1 @@
+lib/text/line_reader.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/text/line_reader.mli: Fmt Format

@@ -1,0 +1,1 @@
+lib/text/schema_text.ml: Attribute Buffer Catalog Fmt Joinpath Line_reader List Printf Relalg Schema Server String

@@ -1,0 +1,1 @@
+lib/text/schema_text.mli: Catalog Joinpath Line_reader Relalg

@@ -1,0 +1,173 @@
+open Relalg
+open Authz
+
+(* Grammar per line:
+     rule   := '[' attrs ',' path ']' '->' SERVER
+     attrs  := '{' name (',' name)* '}'
+     path   := '-' | '{' pair (',' pair)* '}'
+     pair   := '<' name ',' name '>'                                   *)
+
+let resolve catalog line name =
+  match Catalog.resolve_attribute catalog name with
+  | Ok a -> a
+  | Error e -> Line_reader.fail line "%s" (Fmt.str "%a" Catalog.pp_error e)
+
+(* Find the index of the matching close delimiter, tolerating nesting. *)
+let find_close line s ~from ~open_c ~close_c =
+  let n = String.length s in
+  let rec go i depth =
+    if i >= n then
+      Line_reader.fail line "unbalanced %c...%c" open_c close_c
+    else if s.[i] = open_c then go (i + 1) (depth + 1)
+    else if s.[i] = close_c then
+      if depth = 0 then i else go (i + 1) (depth - 1)
+    else go (i + 1) depth
+  in
+  go from 0
+
+let parse_attrs catalog line body =
+  let names = Line_reader.split_fields ',' body in
+  if names = [] then Line_reader.fail line "empty attribute set";
+  Attribute.Set.of_list (List.map (resolve catalog line) names)
+
+let parse_pair catalog line s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '<' || s.[n - 1] <> '>' then
+    Line_reader.fail line "expected <A, B> in join path, got %S" s;
+  match Line_reader.split_fields ',' (String.sub s 1 (n - 2)) with
+  | [ l; r ] ->
+    Joinpath.Cond.eq (resolve catalog line l) (resolve catalog line r)
+  | _ -> Line_reader.fail line "expected exactly two attributes in %S" s
+
+(* Split "…>, <…" pair lists on commas that are outside <>. *)
+let split_pairs line body =
+  let n = String.length body in
+  let parts = ref [] and start = ref 0 and depth = ref 0 in
+  for i = 0 to n - 1 do
+    match body.[i] with
+    | '<' -> incr depth
+    | '>' -> decr depth
+    | ',' when !depth = 0 ->
+      parts := String.sub body !start (i - !start) :: !parts;
+      start := i + 1
+    | _ -> ()
+  done;
+  if !depth <> 0 then Line_reader.fail line "unbalanced <...> in join path";
+  parts := String.sub body !start (n - !start) :: !parts;
+  List.filter (fun s -> String.trim s <> "") (List.rev !parts)
+
+let parse_path catalog line body =
+  let body = String.trim body in
+  if body = "-" then Joinpath.empty
+  else begin
+    let n = String.length body in
+    if n < 2 || body.[0] <> '{' || body.[n - 1] <> '}' then
+      Line_reader.fail line "join path must be '-' or '{<A,B>, ...}'";
+    let inner = String.sub body 1 (n - 2) in
+    Joinpath.of_list
+      (List.map (parse_pair catalog line) (split_pairs line inner))
+  end
+
+let parse_rule ?(denial = false) catalog line text =
+  let fail fmt = Line_reader.fail line fmt in
+  let arrow =
+    match
+      let rec find i =
+        if i + 1 >= String.length text then None
+        else if text.[i] = '-' && text.[i + 1] = '>' then Some i
+        else find (i + 1)
+      in
+      find 0
+    with
+    | Some i -> i
+    | None -> fail "expected '->' in authorization"
+  in
+  let lhs = String.trim (String.sub text 0 arrow) in
+  let server =
+    String.trim (String.sub text (arrow + 2) (String.length text - arrow - 2))
+  in
+  if server = "" then fail "missing server after '->'";
+  let n = String.length lhs in
+  if n < 2 || lhs.[0] <> '[' || lhs.[n - 1] <> ']' then
+    fail "authorization must start with '[' and end with ']'";
+  let inner = String.trim (String.sub lhs 1 (n - 2)) in
+  (* inner = "{attrs}, path" *)
+  if String.length inner = 0 || inner.[0] <> '{' then
+    fail "expected '{' opening the attribute set";
+  let close = find_close line inner ~from:1 ~open_c:'{' ~close_c:'}' in
+  let attrs_body = String.sub inner 1 (close - 1) in
+  let rest = String.trim (String.sub inner (close + 1) (String.length inner - close - 1)) in
+  let rest =
+    if String.length rest > 0 && rest.[0] = ',' then
+      String.trim (String.sub rest 1 (String.length rest - 1))
+    else fail "expected ',' between attributes and join path"
+  in
+  let attrs = parse_attrs catalog line attrs_body in
+  let path = parse_path catalog line rest in
+  if denial then Authorization.make_denial ~attrs ~path (Server.make server)
+  else
+    match Authorization.make ~attrs ~path (Server.make server) with
+    | Ok a -> a
+    | Error e -> fail "%s" (Fmt.str "%a" Authorization.pp_error e)
+
+let parse catalog input =
+  Line_reader.protect (fun () ->
+      let lines = Line_reader.significant_lines input in
+      let classified =
+        List.map
+          (fun (line, text) ->
+            match Line_reader.strip_prefix ~prefix:"DENY" text with
+            | Some rest -> (line, rest, true)
+            | None -> (line, text, false))
+          lines
+      in
+      let denials = List.filter (fun (_, _, d) -> d) classified in
+      match denials, classified with
+      | [], _ ->
+        List.fold_left
+          (fun policy (line, text, _) ->
+            Policy.add (parse_rule catalog line text) policy)
+          Policy.empty classified
+      | _, _ when List.length denials = List.length classified ->
+        Policy.open_policy
+          (List.map
+             (fun (line, text, _) -> parse_rule ~denial:true catalog line text)
+             classified)
+      | (line, _, _) :: _, _ ->
+        Line_reader.fail line
+          "DENY rules cannot be mixed with positive rules in one policy")
+
+let print policy =
+  let buf = Buffer.create 256 in
+  let rules, keyword =
+    if Policy.is_open policy then (Policy.denials policy, "DENY ")
+    else (Policy.authorizations policy, "")
+  in
+  List.iter
+    (fun (a : Authorization.t) ->
+      let attrs =
+        String.concat ", "
+          (List.map Attribute.name (Attribute.Set.elements a.attrs))
+      in
+      let path =
+        if Joinpath.is_empty a.path then "-"
+        else
+          "{"
+          ^ String.concat ", "
+              (List.map
+                 (fun cond ->
+                   String.concat ", "
+                     (List.map2
+                        (fun l r ->
+                          Printf.sprintf "<%s, %s>" (Attribute.name l)
+                            (Attribute.name r))
+                        (Joinpath.Cond.left cond) (Joinpath.Cond.right cond)))
+                 (Joinpath.conditions a.path))
+          ^ "}"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s[{%s}, %s] -> %s\n" keyword attrs path
+           (Server.name a.server)))
+    rules;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Textual authorization rules — Figure 3 as a file.
+
+    One rule per line, in the paper's own notation:
+
+    {v
+    [{Holder, Plan}, -] -> S_I
+    [{Holder, Plan, Patient, Physician}, {<Holder, Patient>}] -> S_I
+    [{Holder, Plan, Treatment}, {<Holder,Patient>, <Disease,Illness>}] -> S_I
+    v}
+
+    The join path is [-] (empty) or a brace list of [<A, B>] pairs.
+    Attribute names are resolved against the catalog (bare or dotted).
+    [#] starts a comment.
+
+    A file whose rules all start with [DENY] describes an {e open}
+    policy (footnote 1): data visible by default, the listed rules
+    denied. Mixing [DENY] and positive rules is an error. *)
+
+open Relalg
+
+val parse :
+  Catalog.t -> string -> (Authz.Policy.t, Line_reader.error) result
+
+(** Figure-3 notation, one rule per line; round-trips through
+    {!parse}. *)
+val print : Authz.Policy.t -> string

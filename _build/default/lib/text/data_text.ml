@@ -1,0 +1,123 @@
+open Relalg
+
+(* Split a row on commas outside single quotes. *)
+let split_row line s =
+  let n = String.length s in
+  let parts = ref [] and start = ref 0 and quoted = ref false in
+  for i = 0 to n - 1 do
+    match s.[i] with
+    | '\'' -> quoted := not !quoted
+    | ',' when not !quoted ->
+      parts := String.sub s !start (i - !start) :: !parts;
+      start := i + 1
+    | _ -> ()
+  done;
+  if !quoted then Line_reader.fail line "unterminated quote";
+  parts := String.sub s !start (n - !start) :: !parts;
+  List.rev_map String.trim !parts |> List.rev
+
+type section = {
+  schema : Schema.t;
+  columns : Attribute.t list;
+  mutable rows : Tuple.t list;
+}
+
+let parse catalog input =
+  Line_reader.protect (fun () ->
+      let sections = ref [] in
+      let current : section option ref = ref None in
+      let pending_header : (int * Schema.t) option ref = ref None in
+      let close_current () =
+        match !current with
+        | Some s -> sections := s :: !sections
+        | None -> ()
+      in
+      List.iter
+        (fun (line, text) ->
+          match Line_reader.strip_prefix ~prefix:"@relation" text with
+          | Some name ->
+            close_current ();
+            current := None;
+            (match Catalog.relation catalog name with
+             | Ok schema -> pending_header := Some (line, schema)
+             | Error e ->
+               Line_reader.fail line "%s" (Fmt.str "%a" Catalog.pp_error e))
+          | None ->
+            (match !pending_header with
+             | Some (_, schema) ->
+               (* This line is the header row. *)
+               let names = split_row line text in
+               let columns =
+                 List.map
+                   (fun n ->
+                     match Schema.attribute schema n with
+                     | Some a -> a
+                     | None ->
+                       Line_reader.fail line "unknown column %S in %s" n
+                         (Schema.name schema))
+                   names
+               in
+               let want = Schema.attribute_set schema in
+               let got = Attribute.Set.of_list columns in
+               if not (Attribute.Set.equal want got) then
+                 Line_reader.fail line
+                   "header of %s must name all attributes exactly once"
+                   (Schema.name schema);
+               pending_header := None;
+               current := Some { schema; columns; rows = [] }
+             | None ->
+               (match !current with
+                | None ->
+                  Line_reader.fail line
+                    "data before any '@relation' section: %S" text
+                | Some section ->
+                  let fields = split_row line text in
+                  if List.length fields <> List.length section.columns then
+                    Line_reader.fail line
+                      "row has %d fields, expected %d (relation %s)"
+                      (List.length fields)
+                      (List.length section.columns)
+                      (Schema.name section.schema);
+                  let tuple =
+                    Tuple.of_list
+                      (List.map2
+                         (fun a f -> (a, Value.of_literal f))
+                         section.columns fields)
+                  in
+                  section.rows <- tuple :: section.rows)))
+        (Line_reader.significant_lines input);
+      (match !pending_header with
+       | Some (line, schema) ->
+         Line_reader.fail line "section %s has no header row"
+           (Schema.name schema)
+       | None -> ());
+      close_current ();
+      let table =
+        List.map
+          (fun s ->
+            ( Schema.name s.schema,
+              Relation.make (Schema.attributes s.schema) (List.rev s.rows) ))
+          !sections
+      in
+      fun name -> List.assoc_opt name table)
+
+let print relations =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, rel) ->
+      Buffer.add_string buf (Printf.sprintf "@relation %s\n" name);
+      let header = Relation.header rel in
+      Buffer.add_string buf
+        (String.concat ", " (List.map Attribute.name header) ^ "\n");
+      List.iter
+        (fun tuple ->
+          let fields =
+            List.map
+              (fun a -> Value.to_string (Tuple.find tuple a))
+              header
+          in
+          Buffer.add_string buf (String.concat ", " fields ^ "\n"))
+        (Relation.tuples rel);
+      Buffer.add_char buf '\n')
+    relations;
+  Buffer.contents buf

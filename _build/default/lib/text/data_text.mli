@@ -1,0 +1,25 @@
+(** Textual relation instances — a minimal multi-relation CSV bundle.
+
+    {v
+    @relation Insurance
+    Holder, Plan
+    c1, gold
+    c2, silver
+
+    @relation Hospital
+    Patient, Disease, Physician
+    c1, flu, 'Dr. Kay'
+    v}
+
+    Each [@relation NAME] section is followed by a header row naming
+    the columns (any order; must cover the schema exactly) and data
+    rows. Values use {!Relalg.Value.of_literal}: integers, floats,
+    [true]/[false], [NULL], quoted or bare strings. *)
+
+open Relalg
+
+val parse :
+  Catalog.t -> string -> ((string -> Relation.t option), Line_reader.error) result
+
+(** Bundle all the given relations back to the text format. *)
+val print : (string * Relation.t) list -> string

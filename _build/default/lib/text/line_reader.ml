@@ -1,0 +1,41 @@
+type error = {
+  line : int;
+  message : string;
+}
+
+let pp_error ppf e = Fmt.pf ppf "line %d: %s" e.line e.message
+
+exception Fail of error
+
+let significant_lines input =
+  String.split_on_char '\n' input
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (n, line) ->
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         let line = String.trim line in
+         if line = "" then None else Some (n, line))
+
+let fail line fmt = Fmt.kstr (fun message -> raise (Fail { line; message })) fmt
+
+let protect f =
+  match f () with
+  | v -> Ok v
+  | exception Fail e -> Error e
+
+let split_fields sep s =
+  String.split_on_char sep s
+  |> List.map String.trim
+  |> List.filter (fun f -> f <> "")
+
+let strip_prefix ~prefix s =
+  let pl = String.length prefix in
+  if
+    String.length s > pl
+    && String.sub s 0 pl = prefix
+    && s.[pl] = ' '
+  then Some (String.trim (String.sub s pl (String.length s - pl)))
+  else None

@@ -1,0 +1,27 @@
+(** Shared plumbing for the line-oriented text formats: comment and
+    blank-line stripping, line numbering, and error reporting. *)
+
+type error = {
+  line : int;  (** 1-based line number *)
+  message : string;
+}
+
+val pp_error : error Fmt.t
+
+(** Significant lines of the input: trimmed, with [#]-comments and
+    blank lines removed, each paired with its 1-based line number. *)
+val significant_lines : string -> (int * string) list
+
+(** [fail line fmt ...] raises internally; caught by {!protect}. *)
+val fail : int -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Run a parser body, turning {!fail} into [Error]. *)
+val protect : (unit -> 'a) -> ('a, error) result
+
+(** Split on a separator character, trimming each field and dropping
+    empties: ["a, b , c"] on [','] gives [["a"; "b"; "c"]]. *)
+val split_fields : char -> string -> string list
+
+(** [strip_prefix ~prefix s] is [Some rest] when [s] starts with
+    [prefix] followed by at least one space. *)
+val strip_prefix : prefix:string -> string -> string option

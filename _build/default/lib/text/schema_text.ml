@@ -1,0 +1,132 @@
+open Relalg
+
+type t = {
+  catalog : Catalog.t;
+  join_graph : Joinpath.Cond.t list;
+}
+
+(* "relation NAME at SERVER (A*, B, C)" *)
+let parse_relation line body =
+  let fail fmt = Line_reader.fail line fmt in
+  let lparen =
+    match String.index_opt body '(' with
+    | Some i -> i
+    | None -> fail "expected '(' in relation declaration"
+  in
+  let head = String.trim (String.sub body 0 lparen) in
+  let rest = String.sub body lparen (String.length body - lparen) in
+  let name, servers =
+    (* "NAME at SERVER" or "NAME at S1, S2" (replicas). *)
+    let at_split =
+      let rec find i =
+        if i + 4 > String.length head then None
+        else if String.sub head i 4 = " at " then Some i
+        else find (i + 1)
+      in
+      find 0
+    in
+    match at_split with
+    | None -> fail "expected 'relation NAME at SERVER (...)'"
+    | Some i ->
+      let name = String.trim (String.sub head 0 i) in
+      let rest = String.sub head (i + 4) (String.length head - i - 4) in
+      (match (name, Line_reader.split_fields ',' rest) with
+       | "", _ | _, [] -> fail "expected 'relation NAME at SERVER (...)'"
+       | name, servers -> (name, servers))
+  in
+  if String.length rest < 2 || rest.[String.length rest - 1] <> ')' then
+    fail "expected ')' closing the attribute list";
+  let attr_body = String.sub rest 1 (String.length rest - 2) in
+  let attrs = Line_reader.split_fields ',' attr_body in
+  if attrs = [] then fail "relation %s has no attributes" name;
+  let is_key a = String.length a > 1 && a.[String.length a - 1] = '*' in
+  let bare a = if is_key a then String.sub a 0 (String.length a - 1) else a in
+  let key = List.filter_map (fun a -> if is_key a then Some (bare a) else None) attrs in
+  match Schema.make name ~key (List.map bare attrs) with
+  | schema -> (schema, List.map Server.make servers)
+  | exception Invalid_argument msg -> fail "%s" msg
+
+(* "join A = B" *)
+let parse_join line body resolve =
+  let fail fmt = Line_reader.fail line fmt in
+  match Line_reader.split_fields '=' body with
+  | [ l; r ] -> Joinpath.Cond.eq (resolve line l) (resolve line r)
+  | _ -> fail "expected 'join A = B'"
+
+let parse input =
+  Line_reader.protect (fun () ->
+      let lines = Line_reader.significant_lines input in
+      let relations, joins =
+        List.fold_left
+          (fun (rels, joins) (line, text) ->
+            match Line_reader.strip_prefix ~prefix:"relation" text with
+            | Some body -> (parse_relation line body :: rels, joins)
+            | None ->
+              (match Line_reader.strip_prefix ~prefix:"join" text with
+               | Some body -> (rels, (line, body) :: joins)
+               | None ->
+                 Line_reader.fail line
+                   "expected a 'relation' or 'join' declaration, got %S" text))
+          ([], []) lines
+      in
+      let catalog =
+        List.fold_left
+          (fun catalog (schema, servers) ->
+            match servers with
+            | [] -> assert false
+            | primary :: replicas ->
+              let catalog =
+                match Catalog.add catalog schema ~at:primary with
+                | Ok c -> c
+                | Error e ->
+                  Line_reader.fail 0 "%s" (Fmt.str "%a" Catalog.pp_error e)
+              in
+              List.fold_left
+                (fun catalog replica ->
+                  match
+                    Catalog.replicate catalog (Schema.name schema) ~at:replica
+                  with
+                  | Ok c -> c
+                  | Error e ->
+                    Line_reader.fail 0 "%s" (Fmt.str "%a" Catalog.pp_error e))
+                catalog replicas)
+          Catalog.empty (List.rev relations)
+      in
+      let resolve line name =
+        match Catalog.resolve_attribute catalog name with
+        | Ok a -> a
+        | Error e -> Line_reader.fail line "%s" (Fmt.str "%a" Catalog.pp_error e)
+      in
+      let join_graph =
+        List.rev_map (fun (line, body) -> parse_join line body resolve) joins
+      in
+      { catalog; join_graph })
+
+let print t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun schema ->
+      let server =
+        match Catalog.servers_of t.catalog (Schema.name schema) with
+        | Ok ss -> String.concat ", " (List.map Server.name ss)
+        | Error _ -> assert false
+      in
+      let attr a =
+        let name = Attribute.name a in
+        if List.exists (Attribute.equal a) (Schema.key schema) then name ^ "*"
+        else name
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "relation %s at %s (%s)\n" (Schema.name schema) server
+           (String.concat ", " (List.map attr (Schema.attributes schema)))))
+    (Catalog.schemas t.catalog);
+  List.iter
+    (fun cond ->
+      List.iter2
+        (fun l r ->
+          Buffer.add_string buf
+            (Printf.sprintf "join %s = %s\n" (Attribute.name l)
+               (Attribute.name r)))
+        (Joinpath.Cond.left cond) (Joinpath.Cond.right cond))
+    t.join_graph;
+  Buffer.contents buf

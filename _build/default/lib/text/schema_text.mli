@@ -1,0 +1,30 @@
+(** Textual schema definitions — the contents of Figure 1 as a file.
+
+    {v
+    # the medical federation
+    relation Insurance    at S_I (Holder*, Plan)
+    relation Hospital     at S_H (Patient*, Disease, Physician)
+    relation Nat_registry at S_N (Citizen*, HealthAid)
+    relation Disease_list at S_D (Illness*, Treatment)
+
+    join Holder  = Patient      # the lines between relations
+    join Holder  = Citizen
+    join Patient = Citizen
+    join Disease = Illness
+    v}
+
+    Attributes marked [*] form the primary key; [join] lines declare
+    the join graph (used by the chase and the workload generators).
+    [#] starts a comment; blank lines are ignored. *)
+
+open Relalg
+
+type t = {
+  catalog : Catalog.t;
+  join_graph : Joinpath.Cond.t list;
+}
+
+val parse : string -> (t, Line_reader.error) result
+
+(** Render back to the file format ({!parse} of the output round-trips). *)
+val print : t -> string

@@ -1,0 +1,1 @@
+lib/workload/authz_gen.ml: Array Attribute Authorization Authz Catalog Fmt Hashtbl Joinpath List Policy Relalg Rng Schema String System_gen

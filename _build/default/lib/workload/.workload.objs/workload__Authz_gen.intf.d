@@ -1,0 +1,1 @@
+lib/workload/authz_gen.mli: Authz Joinpath Relalg Rng System_gen

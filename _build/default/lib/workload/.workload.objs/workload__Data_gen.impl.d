@@ -1,0 +1,1 @@
+lib/workload/data_gen.ml: Attribute Catalog List Relalg Relation Rng Schema String System_gen Value

@@ -1,0 +1,1 @@
+lib/workload/data_gen.mli: Relalg Relation Rng Schema System_gen

@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Catalog Fmt List Option Predicate Query Relalg Rng Schema System_gen Value

@@ -1,0 +1,1 @@
+lib/workload/query_gen.mli: Plan Query Relalg Rng System_gen

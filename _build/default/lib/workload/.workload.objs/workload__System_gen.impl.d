@@ -1,0 +1,1 @@
+lib/workload/system_gen.ml: Catalog Fmt Joinpath List Printf Relalg Rng Schema Server

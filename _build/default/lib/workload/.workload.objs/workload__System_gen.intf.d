@@ -1,0 +1,1 @@
+lib/workload/system_gen.mli: Attribute Catalog Joinpath Relalg Rng Server

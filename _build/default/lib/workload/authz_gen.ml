@@ -1,0 +1,99 @@
+open Relalg
+open Authz
+
+let schema_of catalog name =
+  match Catalog.relation catalog name with
+  | Ok s -> s
+  | Error e -> invalid_arg (Fmt.str "Authz_gen: %a" Catalog.pp_error e)
+
+let base_grants (sys : System_gen.t) =
+  List.fold_left
+    (fun policy schema ->
+      let server =
+        match Catalog.server_of sys.catalog (Schema.name schema) with
+        | Ok s -> s
+        | Error _ -> assert false
+      in
+      Policy.add
+        (Authorization.make_exn ~attrs:(Schema.attribute_set schema)
+           ~path:Joinpath.empty server)
+        policy)
+    Policy.empty
+    (Catalog.schemas sys.catalog)
+
+(* Connected sub-forests are grown edge by edge; a canonical key (the
+   sorted list of edge indices) deduplicates grow orders. Size-0
+   subtrees are the single relations. *)
+let connected_subtrees (sys : System_gen.t) ~max_edges =
+  let edges = Array.of_list sys.edges in
+  let m = Array.length edges in
+  let endpoints i =
+    let a, b, _ = edges.(i) in
+    (a, b)
+  in
+  let seen = Hashtbl.create 64 in
+  let results = ref [] in
+  let emit rels edge_idxs =
+    let key = String.concat "," (List.map string_of_int edge_idxs) in
+    if not (Hashtbl.mem seen key) then (
+      Hashtbl.add seen key ();
+      let conds = List.map (fun i -> let _, _, c = edges.(i) in c) edge_idxs in
+      results := (List.sort_uniq String.compare rels, conds) :: !results)
+  in
+  (* Size 0: single relations. *)
+  List.iter
+    (fun schema -> results := ([ Schema.name schema ], []) :: !results)
+    (Catalog.schemas sys.catalog);
+  (* Grow connected edge sets, memoised on the canonical key so each
+     subtree is expanded once regardless of grow order. *)
+  let expanded = Hashtbl.create 64 in
+  let rec grow rels edge_idxs =
+    let sorted = List.sort compare edge_idxs in
+    let key = String.concat "," (List.map string_of_int sorted) in
+    if not (Hashtbl.mem expanded key) then begin
+      Hashtbl.add expanded key ();
+      emit rels sorted;
+      if List.length edge_idxs < max_edges then
+        for i = 0 to m - 1 do
+          if not (List.mem i edge_idxs) then (
+            let a, b = endpoints i in
+            if List.mem a rels || List.mem b rels then
+              grow (a :: b :: rels) (i :: edge_idxs))
+        done
+    end
+  in
+  for i = 0 to m - 1 do
+    let a, b = endpoints i in
+    grow [ a; b ] [ i ]
+  done;
+  List.rev !results
+
+let generate rng ?(max_path = 3) ?(attr_keep = 0.8) ~density
+    (sys : System_gen.t) =
+  let subtrees = connected_subtrees sys ~max_edges:max_path in
+  let servers = System_gen.servers sys in
+  let grant policy server (rels, conds) =
+    if not (Rng.flip rng density) then policy
+    else
+      let path = Joinpath.of_list conds in
+      let forced = Joinpath.attributes path in
+      let attrs =
+        List.fold_left
+          (fun acc rel ->
+            let schema = schema_of sys.catalog rel in
+            let kept =
+              Rng.subset rng ~p:attr_keep (Schema.attributes schema)
+            in
+            Attribute.Set.union acc (Attribute.Set.of_list kept))
+          forced rels
+      in
+      if Attribute.Set.is_empty attrs then policy
+      else
+        match Authorization.make ~attrs ~path server with
+        | Ok a -> Policy.add a policy
+        | Error _ -> policy
+  in
+  List.fold_left
+    (fun policy server ->
+      List.fold_left (fun p st -> grant p server st) policy subtrees)
+    (base_grants sys) servers

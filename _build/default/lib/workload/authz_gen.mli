@@ -1,0 +1,37 @@
+(** Random authorization policies over a synthetic system.
+
+    Policies are generated per server:
+
+    - every server is granted its own base relations in full (the paper
+      assumes "each server to be authorized to view the relation it
+      holds", Section 4);
+    - additionally, for every server and every connected subtree of the
+      join graph up to [max_path] edges, with probability [density] the
+      server is granted the attributes of the subtree's relations
+      (each kept with probability [attr_keep], join attributes always
+      kept so that the rule is usable in planning) under exactly that
+      subtree's join path.
+
+    [density = 0] leaves only the base grants (almost every multi-party
+    join is infeasible); [density = 1] with [attr_keep = 1] authorizes
+    everything (every plan is feasible). Sweeping density is
+    experiment EXP-B. *)
+
+open Relalg
+
+val generate :
+  Rng.t ->
+  ?max_path:int ->
+  ?attr_keep:float ->
+  density:float ->
+  System_gen.t ->
+  Authz.Policy.t
+
+(** Just the base grants: each server sees its own relations. *)
+val base_grants : System_gen.t -> Authz.Policy.t
+
+(** All connected subtrees of the join graph with at most [max_edges]
+    edges, as (relation set, edge list) pairs. Exposed for tests and
+    for the chase bench. *)
+val connected_subtrees :
+  System_gen.t -> max_edges:int -> (string list * Joinpath.Cond.t list) list

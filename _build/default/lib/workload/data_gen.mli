@@ -1,0 +1,25 @@
+(** Random relation instances for synthetic systems.
+
+    Key attributes of relation [Ri] take the distinct values
+    [0 .. rows-1]; link attributes [Ri_to_Rj] take uniform values in
+    [\[0, rows × domain_scale)], so the fraction of link values hitting
+    an existing key — the join selectivity — is [1 / domain_scale];
+    payload attributes take uniform values in [\[0, 1000)]. *)
+
+open Relalg
+
+(** [instances rng ~rows ~domain_scale sys] generates one instance per
+    relation of the system and returns the lookup used by the
+    simulator. *)
+val instances :
+  Rng.t ->
+  rows:int ->
+  ?domain_scale:float ->
+  System_gen.t ->
+  string ->
+  Relation.t option
+
+(** Instance for a single schema (keys sequential, other attributes
+    uniform in the scaled domain). *)
+val instance :
+  Rng.t -> rows:int -> ?domain_scale:float -> Schema.t -> Relation.t

@@ -1,0 +1,57 @@
+open Relalg
+
+let schema_of catalog name =
+  match Catalog.relation catalog name with
+  | Ok s -> s
+  | Error e -> invalid_arg (Fmt.str "Query_gen: %a" Catalog.pp_error e)
+
+let generate rng ?(select_keep = 0.5) ?(where_prob = 0.3) ~joins
+    (sys : System_gen.t) =
+  let relations = List.map Schema.name (Catalog.schemas sys.catalog) in
+  if relations = [] then None
+  else
+    let base = Rng.choose rng relations in
+    (* Random walk: repeatedly pick an edge connecting a visited
+       relation to an unvisited one. *)
+    let rec walk visited acc k =
+      if k = 0 then Some (List.rev acc)
+      else
+        let frontier =
+          List.filter
+            (fun (a, b, _) ->
+              (List.mem a visited && not (List.mem b visited))
+              || (List.mem b visited && not (List.mem a visited)))
+            sys.edges
+        in
+        match frontier with
+        | [] -> None
+        | _ ->
+          let a, b, cond = Rng.choose rng frontier in
+          let fresh = if List.mem a visited then b else a in
+          walk (fresh :: visited) ((fresh, cond) :: acc) (k - 1)
+    in
+    match walk [ base ] [] joins with
+    | None -> None
+    | Some steps ->
+      let visited = base :: List.map fst steps in
+      let all_attrs =
+        List.concat_map
+          (fun rel -> Schema.attributes (schema_of sys.catalog rel))
+          visited
+      in
+      let select = Rng.nonempty_subset rng ~p:select_keep all_attrs in
+      let where =
+        if Rng.flip rng where_prob then
+          let a = Rng.choose rng all_attrs in
+          Predicate.Cmp (a, Predicate.Le, Predicate.Const (Value.Int (Rng.int rng 100)))
+        else Predicate.True
+      in
+      (match
+         Query.make sys.catalog ~select ~base ~joins:steps ~where
+       with
+       | Ok q -> Some q
+       | Error e ->
+         invalid_arg (Fmt.str "Query_gen.generate: %a" Query.pp_error e))
+
+let generate_plan rng ?select_keep ?where_prob ~joins sys =
+  Option.map Query.to_plan (generate rng ?select_keep ?where_prob ~joins sys)

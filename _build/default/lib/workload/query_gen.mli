@@ -1,0 +1,31 @@
+(** Random join queries over a synthetic system.
+
+    A query is generated as a random walk over the join graph: starting
+    from a random relation, [joins] edges to not-yet-visited relations
+    are added (so the FROM clause is a connected subtree, left-deep as
+    the paper's queries). The SELECT clause keeps each visited
+    attribute with probability [select_keep] (at least one); with
+    probability [where_prob] a WHERE comparison on a random visited
+    attribute is added. *)
+
+open Relalg
+
+(** [generate rng ~joins sys] — a query with exactly [joins] joins, or
+    [None] if the walk cannot be extended that far (join graph too
+    small or disconnected). *)
+val generate :
+  Rng.t ->
+  ?select_keep:float ->
+  ?where_prob:float ->
+  joins:int ->
+  System_gen.t ->
+  Query.t option
+
+(** The corresponding minimized plan, for convenience. *)
+val generate_plan :
+  Rng.t ->
+  ?select_keep:float ->
+  ?where_prob:float ->
+  joins:int ->
+  System_gen.t ->
+  Plan.t option

@@ -1,0 +1,32 @@
+type t = Random.State.t
+
+let make ~seed = Random.State.make [| seed; 0x6a09e667; 0xbb67ae85 |]
+let int t bound = if bound <= 0 then 0 else Random.State.int t bound
+let float t = Random.State.float t 1.0
+let bool t = Random.State.bool t
+let flip t p = Random.State.float t 1.0 < p
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let subset t ~p xs = List.filter (fun _ -> flip t p) xs
+
+let nonempty_subset t ~p xs =
+  match subset t ~p xs with
+  | [] -> (match xs with [] -> [] | _ -> [ choose t xs ])
+  | s -> s
+
+let shuffle t xs =
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let sample t k xs =
+  let shuffled = shuffle t xs in
+  List.filteri (fun i _ -> i < k) shuffled

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random helpers for workload generation.
+
+    Every generator in this library is a pure function of its seed, so
+    experiments are reproducible run-to-run. *)
+
+type t
+
+val make : seed:int -> t
+
+(** Uniform in [\[0, bound)]. *)
+val int : t -> int -> int
+
+(** Uniform in [\[0, 1)]. *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** [flip t p] is true with probability [p]. *)
+val flip : t -> float -> bool
+
+(** Uniformly chosen element. @raise Invalid_argument on empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** Random subset, each element kept with probability [p]. *)
+val subset : t -> p:float -> 'a list -> 'a list
+
+(** Non-empty random subset (falls back to one random element). *)
+val nonempty_subset : t -> p:float -> 'a list -> 'a list
+
+(** Fisher–Yates shuffle. *)
+val shuffle : t -> 'a list -> 'a list
+
+(** [sample t k xs] — [k] distinct elements (all of [xs] if shorter). *)
+val sample : t -> int -> 'a list -> 'a list

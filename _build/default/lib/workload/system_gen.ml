@@ -1,0 +1,102 @@
+open Relalg
+
+type t = {
+  catalog : Catalog.t;
+  join_graph : Joinpath.Cond.t list;
+  edges : (string * string * Joinpath.Cond.t) list;
+}
+
+type topology =
+  | Chain
+  | Star
+  | Random of { extra_edges : int }
+
+let rel_name i = Printf.sprintf "R%d" i
+let server_name i = Printf.sprintf "S%d" i
+
+let edge_pairs rng ~relations ~topology =
+  let n = relations in
+  let tree =
+    match topology with
+    | Chain -> List.init (max 0 (n - 1)) (fun i -> (i, i + 1))
+    | Star -> List.init (max 0 (n - 1)) (fun i -> (0, i + 1))
+    | Random _ ->
+      List.init (max 0 (n - 1)) (fun j ->
+          let j = j + 1 in
+          (Rng.int rng j, j))
+  in
+  match topology with
+  | Chain | Star -> tree
+  | Random { extra_edges } ->
+    let mem edges e = List.mem e edges in
+    let rec add edges k attempts =
+      if k = 0 || attempts = 0 || n < 3 then edges
+      else
+        let i = Rng.int rng n and j = Rng.int rng n in
+        let e = (min i j, max i j) in
+        if i = j || mem edges e then add edges k (attempts - 1)
+        else add (e :: edges) (k - 1) (attempts - 1)
+    in
+    List.rev (add (List.rev tree) extra_edges (extra_edges * 20))
+
+let generate ?(replication = 0.0) rng ~relations ~servers ~extra ~topology =
+  if relations < 1 then invalid_arg "System_gen.generate: relations < 1";
+  if servers < 1 then invalid_arg "System_gen.generate: servers < 1";
+  let pairs = edge_pairs rng ~relations ~topology in
+  let link_attrs i =
+    List.filter_map
+      (fun (a, b) ->
+        if a = i then Some (Printf.sprintf "R%d_to_R%d" a b) else None)
+      pairs
+  in
+  let schema i =
+    let key = Printf.sprintf "R%d_k" i in
+    let extras = List.init extra (fun j -> Printf.sprintf "R%d_a%d" i j) in
+    Schema.make (rel_name i) ~key:[ key ] ((key :: extras) @ link_attrs i)
+  in
+  let schemas = List.init relations schema in
+  let catalog =
+    Catalog.of_list
+      (List.mapi
+         (fun i s -> (s, Server.make (server_name (i mod servers))))
+         schemas)
+  in
+  let catalog =
+    if replication <= 0.0 || servers < 2 then catalog
+    else
+      List.fold_left
+        (fun catalog schema ->
+          if Rng.flip rng replication then
+            let replica = Server.make (server_name (Rng.int rng servers)) in
+            match Catalog.replicate catalog (Schema.name schema) ~at:replica with
+            | Ok c -> c
+            | Error _ -> catalog
+          else catalog)
+        catalog schemas
+  in
+  let find_attr name =
+    match Catalog.resolve_attribute catalog name with
+    | Ok a -> a
+    | Error e ->
+      invalid_arg (Fmt.str "System_gen.generate: %a" Catalog.pp_error e)
+  in
+  let edges =
+    List.map
+      (fun (a, b) ->
+        let link = find_attr (Printf.sprintf "R%d_to_R%d" a b) in
+        let key = find_attr (Printf.sprintf "R%d_k" b) in
+        (rel_name a, rel_name b, Joinpath.Cond.eq link key))
+      pairs
+  in
+  {
+    catalog;
+    join_graph = List.map (fun (_, _, c) -> c) edges;
+    edges;
+  }
+
+let servers t = Server.Set.elements (Catalog.servers t.catalog)
+
+let attr t name =
+  match Catalog.resolve_attribute t.catalog name with
+  | Ok a -> a
+  | Error e -> invalid_arg (Fmt.str "System_gen.attr: %a" Catalog.pp_error e)

@@ -1,0 +1,47 @@
+(** Synthetic distributed systems: schemas placed at servers plus a
+    join graph, in the shape of Figure 1 but of arbitrary size.
+
+    Relations are named [R0, R1, ...]; relation [Ri] has a key [Ri_k],
+    [extra] payload attributes [Ri_a0, Ri_a1, ...], and one link
+    attribute [Ri_to_Rj] per join-graph edge to a higher-numbered
+    neighbour [Rj]; the edge's condition is [Ri_to_Rj = Rj_k]. Servers
+    are named [S0, S1, ...] and relations are placed round-robin. *)
+
+open Relalg
+
+type t = {
+  catalog : Catalog.t;
+  join_graph : Joinpath.Cond.t list;
+      (** one condition per edge, in edge order *)
+  edges : (string * string * Joinpath.Cond.t) list;
+      (** (lower relation, higher relation, condition) *)
+}
+
+type topology =
+  | Chain  (** R0 - R1 - ... - R(n-1) *)
+  | Star  (** R0 joined to every other relation *)
+  | Random of { extra_edges : int }
+      (** a random spanning tree plus [extra_edges] chords *)
+
+(** [generate rng ~relations ~servers ~extra ~topology] builds a system
+    of [relations] relations over [servers] servers with [extra]
+    payload attributes per relation. [replication] (default [0.0]) is
+    the probability that a relation gains one replica at another
+    random server.
+
+    @raise Invalid_argument if [relations < 1] or [servers < 1]. *)
+val generate :
+  ?replication:float ->
+  Rng.t ->
+  relations:int ->
+  servers:int ->
+  extra:int ->
+  topology:topology ->
+  t
+
+(** All servers, in name order. *)
+val servers : t -> Server.t list
+
+(** Resolve an attribute by bare name.
+    @raise Invalid_argument on unknown names. *)
+val attr : t -> string -> Attribute.t

@@ -1,0 +1,5 @@
+  $ cisqp repro fig3
+  $ cisqp plan -s medical "SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient"
+  $ cisqp plan -s medical --script "SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient"
+  $ cisqp advise -s supply-chain "SELECT OrderId, Customer, Price FROM Orders JOIN Parts ON Part=PartNo"
+  $ cisqp run -s research --third-party "SELECT Cohort, Outcome FROM Participants JOIN Visits ON Pid = Subject" | tail -6

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Attribute Authz Joinpath List Option Planner QCheck_alcotest Relalg Relation Schema Server String Tuple Value

@@ -1,0 +1,1 @@
+test/test_advisor.ml: Advisor Alcotest Authz Catalog Joinpath List Planner Relalg Safe_planner Safety Scenario Server Text

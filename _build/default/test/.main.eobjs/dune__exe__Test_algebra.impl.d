@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Algebra Attribute Helpers Joinpath List Predicate Relalg Relation Schema Value

@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Attribute Audit Authz Distsim Engine Helpers Joinpath List Network Option Planner Relalg Relation Scenario

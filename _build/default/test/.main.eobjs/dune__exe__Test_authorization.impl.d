@@ -1,0 +1,1 @@
+test/test_authorization.ml: Alcotest Attribute Authorization Authz Helpers Joinpath List Relalg Scenario Server

@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Attribute Catalog Helpers List Relalg Schema Server

@@ -1,0 +1,1 @@
+test/test_chase.ml: Alcotest Attribute Authorization Authz Chase Joinpath List Policy Profile Relalg Scenario Schema Server

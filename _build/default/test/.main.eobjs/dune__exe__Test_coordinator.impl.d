@@ -1,0 +1,1 @@
+test/test_coordinator.ml: Alcotest Assignment Attribute Authz Distsim Exhaustive Fmt Helpers Joinpath List Planner Relalg Relation Safe_planner Safety Scenario Server Third_party

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Algebra Assignment Attribute Cost Fmt Helpers Option Plan Planner Predicate Relalg Safe_planner Safety Scenario Schema Value

@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Des Distsim Engine Fmt List Planner Printf Scenario Timing

@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Assignment Dot Helpers List Planner Relalg Safe_planner Scenario String

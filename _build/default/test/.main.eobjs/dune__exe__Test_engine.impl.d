@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Algebra Attribute Catalog Distsim Engine Helpers Joinpath List Network Plan Planner Relalg Relation Scenario Schema Server Value

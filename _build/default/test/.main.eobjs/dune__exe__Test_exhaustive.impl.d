@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Assignment Cost Exhaustive Fmt List Planner Safe_planner Safety Scenario

@@ -1,0 +1,1 @@
+test/test_federation.ml: Alcotest Authz Catalog Distsim Federation Helpers Joinpath List Option Planner Relalg Relation Scenario Schema Text

@@ -1,0 +1,1 @@
+test/test_joinpath.ml: Alcotest Attribute Gen Helpers Joinpath List QCheck Relalg

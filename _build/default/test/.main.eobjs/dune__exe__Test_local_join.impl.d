@@ -1,0 +1,1 @@
+test/test_local_join.ml: Alcotest Assignment Authz Catalog Distsim Helpers Joinpath List Planner Printf Query Relalg Relation Safe_planner Safety Scenario Schema Server Sql_parser Value

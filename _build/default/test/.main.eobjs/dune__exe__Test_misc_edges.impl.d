@@ -1,0 +1,1 @@
+test/test_misc_edges.ml: Alcotest Attribute Authz Catalog Distsim Helpers Joinpath List Option Planner Query Relalg Relation Scenario Schema Server Sql_parser Text Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Authz Distsim Helpers List Network Option Relalg Relation Scenario

@@ -1,0 +1,1 @@
+test/test_open_policy.ml: Alcotest Attribute Authorization Authz Distsim Helpers Joinpath List Planner Policy Profile Relalg Scenario

@@ -1,0 +1,1 @@
+test/test_parser_fuzz.ml: Alcotest Attribute Data_gen Distsim Gen Helpers Lazy List Plan QCheck Query Query_gen Relalg Rng Scenario Sql_parser String System_gen Workload

@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Algebra Attribute Helpers Joinpath List Plan Relalg Scenario Schema

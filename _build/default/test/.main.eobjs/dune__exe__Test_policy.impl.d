@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Attribute Authorization Authz Gen Helpers Joinpath List Policy Profile QCheck Relalg Scenario Server

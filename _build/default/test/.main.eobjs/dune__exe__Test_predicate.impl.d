@@ -1,0 +1,1 @@
+test/test_predicate.ml: Alcotest Attribute Fmt Helpers List Predicate Relalg Value

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Algebra Attribute Authz Gen Helpers Joinpath List Plan Predicate Profile QCheck Relalg Scenario Schema Value

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Attribute Authz Authz_gen Catalog Data_gen Distsim Fmt Helpers Joinpath Lazy List Option Plan Planner Query_gen Relalg Rng Schema System_gen Workload

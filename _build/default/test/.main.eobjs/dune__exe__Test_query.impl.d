@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Algebra Catalog Helpers Joinpath List Option Predicate Query Relalg Scenario Schema String Value

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Attribute Gen Helpers Joinpath List Predicate QCheck Relalg Relation Schema Tuple Value

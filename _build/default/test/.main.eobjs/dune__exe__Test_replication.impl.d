@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Assignment Authz Catalog Distsim Exhaustive Helpers Joinpath List Planner Query Relalg Safe_planner Safety Scenario Schema Server Sql_parser Text

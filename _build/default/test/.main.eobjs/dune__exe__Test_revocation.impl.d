@@ -1,0 +1,1 @@
+test/test_revocation.ml: Alcotest Assignment Attribute Authz Fmt Helpers Joinpath List Planner Relalg Revocation Safe_planner Scenario Server

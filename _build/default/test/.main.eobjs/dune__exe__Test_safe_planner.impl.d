@@ -1,0 +1,1 @@
+test/test_safe_planner.ml: Alcotest Assignment Attribute Authz Fmt Helpers List Planner Relalg Safe_planner Safety Scenario Schema Server

@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Algebra Assignment Attribute Authz Catalog Helpers Joinpath List Plan Planner Relalg Safe_planner Safety Scenario Schema Server

@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Catalog Distsim Helpers List Planner Relalg Relation Scenario Schema Server String

@@ -1,0 +1,1 @@
+test/test_script.ml: Alcotest Assignment Fmt Hashtbl Helpers List Planner Printf Relalg Safe_planner Safety Scenario Script Server Third_party

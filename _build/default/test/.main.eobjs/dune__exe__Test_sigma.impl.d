@@ -1,0 +1,1 @@
+test/test_sigma.ml: Advisor Alcotest Attribute Authz Distsim Exhaustive Helpers Joinpath List Planner Query Relalg Relation Safe_planner Safety Scenario Sql_parser

@@ -1,0 +1,1 @@
+test/test_sql_parser.ml: Alcotest Attribute Catalog Helpers Joinpath List Predicate Query Relalg Scenario Schema Server Sql_parser

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Attribute Cost Joinpath Optimizer Planner Relalg Scenario Stats

@@ -1,0 +1,1 @@
+test/test_substrate_props.ml: Attribute Gen Helpers Joinpath List Predicate QCheck Relalg Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Attribute Authz Catalog Distsim Helpers Joinpath List Option Planner Query Relalg Relation Scenario Schema Sql_parser Text Tuple Value

@@ -1,0 +1,1 @@
+test/test_third_party.ml: Alcotest Distsim Helpers List Planner Safety Scenario Third_party

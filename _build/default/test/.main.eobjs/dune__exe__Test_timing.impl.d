@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Distsim Engine Fmt List Plan Planner Printf Relalg Scenario Timing

@@ -1,0 +1,1 @@
+test/test_tuple.ml: Alcotest Attribute Helpers List Relalg Tuple Value

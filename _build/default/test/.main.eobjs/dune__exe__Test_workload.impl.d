@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Authz Authz_gen Catalog Data_gen Helpers List Option Plan Planner Printf Query Query_gen Relalg Relation Rng Schema Server System_gen Workload

@@ -1,0 +1,101 @@
+The CLI reproduces Figure 3 verbatim, in the paper's own order:
+
+  $ cisqp repro fig3
+   1 [{Holder, Plan}, -] -> S_I
+   2 [{Holder, Patient, Physician, Plan}, {⟨Holder, Patient⟩}] -> S_I
+   3 [{Holder, Plan, Treatment}, {⟨Disease, Illness⟩, ⟨Holder, Patient⟩}] -> S_I
+   4 [{Disease, Patient, Physician}, -] -> S_H
+   5 [{Disease, Holder, Patient, Physician, Plan}, {⟨Patient, Holder⟩}] -> S_H
+   6 [{Citizen, Disease, HealthAid, Patient, Physician}, {⟨Patient, Citizen⟩}] -> S_H
+   7 [{Citizen, Disease, HealthAid, Holder, Patient, Physician, Plan}, {⟨Citizen, Holder⟩, ⟨Patient, Citizen⟩}] -> S_H
+   8 [{Citizen, HealthAid}, -] -> S_N
+   9 [{Holder, Plan}, -] -> S_N
+  10 [{Disease, Patient}, -] -> S_N
+  11 [{Citizen, Disease, HealthAid, Patient}, {⟨Citizen, Patient⟩}] -> S_N
+  12 [{Citizen, HealthAid, Holder, Plan}, {⟨Citizen, Holder⟩}] -> S_N
+  13 [{Disease, Holder, Patient, Plan}, {⟨Patient, Holder⟩}] -> S_N
+  14 [{Citizen, Disease, HealthAid, Holder, Patient, Plan}, {⟨Citizen, Holder⟩, ⟨Citizen, Patient⟩}] -> S_N
+  15 [{Illness, Treatment}, -] -> S_D
+
+Planning the paper's Example 2.2 reproduces the Figure 7 trace:
+
+  $ cisqp plan -s medical "SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient"
+  Query tree plan:
+  n0: π{HealthAid, Patient, Physician, Plan} (n1)
+  n1: ⋈[Citizen = Patient] (n2, n3)
+  n2: ⋈[Holder = Citizen] (n4, n5)
+  n3: π{Patient, Physician} (n6)
+  n4: Insurance
+  n5: Nat_registry
+  n6: Hospital
+  
+  Find_candidates:
+  n4   [S_I, -, 0] 
+  n5   [S_N, -, 0] 
+  n2   [S_N, right, 1] 
+  n6   [S_H, -, 0] 
+  n3   [S_H, left, 0] 
+  n1   [S_H, right, 1, semi] S_N
+  n0   [S_H, left, 1, semi] 
+  Assign_ex:
+  n0   [S_H, NULL]
+  n1   [S_H, S_N]
+  n2   [S_N, NULL]
+  n4   [S_I, NULL]
+  n5   [S_N, NULL]
+  n3   [S_H, NULL]
+  n6   [S_H, NULL]
+  
+  Assignment:
+  n0: [S_H, NULL]
+  n1: [S_H, S_N]
+  n2: [S_N, NULL]
+  n3: [S_H, NULL]
+  n4: [S_I, NULL]
+  n5: [S_N, NULL]
+  n6: [S_H, NULL]
+
+The script compiler emits per-server SQL plus transfers:
+
+  $ cisqp plan -s medical --script "SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient"
+  S_I: CREATE TEMP TABLE t4 AS SELECT Holder, Plan FROM Insurance
+  S_N: CREATE TEMP TABLE t5 AS SELECT Citizen, HealthAid FROM Nat_registry
+  S_I: SEND t4 TO S_N
+  S_N: CREATE TEMP TABLE t2 AS SELECT Citizen, HealthAid, Holder, Plan FROM t4 JOIN t5 ON Holder = Citizen
+  S_H: CREATE TEMP TABLE t6 AS SELECT Disease, Patient, Physician FROM Hospital
+  S_H: CREATE TEMP TABLE t3 AS SELECT Patient, Physician FROM t6
+  S_H: CREATE TEMP TABLE t1_keys AS SELECT DISTINCT Patient FROM t3
+  S_H: SEND t1_keys TO S_N
+  S_N: CREATE TEMP TABLE t1_semi AS SELECT Patient, Citizen, HealthAid, Holder, Plan FROM t2 JOIN t1_keys ON Citizen = Patient
+  S_N: SEND t1_semi TO S_H
+  S_H: CREATE TEMP TABLE t1 AS SELECT Citizen, HealthAid, Holder, Patient, Physician, Plan FROM t3 NATURAL JOIN t1_semi
+  S_H: CREATE TEMP TABLE t0 AS SELECT HealthAid, Patient, Physician, Plan FROM t1
+  -- result in t0 at S_H
+
+The advisor explains blocked queries and proposes minimal grants:
+
+  $ cisqp advise -s supply-chain "SELECT OrderId, Customer, Price FROM Orders JOIN Parts ON Part=PartNo"
+  blocked at n1; options:
+  n1 as regular join at S_M, missing:
+    [{PartNo, Price}, -] -> S_M
+  n1 as regular join at S_P, missing:
+    [{Customer, OrderId, Part}, -] -> S_P
+  n1 as semi-join at S_P, missing:
+    [{Customer, OrderId, Part, PartNo}, {⟨Part, PartNo⟩}] -> S_P
+  n1 as semi-join at S_M, missing:
+    [{Part}, -] -> S_P
+    [{Part, PartNo, Price}, {⟨Part, PartNo⟩}] -> S_M
+  
+  proposed repair:
+  grant:
+    [{PartNo, Price}, -] -> S_M
+
+The coordinator serves the research query end to end:
+
+  $ cisqp run -s research --third-party "SELECT Cohort, Outcome FROM Participants JOIN Visits ON Pid = Subject" | tail -6
+  #0 S_R -> S_T: 3 tuples, 6 bytes (master join attributes for n1) [{Pid}, -, {}]
+  #1 S_C -> S_T: 3 tuples, 6 bytes (other join attributes for n1) [{Subject}, -, {}]
+  #2 S_T -> S_C: 2 tuples, 4 bytes (matched keys for n1) [{Subject}, {⟨Pid, Subject⟩}, {}]
+  #3 S_C -> S_R: 2 tuples, 18 bytes (reduced operand for n1) [{Outcome, Subject}, {⟨Pid, Subject⟩}, {}]
+  
+  Audit: clean (4 flows authorized)

@@ -1,0 +1,110 @@
+open Relalg
+open Planner
+module SC = Scenario.Supply_chain
+module R = Scenario.Research
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let test_feasible_plan_needs_nothing () =
+  check Alcotest.bool "no advice for feasible plans" true
+    (Advisor.advise SC.catalog SC.policy (SC.tracking_plan ()) = None)
+
+let failure_of catalog policy plan =
+  match Safe_planner.plan catalog policy plan with
+  | Ok _ -> Alcotest.fail "expected infeasible"
+  | Error f -> f
+
+let test_explain_pricing () =
+  let plan = SC.pricing_plan () in
+  let failure = failure_of SC.catalog SC.policy plan in
+  let options = Advisor.explain SC.catalog SC.policy plan failure in
+  check Alcotest.bool "has options" true (options <> []);
+  (* Options are sorted cheapest-first. *)
+  let costs = List.map (fun o -> List.length o.Advisor.missing) options in
+  check Alcotest.bool "sorted by grant count" true
+    (List.sort compare costs = costs);
+  (* Every option targets the blocked node. *)
+  List.iter
+    (fun o -> check Alcotest.int "blocked node" failure.failed_at o.Advisor.node)
+    options
+
+let test_advise_pricing () =
+  let plan = SC.pricing_plan () in
+  match Advisor.advise SC.catalog SC.policy plan with
+  | None -> Alcotest.fail "pricing query should be repairable"
+  | Some { grants; assignment; extended } ->
+    check Alcotest.bool "at least one new rule" true (grants <> []);
+    (* The proposal is sound: the new policy admits the assignment. *)
+    check Alcotest.bool "assignment safe under extended policy" true
+      (Safety.is_safe SC.catalog extended plan assignment);
+    (* ... and it was genuinely necessary. *)
+    check Alcotest.bool "original policy rejects it" false
+      (Safety.is_safe SC.catalog SC.policy plan assignment);
+    (* Proposals stay minimal-ish: a single join needs at most two new
+       rules (slave view + master view). *)
+    check Alcotest.bool "at most two rules" true (List.length grants <= 2)
+
+let test_advise_outcomes () =
+  (* The research outcomes query (coordinator-only) is repairable
+     without the matcher by granting an operand the missing view. *)
+  let plan = R.outcomes_plan () in
+  match Advisor.advise R.catalog R.policy plan with
+  | None -> Alcotest.fail "outcomes query should be repairable"
+  | Some { grants; assignment; extended } ->
+    check Alcotest.bool "assignment safe" true
+      (Safety.is_safe R.catalog extended plan assignment);
+    check Alcotest.bool "non-empty" true (grants <> [])
+
+let test_advise_multi_join () =
+  (* Strip a policy to base grants only: every join of the medical
+     example must be repaired, one after the other. *)
+  let module M = Scenario.Medical in
+  let base_only =
+    Authz.Policy.of_list
+      (List.filter
+         (fun (a : Authz.Authorization.t) -> Joinpath.is_empty a.path)
+         M.authorizations
+       |> List.filter (fun (a : Authz.Authorization.t) ->
+              (* keep only each server's own relation *)
+              match Authz.Authorization.relations a with
+              | [ rel ] ->
+                (match Catalog.server_of M.catalog rel with
+                 | Ok home -> Server.equal home a.server
+                 | Error _ -> false)
+              | _ -> false))
+  in
+  let plan = M.example_plan () in
+  check Alcotest.bool "infeasible with base grants" false
+    (Safe_planner.feasible M.catalog base_only plan);
+  match Advisor.advise M.catalog base_only plan with
+  | None -> Alcotest.fail "repairable"
+  | Some { grants; assignment; extended } ->
+    check Alcotest.bool "both joins repaired" true (List.length grants >= 2);
+    check Alcotest.bool "safe" true
+      (Safety.is_safe M.catalog extended plan assignment)
+
+let test_proposed_grants_are_valid_rules () =
+  let plan = SC.pricing_plan () in
+  match Advisor.advise SC.catalog SC.policy plan with
+  | None -> Alcotest.fail "repairable"
+  | Some { grants; _ } ->
+    (* Round-trip through the textual format: the advisor speaks the
+       administrator's language. *)
+    let printed = Text.Authz_text.print (Authz.Policy.of_list grants) in
+    (match Text.Authz_text.parse SC.catalog printed with
+     | Ok parsed ->
+       check Alcotest.int "round-trip" (List.length grants)
+         (Authz.Policy.cardinality parsed)
+     | Error e -> Alcotest.failf "%a" Text.Line_reader.pp_error e)
+
+let suite =
+  [
+    c "feasible plans need nothing" `Quick test_feasible_plan_needs_nothing;
+    c "explain the pricing blockage" `Quick test_explain_pricing;
+    c "repair the pricing query" `Quick test_advise_pricing;
+    c "repair the outcomes query" `Quick test_advise_outcomes;
+    c "repair a multi-join plan incrementally" `Quick test_advise_multi_join;
+    c "proposed grants are valid textual rules" `Quick
+      test_proposed_grants_are_valid_rules;
+  ]

@@ -1,0 +1,137 @@
+open Relalg
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let r_schema = Schema.make "R" ~key:[ "K" ] [ "K"; "A" ]
+let s_schema = Schema.make "S" ~key:[ "L" ] [ "L"; "B" ]
+let attr rel n = Attribute.make ~relation:rel n
+let a = attr "R" "A"
+let k = attr "R" "K"
+let l = attr "S" "L"
+let b = attr "S" "B"
+let cond = Joinpath.Cond.eq a l
+
+let join_expr =
+  Algebra.Join (cond, Algebra.Relation r_schema, Algebra.Relation s_schema)
+
+let test_output () =
+  check Helpers.attribute_set "join output"
+    (Attribute.Set.of_list [ k; a; l; b ])
+    (Algebra.output join_expr);
+  check Helpers.attribute_set "project narrows"
+    (Attribute.Set.singleton k)
+    (Algebra.output (Algebra.Project (Attribute.Set.singleton k, join_expr)))
+
+let test_relations () =
+  check Alcotest.(list string) "leaves in order" [ "R"; "S" ]
+    (Algebra.relations join_expr)
+
+let test_counts () =
+  check Alcotest.int "join count" 1 (Algebra.join_count join_expr);
+  check Alcotest.int "size" 3 (Algebra.size join_expr);
+  let wrapped = Algebra.Select (Predicate.True, join_expr) in
+  check Alcotest.int "size select" 4 (Algebra.size wrapped)
+
+let test_validate_ok () =
+  (match Algebra.validate join_expr with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "unexpected: %a" Algebra.pp_error e);
+  (* Flipped condition is also accepted (orientation-insensitive). *)
+  let flipped =
+    Algebra.Join
+      (Joinpath.Cond.eq l a, Algebra.Relation r_schema,
+       Algebra.Relation s_schema)
+  in
+  match Algebra.validate flipped with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "flipped rejected: %a" Algebra.pp_error e
+
+let test_validate_errors () =
+  (match
+     Algebra.validate
+       (Algebra.Project (Attribute.Set.singleton b, Algebra.Relation r_schema))
+   with
+   | Error (Algebra.Projection_out_of_scope _) -> ()
+   | _ -> Alcotest.fail "projection out of scope accepted");
+  (match
+     Algebra.validate
+       (Algebra.Select
+          (Predicate.Cmp (b, Eq, Const (Value.Int 1)),
+           Algebra.Relation r_schema))
+   with
+   | Error (Algebra.Selection_out_of_scope _) -> ()
+   | _ -> Alcotest.fail "selection out of scope accepted");
+  (match
+     Algebra.validate
+       (Algebra.Join
+          (Joinpath.Cond.eq k a, Algebra.Relation r_schema,
+           Algebra.Relation s_schema))
+   with
+   | Error (Algebra.Join_attributes_misplaced _) -> ()
+   | _ -> Alcotest.fail "one-sided condition accepted");
+  match
+    Algebra.validate
+      (Algebra.Join
+         (Joinpath.Cond.eq k l, Algebra.Relation r_schema,
+          Algebra.Relation r_schema))
+  with
+  | Error (Algebra.Overlapping_operands _) -> ()
+  | _ -> Alcotest.fail "overlapping operands accepted"
+
+let i x = Value.Int x
+
+let instances =
+  let table =
+    [
+      ("R", Relation.of_rows r_schema [ [ i 1; i 10 ]; [ i 2; i 20 ] ]);
+      ("S", Relation.of_rows s_schema [ [ i 10; i 5 ]; [ i 30; i 6 ] ]);
+    ]
+  in
+  fun schema -> List.assoc (Schema.name schema) table
+
+let test_eval () =
+  let result = Algebra.eval ~lookup:instances join_expr in
+  check Alcotest.int "one match" 1 (Relation.cardinality result);
+  let projected =
+    Algebra.eval ~lookup:instances
+      (Algebra.Project (Attribute.Set.singleton b, join_expr))
+  in
+  check Alcotest.(list string) "header" [ "B" ]
+    (List.map Attribute.name (Relation.header projected));
+  let selected =
+    Algebra.eval ~lookup:instances
+      (Algebra.Select (Predicate.Cmp (a, Gt, Const (i 15)), join_expr))
+  in
+  check Alcotest.int "selection removes the match" 0
+    (Relation.cardinality selected)
+
+let test_eval_flipped_cond () =
+  (* eval re-orients conditions written backwards. *)
+  let flipped =
+    Algebra.Join
+      (Joinpath.Cond.eq l a, Algebra.Relation r_schema,
+       Algebra.Relation s_schema)
+  in
+  check Alcotest.int "same result" 1
+    (Relation.cardinality (Algebra.eval ~lookup:instances flipped))
+
+let test_eval_invalid () =
+  match
+    Algebra.eval ~lookup:instances
+      (Algebra.Project (Attribute.Set.singleton b, Algebra.Relation r_schema))
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid expression evaluated"
+
+let suite =
+  [
+    c "output" `Quick test_output;
+    c "relations" `Quick test_relations;
+    c "size / join_count" `Quick test_counts;
+    c "validate accepts well-formed" `Quick test_validate_ok;
+    c "validate rejects ill-formed" `Quick test_validate_errors;
+    c "eval" `Quick test_eval;
+    c "eval orients flipped conditions" `Quick test_eval_flipped_cond;
+    c "eval rejects invalid expressions" `Quick test_eval_invalid;
+  ]

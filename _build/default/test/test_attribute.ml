@@ -1,0 +1,60 @@
+open Relalg
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let test_make_validation () =
+  Alcotest.check_raises "empty relation"
+    (Invalid_argument "Attribute.make: empty relation name") (fun () ->
+      ignore (Attribute.make ~relation:"" "A"));
+  Alcotest.check_raises "empty name"
+    (Invalid_argument "Attribute.make: empty attribute name") (fun () ->
+      ignore (Attribute.make ~relation:"R" ""))
+
+let test_accessors () =
+  let a = Attribute.make ~relation:"R" "A" in
+  check Alcotest.string "relation" "R" (Attribute.relation a);
+  check Alcotest.string "name" "A" (Attribute.name a)
+
+let test_ordering () =
+  (* Primary key of the order is the bare name, so sorted sets print
+     alphabetically as in the paper's figures. *)
+  let a = Attribute.make ~relation:"Z" "Alpha" in
+  let b = Attribute.make ~relation:"A" "Beta" in
+  check Alcotest.bool "name dominates relation" true
+    (Attribute.compare a b < 0);
+  let a1 = Attribute.make ~relation:"R1" "X" in
+  let a2 = Attribute.make ~relation:"R2" "X" in
+  check Alcotest.bool "same name falls back to relation" true
+    (Attribute.compare a1 a2 < 0);
+  check Alcotest.bool "distinct identities" false (Attribute.equal a1 a2)
+
+let test_pp () =
+  let a = Attribute.make ~relation:"Insurance" "Holder" in
+  check Alcotest.string "bare" "Holder" (Attribute.to_string a);
+  check Alcotest.string "qualified" "Insurance.Holder"
+    (Fmt.str "%a" Attribute.pp_qualified a)
+
+let test_set_of_names () =
+  let s = Attribute.Set.of_names ~relation:"R" [ "B"; "A"; "B" ] in
+  check Alcotest.int "dedup" 2 (Attribute.Set.cardinal s);
+  check Alcotest.string "sorted print" "{A, B}"
+    (Fmt.str "%a" Attribute.Set.pp s)
+
+let test_map () =
+  let a = Attribute.make ~relation:"R" "A" in
+  let m = Attribute.Map.singleton a 1 in
+  check Alcotest.(option int) "find" (Some 1) (Attribute.Map.find_opt a m);
+  let a' = Attribute.make ~relation:"S" "A" in
+  check Alcotest.(option int) "distinct key" None
+    (Attribute.Map.find_opt a' m)
+
+let suite =
+  [
+    c "make validates" `Quick test_make_validation;
+    c "accessors" `Quick test_accessors;
+    c "ordering by (name, relation)" `Quick test_ordering;
+    c "printing" `Quick test_pp;
+    c "set of names" `Quick test_set_of_names;
+    c "map keys are full identities" `Quick test_map;
+  ]

@@ -1,0 +1,105 @@
+open Relalg
+open Distsim
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let safe_network () =
+  let plan = M.example_plan () in
+  let assignment =
+    match Planner.Safe_planner.plan M.catalog M.policy plan with
+    | Ok r -> r.Planner.Safe_planner.assignment
+    | Error f -> Alcotest.failf "%a" Planner.Safe_planner.pp_failure f
+  in
+  match Engine.execute M.catalog ~instances:M.instances plan assignment with
+  | Ok { network; _ } -> network
+  | Error e -> Alcotest.failf "%a" Engine.pp_error e
+
+let test_clean_run_cites_rules () =
+  match Audit.run M.policy (safe_network ()) with
+  | Error _ -> Alcotest.fail "safe run flagged"
+  | Ok entries ->
+    check Alcotest.int "three entries" 3 (List.length entries);
+    List.iter
+      (fun (e : Audit.entry) ->
+        match e.admitted_by with
+        | Some rule ->
+          (* The cited rule is granted to the message's receiver. *)
+          check Helpers.server "rule matches receiver"
+            e.message.Network.receiver rule.Authz.Authorization.server
+        | None -> Alcotest.fail "clean entry without a rule")
+      entries
+
+let test_unauthorized_flow_flagged () =
+  let n = Network.create () in
+  let data = Option.get (M.instances "Hospital") in
+  let (_ : Relation.t) =
+    Network.send n ~sender:M.s_h ~receiver:M.s_i
+      ~profile:(Authz.Profile.of_base M.hospital)
+      ~purpose:(Network.Full_operand { join = 0 })
+      ~note:"leak" data
+  in
+  match Audit.run M.policy n with
+  | Error [ v ] ->
+    check Alcotest.bool "unauthorized" true (v.Audit.reason = Audit.Unauthorized)
+  | _ -> Alcotest.fail "leak not flagged"
+
+let test_header_mismatch_flagged () =
+  (* A message claiming a smaller profile than the data it carries. *)
+  let n = Network.create () in
+  let data = Option.get (M.instances "Insurance") in
+  let lying_profile =
+    Authz.Profile.make
+      ~pi:(Attribute.Set.singleton (M.attr "Holder"))
+      ~join:Joinpath.empty ~sigma:Attribute.Set.empty
+  in
+  let (_ : Relation.t) =
+    Network.send n ~sender:M.s_i ~receiver:M.s_n ~profile:lying_profile
+      ~purpose:(Network.Full_operand { join = 0 })
+      ~note:"underdeclared" data
+  in
+  match Audit.run M.policy n with
+  | Error [ { Audit.reason = Audit.Header_mismatch { header; claimed }; _ } ] ->
+    check Alcotest.int "header wider" 2 (Attribute.Set.cardinal header);
+    check Alcotest.int "claim narrower" 1 (Attribute.Set.cardinal claimed)
+  | _ -> Alcotest.fail "mismatch not flagged"
+
+let test_is_clean () =
+  check Alcotest.bool "clean" true (Audit.is_clean M.policy (safe_network ()));
+  check Alcotest.bool "empty network clean" true
+    (Audit.is_clean M.policy (Network.create ()))
+
+let test_mixed_report_collects_all_violations () =
+  let n = Network.create () in
+  let insurance = Option.get (M.instances "Insurance") in
+  let hospital = Option.get (M.instances "Hospital") in
+  let send_ok () =
+    ignore
+      (Network.send n ~sender:M.s_i ~receiver:M.s_n
+         ~profile:(Authz.Profile.of_base M.insurance)
+         ~purpose:(Network.Full_operand { join = 0 })
+         ~note:"fine" insurance)
+  in
+  let send_bad () =
+    ignore
+      (Network.send n ~sender:M.s_h ~receiver:M.s_i
+         ~profile:(Authz.Profile.of_base M.hospital)
+         ~purpose:(Network.Full_operand { join = 0 })
+         ~note:"leak" hospital)
+  in
+  send_ok ();
+  send_bad ();
+  send_bad ();
+  match Audit.run M.policy n with
+  | Error vs -> check Alcotest.int "both leaks reported" 2 (List.length vs)
+  | Ok _ -> Alcotest.fail "leaks unreported"
+
+let suite =
+  [
+    c "clean run cites admitting rules" `Quick test_clean_run_cites_rules;
+    c "unauthorized flow flagged" `Quick test_unauthorized_flow_flagged;
+    c "under-declared profile flagged" `Quick test_header_mismatch_flagged;
+    c "is_clean" `Quick test_is_clean;
+    c "all violations collected" `Quick test_mixed_report_collects_all_violations;
+  ]

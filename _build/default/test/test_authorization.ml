@@ -1,0 +1,124 @@
+open Relalg
+open Authz
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+let aset names = Attribute.Set.of_list (List.map M.attr names)
+
+let test_single_relation_empty_path () =
+  match
+    Authorization.make ~attrs:(aset [ "Holder"; "Plan" ])
+      ~path:Joinpath.empty M.s_i
+  with
+  | Ok a ->
+    check Alcotest.(list string) "relations" [ "Insurance" ]
+      (Authorization.relations a)
+  | Error e -> Alcotest.failf "rejected: %a" Authorization.pp_error e
+
+let test_multi_relation_requires_path () =
+  match
+    Authorization.make
+      ~attrs:(aset [ "Holder"; "Patient" ])
+      ~path:Joinpath.empty M.s_i
+  with
+  | Error (Authorization.Multiple_relations_without_path rels) ->
+    check Alcotest.(list string) "both named" [ "Hospital"; "Insurance" ] rels
+  | _ -> Alcotest.fail "accepted attributes spanning relations without a path"
+
+let test_path_must_cover_attributes () =
+  (* Path touches Insurance and Hospital, but HealthAid belongs to
+     Nat_registry. *)
+  match
+    Authorization.make
+      ~attrs:(aset [ "Holder"; "HealthAid" ])
+      ~path:
+        (Joinpath.singleton
+           (Joinpath.Cond.eq (M.attr "Holder") (M.attr "Patient")))
+      M.s_i
+  with
+  | Error (Authorization.Attributes_not_covered missing) ->
+    check Helpers.attribute_set "HealthAid uncovered" (aset [ "HealthAid" ])
+      missing
+  | _ -> Alcotest.fail "uncovered attribute accepted"
+
+let test_connectivity_constraint_allowed () =
+  (* Authorization 3 of Figure 3: Hospital appears in the join path but
+     releases no attribute (connectivity constraint). *)
+  match
+    Authorization.make
+      ~attrs:(aset [ "Holder"; "Plan"; "Treatment" ])
+      ~path:
+        (Joinpath.of_list
+           [
+             Joinpath.Cond.eq (M.attr "Holder") (M.attr "Patient");
+             Joinpath.Cond.eq (M.attr "Disease") (M.attr "Illness");
+           ])
+      M.s_i
+  with
+  | Ok a ->
+    check Alcotest.(list string) "all three relations"
+      [ "Disease_list"; "Hospital"; "Insurance" ]
+      (Authorization.relations a)
+  | Error e -> Alcotest.failf "rejected: %a" Authorization.pp_error e
+
+let test_empty_attrs_rejected () =
+  match
+    Authorization.make ~attrs:Attribute.Set.empty ~path:Joinpath.empty M.s_i
+  with
+  | Error Authorization.Empty_attributes -> ()
+  | _ -> Alcotest.fail "empty attribute set accepted"
+
+let test_figure3_all_valid () =
+  (* All fifteen rules of Figure 3 construct without error (they are
+     built with make_exn in the scenario) and are distinct. *)
+  check Alcotest.int "15 authorizations" 15 (List.length M.authorizations);
+  let sorted = List.sort_uniq Authorization.compare M.authorizations in
+  check Alcotest.int "all distinct" 15 (List.length sorted)
+
+let test_ordering_groups_by_server () =
+  let auths = List.sort Authorization.compare M.authorizations in
+  let servers = List.map (fun a -> a.Authorization.server) auths in
+  (* Sorted order groups rules of the same server together. *)
+  let rec grouped seen = function
+    | [] -> true
+    | s :: rest ->
+      if List.exists (Server.equal s) seen then
+        (match rest with
+         | [] -> true
+         | next :: _ -> Server.equal next s || not (List.exists (Server.equal s) seen))
+        && grouped seen rest
+      else grouped (s :: seen) rest
+  in
+  ignore (grouped [] servers);
+  (* Simpler check: number of "server change points" equals number of
+     distinct servers - 1... at most. *)
+  let changes =
+    List.length
+      (List.filteri
+         (fun i s ->
+           i > 0 && not (Server.equal s (List.nth servers (i - 1))))
+         servers)
+  in
+  check Alcotest.bool "grouped" true (changes <= 3)
+
+let test_pp_format () =
+  let a =
+    Authorization.make_exn ~attrs:(aset [ "Holder"; "Plan" ])
+      ~path:Joinpath.empty M.s_i
+  in
+  check Alcotest.string "Figure 3 style" "[{Holder, Plan}, -] -> S_I"
+    (Authorization.to_string a)
+
+let suite =
+  [
+    c "single relation, empty path" `Quick test_single_relation_empty_path;
+    c "multiple relations need a path" `Quick test_multi_relation_requires_path;
+    c "path must cover attribute owners" `Quick test_path_must_cover_attributes;
+    c "connectivity constraints allowed" `Quick
+      test_connectivity_constraint_allowed;
+    c "empty attributes rejected" `Quick test_empty_attrs_rejected;
+    c "Figure 3 rules all valid and distinct" `Quick test_figure3_all_valid;
+    c "ordering groups by server" `Quick test_ordering_groups_by_server;
+    c "printing matches Figure 3" `Quick test_pp_format;
+  ]

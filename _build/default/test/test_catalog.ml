@@ -1,0 +1,83 @@
+open Relalg
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let s1 = Server.make "S1"
+let s2 = Server.make "S2"
+let r = Schema.make "R" ~key:[ "K" ] [ "K"; "A" ]
+let q = Schema.make "Q" ~key:[ "L" ] [ "L"; "B"; "A" ]
+let catalog = Catalog.of_list [ (r, s1); (q, s2) ]
+
+let test_add_duplicate () =
+  match Catalog.add catalog r ~at:s1 with
+  | Error (Catalog.Duplicate_relation "R") -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Catalog.pp_error e
+  | Ok _ -> Alcotest.fail "duplicate accepted"
+
+let test_relation_lookup () =
+  check Helpers.schema "found" r (Helpers.check_ok Catalog.pp_error (Catalog.relation catalog "R"));
+  match Catalog.relation catalog "Z" with
+  | Error (Catalog.Unknown_relation "Z") -> ()
+  | _ -> Alcotest.fail "expected Unknown_relation"
+
+let test_server_of () =
+  check Helpers.server "R at S1" s1
+    (Helpers.check_ok Catalog.pp_error (Catalog.server_of catalog "R"));
+  check Helpers.server "Q at S2" s2
+    (Helpers.check_ok Catalog.pp_error (Catalog.server_of catalog "Q"));
+  let a = Attribute.make ~relation:"Q" "B" in
+  check Helpers.server "by attribute" s2
+    (Helpers.check_ok Catalog.pp_error (Catalog.server_of_attribute catalog a))
+
+let test_resolve_bare () =
+  let got =
+    Helpers.check_ok Catalog.pp_error (Catalog.resolve_attribute catalog "K")
+  in
+  check Helpers.attribute "unique bare name"
+    (Attribute.make ~relation:"R" "K")
+    got
+
+let test_resolve_ambiguous () =
+  (* "A" exists in both R and Q. *)
+  match Catalog.resolve_attribute catalog "A" with
+  | Error (Catalog.Ambiguous_attribute ("A", cands)) ->
+    check Alcotest.int "two candidates" 2 (List.length cands)
+  | _ -> Alcotest.fail "expected ambiguity"
+
+let test_resolve_dotted () =
+  let got =
+    Helpers.check_ok Catalog.pp_error
+      (Catalog.resolve_attribute catalog "Q.A")
+  in
+  check Helpers.attribute "dotted" (Attribute.make ~relation:"Q" "A") got;
+  (match Catalog.resolve_attribute catalog "Q.Nope" with
+   | Error (Catalog.Unknown_attribute _) -> ()
+   | _ -> Alcotest.fail "expected unknown attribute");
+  match Catalog.resolve_attribute catalog "Zzz.A" with
+  | Error (Catalog.Unknown_relation "Zzz") -> ()
+  | _ -> Alcotest.fail "expected unknown relation"
+
+let test_resolve_unknown () =
+  match Catalog.resolve_attribute catalog "Nope" with
+  | Error (Catalog.Unknown_attribute "Nope") -> ()
+  | _ -> Alcotest.fail "expected unknown attribute"
+
+let test_servers_and_attributes () =
+  check Alcotest.int "two servers" 2
+    (Server.Set.cardinal (Catalog.servers catalog));
+  check Alcotest.int "five attributes" 5
+    (Attribute.Set.cardinal (Catalog.all_attributes catalog));
+  check Alcotest.int "schemas in order" 2 (List.length (Catalog.schemas catalog))
+
+let suite =
+  [
+    c "duplicate relation rejected" `Quick test_add_duplicate;
+    c "relation lookup" `Quick test_relation_lookup;
+    c "server_of" `Quick test_server_of;
+    c "resolve unique bare name" `Quick test_resolve_bare;
+    c "resolve ambiguous name" `Quick test_resolve_ambiguous;
+    c "resolve dotted name" `Quick test_resolve_dotted;
+    c "resolve unknown name" `Quick test_resolve_unknown;
+    c "servers and attributes" `Quick test_servers_and_attributes;
+  ]

@@ -1,0 +1,175 @@
+open Relalg
+open Authz
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+let aset names = Attribute.Set.of_list (List.map M.attr names)
+
+let profile ?(join = Joinpath.empty) ?(sigma = []) pi =
+  Profile.make ~pi:(aset pi) ~join ~sigma:(aset sigma)
+
+let illness_disease = Joinpath.Cond.eq (M.attr "Illness") (M.attr "Disease")
+
+(* The paper's own example (Section 3.2): S_D holding both Disease_list
+   (authorization 15) and Hospital implies the authorization for their
+   join. *)
+let test_paper_example () =
+  let extended =
+    Policy.add
+      (Authorization.make_exn
+         ~attrs:(Schema.attribute_set M.hospital)
+         ~path:Joinpath.empty M.s_d)
+      M.policy
+  in
+  let joined_view =
+    profile [ "Illness"; "Treatment" ]
+      ~join:(Joinpath.singleton illness_disease)
+  in
+  check Alcotest.bool "not admitted before closure" false
+    (Policy.can_view extended joined_view M.s_d);
+  let closed = Chase.close ~joins:M.join_graph extended in
+  check Alcotest.bool "admitted after closure" true
+    (Policy.can_view closed joined_view M.s_d);
+  (* The closure must not grant the joined view to servers that cannot
+     derive it. *)
+  check Alcotest.bool "S_I still denied" false
+    (Policy.can_view closed joined_view M.s_i)
+
+let test_closure_contains_original () =
+  let closed = Chase.close ~joins:M.join_graph M.policy in
+  List.iter
+    (fun a ->
+      check Alcotest.bool (Authorization.to_string a) true
+        (List.exists (Authorization.equal a) (Policy.authorizations closed)))
+    M.authorizations
+
+let test_idempotent () =
+  let once = Chase.close ~joins:M.join_graph M.policy in
+  let twice = Chase.close ~joins:M.join_graph once in
+  check Alcotest.bool "fixpoint" true (Policy.equal once twice)
+
+let test_monotone () =
+  let closed = Chase.close ~joins:M.join_graph M.policy in
+  check Alcotest.bool "no rule lost" true
+    (Policy.cardinality closed >= Policy.cardinality M.policy)
+
+let test_needs_visible_join_attributes () =
+  (* S_N has {Citizen, HealthAid} and {Holder, Plan} — merging on
+     Holder=Citizen is possible (both sides visible), but S_I holding
+     only {Plan} of Insurance and all of Nat_registry cannot join them
+     on Holder=Citizen because Holder is not visible. *)
+  let p =
+    Policy.of_list
+      [
+        Authorization.make_exn ~attrs:(aset [ "Plan" ]) ~path:Joinpath.empty
+          M.s_i;
+        Authorization.make_exn
+          ~attrs:(aset [ "Citizen"; "HealthAid" ])
+          ~path:Joinpath.empty M.s_i;
+      ]
+  in
+  let closed = Chase.close ~joins:M.join_graph p in
+  check Alcotest.int "nothing derivable" (Policy.cardinality p)
+    (Policy.cardinality closed)
+
+let test_multi_hop_derivation () =
+  (* Base relations at three servers granted to one: the chase chains
+     two merges into the full three-way view. *)
+  let p =
+    Policy.of_list
+      [
+        Authorization.make_exn
+          ~attrs:(Schema.attribute_set M.insurance)
+          ~path:Joinpath.empty M.s_n;
+        Authorization.make_exn
+          ~attrs:(Schema.attribute_set M.nat_registry)
+          ~path:Joinpath.empty M.s_n;
+        Authorization.make_exn
+          ~attrs:(Schema.attribute_set M.hospital)
+          ~path:Joinpath.empty M.s_n;
+      ]
+  in
+  let closed = Chase.close ~joins:M.join_graph p in
+  let three_way =
+    profile
+      [ "Holder"; "Plan"; "Citizen"; "HealthAid"; "Patient"; "Disease"; "Physician" ]
+      ~join:
+        (Joinpath.of_list
+           [
+             Joinpath.Cond.eq (M.attr "Holder") (M.attr "Citizen");
+             Joinpath.Cond.eq (M.attr "Citizen") (M.attr "Patient");
+           ])
+  in
+  check Alcotest.bool "three-way view derived" true
+    (Policy.can_view closed three_way M.s_n)
+
+let test_bound () =
+  match Chase.close ~max_rules:2 ~joins:M.join_graph M.policy with
+  | exception Invalid_argument _ -> ()
+  | closed ->
+    (* Acceptable only if the closure genuinely fits in two rules —
+       which it does not for the medical policy. *)
+    Alcotest.failf "bound ignored (%d rules)" (Policy.cardinality closed)
+
+let test_derives_convenience () =
+  let extended =
+    Policy.add
+      (Authorization.make_exn
+         ~attrs:(Schema.attribute_set M.hospital)
+         ~path:Joinpath.empty M.s_d)
+      M.policy
+  in
+  check Alcotest.bool "derives" true
+    (Chase.derives ~joins:M.join_graph extended
+       (profile [ "Illness" ] ~join:(Joinpath.singleton illness_disease))
+       M.s_d)
+
+(* Soundness property: every derived rule's attribute set is the union
+   of rules the server already had, and its path only uses graph
+   edges. *)
+let test_soundness_structural () =
+  let closed = Chase.close ~joins:M.join_graph M.policy in
+  let originals = M.authorizations in
+  List.iter
+    (fun (a : Authorization.t) ->
+      if not (List.exists (Authorization.equal a) originals) then begin
+        (* Derived: every path condition is a graph edge. *)
+        List.iter
+          (fun cond ->
+            check Alcotest.bool "edge from the join graph" true
+              (List.exists (Joinpath.Cond.equal cond) M.join_graph))
+          (Joinpath.conditions a.Authorization.path);
+        (* And its attributes are covered by the server's original
+           rules. *)
+        let own =
+          List.filter
+            (fun (o : Authorization.t) ->
+              Server.equal o.Authorization.server a.Authorization.server)
+            originals
+        in
+        let union =
+          List.fold_left
+            (fun acc (o : Authorization.t) ->
+              Attribute.Set.union acc o.Authorization.attrs)
+            Attribute.Set.empty own
+        in
+        check Alcotest.bool "attributes covered by own rules" true
+          (Attribute.Set.subset a.Authorization.attrs union)
+      end)
+    (Policy.authorizations closed)
+
+let suite =
+  [
+    c "paper example: S_D derives the joined view" `Quick test_paper_example;
+    c "closure contains the original policy" `Quick
+      test_closure_contains_original;
+    c "idempotent" `Quick test_idempotent;
+    c "monotone" `Quick test_monotone;
+    c "join attributes must be visible" `Quick
+      test_needs_visible_join_attributes;
+    c "multi-hop derivation" `Quick test_multi_hop_derivation;
+    c "max_rules bound enforced" `Quick test_bound;
+    c "derives convenience" `Quick test_derives_convenience;
+    c "derived rules structurally sound" `Quick test_soundness_structural;
+  ]

@@ -1,0 +1,215 @@
+open Distsim
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* The generic scheduler on hand-built task graphs.                    *)
+
+let task ?(deps = []) ?(release = 0.0) id resource duration =
+  { Des.id; resource; duration; deps; release }
+
+let test_sequential_on_one_resource () =
+  let run =
+    Des.simulate [ task "a" "cpu:X" 2.0; task "b" "cpu:X" 3.0 ]
+  in
+  checkf "serialised" 5.0 run.Des.makespan;
+  (* Full utilization of the single resource. *)
+  check
+    Alcotest.(list (pair string (float 1e-9)))
+    "utilization"
+    [ ("cpu:X", 1.0) ]
+    run.Des.utilization
+
+let test_parallel_on_two_resources () =
+  let run =
+    Des.simulate [ task "a" "cpu:X" 2.0; task "b" "cpu:Y" 3.0 ]
+  in
+  checkf "overlapped" 3.0 run.Des.makespan
+
+let test_dependencies () =
+  let run =
+    Des.simulate
+      [
+        task "a" "cpu:X" 1.0;
+        task ~deps:[ "a" ] "b" "cpu:Y" 1.0;
+        task ~deps:[ "b" ] "c" "cpu:X" 1.0;
+      ]
+  in
+  checkf "chained" 3.0 run.Des.makespan;
+  let s id =
+    (List.find (fun s -> s.Des.task.Des.id = id) run.Des.schedule).Des.start
+  in
+  checkf "b after a" 1.0 (s "b");
+  checkf "c after b" 2.0 (s "c")
+
+let test_release_time () =
+  let run = Des.simulate [ task ~release:5.0 "late" "cpu:X" 1.0 ] in
+  checkf "waits for release" 6.0 run.Des.makespan
+
+let test_fifo_tie_break () =
+  (* Two tasks ready at once on one resource: the earlier-ready one
+     goes first; equal-ready ties break by id. *)
+  let run =
+    Des.simulate
+      [
+        task "z" "cpu:X" 1.0;
+        task "a" "cpu:X" 1.0;
+      ]
+  in
+  let order = List.map (fun s -> s.Des.task.Des.id) run.Des.schedule in
+  check Alcotest.(list string) "id order" [ "a"; "z" ] order
+
+let test_validation () =
+  (match Des.simulate [ task "a" "r" 1.0; task "a" "r" 1.0 ] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "duplicate id accepted");
+  (match Des.simulate [ task ~deps:[ "ghost" ] "a" "r" 1.0 ] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "unknown dep accepted");
+  match
+    Des.simulate
+      [ task ~deps:[ "b" ] "a" "r" 1.0; task ~deps:[ "a" ] "b" "r" 1.0 ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cycle accepted"
+
+let test_empty () =
+  checkf "empty makespan" 0.0 (Des.simulate []).Des.makespan
+
+(* ------------------------------------------------------------------ *)
+(* Task graphs from real executions.                                   *)
+
+let medical_execution () =
+  let plan = M.example_plan () in
+  let assignment =
+    match Planner.Safe_planner.plan M.catalog M.policy plan with
+    | Ok r -> r.Planner.Safe_planner.assignment
+    | Error f -> Alcotest.failf "%a" Planner.Safe_planner.pp_failure f
+  in
+  let outcome =
+    match Engine.execute M.catalog ~instances:M.instances plan assignment with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "%a" Engine.pp_error e
+  in
+  (plan, assignment, outcome)
+
+let model = Timing.uniform ()
+
+let test_medical_tasks () =
+  let plan, assignment, outcome = medical_execution () in
+  let tasks = Des.tasks_of_execution model plan assignment outcome in
+  (* 7 node tasks + 1 regular-join transfer + semi-join's project, fwd,
+     slave-join, back = 12 tasks total. *)
+  check Alcotest.int "twelve tasks" 12 (List.length tasks);
+  let run = Des.simulate tasks in
+  check Alcotest.bool "positive makespan" true (run.Des.makespan > 0.0);
+  checkf "root completion = makespan"
+    run.Des.makespan
+    (Des.query_finish run ~prefix:"q")
+
+let test_des_dominates_analytic () =
+  (* The DES serialises per-server work that the analytic model
+     overlaps, so its makespan can never be smaller. *)
+  let plan, assignment, outcome = medical_execution () in
+  let analytic = (Timing.makespan model plan assignment outcome).Timing.makespan in
+  let run =
+    Des.simulate (Des.tasks_of_execution model plan assignment outcome)
+  in
+  check Alcotest.bool
+    (Fmt.str "DES %.6f >= analytic %.6f" run.Des.makespan analytic)
+    true
+    (run.Des.makespan >= analytic -. 1e-9)
+
+let test_concurrent_queries_contend () =
+  (* Eight copies of the same query released together: resources
+     serialise, so the makespan strictly exceeds one query's — and the
+     busiest resource is S_N's inbound or outbound link or CPU. *)
+  let plan, assignment, outcome = medical_execution () in
+  let one =
+    Des.simulate (Des.tasks_of_execution model plan assignment outcome)
+  in
+  let tasks =
+    List.concat_map
+      (fun i ->
+        Des.tasks_of_execution
+          ~prefix:(Printf.sprintf "q%d" i)
+          model plan assignment outcome)
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  let eight = Des.simulate tasks in
+  check Alcotest.bool "contention slows the batch" true
+    (eight.Des.makespan > one.Des.makespan *. 1.5);
+  (* All queries complete. *)
+  List.iter
+    (fun i ->
+      let f = Des.query_finish eight ~prefix:(Printf.sprintf "q%d" i) in
+      check Alcotest.bool "finished within makespan" true
+        (f <= eight.Des.makespan +. 1e-9))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  (* Utilization figures are sane. *)
+  List.iter
+    (fun (_, u) ->
+      check Alcotest.bool "0 <= u <= 1" true (u >= 0.0 && u <= 1.0 +. 1e-9))
+    eight.Des.utilization
+
+let test_staggered_releases () =
+  (* Spacing arrivals far apart removes contention: each query takes
+     its solo time. *)
+  let plan, assignment, outcome = medical_execution () in
+  let solo =
+    Des.simulate (Des.tasks_of_execution model plan assignment outcome)
+  in
+  let gap = solo.Des.makespan *. 2.0 in
+  let tasks =
+    List.concat_map
+      (fun i ->
+        Des.tasks_of_execution
+          ~prefix:(Printf.sprintf "q%d" i)
+          ~release:(float_of_int i *. gap)
+          model plan assignment outcome)
+      [ 0; 1; 2 ]
+  in
+  let run = Des.simulate tasks in
+  checkf "last query unimpeded" (2.0 *. gap +. solo.Des.makespan)
+    (Des.query_finish run ~prefix:"q2")
+
+let test_coordinator_tasks () =
+  let module R = Scenario.Research in
+  let plan = R.outcomes_plan () in
+  let assignment =
+    match
+      Planner.Third_party.plan ~helpers:[ R.s_t ] R.catalog R.policy plan
+    with
+    | Ok r -> r.Planner.Third_party.assignment
+    | Error _ -> Alcotest.fail "not rescued"
+  in
+  let outcome =
+    match Engine.execute R.catalog ~instances:R.instances plan assignment with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "%a" Engine.pp_error e
+  in
+  let tasks = Des.tasks_of_execution model plan assignment outcome in
+  let run = Des.simulate tasks in
+  (* The matcher's CPU appears among the resources. *)
+  check Alcotest.bool "matcher scheduled" true
+    (List.exists (fun (r, _) -> r = "cpu:S_T") run.Des.utilization);
+  check Alcotest.bool "positive makespan" true (run.Des.makespan > 0.0)
+
+let suite =
+  [
+    c "sequential on one resource" `Quick test_sequential_on_one_resource;
+    c "parallel on two resources" `Quick test_parallel_on_two_resources;
+    c "dependencies" `Quick test_dependencies;
+    c "release times" `Quick test_release_time;
+    c "FIFO tie-break" `Quick test_fifo_tie_break;
+    c "validation" `Quick test_validation;
+    c "empty task set" `Quick test_empty;
+    c "medical execution task graph" `Quick test_medical_tasks;
+    c "DES dominates the analytic model" `Quick test_des_dominates_analytic;
+    c "concurrent queries contend" `Quick test_concurrent_queries_contend;
+    c "staggered releases decouple" `Quick test_staggered_releases;
+    c "coordinator task graph" `Quick test_coordinator_tasks;
+  ]

@@ -1,0 +1,82 @@
+open Planner
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+let contains = Helpers.contains
+
+let test_plan_dot () =
+  let s = Dot.plan_to_dot (M.example_plan ()) in
+  List.iter
+    (fun sub -> check Alcotest.bool sub true (contains ~sub s))
+    [
+      "digraph plan";
+      "n6 [label=\"n6\\nHospital\", shape=box]";
+      "n1";
+      "shape=diamond";
+      "n4 -> n2;";
+      "n1 -> n0;";
+      "}";
+    ]
+
+let test_assignment_dot () =
+  let plan = M.example_plan () in
+  let assignment =
+    match Safe_planner.plan M.catalog M.policy plan with
+    | Ok r -> r.Safe_planner.assignment
+    | Error f -> Alcotest.failf "%a" Safe_planner.pp_failure f
+  in
+  let s = Dot.assignment_to_dot M.catalog plan assignment in
+  List.iter
+    (fun sub -> check Alcotest.bool sub true (contains ~sub s))
+    [
+      "digraph assignment";
+      (* one cluster per involved server *)
+      "label=\"S_H\"";
+      "label=\"S_I\"";
+      "label=\"S_N\"";
+      (* three dashed flow edges *)
+      "style=dashed";
+      "S_I→S_N";
+      "S_N→S_H";
+    ];
+  (* Exactly three flow edges. *)
+  let count sub s =
+    let rec go i acc =
+      if i + String.length sub > String.length s then acc
+      else if String.sub s i (String.length sub) = sub then
+        go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  check Alcotest.int "three flows" 3 (count "style=dashed" s)
+
+let test_assignment_dot_rejects_invalid () =
+  match
+    Dot.assignment_to_dot M.catalog (M.example_plan ()) Assignment.empty
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid assignment rendered"
+
+let test_escaping () =
+  (* Quotes in predicates must be escaped. *)
+  let schema = Relalg.Schema.make "T" ~key:[ "X" ] [ "X" ] in
+  let x = Relalg.Attribute.make ~relation:"T" "X" in
+  let plan =
+    Relalg.Plan.of_algebra
+      (Relalg.Algebra.Select
+         ( Relalg.Predicate.Cmp
+             (x, Eq, Const (Relalg.Value.String "a\"b")),
+           Relalg.Algebra.Relation schema ))
+  in
+  let s = Dot.plan_to_dot plan in
+  check Alcotest.bool "escaped quote" true (contains ~sub:"\\\"" s)
+
+let suite =
+  [
+    c "plan rendering" `Quick test_plan_dot;
+    c "assignment rendering with flows" `Quick test_assignment_dot;
+    c "invalid assignments rejected" `Quick test_assignment_dot_rejects_invalid;
+    c "label escaping" `Quick test_escaping;
+  ]

@@ -1,0 +1,102 @@
+open Planner
+module M = Scenario.Medical
+module SC = Scenario.Supply_chain
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let test_medical_enumeration () =
+  let plan = M.example_plan () in
+  let all = Exhaustive.safe_assignments M.catalog M.policy plan in
+  check Alcotest.bool "at least one" true (List.length all >= 1);
+  (* Every enumerated assignment passes the independent safety check. *)
+  List.iter
+    (fun a ->
+      check Alcotest.bool "safe" true (Safety.is_safe M.catalog M.policy plan a))
+    all
+
+let test_greedy_within_exhaustive () =
+  let plan = M.example_plan () in
+  let greedy =
+    match Safe_planner.plan M.catalog M.policy plan with
+    | Ok r -> r.assignment
+    | Error f -> Alcotest.failf "%a" Safe_planner.pp_failure f
+  in
+  let all = Exhaustive.safe_assignments M.catalog M.policy plan in
+  check Alcotest.bool "greedy's choice enumerated" true
+    (List.exists (Assignment.equal greedy) all)
+
+let test_feasibility_agreement () =
+  (* Greedy feasible ⇒ exhaustively feasible, on the concrete
+     scenarios. *)
+  let cases =
+    [
+      (M.catalog, M.policy, M.example_plan (), true);
+      (SC.catalog, SC.policy, SC.tracking_plan (), true);
+      (SC.catalog, SC.policy, SC.customers_plan (), true);
+      (SC.catalog, SC.policy, SC.pricing_plan (), false);
+    ]
+  in
+  List.iter
+    (fun (catalog, policy, plan, expected) ->
+      check Alcotest.bool "exhaustive feasibility" expected
+        (Exhaustive.feasible catalog policy plan);
+      check Alcotest.bool "greedy agrees" expected
+        (Safe_planner.feasible catalog policy plan))
+    cases
+
+let test_count_safe () =
+  let plan = M.example_plan () in
+  let n = Exhaustive.count_safe M.catalog M.policy plan in
+  check Alcotest.int "count matches list length"
+    (List.length (Exhaustive.safe_assignments M.catalog M.policy plan))
+    n;
+  check Alcotest.int "capped count" 1
+    (Exhaustive.count_safe ~max_results:1 M.catalog M.policy plan)
+
+let test_min_cost () =
+  let plan = M.example_plan () in
+  let model = Cost.uniform ~card:1000.0 in
+  match Exhaustive.min_cost model M.catalog M.policy plan with
+  | None -> Alcotest.fail "no safe assignment"
+  | Some (best, best_cost) ->
+    check Alcotest.bool "finite" true (best_cost < infinity);
+    (* No enumerated assignment beats it. *)
+    List.iter
+      (fun a ->
+        check Alcotest.bool "minimal" true
+          (Cost.assignment_cost model M.catalog plan a >= best_cost))
+      (Exhaustive.safe_assignments M.catalog M.policy plan);
+    check Alcotest.bool "best is safe" true
+      (Safety.is_safe M.catalog M.policy plan best)
+
+let test_greedy_cost_close_to_optimal () =
+  (* The greedy planner follows cost heuristics, not an optimizer; on
+     the paper's example it should still land within a small factor of
+     the exhaustive optimum. *)
+  let plan = M.example_plan () in
+  let model = Cost.uniform ~card:1000.0 in
+  let greedy =
+    match Safe_planner.plan M.catalog M.policy plan with
+    | Ok r -> r.assignment
+    | Error f -> Alcotest.failf "%a" Safe_planner.pp_failure f
+  in
+  let greedy_cost = Cost.assignment_cost model M.catalog plan greedy in
+  match Exhaustive.min_cost model M.catalog M.policy plan with
+  | None -> Alcotest.fail "no optimum"
+  | Some (_, best) ->
+    check Alcotest.bool
+      (Fmt.str "greedy %.0f within 3x of optimal %.0f" greedy_cost best)
+      true
+      (greedy_cost <= 3.0 *. best)
+
+let suite =
+  [
+    c "enumerated assignments are safe" `Quick test_medical_enumeration;
+    c "greedy's assignment is enumerated" `Quick test_greedy_within_exhaustive;
+    c "feasibility agreement on scenarios" `Quick test_feasibility_agreement;
+    c "count_safe" `Quick test_count_safe;
+    c "min_cost is minimal and safe" `Quick test_min_cost;
+    c "greedy within 3x of optimal cost" `Quick
+      test_greedy_cost_close_to_optimal;
+  ]

@@ -1,0 +1,141 @@
+open Relalg
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+let a r n = Attribute.make ~relation:r n
+let holder = a "Insurance" "Holder"
+let patient = a "Hospital" "Patient"
+let citizen = a "Nat_registry" "Citizen"
+let disease = a "Hospital" "Disease"
+let illness = a "Disease_list" "Illness"
+
+let test_orientation_insensitive () =
+  (* Figure 3 spells the same join both ways (authorizations 2 and 5):
+     ⟨Holder, Patient⟩ = ⟨Patient, Holder⟩. *)
+  check Helpers.join_cond "flip equal"
+    (Joinpath.Cond.eq holder patient)
+    (Joinpath.Cond.eq patient holder)
+
+let test_sides_preserved () =
+  let cond = Joinpath.Cond.eq holder patient in
+  check Alcotest.(list Helpers.attribute) "left" [ holder ]
+    (Joinpath.Cond.left cond);
+  check Alcotest.(list Helpers.attribute) "right" [ patient ]
+    (Joinpath.Cond.right cond);
+  let f = Joinpath.Cond.flip cond in
+  check Alcotest.(list Helpers.attribute) "flipped left" [ patient ]
+    (Joinpath.Cond.left f);
+  check Helpers.join_cond "flip still equal" cond f
+
+let test_multi_pair_order_insensitive () =
+  let c1 =
+    Joinpath.Cond.make ~left:[ holder; disease ] ~right:[ patient; illness ]
+  in
+  let c2 =
+    Joinpath.Cond.make ~left:[ illness; holder ] ~right:[ disease; patient ]
+  in
+  check Helpers.join_cond "pair order + orientation" c1 c2
+
+let test_cond_validation () =
+  let fails f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  fails (fun () -> Joinpath.Cond.make ~left:[] ~right:[]);
+  fails (fun () -> Joinpath.Cond.make ~left:[ holder ] ~right:[]);
+  fails (fun () ->
+      Joinpath.Cond.make ~left:[ holder; holder ] ~right:[ patient; patient ])
+
+let test_path_equality () =
+  let p1 =
+    Joinpath.of_list
+      [ Joinpath.Cond.eq holder patient; Joinpath.Cond.eq disease illness ]
+  in
+  let p2 =
+    Joinpath.of_list
+      [ Joinpath.Cond.eq illness disease; Joinpath.Cond.eq patient holder ]
+  in
+  check Helpers.joinpath "set equality mod orientation" p1 p2;
+  check Alcotest.bool "different paths differ" false
+    (Joinpath.equal p1 (Joinpath.singleton (Joinpath.Cond.eq holder patient)))
+
+let test_subset () =
+  let small = Joinpath.singleton (Joinpath.Cond.eq holder patient) in
+  let big = Joinpath.add (Joinpath.Cond.eq disease illness) small in
+  check Alcotest.bool "subset" true (Joinpath.subset small big);
+  check Alcotest.bool "not superset" false (Joinpath.subset big small);
+  (* Definition 3.3 requires equality, not containment: a bigger path
+     is NOT implied. This test documents the asymmetry. *)
+  check Alcotest.bool "equality is not containment" false
+    (Joinpath.equal small big)
+
+let test_union_dedups () =
+  let p1 = Joinpath.singleton (Joinpath.Cond.eq holder patient) in
+  let p2 = Joinpath.singleton (Joinpath.Cond.eq patient holder) in
+  check Alcotest.int "same condition once" 1
+    (Joinpath.length (Joinpath.union p1 p2))
+
+let test_attributes_relations () =
+  let p =
+    Joinpath.of_list
+      [ Joinpath.Cond.eq holder patient; Joinpath.Cond.eq patient citizen ]
+  in
+  check Alcotest.int "attributes" 3
+    (Attribute.Set.cardinal (Joinpath.attributes p));
+  check
+    Alcotest.(list string)
+    "relations" [ "Hospital"; "Insurance"; "Nat_registry" ]
+    (Joinpath.relations p)
+
+let test_empty_prints_dash () =
+  check Alcotest.string "dash" "-" (Joinpath.to_string Joinpath.empty)
+
+(* Property: condition equality is invariant under random flips. *)
+let arb_cond =
+  let attr_pool =
+    [ holder; patient; citizen; disease; illness; a "X" "U"; a "Y" "V" ]
+  in
+  QCheck.(
+    map
+      (fun (i, j) ->
+        (* Pick two distinct pool indices. *)
+        let n = List.length attr_pool in
+        let i = i mod n in
+        let j = (i + 1 + (j mod (n - 1))) mod n in
+        Joinpath.Cond.eq (List.nth attr_pool i) (List.nth attr_pool j))
+      (pair small_nat small_nat))
+
+let prop_flip_invariant =
+  QCheck.Test.make ~name:"cond = flip cond" ~count:200 arb_cond (fun c ->
+      Joinpath.Cond.equal c (Joinpath.Cond.flip c))
+
+let prop_union_commutative =
+  QCheck.Test.make ~name:"path union commutative" ~count:200
+    QCheck.(pair (list_of_size Gen.(0 -- 4) arb_cond) (list_of_size Gen.(0 -- 4) arb_cond))
+    (fun (l1, l2) ->
+      let p1 = Joinpath.of_list l1 and p2 = Joinpath.of_list l2 in
+      Joinpath.equal (Joinpath.union p1 p2) (Joinpath.union p2 p1))
+
+let prop_union_idempotent =
+  QCheck.Test.make ~name:"path union idempotent" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 5) arb_cond)
+    (fun l ->
+      let p = Joinpath.of_list l in
+      Joinpath.equal p (Joinpath.union p p))
+
+let suite =
+  [
+    c "orientation-insensitive equality" `Quick test_orientation_insensitive;
+    c "sided lists preserved" `Quick test_sides_preserved;
+    c "multi-pair canonicalisation" `Quick test_multi_pair_order_insensitive;
+    c "condition validation" `Quick test_cond_validation;
+    c "path equality" `Quick test_path_equality;
+    c "subset vs equality (Def 3.3)" `Quick test_subset;
+    c "union dedups flipped conditions" `Quick test_union_dedups;
+    c "attributes and relations" `Quick test_attributes_relations;
+    c "empty path prints '-'" `Quick test_empty_prints_dash;
+    Helpers.qcheck prop_flip_invariant;
+    Helpers.qcheck prop_union_commutative;
+    Helpers.qcheck prop_union_idempotent;
+  ]

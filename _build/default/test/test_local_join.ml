@@ -1,0 +1,143 @@
+(* The Local candidate mode: a server that can execute both operands
+   joins them without any release (see DESIGN.md, "Local joins"). *)
+
+open Relalg
+open Planner
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+(* Two relations stored at ONE server, a third elsewhere. Base grants
+   only: nothing may cross a boundary, yet A ⋈ B is executable at SA.
+   The paper's literal pseudo-code would reject even that. *)
+let sa = Server.make "SA"
+let sc = Server.make "SC"
+let a = Schema.make "LA" ~key:[ "Ax" ] [ "Ax"; "Adata" ]
+let b = Schema.make "LB" ~key:[ "Bx" ] [ "Bx"; "Bdata" ]
+let cc = Schema.make "LC" ~key:[ "Cx" ] [ "Cx"; "Cdata" ]
+let catalog = Catalog.of_list [ (a, sa); (b, sa); (cc, sc) ]
+
+let attr name =
+  Helpers.check_ok Catalog.pp_error (Catalog.resolve_attribute catalog name)
+
+let base_grants =
+  Authz.Policy.of_list
+    [
+      Authz.Authorization.make_exn ~attrs:(Schema.attribute_set a)
+        ~path:Joinpath.empty sa;
+      Authz.Authorization.make_exn ~attrs:(Schema.attribute_set b)
+        ~path:Joinpath.empty sa;
+      Authz.Authorization.make_exn ~attrs:(Schema.attribute_set cc)
+        ~path:Joinpath.empty sc;
+    ]
+
+let two_way_plan () =
+  Query.to_plan
+    (Sql_parser.parse_exn catalog
+       "SELECT Adata, Bdata FROM LA JOIN LB ON Ax = Bx")
+
+let test_colocated_join_feasible () =
+  match Safe_planner.plan catalog base_grants (two_way_plan ()) with
+  | Error f -> Alcotest.failf "%a" Safe_planner.pp_failure f
+  | Ok { assignment; trace } ->
+    let top = Assignment.find assignment 1 in
+    check Helpers.server "at SA" sa top.Assignment.master;
+    check Alcotest.bool "no slave" true (top.Assignment.slave = None);
+    (* The winning candidate is marked local in the trace. *)
+    let n1 =
+      List.find
+        (fun (i : Safe_planner.node_info) -> i.node = 1)
+        trace.visit_order
+    in
+    check Alcotest.bool "local mode" true
+      (List.exists
+         (fun (cand : Safe_planner.candidate) ->
+           cand.mode = Safe_planner.Local)
+         n1.candidates);
+    (* Zero flows, trivially safe under base grants. *)
+    let flows =
+      Helpers.check_ok Safety.pp_error
+        (Safety.flows catalog (two_way_plan ()) assignment)
+    in
+    check Alcotest.int "no flows" 0 (List.length flows)
+
+let test_colocated_execution () =
+  let v s = Value.String s in
+  let instances =
+    let table =
+      [
+        ("LA", Relation.of_rows a [ [ v "k1"; v "a1" ]; [ v "k2"; v "a2" ] ]);
+        ("LB", Relation.of_rows b [ [ v "k1"; v "b1" ] ]);
+        ("LC", Relation.of_rows cc [ [ v "k1"; v "c1" ] ]);
+      ]
+    in
+    fun name -> List.assoc_opt name table
+  in
+  match Safe_planner.plan catalog base_grants (two_way_plan ()) with
+  | Error f -> Alcotest.failf "%a" Safe_planner.pp_failure f
+  | Ok { assignment; _ } ->
+    (match
+       Distsim.Engine.execute catalog ~instances (two_way_plan ()) assignment
+     with
+     | Error e -> Alcotest.failf "%a" Distsim.Engine.pp_error e
+     | Ok { result; network; _ } ->
+       check Alcotest.int "one row" 1 (Relation.cardinality result);
+       check Alcotest.int "zero messages" 0
+         (Distsim.Network.message_count network))
+
+let test_local_count_propagates () =
+  (* Above the co-located join, SA carries both children's counters:
+     it remains the preferred master upstream. With a grant letting SA
+     view LC in full, the three-way query runs entirely at SA plus one
+     transfer from SC. *)
+  let policy =
+    Authz.Policy.add
+      (Authz.Authorization.make_exn ~attrs:(Schema.attribute_set cc)
+         ~path:Joinpath.empty sa)
+      base_grants
+  in
+  let plan =
+    Query.to_plan
+      (Sql_parser.parse_exn catalog
+         "SELECT Adata, Bdata, Cdata FROM LA JOIN LB ON Ax = Bx JOIN LC ON \
+          Bx = Cx")
+  in
+  match Safe_planner.plan catalog policy plan with
+  | Error f -> Alcotest.failf "%a" Safe_planner.pp_failure f
+  | Ok { assignment; _ } ->
+    List.iter
+      (fun id ->
+        check Helpers.server
+          (Printf.sprintf "n%d at SA" id)
+          sa
+          (Assignment.find assignment id).Assignment.master)
+      [ 0; 1 ];
+    let flows =
+      Helpers.check_ok Safety.pp_error (Safety.flows catalog plan assignment)
+    in
+    check Alcotest.int "one flow (LC ships)" 1 (List.length flows)
+
+let test_medical_trace_unchanged () =
+  (* The correction must not disturb the Figure-7 reproduction: the
+     medical operands never co-locate. *)
+  let module M = Scenario.Medical in
+  match Safe_planner.plan M.catalog M.policy (M.example_plan ()) with
+  | Error f -> Alcotest.failf "%a" Safe_planner.pp_failure f
+  | Ok { trace; _ } ->
+    List.iter
+      (fun (i : Safe_planner.node_info) ->
+        List.iter
+          (fun (cand : Safe_planner.candidate) ->
+            check Alcotest.bool "no local candidates" true
+              (cand.mode <> Safe_planner.Local))
+          i.candidates)
+      trace.visit_order
+
+let suite =
+  [
+    c "co-located join feasible under base grants" `Quick
+      test_colocated_join_feasible;
+    c "co-located execution moves nothing" `Quick test_colocated_execution;
+    c "local counters propagate upstream" `Quick test_local_count_propagates;
+    c "Figure 7 unaffected" `Quick test_medical_trace_unchanged;
+  ]

@@ -1,0 +1,165 @@
+(* Cross-cutting edge cases that fit no other suite. *)
+
+open Relalg
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let test_chase_on_open_policy_is_identity () =
+  (* The chase merges positive rules; an open policy has none, so the
+     closure changes nothing (and must not invent grants). *)
+  let open_p =
+    Authz.Policy.open_policy
+      [
+        Authz.Authorization.make_denial
+          ~attrs:(Attribute.Set.singleton (M.attr "Disease"))
+          ~path:Joinpath.empty M.s_i;
+      ]
+  in
+  let closed = Authz.Chase.close ~joins:M.join_graph open_p in
+  check Alcotest.bool "unchanged" true (Authz.Policy.equal open_p closed)
+
+let test_optimizer_under_open_policy () =
+  let open_p = Authz.Policy.open_policy [] in
+  let t =
+    Planner.Optimizer.optimize
+      (Planner.Cost.uniform ~card:10.0)
+      M.catalog open_p (M.example_query ())
+  in
+  (* Everything allowed: all four orders feasible. *)
+  List.iter
+    (fun (e : Planner.Optimizer.explored) ->
+      match e.outcome with
+      | Planner.Optimizer.Feasible _ -> ()
+      | Planner.Optimizer.Infeasible _ ->
+        Alcotest.fail "order infeasible under an empty open policy")
+    t.explored
+
+let test_where_not_and_or_through_sql () =
+  let q =
+    Sql_parser.parse_exn M.catalog
+      "SELECT Holder FROM Insurance WHERE NOT (Plan = 'gold' OR Plan = \
+       'basic') AND Holder <> 'c9'"
+  in
+  let result =
+    Distsim.Engine.centralized ~instances:M.instances (Query.to_plan q)
+  in
+  (* Silver holders: c2 and c7. *)
+  check Alcotest.int "two silver holders" 2 (Relation.cardinality result)
+
+let test_mixed_value_types_in_data_files () =
+  let schema = Schema.make "Mix" ~key:[ "K" ] [ "K"; "F"; "B"; "S" ] in
+  let catalog = Catalog.of_list [ (schema, Server.make "S1") ] in
+  let text =
+    "@relation Mix\nK, F, B, S\n1, 2.5, true, 'hello world'\n2, -0.25, false, \
+     bare\n"
+  in
+  let instances =
+    Helpers.check_ok Text.Line_reader.pp_error
+      (Text.Data_text.parse catalog text)
+  in
+  let rel = Option.get (instances "Mix") in
+  check Alcotest.int "two rows" 2 (Relation.cardinality rel);
+  let attr n =
+    Helpers.check_ok Catalog.pp_error (Catalog.resolve_attribute catalog n)
+  in
+  let row1 =
+    List.find
+      (fun t -> Value.equal (Tuple.find t (attr "K")) (Value.Int 1))
+      (Relation.tuples rel)
+  in
+  check Helpers.value "float" (Value.Float 2.5) (Tuple.find row1 (attr "F"));
+  check Helpers.value "bool" (Value.Bool true) (Tuple.find row1 (attr "B"));
+  check Helpers.value "string" (Value.String "hello world")
+    (Tuple.find row1 (attr "S"));
+  (* And the bundle round-trips with those types. *)
+  let again =
+    Helpers.check_ok Text.Line_reader.pp_error
+      (Text.Data_text.parse catalog (Text.Data_text.print [ ("Mix", rel) ]))
+  in
+  check Helpers.relation "round-trip" rel (Option.get (again "Mix"))
+
+let test_empty_instance_relations () =
+  (* Empty instances flow through the whole pipeline. *)
+  let plan = M.example_plan () in
+  let empty_hospital name =
+    if name = "Hospital" then
+      Some (Relation.make (Schema.attributes M.hospital) [])
+    else M.instances name
+  in
+  match Planner.Safe_planner.plan M.catalog M.policy plan with
+  | Error f -> Alcotest.failf "%a" Planner.Safe_planner.pp_failure f
+  | Ok { assignment; _ } ->
+    (match
+       Distsim.Engine.execute M.catalog ~instances:empty_hospital plan
+         assignment
+     with
+     | Error e -> Alcotest.failf "%a" Distsim.Engine.pp_error e
+     | Ok { result; network; _ } ->
+       check Alcotest.int "empty answer" 0 (Relation.cardinality result);
+       check Alcotest.bool "audit still clean" true
+         (Distsim.Audit.is_clean M.policy network))
+
+let test_single_relation_query_pipeline () =
+  (* No joins at all: planned, executed, zero flows. *)
+  let plan =
+    Query.to_plan
+      (Sql_parser.parse_exn M.catalog
+         "SELECT Holder FROM Insurance WHERE Plan = 'gold'")
+  in
+  match Planner.Safe_planner.plan M.catalog M.policy plan with
+  | Error f -> Alcotest.failf "%a" Planner.Safe_planner.pp_failure f
+  | Ok { assignment; _ } ->
+    (match
+       Distsim.Engine.execute M.catalog ~instances:M.instances plan assignment
+     with
+     | Error e -> Alcotest.failf "%a" Distsim.Engine.pp_error e
+     | Ok { result; location; network; _ } ->
+       check Helpers.server "stays home" M.s_i location;
+       check Alcotest.int "two gold holders" 2 (Relation.cardinality result);
+       check Alcotest.int "no flows" 0
+         (Distsim.Network.message_count network))
+
+let test_deep_left_chain_plan () =
+  (* A 6-relation chain with full grants: the planner handles deep
+     trees and the engine agrees with the centralized answer. *)
+  let rng = Workload.Rng.make ~seed:4242 in
+  let sys =
+    Workload.System_gen.generate rng ~relations:6 ~servers:3 ~extra:1
+      ~topology:Workload.System_gen.Chain
+  in
+  let policy =
+    Workload.Authz_gen.generate (Workload.Rng.make ~seed:1) ~max_path:5
+      ~attr_keep:1.0 ~density:1.0 sys
+  in
+  match Workload.Query_gen.generate_plan (Workload.Rng.make ~seed:2) ~joins:5 sys with
+  | None -> Alcotest.fail "no query"
+  | Some plan ->
+    (match Planner.Safe_planner.plan sys.catalog policy plan with
+     | Error f -> Alcotest.failf "%a" Planner.Safe_planner.pp_failure f
+     | Ok { assignment; _ } ->
+       let instances =
+         Workload.Data_gen.instances (Workload.Rng.make ~seed:3) ~rows:20 sys
+       in
+       (match
+          Distsim.Engine.execute sys.catalog ~instances plan assignment
+        with
+        | Error e -> Alcotest.failf "%a" Distsim.Engine.pp_error e
+        | Ok { result; _ } ->
+          check Helpers.relation "deep chain correct"
+            (Distsim.Engine.centralized ~instances plan)
+            result))
+
+let suite =
+  [
+    c "chase is identity on open policies" `Quick
+      test_chase_on_open_policy_is_identity;
+    c "optimizer under an open policy" `Quick test_optimizer_under_open_policy;
+    c "NOT/OR/AND through SQL" `Quick test_where_not_and_or_through_sql;
+    c "mixed value types in data files" `Quick
+      test_mixed_value_types_in_data_files;
+    c "empty instances" `Quick test_empty_instance_relations;
+    c "single-relation query" `Quick test_single_relation_query_pipeline;
+    c "deep chain end to end" `Quick test_deep_left_chain_plan;
+  ]

@@ -1,0 +1,196 @@
+open Relalg
+open Planner
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let model = Cost.uniform ~card:100.0
+
+let test_orders_of_example () =
+  let q = M.example_query () in
+  let orders = Optimizer.valid_orders q in
+  (* Original first. *)
+  check Alcotest.(list string) "original first"
+    [ "Insurance"; "Nat_registry"; "Hospital" ]
+    (List.hd orders);
+  (* Chain Insurance–Nat_registry–Hospital: connected orders are the
+     walks of a path graph: 2 ends x forward + center-start x 2 = 4. *)
+  check Alcotest.int "four connected orders" 4 (List.length orders);
+  (* All are permutations. *)
+  List.iter
+    (fun order ->
+      check Alcotest.(list string) "permutation"
+        [ "Hospital"; "Insurance"; "Nat_registry" ]
+        (List.sort compare order))
+    orders
+
+let test_single_relation_order () =
+  let q =
+    Helpers.check_ok Query.pp_error
+      (Query.make M.catalog
+         ~select:[ M.attr "Holder" ]
+         ~base:"Insurance" ~joins:[] ~where:Predicate.True)
+  in
+  check Alcotest.(list (list string)) "just the base" [ [ "Insurance" ] ]
+    (Optimizer.valid_orders q)
+
+let test_reorder_same_results () =
+  (* Every valid order computes the same answer. *)
+  let q = M.example_query () in
+  let reference =
+    Distsim.Engine.centralized ~instances:M.instances (Query.to_plan q)
+  in
+  List.iter
+    (fun order ->
+      let q' = Optimizer.reorder M.catalog q order in
+      let result =
+        Distsim.Engine.centralized ~instances:M.instances (Query.to_plan q')
+      in
+      check Helpers.relation
+        (String.concat "," order)
+        reference result)
+    (Optimizer.valid_orders q)
+
+let test_reorder_validation () =
+  let q = M.example_query () in
+  (match Optimizer.reorder M.catalog q [ "Insurance" ] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "non-permutation accepted");
+  match
+    (* Hospital does not connect directly to Insurance..wait it does
+       (Holder=Patient is in the join graph but NOT in this query's
+       conditions) — the query's conditions are Holder=Citizen and
+       Citizen=Patient, so Insurance,Hospital,... has no condition to
+       attach at step 2. *)
+    Optimizer.reorder M.catalog q [ "Insurance"; "Hospital"; "Nat_registry" ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "disconnected prefix accepted"
+
+let test_optimize_medical () =
+  let t = Optimizer.optimize model M.catalog M.policy (M.example_query ()) in
+  (match t.best with
+   | None -> Alcotest.fail "no feasible order"
+   | Some best ->
+     (* The default order is feasible, so best can only be cheaper or
+        equal. *)
+     (match (List.hd t.explored).outcome with
+      | Optimizer.Feasible (_, default_cost) ->
+        (match best.outcome with
+         | Optimizer.Feasible (_, best_cost) ->
+           check Alcotest.bool "best <= default" true
+             (best_cost <= default_cost)
+         | Optimizer.Infeasible _ -> Alcotest.fail "best infeasible?")
+      | Optimizer.Infeasible _ -> Alcotest.fail "default infeasible?"));
+  check Alcotest.int "all four orders explored" 4 (List.length t.explored);
+  check Alcotest.bool "not truncated" false t.truncated
+
+(* A federation where the written order is infeasible but another
+   order is safe: reordering recovers feasibility, not just cost. *)
+let reorder_rescue_fixture () =
+  let sa = Server.make "SA" and sb = Server.make "SB" and sc = Server.make "SC" in
+  let a = Schema.make "A" ~key:[ "Ax" ] [ "Ax"; "Adata" ] in
+  let b = Schema.make "B" ~key:[ "Bx" ] [ "Bx"; "By"; "Bdata" ] in
+  let cc = Schema.make "C" ~key:[ "Cy" ] [ "Cy"; "Cdata" ] in
+  let catalog = Catalog.of_list [ (a, sa); (b, sb); (cc, sc) ] in
+  let attr name =
+    Helpers.check_ok Catalog.pp_error (Catalog.resolve_attribute catalog name)
+  in
+  let by_cy = Joinpath.Cond.eq (attr "By") (attr "Cy") in
+  let auth attrs path server =
+    Authz.Authorization.make_exn
+      ~attrs:(Attribute.Set.of_list (List.map attr attrs))
+      ~path:(Joinpath.of_list path) server
+  in
+  let policy =
+    Authz.Policy.of_list
+      [
+        auth [ "Ax"; "Adata" ] [] sa;
+        auth [ "Bx"; "By"; "Bdata" ] [] sb;
+        auth [ "Cy"; "Cdata" ] [] sc;
+        (* SB may read C in full: it can master B ⋈ C. *)
+        auth [ "Cy"; "Cdata" ] [] sb;
+        (* SA may read the B ⋈ C view in full: it can master the final
+           join — but nothing lets anybody join A with B directly. *)
+        auth [ "Bx"; "By"; "Bdata"; "Cy"; "Cdata" ] [ by_cy ] sa;
+      ]
+  in
+  let query =
+    Sql_parser.parse_exn catalog
+      "SELECT Adata, Bdata, Cdata FROM A JOIN B ON Ax = Bx JOIN C ON By = Cy"
+  in
+  (catalog, policy, query)
+
+let test_reordering_recovers_feasibility () =
+  let catalog, policy, query = reorder_rescue_fixture () in
+  (* Default order: infeasible. *)
+  check Alcotest.bool "A⋈B first is blocked" false
+    (Safe_planner.feasible catalog policy (Query.to_plan query));
+  (* The optimizer finds the B,C,A order. *)
+  let t = Optimizer.optimize model catalog policy query in
+  match t.best with
+  | None -> Alcotest.fail "optimizer found nothing"
+  | Some best ->
+    check Alcotest.(list string) "B joins C first" [ "B"; "C"; "A" ] best.order;
+    (match best.outcome with
+     | Optimizer.Feasible (assignment, _) ->
+       check Alcotest.bool "and it is safe" true
+         (Safety.is_safe catalog policy best.plan assignment)
+     | Optimizer.Infeasible _ -> Alcotest.fail "best not feasible")
+
+let test_optimized_plan_executes () =
+  let catalog, policy, query = reorder_rescue_fixture () in
+  let t = Optimizer.optimize model catalog policy query in
+  let best = Option.get t.best in
+  let assignment =
+    match best.outcome with
+    | Optimizer.Feasible (a, _) -> a
+    | Optimizer.Infeasible _ -> assert false
+  in
+  let v s = Value.String s in
+  let instances =
+    let a = Helpers.check_ok Catalog.pp_error (Catalog.relation catalog "A") in
+    let b = Helpers.check_ok Catalog.pp_error (Catalog.relation catalog "B") in
+    let cc = Helpers.check_ok Catalog.pp_error (Catalog.relation catalog "C") in
+    let table =
+      [
+        ("A", Relation.of_rows a [ [ v "k1"; v "a1" ]; [ v "k2"; v "a2" ] ]);
+        ( "B",
+          Relation.of_rows b
+            [ [ v "k1"; v "y1"; v "b1" ]; [ v "k3"; v "y2"; v "b3" ] ] );
+        ("C", Relation.of_rows cc [ [ v "y1"; v "c1" ]; [ v "y9"; v "c9" ] ]);
+      ]
+    in
+    fun name -> List.assoc_opt name table
+  in
+  match Distsim.Engine.execute catalog ~instances best.plan assignment with
+  | Error e -> Alcotest.failf "%a" Distsim.Engine.pp_error e
+  | Ok { result; network; _ } ->
+    check Helpers.relation "matches centralized"
+      (Distsim.Engine.centralized ~instances best.plan)
+      result;
+    check Alcotest.int "single joined row" 1 (Relation.cardinality result);
+    check Alcotest.bool "audit clean" true
+      (Distsim.Audit.is_clean policy network)
+
+let test_max_orders_cap () =
+  let q = M.example_query () in
+  let t = Optimizer.optimize ~max_orders:1 model M.catalog M.policy q in
+  check Alcotest.bool "truncated" true t.truncated;
+  check Alcotest.int "original + capped alternatives" 2
+    (List.length t.explored)
+
+let suite =
+  [
+    c "connected orders of the example" `Quick test_orders_of_example;
+    c "single-relation query" `Quick test_single_relation_order;
+    c "all orders compute the same result" `Quick test_reorder_same_results;
+    c "reorder validation" `Quick test_reorder_validation;
+    c "optimizer on the medical example" `Quick test_optimize_medical;
+    c "reordering recovers feasibility" `Quick
+      test_reordering_recovers_feasibility;
+    c "optimized plan executes and audits clean" `Quick
+      test_optimized_plan_executes;
+    c "max_orders cap" `Quick test_max_orders_cap;
+  ]

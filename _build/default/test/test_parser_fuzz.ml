@@ -1,0 +1,111 @@
+(* Fuzzing the SQL parser: random byte soup must never raise, and
+   generated queries must round-trip through print + parse. *)
+
+open Relalg
+open Workload
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+
+let arb_garbage =
+  QCheck.(string_gen_of_size Gen.(0 -- 200) Gen.printable)
+
+let prop_no_crash_on_garbage =
+  QCheck.Test.make ~name:"parser never raises on garbage" ~count:1000
+    arb_garbage (fun s ->
+      match Sql_parser.parse M.catalog s with
+      | Ok _ | Error _ -> true)
+
+let arb_sqlish =
+  (* Strings biased towards SQL shape: keywords and medical attribute
+     names glued with random separators. *)
+  let words =
+    [
+      "SELECT"; "FROM"; "JOIN"; "ON"; "WHERE"; "AND"; "OR"; "NOT";
+      "Holder"; "Plan"; "Patient"; "Disease"; "Insurance"; "Hospital";
+      "="; "<"; ">="; "("; ")"; ","; "*"; "'gold'"; "42"; "NULL";
+    ]
+  in
+  QCheck.(
+    map
+      (fun idxs ->
+        String.concat " "
+          (List.map (fun i -> List.nth words (i mod List.length words)) idxs))
+      (list_of_size Gen.(0 -- 25) small_nat))
+
+let prop_no_crash_on_sqlish =
+  QCheck.Test.make ~name:"parser never raises on SQL-ish soup" ~count:1000
+    arb_sqlish (fun s ->
+      match Sql_parser.parse M.catalog s with
+      | Ok _ | Error _ -> true)
+
+(* Round-trip generated queries: print then parse yields the same
+   query modulo representation. *)
+let systems =
+  lazy
+    (List.map
+       (fun seed ->
+         System_gen.generate (Rng.make ~seed) ~relations:5 ~servers:3 ~extra:2
+           ~topology:System_gen.Chain)
+       [ 1; 2; 3 ])
+
+let test_roundtrip_generated () =
+  let rng = Rng.make ~seed:99 in
+  List.iter
+    (fun sys ->
+      for _ = 1 to 30 do
+        match
+          Query_gen.generate rng ~where_prob:0.5 ~joins:3 sys
+        with
+        | None -> ()
+        | Some q ->
+          let sql = Query.to_string q in
+          (match Sql_parser.parse sys.System_gen.catalog sql with
+           | Error e ->
+             Alcotest.failf "round-trip of %S failed: %a" sql
+               Sql_parser.pp_error e
+           | Ok q2 ->
+             Alcotest.check
+               Alcotest.(list string)
+               "same relations" (Query.relations q) (Query.relations q2);
+             Alcotest.check Helpers.joinpath "same join path"
+               (Query.join_path q) (Query.join_path q2);
+             Alcotest.check Helpers.attribute_set "same selection"
+               (Attribute.Set.of_list q.Query.select)
+               (Attribute.Set.of_list q2.Query.select);
+             (* Identical plans (structure and numbering). *)
+             let p1 = Query.to_plan q and p2 = Query.to_plan q2 in
+             Alcotest.check Alcotest.int "same plan size" (Plan.size p1)
+               (Plan.size p2))
+      done)
+    (Lazy.force systems)
+
+let test_roundtrip_preserves_semantics () =
+  (* Parse-print-parse queries and compare evaluation results. *)
+  let rng = Rng.make ~seed:55 in
+  List.iteri
+    (fun i sys ->
+      let instances =
+        Data_gen.instances (Rng.make ~seed:(400 + i)) ~rows:15 sys
+      in
+      for _ = 1 to 10 do
+        match Query_gen.generate rng ~where_prob:0.4 ~joins:2 sys with
+        | None -> ()
+        | Some q ->
+          let q2 =
+            Helpers.check_ok Sql_parser.pp_error
+              (Sql_parser.parse sys.System_gen.catalog (Query.to_string q))
+          in
+          Alcotest.check Helpers.relation "same answer"
+            (Distsim.Engine.centralized ~instances (Query.to_plan q))
+            (Distsim.Engine.centralized ~instances (Query.to_plan q2))
+      done)
+    (Lazy.force systems)
+
+let suite =
+  [
+    Helpers.qcheck prop_no_crash_on_garbage;
+    Helpers.qcheck prop_no_crash_on_sqlish;
+    c "generated queries round-trip" `Quick test_roundtrip_generated;
+    c "round-trip preserves semantics" `Quick test_roundtrip_preserves_semantics;
+  ]

@@ -1,0 +1,113 @@
+open Relalg
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+(* The paper's Figure 2 plan is the canonical numbering example:
+
+     n0 π          breadth-first: n0 root, n1 join, n2 join,
+     n1 ⋈          n3 projection, n4 Insurance, n5 Nat_registry,
+    n2   n3 π      n6 Hospital.
+   n4 n5  n6
+*)
+let fig2 () = Scenario.Medical.example_plan ()
+
+let op_kind (n : Plan.node) =
+  match n.op with
+  | Plan.Leaf s -> "leaf:" ^ Schema.name s
+  | Plan.Project _ -> "project"
+  | Plan.Select _ -> "select"
+  | Plan.Join _ -> "join"
+
+let test_bfs_numbering () =
+  let plan = fig2 () in
+  let kinds = List.map (fun n -> (n.Plan.id, op_kind n)) (Plan.nodes plan) in
+  check
+    Alcotest.(list (pair int string))
+    "Figure 2 labels"
+    [
+      (0, "project");
+      (1, "join");
+      (2, "join");
+      (3, "project");
+      (4, "leaf:Insurance");
+      (5, "leaf:Nat_registry");
+      (6, "leaf:Hospital");
+    ]
+    kinds
+
+let test_structure () =
+  let plan = fig2 () in
+  check Alcotest.int "size" 7 (Plan.size plan);
+  check Alcotest.int "joins" 2 (Plan.join_count plan);
+  let root = Plan.root plan in
+  check Alcotest.int "root id" 0 root.Plan.id;
+  check Alcotest.string "label" "n0" (Plan.label root);
+  check Alcotest.int "root has one child" 1 (List.length (Plan.children root))
+
+let test_node_lookup () =
+  let plan = fig2 () in
+  (match Plan.node plan 6 with
+   | Some n -> check Alcotest.string "n6 is Hospital" "leaf:Hospital" (op_kind n)
+   | None -> Alcotest.fail "n6 missing");
+  check Alcotest.bool "n7 missing" true (Plan.node plan 7 = None)
+
+let test_output () =
+  let plan = fig2 () in
+  let root_out = Plan.output (Plan.root plan) in
+  check Helpers.attribute_set "root output = SELECT clause"
+    (Attribute.Set.of_list
+       (List.map Scenario.Medical.attr
+          [ "Patient"; "Physician"; "Plan"; "HealthAid" ]))
+    root_out;
+  match Plan.node plan 3 with
+  | Some n3 ->
+    check Helpers.attribute_set "pushed projection on Hospital"
+      (Attribute.Set.of_list
+         (List.map Scenario.Medical.attr [ "Patient"; "Physician" ]))
+      (Plan.output n3)
+  | None -> Alcotest.fail "n3 missing"
+
+let test_roundtrip () =
+  let plan = fig2 () in
+  let again = Plan.of_algebra (Plan.to_algebra plan) in
+  check Alcotest.int "same size" (Plan.size plan) (Plan.size again);
+  check Alcotest.(list (pair int string)) "same numbering"
+    (List.map (fun n -> (n.Plan.id, op_kind n)) (Plan.nodes plan))
+    (List.map (fun n -> (n.Plan.id, op_kind n)) (Plan.nodes again))
+
+let test_invalid_rejected () =
+  let r = Schema.make "T" ~key:[] [ "X" ] in
+  let bad =
+    Algebra.Project
+      (Attribute.Set.singleton (Attribute.make ~relation:"Z" "Y"),
+       Algebra.Relation r)
+  in
+  match Plan.of_algebra bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid algebra numbered"
+
+let test_shared_subtree_distinct_ids () =
+  (* Structurally equal sub-trees must still get distinct ids. *)
+  let r = Schema.make "T1" ~key:[] [ "X" ] in
+  let s = Schema.make "T2" ~key:[] [ "Y" ] in
+  let cond =
+    Joinpath.Cond.eq
+      (Attribute.make ~relation:"T1" "X")
+      (Attribute.make ~relation:"T2" "Y")
+  in
+  let expr = Algebra.Join (cond, Algebra.Relation r, Algebra.Relation s) in
+  let plan = Plan.of_algebra expr in
+  let ids = List.map (fun n -> n.Plan.id) (Plan.nodes plan) in
+  check Alcotest.(list int) "ids 0,1,2" [ 0; 1; 2 ] ids
+
+let suite =
+  [
+    c "breadth-first numbering matches Figure 2" `Quick test_bfs_numbering;
+    c "structure accessors" `Quick test_structure;
+    c "node lookup" `Quick test_node_lookup;
+    c "per-node output attributes" `Quick test_output;
+    c "algebra round-trip" `Quick test_roundtrip;
+    c "invalid algebra rejected" `Quick test_invalid_rejected;
+    c "distinct ids for equal subtrees" `Quick test_shared_subtree_distinct_ids;
+  ]

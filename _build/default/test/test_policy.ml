@@ -1,0 +1,157 @@
+open Relalg
+open Authz
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+let aset names = Attribute.Set.of_list (List.map M.attr names)
+
+let profile ?(join = Joinpath.empty) ?(sigma = []) pi =
+  Profile.make ~pi:(aset pi) ~join ~sigma:(aset sigma)
+
+let holder_patient = Joinpath.Cond.eq (M.attr "Holder") (M.attr "Patient")
+let illness_disease = Joinpath.Cond.eq (M.attr "Illness") (M.attr "Disease")
+
+let test_view_per_server () =
+  check Alcotest.int "S_I has 3 rules" 3
+    (List.length (Policy.view M.policy M.s_i));
+  check Alcotest.int "S_H has 4 rules" 4
+    (List.length (Policy.view M.policy M.s_h));
+  check Alcotest.int "S_N has 7 rules" 7
+    (List.length (Policy.view M.policy M.s_n));
+  check Alcotest.int "S_D has 1 rule" 1
+    (List.length (Policy.view M.policy M.s_d))
+
+let test_can_view_exact () =
+  (* Authorization 1 admits exactly its own attributes. *)
+  check Alcotest.bool "own relation" true
+    (Policy.can_view M.policy (profile [ "Holder"; "Plan" ]) M.s_i)
+
+let test_can_view_subset_of_attrs () =
+  (* Condition 1 of Def 3.3 is ⊆: fewer attributes are fine. *)
+  check Alcotest.bool "subset ok" true
+    (Policy.can_view M.policy (profile [ "Holder" ]) M.s_i);
+  (* ... but a superset is not. *)
+  check Alcotest.bool "superset denied" false
+    (Policy.can_view M.policy (profile [ "Holder"; "Plan"; "Patient" ]) M.s_i)
+
+let test_sigma_counts_as_visible () =
+  (* Selection attributes reveal information: pi ∪ sigma ⊆ A. *)
+  check Alcotest.bool "sigma within grant" true
+    (Policy.can_view M.policy
+       (profile [ "Holder" ] ~sigma:[ "Plan" ])
+       M.s_i);
+  check Alcotest.bool "sigma outside grant" false
+    (Policy.can_view M.policy
+       (profile [ "Holder" ] ~sigma:[ "Patient" ])
+       M.s_i)
+
+let test_path_equality_strict () =
+  (* Section 3.2's example: S_D may see Disease_list, but not
+     Disease_list ⋈ Hospital — the extra join leaks which illnesses
+     occur in the hospital. *)
+  let plain = profile [ "Illness"; "Treatment" ] in
+  let joined =
+    profile [ "Illness"; "Treatment" ]
+      ~join:(Joinpath.singleton illness_disease)
+  in
+  check Alcotest.bool "plain view ok" true
+    (Policy.can_view M.policy plain M.s_d);
+  check Alcotest.bool "joined view denied" false
+    (Policy.can_view M.policy joined M.s_d)
+
+let test_path_equality_orientation_insensitive () =
+  (* Authorization 2 is spelled ⟨Holder, Patient⟩; a profile built with
+     the flipped condition must still match. *)
+  let p =
+    profile [ "Holder"; "Physician" ]
+      ~join:
+        (Joinpath.singleton
+           (Joinpath.Cond.eq (M.attr "Patient") (M.attr "Holder")))
+  in
+  check Alcotest.bool "flipped spelling admitted" true
+    (Policy.can_view M.policy p M.s_i)
+
+let test_smaller_path_not_implied () =
+  (* Having authorization 2 (path {⟨Holder,Patient⟩}) does not admit a
+     profile with an empty path over the same attributes. *)
+  let p = profile [ "Physician" ] in
+  check Alcotest.bool "empty path denied" false
+    (Policy.can_view M.policy p M.s_i)
+
+let test_closed_policy () =
+  (* A server with no authorization sees nothing. *)
+  let stranger = Server.make "S_X" in
+  check Alcotest.bool "no grant, no view" false
+    (Policy.can_view M.policy (profile [ "Holder" ]) stranger)
+
+let test_authorizing_rule () =
+  (match Policy.authorizing_rule M.policy (profile [ "Holder" ]) M.s_i with
+   | Some rule ->
+     check Alcotest.bool "rule covers Holder" true
+       (Attribute.Set.mem (M.attr "Holder") rule.Authorization.attrs)
+   | None -> Alcotest.fail "no rule found");
+  check Alcotest.bool "none for denied view" true
+    (Policy.authorizing_rule M.policy
+       (profile [ "Holder"; "Plan"; "Patient" ])
+       M.s_i
+    = None)
+
+let test_add_union () =
+  let extra =
+    Authorization.make_exn ~attrs:(aset [ "Treatment" ]) ~path:Joinpath.empty
+      M.s_i
+  in
+  let p2 = Policy.add extra M.policy in
+  check Alcotest.int "one more" 16 (Policy.cardinality p2);
+  check Alcotest.int "add idempotent" 16
+    (Policy.cardinality (Policy.add extra p2));
+  check Alcotest.int "union" 16
+    (Policy.cardinality (Policy.union M.policy p2));
+  check Alcotest.bool "new view granted" true
+    (Policy.can_view p2 (profile [ "Treatment" ]) M.s_i);
+  check Alcotest.bool "original unchanged" false
+    (Policy.can_view M.policy (profile [ "Treatment" ]) M.s_i)
+
+let test_servers () =
+  check Alcotest.int "four servers" 4
+    (Server.Set.cardinal (Policy.servers M.policy))
+
+(* Property: can_view is monotone in the attribute set — removing
+   attributes from an admitted profile keeps it admitted. *)
+let prop_monotone_attrs =
+  let all = [ "Patient"; "Disease"; "Physician"; "Holder"; "Plan" ] in
+  QCheck.Test.make ~name:"can_view antimonotone in pi" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 5) (int_bound 4)) (int_bound 4))
+    (fun (keep_idx, drop) ->
+      let pi = List.map (fun i -> List.nth all i) keep_idx in
+      let join = Joinpath.singleton holder_patient in
+      let full = profile pi ~join in
+      let smaller =
+        Profile.make
+          ~pi:(Attribute.Set.remove (M.attr (List.nth all drop)) (aset pi))
+          ~join ~sigma:Attribute.Set.empty
+      in
+      QCheck.assume (not (Attribute.Set.is_empty smaller.Profile.pi));
+      (not (Policy.can_view M.policy full M.s_h))
+      || Policy.can_view M.policy smaller M.s_h)
+
+let suite =
+  [
+    c "view partitions by server" `Quick test_view_per_server;
+    c "can_view exact grant" `Quick test_can_view_exact;
+    c "attribute subset admitted, superset denied" `Quick
+      test_can_view_subset_of_attrs;
+    c "sigma attributes are visible information" `Quick
+      test_sigma_counts_as_visible;
+    c "join-path equality is strict (S_D example)" `Quick
+      test_path_equality_strict;
+    c "path equality mod orientation" `Quick
+      test_path_equality_orientation_insensitive;
+    c "smaller path not implied" `Quick test_smaller_path_not_implied;
+    c "closed policy" `Quick test_closed_policy;
+    c "authorizing_rule cites the grant" `Quick test_authorizing_rule;
+    c "add / union" `Quick test_add_union;
+    c "servers" `Quick test_servers;
+    Helpers.qcheck prop_monotone_attrs;
+  ]

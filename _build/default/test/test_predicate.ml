@@ -1,0 +1,107 @@
+open Relalg
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+let a = Attribute.make ~relation:"R" "A"
+let b = Attribute.make ~relation:"R" "B"
+
+let lookup bindings attr =
+  match List.assoc_opt (Attribute.name attr) bindings with
+  | Some v -> v
+  | None -> raise Not_found
+
+let test_comparisons () =
+  let cases =
+    [
+      (Predicate.Eq, 3, 3, true);
+      (Eq, 3, 4, false);
+      (Neq, 3, 4, true);
+      (Lt, 3, 4, true);
+      (Lt, 4, 4, false);
+      (Le, 4, 4, true);
+      (Gt, 5, 4, true);
+      (Ge, 4, 4, true);
+      (Ge, 3, 4, false);
+    ]
+  in
+  List.iter
+    (fun (op, x, y, expected) ->
+      let p = Predicate.Cmp (a, op, Const (Value.Int y)) in
+      check Alcotest.bool
+        (Fmt.str "%d %a %d" x Predicate.pp_comparison op y)
+        expected
+        (Predicate.eval (lookup [ ("A", Value.Int x) ]) p))
+    cases
+
+let test_attr_to_attr () =
+  let p = Predicate.Cmp (a, Eq, Attr b) in
+  check Alcotest.bool "A = B true" true
+    (Predicate.eval (lookup [ ("A", Value.Int 1); ("B", Value.Int 1) ]) p);
+  check Alcotest.bool "A = B false" false
+    (Predicate.eval (lookup [ ("A", Value.Int 1); ("B", Value.Int 2) ]) p)
+
+let test_null_semantics () =
+  let p op = Predicate.Cmp (a, op, Const (Value.Int 3)) in
+  let null_lookup = lookup [ ("A", Value.Null) ] in
+  List.iter
+    (fun op ->
+      check Alcotest.bool "null comparisons are false" false
+        (Predicate.eval null_lookup (p op)))
+    [ Predicate.Eq; Neq; Lt; Le; Gt; Ge ];
+  let null_eq_null = Predicate.Cmp (a, Eq, Const Value.Null) in
+  check Alcotest.bool "null = null" true
+    (Predicate.eval null_lookup null_eq_null)
+
+let test_boolean_connectives () =
+  let t = Predicate.True in
+  let f = Predicate.Not True in
+  let ev p = Predicate.eval (fun _ -> Value.Null) p in
+  check Alcotest.bool "true" true (ev t);
+  check Alcotest.bool "not true" false (ev f);
+  check Alcotest.bool "and" false (ev (And (t, f)));
+  check Alcotest.bool "or" true (ev (Or (f, t)));
+  check Alcotest.bool "nested" true (ev (Not (And (t, f))))
+
+let test_conj () =
+  check Alcotest.bool "empty conj is True" true
+    (Predicate.conj [] = Predicate.True);
+  let p = Predicate.Cmp (a, Eq, Const (Value.Int 1)) in
+  check Alcotest.bool "singleton" true (Predicate.conj [ p ] = p)
+
+let test_attributes () =
+  let p =
+    Predicate.And
+      ( Cmp (a, Eq, Attr b),
+        Or (Cmp (a, Lt, Const (Value.Int 3)), Not True) )
+  in
+  check Helpers.attribute_set "both attrs"
+    (Attribute.Set.of_list [ a; b ])
+    (Predicate.attributes p)
+
+let test_comparison_of_string () =
+  List.iter
+    (fun (s, expected) ->
+      check Alcotest.bool s true
+        (Predicate.comparison_of_string s = Some expected))
+    [
+      ("=", Predicate.Eq);
+      ("<>", Neq);
+      ("!=", Neq);
+      ("<", Lt);
+      ("<=", Le);
+      (">", Gt);
+      (">=", Ge);
+    ];
+  check Alcotest.bool "unknown" true
+    (Predicate.comparison_of_string "~=" = None)
+
+let suite =
+  [
+    c "comparison operators" `Quick test_comparisons;
+    c "attribute-to-attribute" `Quick test_attr_to_attr;
+    c "null semantics" `Quick test_null_semantics;
+    c "boolean connectives" `Quick test_boolean_connectives;
+    c "conj" `Quick test_conj;
+    c "attributes collected" `Quick test_attributes;
+    c "comparison_of_string" `Quick test_comparison_of_string;
+  ]

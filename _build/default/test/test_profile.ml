@@ -1,0 +1,143 @@
+open Relalg
+open Authz
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+let aset names = Attribute.Set.of_list (List.map M.attr names)
+
+let test_base_profile () =
+  (* Definition 3.2: base relation R(A1..An) has profile [{A1..An}, ∅, ∅]. *)
+  let p = Profile.of_base M.insurance in
+  check Helpers.attribute_set "pi" (aset [ "Holder"; "Plan" ]) p.Profile.pi;
+  check Alcotest.bool "empty path" true (Joinpath.is_empty p.Profile.join);
+  check Alcotest.bool "empty sigma" true
+    (Attribute.Set.is_empty p.Profile.sigma)
+
+(* Figure 4, row 1: R := π_X(R_l) has profile [X, Rl^⋈, Rl^σ]. *)
+let test_fig4_projection () =
+  let base = Profile.of_base M.insurance in
+  let with_context =
+    Profile.select (aset [ "Plan" ])
+      (Profile.make ~pi:base.Profile.pi
+         ~join:(Joinpath.singleton (Joinpath.Cond.eq (M.attr "Holder") (M.attr "Patient")))
+         ~sigma:Attribute.Set.empty)
+  in
+  let projected = Profile.project (aset [ "Holder" ]) with_context in
+  check Helpers.attribute_set "pi = X" (aset [ "Holder" ]) projected.Profile.pi;
+  check Helpers.joinpath "join preserved" with_context.Profile.join
+    projected.Profile.join;
+  check Helpers.attribute_set "sigma preserved" (aset [ "Plan" ])
+    projected.Profile.sigma
+
+(* Figure 4, row 2: R := σ_X(R_l) has profile [Rl^π, Rl^⋈, Rl^σ ∪ X]. *)
+let test_fig4_selection () =
+  let base = Profile.of_base M.insurance in
+  let selected = Profile.select (aset [ "Plan" ]) base in
+  check Helpers.attribute_set "pi unchanged" base.Profile.pi
+    selected.Profile.pi;
+  check Helpers.attribute_set "sigma grows" (aset [ "Plan" ])
+    selected.Profile.sigma;
+  (* σ accumulates. *)
+  let twice = Profile.select (aset [ "Holder" ]) selected in
+  check Helpers.attribute_set "sigma accumulates" (aset [ "Plan"; "Holder" ])
+    twice.Profile.sigma
+
+(* Figure 4, row 3: R := R_l ⋈_j R_r has profile
+   [Rl^π ∪ Rr^π, Rl^⋈ ∪ Rr^⋈ ∪ j, Rl^σ ∪ Rr^σ]. *)
+let test_fig4_join () =
+  let l = Profile.select (aset [ "Plan" ]) (Profile.of_base M.insurance) in
+  let r = Profile.of_base M.hospital in
+  let j = Joinpath.Cond.eq (M.attr "Holder") (M.attr "Patient") in
+  let joined = Profile.join j l r in
+  check Helpers.attribute_set "pi union"
+    (aset [ "Holder"; "Plan"; "Patient"; "Disease"; "Physician" ])
+    joined.Profile.pi;
+  check Helpers.joinpath "path gains j" (Joinpath.singleton j)
+    joined.Profile.join;
+  check Helpers.attribute_set "sigma union" (aset [ "Plan" ])
+    joined.Profile.sigma
+
+let test_join_accumulates_paths () =
+  let j1 = Joinpath.Cond.eq (M.attr "Holder") (M.attr "Citizen") in
+  let j2 = Joinpath.Cond.eq (M.attr "Citizen") (M.attr "Patient") in
+  let p1 =
+    Profile.join j1
+      (Profile.of_base M.insurance)
+      (Profile.of_base M.nat_registry)
+  in
+  let p2 = Profile.join j2 p1 (Profile.of_base M.hospital) in
+  check Helpers.joinpath "both conditions"
+    (Joinpath.of_list [ j1; j2 ])
+    p2.Profile.join
+
+let test_of_algebra_fig2 () =
+  (* The profile of the Example 2.2 query: all attributes of the three
+     relations that survive the pushed projections, the two join
+     conditions, empty sigma. *)
+  let expr = Plan.to_algebra (M.example_plan ()) in
+  let p = Profile.of_algebra expr in
+  check Helpers.attribute_set "pi = select clause"
+    (aset [ "Patient"; "Physician"; "Plan"; "HealthAid" ])
+    p.Profile.pi;
+  check Helpers.joinpath "path"
+    (Joinpath.of_list
+       [
+         Joinpath.Cond.eq (M.attr "Holder") (M.attr "Citizen");
+         Joinpath.Cond.eq (M.attr "Citizen") (M.attr "Patient");
+       ])
+    p.Profile.join;
+  check Alcotest.bool "sigma empty" true (Attribute.Set.is_empty p.Profile.sigma)
+
+let test_visible () =
+  let p =
+    Profile.make ~pi:(aset [ "Holder" ]) ~join:Joinpath.empty
+      ~sigma:(aset [ "Plan" ])
+  in
+  check Helpers.attribute_set "pi ∪ sigma" (aset [ "Holder"; "Plan" ])
+    (Profile.visible p)
+
+let test_equality () =
+  let p1 = Profile.of_base M.insurance in
+  let p2 = Profile.of_base M.insurance in
+  check Helpers.profile "reflexive" p1 p2;
+  let p3 = Profile.select (aset [ "Plan" ]) p1 in
+  check Alcotest.bool "sigma matters" false (Profile.equal p1 p3)
+
+(* Property: of_algebra's sigma and pi are consistent with the
+   operators applied, for random project/select towers. *)
+let prop_profile_tower =
+  let arb = QCheck.(list_of_size Gen.(0 -- 6) (pair bool (int_bound 1))) in
+  QCheck.Test.make ~name:"profile tower invariants" ~count:200 arb (fun ops ->
+      let attrs = [ M.attr "Holder"; M.attr "Plan" ] in
+      let expr =
+        List.fold_left
+          (fun e (is_select, which) ->
+            let a = List.nth attrs which in
+            if is_select then
+              Algebra.Select
+                (Predicate.Cmp (a, Eq, Const (Value.Int 0)), e)
+            else e)
+          (Algebra.Relation M.insurance) ops
+      in
+      let p = Profile.of_algebra expr in
+      (* pi never grows beyond the base schema; sigma within pi of
+         base; path stays empty without joins. *)
+      Attribute.Set.subset p.Profile.pi
+        (Schema.attribute_set M.insurance)
+      && Attribute.Set.subset p.Profile.sigma
+           (Schema.attribute_set M.insurance)
+      && Joinpath.is_empty p.Profile.join)
+
+let suite =
+  [
+    c "base profile (Def 3.2)" `Quick test_base_profile;
+    c "Figure 4 row 1: projection" `Quick test_fig4_projection;
+    c "Figure 4 row 2: selection" `Quick test_fig4_selection;
+    c "Figure 4 row 3: join" `Quick test_fig4_join;
+    c "join paths accumulate" `Quick test_join_accumulates_paths;
+    c "of_algebra on Figure 2 plan" `Quick test_of_algebra_fig2;
+    c "visible = pi ∪ sigma" `Quick test_visible;
+    c "equality" `Quick test_equality;
+    Helpers.qcheck prop_profile_tower;
+  ]

@@ -1,0 +1,217 @@
+(* Cross-cutting, end-to-end properties on randomly generated
+   distributed systems, policies, queries and data. These are the
+   strongest correctness statements in the suite:
+
+   1. SOUNDNESS — every assignment the greedy planner produces passes
+      the independent safety checker (Definition 4.2);
+   2. EXECUTABILITY — planned queries execute on the simulator, the
+      distributed result equals the centralized evaluation, and the
+      runtime audit finds every flow authorized;
+   3. AGREEMENT — if the greedy planner finds an assignment, the
+      exhaustive enumeration is non-empty too (greedy ⊆ exhaustive);
+   4. CONSISTENCY — the planner's root profile equals the profile
+      computed directly from the algebra (Figure 4 applied once);
+   5. MONOTONICITY — adding authorizations never turns a feasible plan
+      infeasible. *)
+
+open Relalg
+open Workload
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+type case = {
+  sys : System_gen.t;
+  policy : Authz.Policy.t;
+  plan : Plan.t;
+}
+
+(* A deterministic stream of random cases. *)
+let cases ~count ~relations ~joins ~density =
+  List.filter_map
+    (fun seed ->
+      let rng = Rng.make ~seed in
+      let topology =
+        match seed mod 3 with
+        | 0 -> System_gen.Chain
+        | 1 -> System_gen.Star
+        | _ -> System_gen.Random { extra_edges = 2 }
+      in
+      let sys =
+        System_gen.generate rng ~relations ~servers:relations ~extra:2
+          ~topology
+      in
+      let policy = Authz_gen.generate rng ~density sys in
+      Option.map
+        (fun plan -> { sys; policy; plan })
+        (Query_gen.generate_plan rng ~joins sys))
+    (List.init count (fun i -> i + 1))
+
+let all_cases =
+  lazy
+    (cases ~count:60 ~relations:5 ~joins:3 ~density:0.4
+    @ cases ~count:30 ~relations:7 ~joins:4 ~density:0.7
+    @ cases ~count:30 ~relations:4 ~joins:2 ~density:0.2)
+
+let planned_cases =
+  lazy
+    (List.filter_map
+       (fun case ->
+         match
+           Planner.Safe_planner.plan case.sys.catalog case.policy case.plan
+         with
+         | Ok r -> Some (case, r.Planner.Safe_planner.assignment)
+         | Error _ -> None)
+       (Lazy.force all_cases))
+
+let test_enough_coverage () =
+  (* The experiment design must exercise both outcomes. *)
+  let total = List.length (Lazy.force all_cases) in
+  let feasible = List.length (Lazy.force planned_cases) in
+  check Alcotest.bool
+    (Fmt.str "feasible %d of %d" feasible total)
+    true
+    (feasible >= 10 && total - feasible >= 10)
+
+let test_soundness () =
+  List.iter
+    (fun (case, assignment) ->
+      match
+        Planner.Safety.check case.sys.catalog case.policy case.plan assignment
+      with
+      | Ok _ -> ()
+      | Error (`Structure e) ->
+        Alcotest.failf "structural error: %a" Planner.Safety.pp_error e
+      | Error (`Violations vs) ->
+        Alcotest.failf "planner produced %d unauthorized flows:@.%a"
+          (List.length vs)
+          Fmt.(list Planner.Safety.pp_violation)
+          vs)
+    (Lazy.force planned_cases)
+
+let test_executability () =
+  List.iteri
+    (fun i (case, assignment) ->
+      let instances =
+        Data_gen.instances (Rng.make ~seed:(1000 + i)) ~rows:15 case.sys
+      in
+      match
+        Distsim.Engine.execute case.sys.catalog ~instances case.plan
+          assignment
+      with
+      | Error e -> Alcotest.failf "execution failed: %a" Distsim.Engine.pp_error e
+      | Ok { result; network; _ } ->
+        check Helpers.relation "distributed = centralized"
+          (Distsim.Engine.centralized ~instances case.plan)
+          result;
+        (match Distsim.Audit.run case.policy network with
+         | Ok _ -> ()
+         | Error vs ->
+           Alcotest.failf "audit found %d violations:@.%a" (List.length vs)
+             Fmt.(list Distsim.Audit.pp_violation)
+             vs))
+    (Lazy.force planned_cases)
+
+let test_greedy_implies_exhaustive () =
+  List.iter
+    (fun (case, _) ->
+      check Alcotest.bool "exhaustive also feasible" true
+        (Planner.Exhaustive.feasible case.sys.catalog case.policy case.plan))
+    (Lazy.force planned_cases)
+
+let test_exhaustive_assignments_safe () =
+  (* On a subsample (enumeration is exponential). *)
+  let sample = List.filteri (fun i _ -> i < 12) (Lazy.force planned_cases) in
+  List.iter
+    (fun (case, _) ->
+      let all =
+        Planner.Exhaustive.safe_assignments ~max_results:50 case.sys.catalog
+          case.policy case.plan
+      in
+      List.iter
+        (fun a ->
+          check Alcotest.bool "enumerated assignment safe" true
+            (Planner.Safety.is_safe case.sys.catalog case.policy case.plan a))
+        all)
+    sample
+
+let test_profile_consistency () =
+  List.iter
+    (fun case ->
+      let from_algebra =
+        Authz.Profile.of_algebra (Plan.to_algebra case.plan)
+      in
+      let from_plan = Planner.Safety.profile_of (Plan.root case.plan) in
+      check Helpers.profile "profiles agree" from_algebra from_plan)
+    (Lazy.force all_cases)
+
+let test_authorization_monotonicity () =
+  (* Granting everything to everyone keeps feasible plans feasible. *)
+  let everything sys =
+    List.fold_left
+      (fun p server ->
+        List.fold_left
+          (fun p (rels, conds) ->
+            let path = Joinpath.of_list conds in
+            let attrs =
+              List.fold_left
+                (fun acc rel ->
+                  match Catalog.relation sys.System_gen.catalog rel with
+                  | Ok s -> Attribute.Set.union acc (Schema.attribute_set s)
+                  | Error _ -> acc)
+                Attribute.Set.empty rels
+            in
+            match Authz.Authorization.make ~attrs ~path server with
+            | Ok a -> Authz.Policy.add a p
+            | Error _ -> p)
+          p
+          (Authz_gen.connected_subtrees sys ~max_edges:4))
+      Authz.Policy.empty
+      (System_gen.servers sys)
+  in
+  List.iter
+    (fun (case, _) ->
+      let bigger = Authz.Policy.union case.policy (everything case.sys) in
+      check Alcotest.bool "still feasible" true
+        (Planner.Safe_planner.feasible case.sys.catalog bigger case.plan))
+    (Lazy.force planned_cases)
+
+let test_infeasible_cases_have_no_safe_assignment () =
+  (* When the greedy planner gives up, exhaustive enumeration on small
+     plans confirms there is no operand-only safe assignment
+     (completeness of the greedy algorithm on these cases). *)
+  let infeasible =
+    List.filter
+      (fun case ->
+        not
+          (Planner.Safe_planner.feasible case.sys.catalog case.policy
+             case.plan))
+      (Lazy.force all_cases)
+  in
+  let small =
+    List.filteri
+      (fun i _ -> i < 25)
+      (List.filter (fun case -> Plan.join_count case.plan <= 3) infeasible)
+  in
+  check Alcotest.bool "some infeasible small cases" true (List.length small > 0);
+  List.iter
+    (fun case ->
+      check Alcotest.bool "exhaustive agrees: infeasible" false
+        (Planner.Exhaustive.feasible case.sys.catalog case.policy case.plan))
+    small
+
+let suite =
+  [
+    c "case mix covers both outcomes" `Quick test_enough_coverage;
+    c "SOUNDNESS: planned ⇒ safe" `Slow test_soundness;
+    c "EXECUTABILITY: planned ⇒ runs, correct, audit-clean" `Slow
+      test_executability;
+    c "greedy feasible ⇒ exhaustive feasible" `Slow
+      test_greedy_implies_exhaustive;
+    c "exhaustive assignments all safe" `Slow test_exhaustive_assignments_safe;
+    c "profile consistency (planner = algebra)" `Quick
+      test_profile_consistency;
+    c "more authorizations never hurt" `Slow test_authorization_monotonicity;
+    c "greedy-infeasible ⇒ exhaustively infeasible" `Slow
+      test_infeasible_cases_have_no_safe_assignment;
+  ]

@@ -1,0 +1,209 @@
+open Relalg
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let mk_example () =
+  Helpers.check_ok Query.pp_error
+    (Query.make M.catalog
+       ~select:
+         (List.map M.attr [ "Patient"; "Physician"; "Plan"; "HealthAid" ])
+       ~base:"Insurance"
+       ~joins:
+         [
+           ("Nat_registry", Joinpath.Cond.eq (M.attr "Holder") (M.attr "Citizen"));
+           ("Hospital", Joinpath.Cond.eq (M.attr "Citizen") (M.attr "Patient"));
+         ]
+       ~where:Predicate.True)
+
+let test_make_ok () =
+  let q = mk_example () in
+  check Alcotest.(list string) "relations"
+    [ "Insurance"; "Nat_registry"; "Hospital" ]
+    (Query.relations q);
+  check Alcotest.int "join path length" 2 (Joinpath.length (Query.join_path q))
+
+let test_join_orientation_normalised () =
+  (* Spelling the second condition backwards must still work. *)
+  let q =
+    Helpers.check_ok Query.pp_error
+      (Query.make M.catalog
+         ~select:[ M.attr "Patient" ]
+         ~base:"Insurance"
+         ~joins:
+           [
+             ( "Nat_registry",
+               Joinpath.Cond.eq (M.attr "Citizen") (M.attr "Holder") );
+             ( "Hospital",
+               Joinpath.Cond.eq (M.attr "Patient") (M.attr "Citizen") );
+           ]
+         ~where:Predicate.True)
+  in
+  List.iter
+    (fun (_, cond) ->
+      (* After normalisation the right side belongs to the joined
+         relation. *)
+      check Alcotest.int "one pair" 1 (List.length (Joinpath.Cond.right cond)))
+    q.Query.joins
+
+let test_make_errors () =
+  (match
+     Query.make M.catalog ~select:[] ~base:"Insurance" ~joins:[]
+       ~where:Predicate.True
+   with
+   | Error Query.Empty_select -> ()
+   | _ -> Alcotest.fail "empty select accepted");
+  (match
+     Query.make M.catalog
+       ~select:[ M.attr "Holder" ]
+       ~base:"Nope" ~joins:[] ~where:Predicate.True
+   with
+   | Error (Query.Catalog (Catalog.Unknown_relation "Nope")) -> ()
+   | _ -> Alcotest.fail "unknown base accepted");
+  (match
+     Query.make M.catalog
+       ~select:[ M.attr "Patient" ]
+       ~base:"Insurance" ~joins:[] ~where:Predicate.True
+   with
+   | Error (Query.Select_out_of_scope _) -> ()
+   | _ -> Alcotest.fail "out-of-scope select accepted");
+  (match
+     Query.make M.catalog
+       ~select:[ M.attr "Holder" ]
+       ~base:"Insurance" ~joins:[]
+       ~where:(Predicate.Cmp (M.attr "Patient", Eq, Const (Value.Int 1)))
+   with
+   | Error (Query.Where_out_of_scope _) -> ()
+   | _ -> Alcotest.fail "out-of-scope where accepted");
+  match
+    Query.make M.catalog
+      ~select:[ M.attr "Holder" ]
+      ~base:"Insurance"
+      ~joins:
+        [
+          (* condition relating two relations that are not being joined *)
+          ( "Disease_list",
+            Joinpath.Cond.eq (M.attr "Holder") (M.attr "Patient") );
+        ]
+      ~where:Predicate.True
+  with
+  | Error (Query.Join_condition_unrelated _) -> ()
+  | _ -> Alcotest.fail "unrelated join condition accepted"
+
+let rec count_op pred (e : Algebra.t) =
+  let self = if pred e then 1 else 0 in
+  self
+  +
+  match e with
+  | Algebra.Relation _ -> 0
+  | Algebra.Project (_, x) | Algebra.Select (_, x) -> count_op pred x
+  | Algebra.Join (_, l, r) -> count_op pred l + count_op pred r
+
+let test_projection_pushdown () =
+  let q = mk_example () in
+  let e = Query.to_algebra q in
+  (* Exactly the Figure-2 shape: one pushed projection (Hospital) and
+     the root projection; Insurance and Nat_registry need all their
+     attributes. *)
+  check Alcotest.int "two projections"
+    2
+    (count_op (function Algebra.Project _ -> true | _ -> false) e);
+  check Alcotest.int "no selection" 0
+    (count_op (function Algebra.Select _ -> true | _ -> false) e);
+  check Alcotest.int "seven nodes" 7 (Algebra.size e)
+
+let test_selection_pushdown () =
+  let where =
+    Predicate.Cmp (M.attr "Plan", Eq, Const (Value.String "gold"))
+  in
+  let q =
+    Helpers.check_ok Query.pp_error
+      (Query.make M.catalog
+         ~select:[ M.attr "Patient" ]
+         ~base:"Insurance"
+         ~joins:
+           [
+             ( "Hospital",
+               Joinpath.Cond.eq (M.attr "Holder") (M.attr "Patient") );
+           ]
+         ~where)
+  in
+  let pushed = Query.to_algebra q in
+  (* The Plan='gold' conjunct lands on the Insurance leaf... *)
+  let rec has_select_over_leaf = function
+    | Algebra.Select (_, Algebra.Relation s) -> Schema.name s = "Insurance"
+    | Algebra.Relation _ -> false
+    | Algebra.Project (_, x) | Algebra.Select (_, x) -> has_select_over_leaf x
+    | Algebra.Join (_, l, r) -> has_select_over_leaf l || has_select_over_leaf r
+  in
+  check Alcotest.bool "selection at the leaf" true
+    (has_select_over_leaf pushed);
+  (* ... and with pushdown disabled it stays at the top. *)
+  let kept = Query.to_algebra ~push_selections:false q in
+  (match kept with
+   | Algebra.Project (_, Algebra.Select _) | Algebra.Select _ -> ()
+   | _ -> Alcotest.fail "selection not at top");
+  (* Both evaluate identically. *)
+  let lookup schema =
+    Option.get (M.instances (Schema.name schema))
+  in
+  check Helpers.relation "same result"
+    (Algebra.eval ~lookup pushed)
+    (Algebra.eval ~lookup kept)
+
+let test_cross_relation_predicate_stays_up () =
+  let where =
+    Predicate.Cmp (M.attr "Holder", Eq, Attr (M.attr "Patient"))
+  in
+  let q =
+    Helpers.check_ok Query.pp_error
+      (Query.make M.catalog
+         ~select:[ M.attr "Plan" ]
+         ~base:"Insurance"
+         ~joins:
+           [
+             ( "Hospital",
+               Joinpath.Cond.eq (M.attr "Holder") (M.attr "Patient") );
+           ]
+         ~where)
+  in
+  let e = Query.to_algebra q in
+  (* The cross-relation comparison cannot be pushed to any leaf. *)
+  let rec top_selects = function
+    | Algebra.Project (_, x) -> top_selects x
+    | Algebra.Select (_, _) -> 1
+    | _ -> 0
+  in
+  check Alcotest.int "kept above the join" 1 (top_selects e)
+
+let test_no_root_projection_when_star_like () =
+  let q =
+    Helpers.check_ok Query.pp_error
+      (Query.make M.catalog
+         ~select:(Schema.attributes M.insurance)
+         ~base:"Insurance" ~joins:[] ~where:Predicate.True)
+  in
+  match Query.to_algebra q with
+  | Algebra.Relation s ->
+    check Alcotest.string "bare leaf" "Insurance" (Schema.name s)
+  | _ -> Alcotest.fail "expected a bare relation"
+
+let test_pp_sql_like () =
+  let q = mk_example () in
+  let s = Query.to_string q in
+  check Alcotest.bool "mentions SELECT" true
+    (String.length s > 0 && String.sub s 0 6 = "SELECT")
+
+let suite =
+  [
+    c "make" `Quick test_make_ok;
+    c "join conditions normalised" `Quick test_join_orientation_normalised;
+    c "make validates" `Quick test_make_errors;
+    c "projection pushdown (Figure 2)" `Quick test_projection_pushdown;
+    c "selection pushdown" `Quick test_selection_pushdown;
+    c "cross-relation predicate stays up" `Quick
+      test_cross_relation_predicate_stays_up;
+    c "identity projection elided" `Quick test_no_root_projection_when_star_like;
+    c "SQL rendering" `Quick test_pp_sql_like;
+  ]

@@ -1,0 +1,182 @@
+open Relalg
+open Planner
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let plan () = M.example_plan ()
+
+let good_assignment () =
+  match Safe_planner.plan M.catalog M.policy (plan ()) with
+  | Ok r -> r.assignment
+  | Error f -> Alcotest.failf "%a" Safe_planner.pp_failure f
+
+let test_flows_of_paper_assignment () =
+  let flows =
+    Helpers.check_ok Safety.pp_error
+      (Safety.flows M.catalog (plan ()) (good_assignment ()))
+  in
+  (* Exactly three transfers: Insurance to S_N (regular join n2), the
+     Patient identifiers to S_N and the semi-join answer back to S_H
+     (semi-join n1). *)
+  check Alcotest.int "three flows" 3 (List.length flows);
+  let summaries =
+    List.map
+      (fun (f : Safety.flow) ->
+        (f.at, Server.name f.sender, Server.name f.receiver))
+      flows
+  in
+  check
+    Alcotest.(list (triple int string string))
+    "flow endpoints"
+    [ (2, "S_I", "S_N"); (1, "S_H", "S_N"); (1, "S_N", "S_H") ]
+    summaries
+
+let test_flow_profiles () =
+  let flows =
+    Helpers.check_ok Safety.pp_error
+      (Safety.flows M.catalog (plan ()) (good_assignment ()))
+  in
+  let aset names = Attribute.Set.of_list (List.map M.attr names) in
+  (match flows with
+   | [ reg; fwd; back ] ->
+     check Helpers.attribute_set "regular join ships Insurance"
+       (aset [ "Holder"; "Plan" ])
+       reg.Safety.profile.Authz.Profile.pi;
+     check Helpers.attribute_set "semi-join forward ships Patient ids"
+       (aset [ "Patient" ])
+       fwd.Safety.profile.Authz.Profile.pi;
+     check Helpers.attribute_set "semi-join answer"
+       (aset [ "Patient"; "Holder"; "Plan"; "Citizen"; "HealthAid" ])
+       back.Safety.profile.Authz.Profile.pi;
+     (* The answer's path carries both joins of the query. *)
+     check Alcotest.int "answer path length" 2
+       (Joinpath.length back.Safety.profile.Authz.Profile.join)
+   | _ -> Alcotest.fail "expected three flows")
+
+let test_check_ok () =
+  match Safety.check M.catalog M.policy (plan ()) (good_assignment ()) with
+  | Ok flows -> check Alcotest.int "three flows" 3 (List.length flows)
+  | Error _ -> Alcotest.fail "safe assignment rejected"
+
+let test_unassigned_node () =
+  match Safety.flows M.catalog (plan ()) Assignment.empty with
+  | Error (Safety.Unassigned_node _) -> ()
+  | _ -> Alcotest.fail "missing executor accepted"
+
+let test_leaf_not_at_home () =
+  let bad =
+    Assignment.set 4 (Assignment.executor M.s_h) (good_assignment ())
+  in
+  match Safety.flows M.catalog (plan ()) bad with
+  | Error (Safety.Leaf_not_at_home { node = 4; _ }) -> ()
+  | _ -> Alcotest.fail "moved leaf accepted"
+
+let test_unary_moved () =
+  (* n3 (the pushed projection on Hospital) must stay at n6's server. *)
+  let bad =
+    Assignment.set 3 (Assignment.executor M.s_i) (good_assignment ())
+  in
+  match Safety.flows M.catalog (plan ()) bad with
+  | Error (Safety.Unary_moved { node = 3; _ }) -> ()
+  | _ -> Alcotest.fail "moved unary accepted"
+
+let test_master_not_an_operand () =
+  (* n2's master set to S_D, which executes neither child. *)
+  let bad =
+    Assignment.set 2 (Assignment.executor M.s_d) (good_assignment ())
+  in
+  (match Safety.flows M.catalog (plan ()) bad with
+   | Error (Safety.Master_not_an_operand 2) -> ()
+   | _ -> Alcotest.fail "outside master accepted");
+  (* ... but allowed in third-party mode (the flows are both-full).
+     n1's slave must follow n2's new executor for the rest of the plan
+     to stay structurally valid. *)
+  let proxied =
+    Assignment.set 1 (Assignment.executor ~slave:M.s_d M.s_h) bad
+  in
+  match Safety.flows ~third_party:true M.catalog (plan ()) proxied with
+  | Ok flows ->
+    let n2_flows = List.filter (fun (f : Safety.flow) -> f.at = 2) flows in
+    check Alcotest.int "proxy receives both operands" 2
+      (List.length n2_flows)
+  | Error e -> Alcotest.failf "third-party rejected: %a" Safety.pp_error e
+
+let test_slave_not_other_operand () =
+  (* n1's slave set to S_I which does not execute n2. *)
+  let bad =
+    Assignment.set 1
+      (Assignment.executor ~slave:M.s_i M.s_h)
+      (good_assignment ())
+  in
+  match Safety.flows M.catalog (plan ()) bad with
+  | Error (Safety.Slave_not_other_operand 1) -> ()
+  | _ -> Alcotest.fail "wrong slave accepted"
+
+let test_violations_reported () =
+  (* Regular join at S_I for the top join: S_I would see Nat_registry
+     and Hospital data it has no authorization for. *)
+  let bad =
+    good_assignment ()
+    |> Assignment.set 0 (Assignment.executor M.s_i)
+    |> Assignment.set 1 (Assignment.executor M.s_i)
+    |> Assignment.set 2 (Assignment.executor M.s_i)
+    |> Assignment.set 5 (Assignment.executor M.s_n)
+  in
+  match Safety.check M.catalog M.policy (plan ()) bad with
+  | Error (`Violations vs) ->
+    check Alcotest.bool "at least one violation" true (List.length vs >= 1);
+    List.iter
+      (fun (v : Safety.violation) ->
+        check Helpers.server "S_I is the receiver" M.s_i
+          v.flow.Safety.receiver)
+      vs
+  | Ok _ -> Alcotest.fail "unsafe assignment accepted"
+  | Error (`Structure e) -> Alcotest.failf "structure error: %a" Safety.pp_error e
+
+let test_local_join_no_flows () =
+  (* Supply chain customers query: n2/n4 at S_M... instead build a
+     single-server plan: joining two relations stored at the same
+     server moves nothing. *)
+  let s = Server.make "Solo" in
+  let r1 = Schema.make "L1" ~key:[ "A" ] [ "A"; "B" ] in
+  let r2 = Schema.make "L2" ~key:[ "C" ] [ "C"; "D" ] in
+  let catalog = Catalog.of_list [ (r1, s); (r2, s) ] in
+  let cond =
+    Joinpath.Cond.eq
+      (Attribute.make ~relation:"L1" "A")
+      (Attribute.make ~relation:"L2" "C")
+  in
+  let plan =
+    Plan.of_algebra
+      (Algebra.Join (cond, Algebra.Relation r1, Algebra.Relation r2))
+  in
+  let assignment =
+    Assignment.empty
+    |> Assignment.set 0 (Assignment.executor s)
+    |> Assignment.set 1 (Assignment.executor s)
+    |> Assignment.set 2 (Assignment.executor s)
+  in
+  let flows =
+    Helpers.check_ok Safety.pp_error (Safety.flows catalog plan assignment)
+  in
+  check Alcotest.int "no flows" 0 (List.length flows);
+  (* And it is safe under an empty policy — nothing is released. *)
+  check Alcotest.bool "safe with no authorizations" true
+    (Safety.is_safe catalog Authz.Policy.empty plan assignment)
+
+let suite =
+  [
+    c "flows of the paper's assignment" `Quick test_flows_of_paper_assignment;
+    c "flow profiles (Figure 5)" `Quick test_flow_profiles;
+    c "check accepts the safe assignment" `Quick test_check_ok;
+    c "unassigned node" `Quick test_unassigned_node;
+    c "leaf must stay home" `Quick test_leaf_not_at_home;
+    c "unary must stay with its operand" `Quick test_unary_moved;
+    c "master must be an operand (unless third-party)" `Quick
+      test_master_not_an_operand;
+    c "slave must be the other operand" `Quick test_slave_not_other_operand;
+    c "violations identify the receiver" `Quick test_violations_reported;
+    c "co-located join entails no flow" `Quick test_local_join_no_flows;
+  ]

@@ -1,0 +1,138 @@
+open Relalg
+open Planner
+module M = Scenario.Medical
+module R = Scenario.Research
+module SC = Scenario.Supply_chain
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+let contains = Helpers.contains
+
+let compile catalog policy plan =
+  match Safe_planner.plan catalog policy plan with
+  | Error f -> Alcotest.failf "%a" Safe_planner.pp_failure f
+  | Ok { assignment; _ } ->
+    (match Script.of_assignment catalog plan assignment with
+     | Ok s -> s
+     | Error e -> Alcotest.failf "%a" Safety.pp_error e)
+
+(* (server, defines, sql) of each Local step. *)
+let locals_of s =
+  List.filter_map
+    (function
+      | Script.Local { at; defines; sql } -> Some (at, defines, sql)
+      | Script.Ship _ -> None)
+    s.Script.steps
+
+(* (src, dst, temp) of each Ship step. *)
+let ships_of s =
+  List.filter_map
+    (function
+      | Script.Ship { src; dst; temp } -> Some (src, dst, temp)
+      | Script.Local _ -> None)
+    s.Script.steps
+
+let test_medical_script () =
+  let s = compile M.catalog M.policy (M.example_plan ()) in
+  check Helpers.server "result at S_H" M.s_h s.Script.location;
+  check Alcotest.string "result temp" "t0" s.Script.result;
+  (* Three transfers, matching the three safety flows. *)
+  check Alcotest.int "three ships" 3 (List.length (ships_of s));
+  (* The semi-join shows up as DISTINCT keys + NATURAL JOIN. *)
+  let sqls = List.map (fun (_, _, sql) -> sql) (locals_of s) in
+  check Alcotest.bool "keys projection" true
+    (List.exists (contains ~sub:"SELECT DISTINCT Patient") sqls);
+  check Alcotest.bool "final natural join" true
+    (List.exists (contains ~sub:"NATURAL JOIN") sqls);
+  (* Base relations are read exactly once each. *)
+  List.iter
+    (fun rel ->
+      check Alcotest.int rel 1
+        (List.length (List.filter (contains ~sub:("FROM " ^ rel)) sqls)))
+    [ "Insurance"; "Hospital"; "Nat_registry" ]
+
+let test_every_temp_defined_before_use () =
+  (* Dataflow sanity: a Ship only moves temps already defined, and a
+     Local's FROM only references base relations or temps defined (and
+     present at that server). *)
+  let scripts =
+    [
+      compile M.catalog M.policy (M.example_plan ());
+      compile SC.catalog SC.policy (SC.tracking_plan ());
+      compile SC.catalog SC.policy (SC.customers_plan ());
+    ]
+  in
+  List.iter
+    (fun s ->
+      let defined = Hashtbl.create 16 in
+      List.iter
+        (function
+          | Script.Local { defines; at; _ } ->
+            Hashtbl.replace defined (defines, Server.name at) ()
+          | Script.Ship { src; dst; temp } ->
+            check Alcotest.bool
+              (Printf.sprintf "%s defined at %s before shipping" temp
+                 (Server.name src))
+              true
+              (Hashtbl.mem defined (temp, Server.name src));
+            Hashtbl.replace defined (temp, Server.name dst) ())
+        s.Script.steps;
+      check Alcotest.bool "result defined at its location" true
+        (Hashtbl.mem defined (s.Script.result, Server.name s.Script.location)))
+    scripts
+
+let test_coordinator_script () =
+  let plan = R.outcomes_plan () in
+  let assignment =
+    match Third_party.plan ~helpers:[ R.s_t ] R.catalog R.policy plan with
+    | Ok r -> r.Third_party.assignment
+    | Error _ -> Alcotest.fail "not rescued"
+  in
+  match Script.of_assignment R.catalog plan assignment with
+  | Error e -> Alcotest.failf "%a" Safety.pp_error e
+  | Ok s ->
+    (* Four transfers: keys x2, matched, reduced. *)
+    check Alcotest.int "four ships" 4 (List.length (ships_of s));
+    (* The matcher runs exactly one statement (the key match). *)
+    let at_matcher =
+      List.filter (fun (at, _, _) -> Server.equal at R.s_t) (locals_of s)
+    in
+    check Alcotest.int "one statement at the matcher" 1
+      (List.length at_matcher)
+
+let test_proxy_script () =
+  let plan = SC.pricing_plan () in
+  let assignment =
+    match Third_party.plan ~helpers:[ SC.s_b ] SC.catalog SC.policy plan with
+    | Ok r -> r.Third_party.assignment
+    | Error _ -> Alcotest.fail "not rescued"
+  in
+  match Script.of_assignment ~third_party:true SC.catalog plan assignment with
+  | Error e -> Alcotest.failf "%a" Safety.pp_error e
+  | Ok s ->
+    check Helpers.server "result at the broker" SC.s_b s.Script.location;
+    check Alcotest.int "both operands travel" 2 (List.length (ships_of s))
+
+let test_invalid_assignment_rejected () =
+  match
+    Script.of_assignment M.catalog (M.example_plan ()) Assignment.empty
+  with
+  | Error (Safety.Unassigned_node _) -> ()
+  | _ -> Alcotest.fail "empty assignment compiled"
+
+let test_rendering () =
+  let s = compile M.catalog M.policy (M.example_plan ()) in
+  let text = Fmt.str "%a" Script.pp s in
+  List.iter
+    (fun sub -> check Alcotest.bool sub true (contains ~sub text))
+    [ "S_I: CREATE TEMP TABLE t4"; "SEND"; "-- result in t0 at S_H" ]
+
+let suite =
+  [
+    c "medical script" `Quick test_medical_script;
+    c "temps defined before use" `Quick test_every_temp_defined_before_use;
+    c "coordinator script" `Quick test_coordinator_script;
+    c "proxy script" `Quick test_proxy_script;
+    c "invalid assignments rejected" `Quick test_invalid_assignment_rejected;
+    c "rendering" `Quick test_rendering;
+  ]

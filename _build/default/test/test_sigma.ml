@@ -1,0 +1,114 @@
+(* Selection attributes as disclosure (the R^sigma component).
+
+   Pushing a WHERE down to a leaf does not only filter tuples: the
+   condition's attributes join the profile's sigma set and count as
+   released information (Definition 3.3 checks pi ∪ sigma). These
+   end-to-end cases pin the behaviour on the paper's example. *)
+
+open Relalg
+open Planner
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let with_where w =
+  Query.to_plan
+    (Sql_parser.parse_exn M.catalog (M.example_query_sql ^ " WHERE " ^ w))
+
+let test_sigma_carried_in_flows () =
+  let plan = with_where "Plan = 'gold'" in
+  match Safe_planner.plan M.catalog M.policy plan with
+  | Error f -> Alcotest.failf "%a" Safe_planner.pp_failure f
+  | Ok { assignment; _ } ->
+    let flows =
+      Helpers.check_ok Safety.pp_error (Safety.flows M.catalog plan assignment)
+    in
+    (* The Insurance transfer and the semi-join answer both carry
+       sigma = {Plan}. *)
+    let plan_attr = Attribute.Set.singleton (M.attr "Plan") in
+    (match flows with
+     | [ first; _; last ] ->
+       check Helpers.attribute_set "sigma on the shipped operand" plan_attr
+         first.Safety.profile.Authz.Profile.sigma;
+       check Helpers.attribute_set "sigma survives the join" plan_attr
+         last.Safety.profile.Authz.Profile.sigma
+     | _ -> Alcotest.fail "expected three flows")
+
+let test_sigma_execution_correct () =
+  let plan = with_where "Plan = 'gold'" in
+  match Safe_planner.plan M.catalog M.policy plan with
+  | Error f -> Alcotest.failf "%a" Safe_planner.pp_failure f
+  | Ok { assignment; _ } ->
+    (match
+       Distsim.Engine.execute M.catalog ~instances:M.instances plan assignment
+     with
+     | Error e -> Alcotest.failf "%a" Distsim.Engine.pp_error e
+     | Ok { result; network; _ } ->
+       (* Only c1 holds a gold plan among the joined population. *)
+       check Alcotest.int "one gold patient" 1 (Relation.cardinality result);
+       check Helpers.relation "matches centralized"
+         (Distsim.Engine.centralized ~instances:M.instances plan)
+         result;
+       check Alcotest.bool "audit clean" true
+         (Distsim.Audit.is_clean M.policy network))
+
+let test_sigma_can_block () =
+  (* WHERE Physician = ... pushes sigma = {Physician} onto the Hospital
+     side; the semi-join's forward leg would then reveal to S_N that
+     the shipped Patient ids were filtered by Physician — and S_N's
+     authorization 10 covers {Patient, Disease} only. The query becomes
+     infeasible even though the same query without the filter is the
+     paper's own feasible example. *)
+  let plan = with_where "Physician = 'Dr.Kay'" in
+  (match Safe_planner.plan M.catalog M.policy plan with
+   | Error f -> check Alcotest.int "blocked at the top join" 1 f.failed_at
+   | Ok _ -> Alcotest.fail "sigma leak admitted");
+  (* Exhaustive agrees: no safe assignment at all. *)
+  check Alcotest.bool "exhaustively infeasible" false
+    (Exhaustive.feasible M.catalog M.policy plan)
+
+let test_sigma_on_registry_side_fine () =
+  (* WHERE HealthAid = ... pushes onto Nat_registry; S_N filters its
+     own data, and the final answer's sigma = {HealthAid} is within
+     S_H's authorization 7. *)
+  let plan = with_where "HealthAid = 'full'" in
+  match Safe_planner.plan M.catalog M.policy plan with
+  | Error f -> Alcotest.failf "%a" Safe_planner.pp_failure f
+  | Ok { assignment; _ } ->
+    check Alcotest.bool "safe" true
+      (Safety.is_safe M.catalog M.policy plan assignment)
+
+let test_grant_restores_sigma_blocked_query () =
+  (* Granting S_N the Physician attribute (with empty path, alongside
+     Patient) repairs the blocked query — and the advisor finds a
+     repair on its own. *)
+  let plan = with_where "Physician = 'Dr.Kay'" in
+  let extended =
+    Authz.Policy.add
+      (Authz.Authorization.make_exn
+         ~attrs:
+           (Attribute.Set.of_list
+              (List.map M.attr [ "Patient"; "Disease"; "Physician" ]))
+         ~path:Joinpath.empty M.s_n)
+      M.policy
+  in
+  check Alcotest.bool "feasible after the grant" true
+    (Safe_planner.feasible M.catalog extended plan);
+  match Advisor.advise M.catalog M.policy plan with
+  | Some { assignment; extended; _ } ->
+    check Alcotest.bool "advisor repair is safe" true
+      (Safety.is_safe M.catalog extended plan assignment)
+  | None -> Alcotest.fail "advisor found no repair"
+
+let suite =
+  [
+    c "sigma carried in flow profiles" `Quick test_sigma_carried_in_flows;
+    c "filtered query executes correctly" `Quick test_sigma_execution_correct;
+    c "sigma can make the paper's example infeasible" `Quick
+      test_sigma_can_block;
+    c "sigma on the owner's side is fine" `Quick
+      test_sigma_on_registry_side_fine;
+    c "grants (and the advisor) repair sigma blocks" `Quick
+      test_grant_restores_sigma_blocked_query;
+  ]

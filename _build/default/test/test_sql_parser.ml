@@ -1,0 +1,163 @@
+open Relalg
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let parse sql = Sql_parser.parse M.catalog sql
+
+let parse_ok sql =
+  match parse sql with
+  | Ok q -> q
+  | Error e -> Alcotest.failf "parse %S: %a" sql Sql_parser.pp_error e
+
+let test_example_22 () =
+  let q = parse_ok M.example_query_sql in
+  check Alcotest.(list string) "relations"
+    [ "Insurance"; "Nat_registry"; "Hospital" ]
+    (Query.relations q);
+  check Alcotest.(list string) "select order"
+    [ "Patient"; "Physician"; "Plan"; "HealthAid" ]
+    (List.map Attribute.name q.Query.select)
+
+let test_case_insensitive_keywords () =
+  let q =
+    parse_ok "select Holder from Insurance join Hospital on Holder=Patient"
+  in
+  check Alcotest.int "two relations" 2 (List.length (Query.relations q))
+
+let test_star () =
+  let q = parse_ok "SELECT * FROM Insurance" in
+  check Alcotest.(list string) "all attributes" [ "Holder"; "Plan" ]
+    (List.map Attribute.name q.Query.select)
+
+let test_star_with_join () =
+  let q =
+    parse_ok "SELECT * FROM Insurance JOIN Hospital ON Holder = Patient"
+  in
+  check Alcotest.int "five attributes" 5 (List.length q.Query.select)
+
+let test_where_grammar () =
+  let q =
+    parse_ok
+      "SELECT Holder FROM Insurance WHERE Plan = 'gold' OR (Plan <> 'basic' \
+       AND NOT Holder = 'c9')"
+  in
+  (match q.Query.where with
+   | Predicate.Or (_, _) -> ()
+   | _ -> Alcotest.fail "expected OR at top");
+  check Helpers.attribute_set "where attrs"
+    (Attribute.Set.of_list [ M.attr "Holder"; M.attr "Plan" ])
+    (Predicate.attributes q.Query.where)
+
+let test_where_literals () =
+  let q =
+    parse_ok "SELECT Holder FROM Insurance WHERE Plan = 'gold' AND Holder <> NULL"
+  in
+  ignore q;
+  let q2 = parse_ok "SELECT Holder FROM Insurance WHERE Plan >= 3" in
+  ignore q2
+
+let test_multi_equality_on () =
+  (* Two equalities in one ON clause form a single join condition. *)
+  let catalog =
+    Catalog.of_list
+      [
+        (Schema.make "T1" ~key:[ "A" ] [ "A"; "B" ], Server.make "X");
+        (Schema.make "T2" ~key:[ "C" ] [ "C"; "D" ], Server.make "Y");
+      ]
+  in
+  let q =
+    Helpers.check_ok Sql_parser.pp_error
+      (Sql_parser.parse catalog
+         "SELECT A FROM T1 JOIN T2 ON A = C AND B = D")
+  in
+  match q.Query.joins with
+  | [ (_, cond) ] ->
+    check Alcotest.int "two pairs" 2 (List.length (Joinpath.Cond.left cond))
+  | _ -> Alcotest.fail "expected one join"
+
+let test_dotted_names () =
+  let q = parse_ok "SELECT Insurance.Holder FROM Insurance" in
+  check Alcotest.(list string) "resolved" [ "Holder" ]
+    (List.map Attribute.name q.Query.select)
+
+let test_syntax_errors () =
+  let syntax sql =
+    match parse sql with
+    | Error (Sql_parser.Syntax _) -> ()
+    | Error (Sql_parser.Semantics e) ->
+      Alcotest.failf "%S: semantic error %a instead of syntax" sql
+        Query.pp_error e
+    | Ok _ -> Alcotest.failf "%S parsed" sql
+  in
+  syntax "";
+  syntax "SELECT";
+  syntax "SELECT FROM Insurance";
+  syntax "SELECT Holder Insurance";
+  syntax "SELECT Holder FROM Insurance JOIN";
+  syntax "SELECT Holder FROM Insurance JOIN Hospital";
+  syntax "SELECT Holder FROM Insurance JOIN Hospital ON";
+  syntax "SELECT Holder FROM Insurance JOIN Hospital ON Holder < Patient";
+  syntax "SELECT Holder FROM Insurance WHERE";
+  syntax "SELECT Holder FROM Insurance WHERE Plan ~ 3";
+  syntax "SELECT Holder FROM Insurance trailing";
+  syntax "SELECT Holder FROM Insurance WHERE Plan = 'unterminated";
+  syntax "SELECT Unknown_attr FROM Insurance"
+
+let test_unknown_relation_is_semantic () =
+  match parse "SELECT Holder FROM Nowhere" with
+  | Error (Sql_parser.Semantics (Query.Catalog (Catalog.Unknown_relation _))) ->
+    ()
+  | _ -> Alcotest.fail "expected semantic unknown-relation error"
+
+let test_error_offset () =
+  match parse "SELECT Holder FROM Insurance WHERE Plan ~ 3" with
+  | Error (Sql_parser.Syntax { offset; _ }) ->
+    check Alcotest.int "points at '~'" 40 offset
+  | _ -> Alcotest.fail "expected syntax error"
+
+let test_ambiguous_attribute () =
+  let catalog =
+    Catalog.of_list
+      [
+        (Schema.make "T1" ~key:[ "A" ] [ "A" ], Server.make "X");
+        (Schema.make "T2" ~key:[ "B" ] [ "B"; "A" ], Server.make "Y");
+      ]
+  in
+  match Sql_parser.parse catalog "SELECT A FROM T1" with
+  | Error (Sql_parser.Syntax _) -> ()
+  | _ -> Alcotest.fail "ambiguous name accepted"
+
+let test_parse_exn () =
+  match Sql_parser.parse_exn M.catalog "SELECT" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "parse_exn did not raise"
+
+let test_roundtrip_through_pp () =
+  (* Rendering a parsed query and re-parsing it yields the same
+     query. *)
+  let q = parse_ok M.example_query_sql in
+  let q2 = parse_ok (Query.to_string q) in
+  check Alcotest.(list string) "same relations" (Query.relations q)
+    (Query.relations q2);
+  check Alcotest.bool "same join path" true
+    (Joinpath.equal (Query.join_path q) (Query.join_path q2))
+
+let suite =
+  [
+    c "Example 2.2" `Quick test_example_22;
+    c "keywords case-insensitive" `Quick test_case_insensitive_keywords;
+    c "SELECT *" `Quick test_star;
+    c "SELECT * with join" `Quick test_star_with_join;
+    c "WHERE grammar" `Quick test_where_grammar;
+    c "WHERE literals" `Quick test_where_literals;
+    c "multi-equality ON" `Quick test_multi_equality_on;
+    c "dotted names" `Quick test_dotted_names;
+    c "syntax errors" `Quick test_syntax_errors;
+    c "unknown relation is semantic" `Quick test_unknown_relation_is_semantic;
+    c "error carries offset" `Quick test_error_offset;
+    c "ambiguous attribute rejected" `Quick test_ambiguous_attribute;
+    c "parse_exn" `Quick test_parse_exn;
+    c "pp round-trip" `Quick test_roundtrip_through_pp;
+  ]

@@ -1,0 +1,80 @@
+open Relalg
+open Planner
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let stats () = Stats.of_instances M.catalog M.instances
+
+let test_cardinalities () =
+  let s = stats () in
+  check Alcotest.(option int) "Insurance" (Some 5)
+    (Stats.cardinality s "Insurance");
+  check Alcotest.(option int) "Nat_registry" (Some 8)
+    (Stats.cardinality s "Nat_registry");
+  check Alcotest.(option int) "unknown" None (Stats.cardinality s "Nope")
+
+let test_distincts () =
+  let s = stats () in
+  (* Holder is a key: 5 distinct of 5 rows. *)
+  check Alcotest.(option int) "Holder" (Some 5)
+    (Stats.distinct s (M.attr "Holder"));
+  (* Plan has 3 distinct values (gold, silver, basic). *)
+  check Alcotest.(option int) "Plan" (Some 3) (Stats.distinct s (M.attr "Plan"));
+  (* Physician: Kay, Lin, Moss. *)
+  check Alcotest.(option int) "Physician" (Some 3)
+    (Stats.distinct s (M.attr "Physician"));
+  check Alcotest.(option int) "unseen" None
+    (Stats.distinct s (Attribute.make ~relation:"Zzz" "A"))
+
+let test_join_selectivity () =
+  let s = stats () in
+  let cond = Joinpath.Cond.eq (M.attr "Holder") (M.attr "Citizen") in
+  (* distinct(Holder)=5, distinct(Citizen)=8 → 1/8. *)
+  (match Stats.join_selectivity s cond with
+   | Some sel -> check (Alcotest.float 1e-9) "1/8" 0.125 sel
+   | None -> Alcotest.fail "no estimate");
+  let unseen =
+    Joinpath.Cond.eq (M.attr "Holder") (Attribute.make ~relation:"Z" "Q")
+  in
+  check Alcotest.bool "unseen side" true
+    (Stats.join_selectivity s unseen = None)
+
+let test_missing_instances_skipped () =
+  let partial name = if name = "Insurance" then M.instances name else None in
+  let s = Stats.of_instances M.catalog partial in
+  check Alcotest.(option int) "present" (Some 5)
+    (Stats.cardinality s "Insurance");
+  check Alcotest.(option int) "absent" None (Stats.cardinality s "Hospital")
+
+let test_cost_model () =
+  let s = stats () in
+  let conds = M.join_graph in
+  let model = Stats.to_cost_model ~conds s in
+  check (Alcotest.float 1e-9) "card from stats" 5.0 (model.Cost.card "Insurance");
+  check (Alcotest.float 1e-9) "default for unseen" 1000.0
+    (model.Cost.card "Nope");
+  check Alcotest.bool "selectivity in range" true
+    (model.Cost.join_selectivity >= 0.01
+    && model.Cost.join_selectivity <= 1.0)
+
+let test_model_drives_optimizer () =
+  (* The stats-driven model plugs into the optimizer unchanged. *)
+  let s = stats () in
+  let model = Stats.to_cost_model ~conds:M.join_graph s in
+  let t = Optimizer.optimize model M.catalog M.policy (M.example_query ()) in
+  match t.Optimizer.best with
+  | Some { outcome = Optimizer.Feasible (_, cost); _ } ->
+    check Alcotest.bool "finite cost" true (cost < infinity)
+  | _ -> Alcotest.fail "no feasible order"
+
+let suite =
+  [
+    c "cardinalities" `Quick test_cardinalities;
+    c "distinct counts" `Quick test_distincts;
+    c "join selectivity estimate" `Quick test_join_selectivity;
+    c "missing instances skipped" `Quick test_missing_instances_skipped;
+    c "cost model construction" `Quick test_cost_model;
+    c "stats model drives the optimizer" `Quick test_model_drives_optimizer;
+  ]

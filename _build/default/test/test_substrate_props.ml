@@ -1,0 +1,145 @@
+(* Additional qcheck properties on the relational substrate: algebraic
+   laws the engine and the profile calculus silently rely on. *)
+
+open Relalg
+
+let qc = Helpers.qcheck
+
+(* Generators over a tiny fixed schema. *)
+let r_schema = Schema.make "PR" ~key:[ "K" ] [ "K"; "A"; "B" ]
+let k = Attribute.make ~relation:"PR" "K"
+let a = Attribute.make ~relation:"PR" "A"
+let b = Attribute.make ~relation:"PR" "B"
+
+let arb_rel =
+  QCheck.(
+    map
+      (fun rows ->
+        Relation.of_rows r_schema
+          (List.map
+             (fun (x, y, z) -> [ Value.Int x; Value.Int y; Value.Int z ])
+             rows))
+      (list_of_size Gen.(0 -- 15)
+         (triple (int_bound 6) (int_bound 4) (int_bound 4))))
+
+let arb_pred =
+  QCheck.(
+    map
+      (fun (which, op_idx, v) ->
+        let attr = List.nth [ k; a; b ] (which mod 3) in
+        let op =
+          List.nth
+            [ Predicate.Eq; Neq; Lt; Le; Gt; Ge ]
+            (op_idx mod 6)
+        in
+        Predicate.Cmp (attr, op, Const (Value.Int v)))
+      (triple small_nat small_nat (int_bound 6)))
+
+let prop_select_idempotent =
+  QCheck.Test.make ~name:"select is idempotent" ~count:300
+    QCheck.(pair arb_rel arb_pred)
+    (fun (r, p) ->
+      let once = Relation.select p r in
+      Relation.equal once (Relation.select p once))
+
+let prop_select_commutes =
+  QCheck.Test.make ~name:"selects commute" ~count:300
+    QCheck.(triple arb_rel arb_pred arb_pred)
+    (fun (r, p, q) ->
+      Relation.equal
+        (Relation.select p (Relation.select q r))
+        (Relation.select q (Relation.select p r)))
+
+let prop_select_and_is_composition =
+  QCheck.Test.make ~name:"σ_{p∧q} = σ_p ∘ σ_q" ~count:300
+    QCheck.(triple arb_rel arb_pred arb_pred)
+    (fun (r, p, q) ->
+      Relation.equal
+        (Relation.select (Predicate.And (p, q)) r)
+        (Relation.select p (Relation.select q r)))
+
+let prop_project_monotone_cardinality =
+  QCheck.Test.make ~name:"projection never adds tuples" ~count:300 arb_rel
+    (fun r ->
+      Relation.cardinality (Relation.project (Attribute.Set.of_list [ a ]) r)
+      <= Relation.cardinality r)
+
+let prop_project_select_pushdown =
+  (* The minimization the planner applies: projecting after a selection
+     on a kept attribute equals selecting after projecting. *)
+  QCheck.Test.make ~name:"π/σ pushdown is sound" ~count:300
+    QCheck.(pair arb_rel (int_bound 6))
+    (fun (r, v) ->
+      let keep = Attribute.Set.of_list [ k; a ] in
+      let p = Predicate.Cmp (a, Predicate.Le, Const (Value.Int v)) in
+      Relation.equal
+        (Relation.project keep (Relation.select p r))
+        (Relation.select p (Relation.project keep r)))
+
+let prop_not_complements =
+  QCheck.Test.make ~name:"σ_p and σ_¬p partition" ~count:300
+    QCheck.(pair arb_rel arb_pred)
+    (fun (r, p) ->
+      let yes = Relation.cardinality (Relation.select p r) in
+      let no = Relation.cardinality (Relation.select (Predicate.Not p) r) in
+      yes + no = Relation.cardinality r)
+
+(* Join algebra over two disjoint schemas. *)
+let s_schema = Schema.make "PS" ~key:[ "L" ] [ "L"; "C" ]
+let l_attr = Attribute.make ~relation:"PS" "L"
+
+let arb_srel =
+  QCheck.(
+    map
+      (fun rows ->
+        Relation.of_rows s_schema
+          (List.map (fun (x, y) -> [ Value.Int x; Value.Int y ]) rows))
+      (list_of_size Gen.(0 -- 12) (pair (int_bound 6) (int_bound 4))))
+
+let cond = Joinpath.Cond.eq a l_attr
+
+let prop_join_commutes_mod_header =
+  QCheck.Test.make ~name:"join commutes (as tuple sets)" ~count:300
+    QCheck.(pair arb_rel arb_srel)
+    (fun (r, s) ->
+      QCheck.assume (not (Relation.is_empty r) && not (Relation.is_empty s));
+      let rs = Relation.equi_join cond r s in
+      let sr = Relation.equi_join (Joinpath.Cond.flip cond) s r in
+      List.for_all2 Tuple.equal (Relation.tuples rs) (Relation.tuples sr)
+      && Relation.cardinality rs = Relation.cardinality sr)
+
+let prop_semi_join_via_projection =
+  QCheck.Test.make ~name:"⋉ = π_left(⋈) as sets" ~count:300
+    QCheck.(pair arb_rel arb_srel)
+    (fun (r, s) ->
+      QCheck.assume (not (Relation.is_empty r) && not (Relation.is_empty s));
+      let direct = Relation.semi_join cond r s in
+      let via =
+        Relation.project (Relation.attribute_set r)
+          (Relation.equi_join cond r s)
+      in
+      Relation.equal direct via)
+
+let prop_join_select_pushdown =
+  (* σ on a left-only attribute pushes below the join. *)
+  QCheck.Test.make ~name:"σ pushes through ⋈" ~count:300
+    QCheck.(triple arb_rel arb_srel (int_bound 6))
+    (fun (r, s, v) ->
+      QCheck.assume (not (Relation.is_empty r) && not (Relation.is_empty s));
+      let p = Predicate.Cmp (b, Predicate.Ge, Const (Value.Int v)) in
+      Relation.equal
+        (Relation.select p (Relation.equi_join cond r s))
+        (Relation.equi_join cond (Relation.select p r) s))
+
+let suite =
+  [
+    qc prop_select_idempotent;
+    qc prop_select_commutes;
+    qc prop_select_and_is_composition;
+    qc prop_project_monotone_cardinality;
+    qc prop_project_select_pushdown;
+    qc prop_not_complements;
+    qc prop_join_commutes_mod_header;
+    qc prop_semi_join_via_projection;
+    qc prop_join_select_pushdown;
+  ]

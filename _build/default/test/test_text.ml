@@ -1,0 +1,270 @@
+open Relalg
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let medical_schema_text =
+  {|
+# the medical federation of Figure 1
+relation Insurance    at S_I (Holder*, Plan)
+relation Hospital     at S_H (Patient*, Disease, Physician)
+relation Nat_registry at S_N (Citizen*, HealthAid)
+relation Disease_list at S_D (Illness*, Treatment)
+
+join Holder  = Patient
+join Holder  = Citizen
+join Patient = Citizen
+join Disease = Illness
+|}
+
+let parse_schema_ok text =
+  match Text.Schema_text.parse text with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "%a" Text.Line_reader.pp_error e
+
+let test_schema_parse () =
+  let t = parse_schema_ok medical_schema_text in
+  check Alcotest.int "four relations" 4
+    (List.length (Catalog.schemas t.catalog));
+  check Alcotest.int "four joins" 4 (List.length t.join_graph);
+  check Helpers.server "placement" M.s_h
+    (Helpers.check_ok Catalog.pp_error (Catalog.server_of t.catalog "Hospital"));
+  let insurance =
+    Helpers.check_ok Catalog.pp_error (Catalog.relation t.catalog "Insurance")
+  in
+  check Alcotest.(list string) "key parsed" [ "Holder" ]
+    (List.map Attribute.name (Schema.key insurance))
+
+let test_schema_matches_scenario () =
+  (* The file above IS Figure 1: it must agree with the programmatic
+     scenario. *)
+  let t = parse_schema_ok medical_schema_text in
+  List.iter2
+    (fun a b -> check Helpers.schema "same schema" a b)
+    (Catalog.schemas t.catalog)
+    (Catalog.schemas M.catalog);
+  List.iter2
+    (fun a b -> check Helpers.join_cond "same edge" a b)
+    t.join_graph M.join_graph
+
+let test_schema_roundtrip () =
+  let t = parse_schema_ok medical_schema_text in
+  let again = parse_schema_ok (Text.Schema_text.print t) in
+  List.iter2
+    (fun a b -> check Helpers.schema "round-trip schema" a b)
+    (Catalog.schemas t.catalog)
+    (Catalog.schemas again.catalog);
+  check Alcotest.int "round-trip joins" (List.length t.join_graph)
+    (List.length again.join_graph)
+
+let test_schema_errors () =
+  let err text =
+    match Text.Schema_text.parse text with
+    | Error e -> e
+    | Ok _ -> Alcotest.failf "accepted %S" text
+  in
+  check Alcotest.int "line number" 2
+    (err "relation A at S (X)\nrelation B (Y)").Text.Line_reader.line;
+  ignore (err "relation A at S ()");
+  ignore (err "relation A at S (X");
+  ignore (err "nonsense line");
+  ignore (err "relation A at S (X)\njoin X = Nope");
+  ignore (err "relation A at S (X)\nrelation A at S (Y)")
+
+let fig3_text = Text.Authz_text.print M.policy
+
+let test_authz_roundtrip () =
+  match Text.Authz_text.parse M.catalog fig3_text with
+  | Error e -> Alcotest.failf "%a" Text.Line_reader.pp_error e
+  | Ok policy ->
+    check Alcotest.int "fifteen rules" 15 (Authz.Policy.cardinality policy);
+    check Alcotest.bool "same policy" true
+      (Authz.Policy.equal policy M.policy)
+
+let test_authz_parse_paper_notation () =
+  let text =
+    {|
+[{Holder, Plan}, -] -> S_I
+[{Holder, Plan, Treatment}, {<Holder,Patient>, <Disease, Illness>}] -> S_I
+|}
+  in
+  match Text.Authz_text.parse M.catalog text with
+  | Error e -> Alcotest.failf "%a" Text.Line_reader.pp_error e
+  | Ok policy ->
+    check Alcotest.int "two rules" 2 (Authz.Policy.cardinality policy);
+    let auth3 =
+      Authz.Authorization.make_exn
+        ~attrs:
+          (Attribute.Set.of_list
+             (List.map M.attr [ "Holder"; "Plan"; "Treatment" ]))
+        ~path:
+          (Joinpath.of_list
+             [
+               Joinpath.Cond.eq (M.attr "Holder") (M.attr "Patient");
+               Joinpath.Cond.eq (M.attr "Disease") (M.attr "Illness");
+             ])
+        M.s_i
+    in
+    check Alcotest.bool "authorization 3 of Figure 3" true
+      (List.exists
+         (Authz.Authorization.equal auth3)
+         (Authz.Policy.authorizations policy))
+
+let test_authz_errors () =
+  let err text =
+    match Text.Authz_text.parse M.catalog text with
+    | Error e -> e
+    | Ok _ -> Alcotest.failf "accepted %S" text
+  in
+  ignore (err "[{Holder}, -]");  (* missing server *)
+  ignore (err "{Holder} -> S_I");  (* missing brackets *)
+  ignore (err "[{Nope}, -] -> S_I");  (* unknown attribute *)
+  ignore (err "[{Holder, Patient}, -] -> S_I");  (* needs a path *)
+  ignore (err "[{Holder}, {<Holder>}] -> S_I");  (* bad pair *)
+  check Alcotest.int "line numbers" 3
+    (err "\n\n[{Holder}, bad] -> S_I").Text.Line_reader.line
+
+let data_text =
+  {|
+@relation Insurance
+Holder, Plan
+c1, gold
+c2, silver
+
+@relation Hospital
+Patient, Disease, Physician
+c1, flu, 'Dr. Kay'
+c2, asthma, 'Dr. Lin, MD'
+|}
+
+let test_data_parse () =
+  match Text.Data_text.parse M.catalog data_text with
+  | Error e -> Alcotest.failf "%a" Text.Line_reader.pp_error e
+  | Ok instances ->
+    let insurance = Option.get (instances "Insurance") in
+    check Alcotest.int "two holders" 2 (Relation.cardinality insurance);
+    let hospital = Option.get (instances "Hospital") in
+    check Alcotest.int "two patients" 2 (Relation.cardinality hospital);
+    (* Quoted value containing a comma survives. *)
+    let has_lin =
+      List.exists
+        (fun t ->
+          Value.equal
+            (Tuple.find t (M.attr "Physician"))
+            (Value.String "Dr. Lin, MD"))
+        (Relation.tuples hospital)
+    in
+    check Alcotest.bool "quoted comma" true has_lin;
+    check Alcotest.bool "unknown relation" true (instances "Nope" = None)
+
+let test_data_roundtrip () =
+  let instances =
+    Helpers.check_ok Text.Line_reader.pp_error
+      (Text.Data_text.parse M.catalog data_text)
+  in
+  let bundle =
+    [
+      ("Insurance", Option.get (instances "Insurance"));
+      ("Hospital", Option.get (instances "Hospital"));
+    ]
+  in
+  let printed = Text.Data_text.print bundle in
+  let again =
+    Helpers.check_ok Text.Line_reader.pp_error
+      (Text.Data_text.parse M.catalog printed)
+  in
+  List.iter
+    (fun (name, rel) ->
+      check Helpers.relation name rel (Option.get (again name)))
+    bundle
+
+let test_data_errors () =
+  let err text =
+    match Text.Data_text.parse M.catalog text with
+    | Error e -> e
+    | Ok _ -> Alcotest.failf "accepted %S" text
+  in
+  ignore (err "@relation Nope\nX\n1");
+  ignore (err "c1, gold");  (* data before section *)
+  ignore (err "@relation Insurance\nHolder\nc1");  (* header incomplete *)
+  ignore (err "@relation Insurance\nHolder, Plan\nc1");  (* short row *)
+  ignore (err "@relation Insurance\nHolder, Plan\nc1, 'oops");
+  ignore (err "@relation Insurance")  (* no header *)
+
+let test_deny_policy_roundtrip () =
+  let text = {|
+# open policy: default allow, two restrictions
+DENY [{Disease}, -] -> S_I
+DENY [{Holder, HealthAid}, -] -> S_I
+|} in
+  match Text.Authz_text.parse M.catalog text with
+  | Error e -> Alcotest.failf "%a" Text.Line_reader.pp_error e
+  | Ok policy ->
+    check Alcotest.bool "open" true (Authz.Policy.is_open policy);
+    check Alcotest.int "two denials" 2
+      (List.length (Authz.Policy.denials policy));
+    check Alcotest.bool "disease denied" false
+      (Authz.Policy.can_view policy
+         (Authz.Profile.make
+            ~pi:(Attribute.Set.singleton (M.attr "Disease"))
+            ~join:Joinpath.empty ~sigma:Attribute.Set.empty)
+         M.s_i);
+    (* Round trip. *)
+    let again =
+      Helpers.check_ok Text.Line_reader.pp_error
+        (Text.Authz_text.parse M.catalog (Text.Authz_text.print policy))
+    in
+    check Alcotest.bool "round-trip" true (Authz.Policy.equal policy again)
+
+let test_mixed_deny_rejected () =
+  let text = "[{Holder}, -] -> S_I\nDENY [{Disease}, -] -> S_I" in
+  match Text.Authz_text.parse M.catalog text with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mixed policy accepted"
+
+let test_end_to_end_from_files () =
+  (* The full pipeline driven from the three text artifacts. *)
+  let sys = parse_schema_ok medical_schema_text in
+  let policy =
+    Helpers.check_ok Text.Line_reader.pp_error
+      (Text.Authz_text.parse sys.catalog fig3_text)
+  in
+  let instances =
+    Helpers.check_ok Text.Line_reader.pp_error
+      (Text.Data_text.parse sys.catalog
+         (Text.Data_text.print
+            (List.filter_map
+               (fun schema ->
+                 Option.map
+                   (fun r -> (Schema.name schema, r))
+                   (M.instances (Schema.name schema)))
+               (Catalog.schemas M.catalog))))
+  in
+  let query = Sql_parser.parse_exn sys.catalog M.example_query_sql in
+  let plan = Query.to_plan query in
+  match Planner.Safe_planner.plan sys.catalog policy plan with
+  | Error f -> Alcotest.failf "%a" Planner.Safe_planner.pp_failure f
+  | Ok { assignment; _ } ->
+    (match Distsim.Engine.execute sys.catalog ~instances plan assignment with
+     | Error e -> Alcotest.failf "%a" Distsim.Engine.pp_error e
+     | Ok { result; _ } ->
+       check Alcotest.int "three answers" 3 (Relation.cardinality result))
+
+let suite =
+  [
+    c "schema parse" `Quick test_schema_parse;
+    c "schema file equals Figure 1 scenario" `Quick
+      test_schema_matches_scenario;
+    c "schema round-trip" `Quick test_schema_roundtrip;
+    c "schema errors carry line numbers" `Quick test_schema_errors;
+    c "authz round-trip (Figure 3)" `Quick test_authz_roundtrip;
+    c "authz paper notation" `Quick test_authz_parse_paper_notation;
+    c "authz errors" `Quick test_authz_errors;
+    c "data parse" `Quick test_data_parse;
+    c "data round-trip" `Quick test_data_roundtrip;
+    c "data errors" `Quick test_data_errors;
+    c "DENY policies round-trip" `Quick test_deny_policy_roundtrip;
+    c "mixed DENY/positive rejected" `Quick test_mixed_deny_rejected;
+    c "end-to-end from text artifacts" `Quick test_end_to_end_from_files;
+  ]

@@ -1,0 +1,72 @@
+open Relalg
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+let a = Attribute.make ~relation:"R" "A"
+let b = Attribute.make ~relation:"R" "B"
+let x = Attribute.make ~relation:"S" "X"
+
+let t1 = Tuple.of_list [ (a, Value.Int 1); (b, Value.String "s") ]
+
+let test_find () =
+  check Helpers.value "find A" (Value.Int 1) (Tuple.find t1 a);
+  check Alcotest.(option Helpers.value) "find_opt missing" None
+    (Tuple.find_opt t1 x);
+  check Alcotest.bool "mem" true (Tuple.mem t1 b)
+
+let test_project () =
+  let p = Tuple.project (Attribute.Set.singleton a) t1 in
+  check Alcotest.int "one binding" 1 (List.length (Tuple.bindings p));
+  check Helpers.value "kept value" (Value.Int 1) (Tuple.find p a)
+
+let test_merge_disjoint () =
+  let t2 = Tuple.of_list [ (x, Value.Bool true) ] in
+  let m = Tuple.merge t1 t2 in
+  check Alcotest.int "three bindings" 3 (List.length (Tuple.bindings m));
+  check Helpers.value "from left" (Value.Int 1) (Tuple.find m a);
+  check Helpers.value "from right" (Value.Bool true) (Tuple.find m x)
+
+let test_merge_agreeing_overlap () =
+  let t2 = Tuple.of_list [ (a, Value.Int 1); (x, Value.Int 9) ] in
+  let m = Tuple.merge t1 t2 in
+  check Alcotest.int "no duplicate" 3 (List.length (Tuple.bindings m))
+
+let test_merge_conflict () =
+  let t2 = Tuple.of_list [ (a, Value.Int 2) ] in
+  match Tuple.merge t1 t2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "conflicting merge accepted"
+
+let test_values_of () =
+  check
+    Alcotest.(list Helpers.value)
+    "in order"
+    [ Value.String "s"; Value.Int 1 ]
+    (Tuple.values_of t1 [ b; a ])
+
+let test_byte_width () =
+  check Alcotest.int "8 + 1" 9 (Tuple.byte_width t1)
+
+let test_attributes () =
+  check Helpers.attribute_set "attrs"
+    (Attribute.Set.of_list [ a; b ])
+    (Tuple.attributes t1)
+
+let test_compare () =
+  let t2 = Tuple.of_list [ (a, Value.Int 1); (b, Value.String "s") ] in
+  check Alcotest.bool "equal" true (Tuple.equal t1 t2);
+  let t3 = Tuple.add a (Value.Int 5) t1 in
+  check Alcotest.bool "differs" false (Tuple.equal t1 t3)
+
+let suite =
+  [
+    c "find / mem" `Quick test_find;
+    c "project" `Quick test_project;
+    c "merge disjoint" `Quick test_merge_disjoint;
+    c "merge agreeing overlap" `Quick test_merge_agreeing_overlap;
+    c "merge conflict rejected" `Quick test_merge_conflict;
+    c "values_of preserves order" `Quick test_values_of;
+    c "byte_width" `Quick test_byte_width;
+    c "attributes" `Quick test_attributes;
+    c "equality" `Quick test_compare;
+  ]

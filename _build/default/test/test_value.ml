@@ -1,0 +1,104 @@
+open Relalg
+
+let check = Alcotest.check
+let c = Alcotest.test_case
+
+let test_compare_same_type () =
+  check Alcotest.bool "int order" true (Value.compare (Int 1) (Int 2) < 0);
+  check Alcotest.bool "string order" true
+    (Value.compare (String "a") (String "b") < 0);
+  check Alcotest.bool "float order" true
+    (Value.compare (Float 1.5) (Float 1.25) > 0);
+  check Alcotest.bool "bool order" true
+    (Value.compare (Bool false) (Bool true) < 0);
+  check Alcotest.int "null eq" 0 (Value.compare Null Null)
+
+let test_compare_numeric_mix () =
+  check Alcotest.int "int = float" 0 (Value.compare (Int 2) (Float 2.0));
+  check Alcotest.bool "int < float" true
+    (Value.compare (Int 2) (Float 2.5) < 0);
+  check Alcotest.bool "float > int" true
+    (Value.compare (Float 2.5) (Int 2) > 0)
+
+let test_compare_cross_type () =
+  (* Fixed type ranks: Null < Bool < Int/Float < String. *)
+  check Alcotest.bool "null < bool" true (Value.compare Null (Bool false) < 0);
+  check Alcotest.bool "bool < int" true (Value.compare (Bool true) (Int 0) < 0);
+  check Alcotest.bool "int < string" true
+    (Value.compare (Int 999) (String "") < 0)
+
+let test_equal_hash_compatible () =
+  let pairs = [ (Value.Int 3, Value.Float 3.0); (Int 7, Int 7) ] in
+  List.iter
+    (fun (a, b) ->
+      check Alcotest.bool "equal" true (Value.equal a b);
+      check Alcotest.int "hash agrees" (Value.hash a) (Value.hash b))
+    pairs
+
+let test_of_literal () =
+  check Helpers.value "null" Null (Value.of_literal "NULL");
+  check Helpers.value "null lc" Null (Value.of_literal "null");
+  check Helpers.value "true" (Bool true) (Value.of_literal "true");
+  check Helpers.value "int" (Int 42) (Value.of_literal "42");
+  check Helpers.value "neg int" (Int (-3)) (Value.of_literal "-3");
+  check Helpers.value "float" (Float 2.5) (Value.of_literal "2.5");
+  check Helpers.value "quoted" (String "a b") (Value.of_literal "'a b'");
+  check Helpers.value "bare word" (String "hello") (Value.of_literal "hello");
+  check Helpers.value "trimmed" (Int 7) (Value.of_literal "  7  ")
+
+let test_byte_width () =
+  check Alcotest.int "null" 1 (Value.byte_width Null);
+  check Alcotest.int "bool" 1 (Value.byte_width (Bool true));
+  check Alcotest.int "int" 8 (Value.byte_width (Int 5));
+  check Alcotest.int "float" 8 (Value.byte_width (Float 5.0));
+  check Alcotest.int "string" 5 (Value.byte_width (String "abcde"))
+
+let test_type_name () =
+  check Alcotest.string "int" "int" (Value.type_name (Int 1));
+  check Alcotest.string "null" "null" (Value.type_name Null)
+
+let test_pp () =
+  check Alcotest.string "string quoted" "'x'" (Value.to_string (String "x"));
+  check Alcotest.string "null caps" "NULL" (Value.to_string Null)
+
+let arb_value =
+  QCheck.(
+    oneof
+      [
+        always Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) small_signed_int;
+        map (fun f -> Value.Float f) (float_bound_exclusive 1000.0);
+        map (fun s -> Value.String s) small_printable_string;
+      ])
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"value compare antisymmetric" ~count:500
+    QCheck.(pair arb_value arb_value)
+    (fun (a, b) -> Value.compare a b = -Value.compare b a)
+
+let prop_compare_refl =
+  QCheck.Test.make ~name:"value compare reflexive" ~count:200 arb_value
+    (fun a -> Value.compare a a = 0)
+
+let prop_equal_hash =
+  QCheck.Test.make ~name:"equal values hash equally" ~count:500
+    QCheck.(pair arb_value arb_value)
+    (fun (a, b) ->
+      QCheck.assume (Value.equal a b);
+      Value.hash a = Value.hash b)
+
+let suite =
+  [
+    c "compare within types" `Quick test_compare_same_type;
+    c "compare int/float numerically" `Quick test_compare_numeric_mix;
+    c "compare across types by rank" `Quick test_compare_cross_type;
+    c "equal implies same hash" `Quick test_equal_hash_compatible;
+    c "of_literal" `Quick test_of_literal;
+    c "byte_width" `Quick test_byte_width;
+    c "type_name" `Quick test_type_name;
+    c "pretty-printing" `Quick test_pp;
+    Helpers.qcheck prop_compare_antisym;
+    Helpers.qcheck prop_compare_refl;
+    Helpers.qcheck prop_equal_hash;
+  ]

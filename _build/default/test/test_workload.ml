@@ -1,0 +1,190 @@
+open Relalg
+open Workload
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let chain ?(seed = 42) ?(relations = 5) ?(servers = 5) () =
+  System_gen.generate (Rng.make ~seed) ~relations ~servers ~extra:2
+    ~topology:System_gen.Chain
+
+let test_chain_shape () =
+  let sys = chain () in
+  check Alcotest.int "5 relations" 5 (List.length (Catalog.schemas sys.catalog));
+  check Alcotest.int "4 edges" 4 (List.length sys.edges);
+  (* Chain edges connect consecutive relations. *)
+  List.iteri
+    (fun i (a, b, _) ->
+      check Alcotest.string "lower" (Printf.sprintf "R%d" i) a;
+      check Alcotest.string "higher" (Printf.sprintf "R%d" (i + 1)) b)
+    sys.edges
+
+let test_star_shape () =
+  let sys =
+    System_gen.generate (Rng.make ~seed:1) ~relations:5 ~servers:3 ~extra:0
+      ~topology:System_gen.Star
+  in
+  List.iter
+    (fun (a, _, _) -> check Alcotest.string "center" "R0" a)
+    sys.edges;
+  (* Round-robin placement over 3 servers. *)
+  check Alcotest.int "3 servers" 3
+    (Server.Set.cardinal (Catalog.servers sys.catalog))
+
+let test_random_topology_connected () =
+  let sys =
+    System_gen.generate (Rng.make ~seed:7) ~relations:8 ~servers:8 ~extra:1
+      ~topology:(System_gen.Random { extra_edges = 3 })
+  in
+  check Alcotest.bool "at least a spanning tree" true
+    (List.length sys.edges >= 7);
+  check Alcotest.bool "at most tree + extras" true
+    (List.length sys.edges <= 10)
+
+let test_determinism () =
+  let a = chain ~seed:11 () and b = chain ~seed:11 () in
+  check Alcotest.(list string) "same relations"
+    (List.map Schema.name (Catalog.schemas a.catalog))
+    (List.map Schema.name (Catalog.schemas b.catalog));
+  let qa = Query_gen.generate (Rng.make ~seed:3) ~joins:2 a in
+  let qb = Query_gen.generate (Rng.make ~seed:3) ~joins:2 b in
+  match qa, qb with
+  | Some qa, Some qb ->
+    check Alcotest.(list string) "same query" (Query.relations qa)
+      (Query.relations qb)
+  | _ -> Alcotest.fail "query generation failed"
+
+let test_validation () =
+  (match
+     System_gen.generate (Rng.make ~seed:1) ~relations:0 ~servers:1 ~extra:0
+       ~topology:System_gen.Chain
+   with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "0 relations accepted");
+  match
+    System_gen.generate (Rng.make ~seed:1) ~relations:1 ~servers:0 ~extra:0
+      ~topology:System_gen.Chain
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 servers accepted"
+
+let test_query_gen_valid () =
+  let sys = chain ~relations:6 () in
+  let rng = Rng.make ~seed:5 in
+  for _ = 1 to 20 do
+    match Query_gen.generate rng ~joins:3 sys with
+    | None -> Alcotest.fail "walk failed on a chain"
+    | Some q ->
+      check Alcotest.int "four relations" 4 (List.length (Query.relations q));
+      (* Queries compile to valid plans. *)
+      let plan = Query.to_plan q in
+      check Alcotest.bool "positive size" true (Plan.size plan > 0)
+  done
+
+let test_query_gen_too_many_joins () =
+  let sys = chain ~relations:3 () in
+  check Alcotest.bool "walk exhausted" true
+    (Query_gen.generate (Rng.make ~seed:1) ~joins:5 sys = None)
+
+let test_base_grants () =
+  let sys = chain () in
+  let policy = Authz_gen.base_grants sys in
+  check Alcotest.int "one per relation" 5 (Authz.Policy.cardinality policy);
+  List.iter
+    (fun schema ->
+      let server =
+        Helpers.check_ok Catalog.pp_error
+          (Catalog.server_of sys.catalog (Schema.name schema))
+      in
+      check Alcotest.bool "own relation visible" true
+        (Authz.Policy.can_view policy
+           (Authz.Profile.of_base schema)
+           server))
+    (Catalog.schemas sys.catalog)
+
+let test_density_extremes () =
+  let sys = chain () in
+  let p0 = Authz_gen.generate (Rng.make ~seed:2) ~density:0.0 sys in
+  check Alcotest.int "density 0 = base grants only" 5
+    (Authz.Policy.cardinality p0);
+  let p1 =
+    Authz_gen.generate (Rng.make ~seed:2) ~attr_keep:1.0 ~density:1.0 sys
+  in
+  check Alcotest.bool "density 1 adds rules" true
+    (Authz.Policy.cardinality p1 > 5)
+
+let test_full_density_makes_feasible () =
+  let sys = chain ~relations:4 () in
+  let policy =
+    Authz_gen.generate (Rng.make ~seed:9) ~attr_keep:1.0 ~density:1.0 sys
+  in
+  match Query_gen.generate_plan (Rng.make ~seed:9) ~joins:3 sys with
+  | None -> Alcotest.fail "no query"
+  | Some plan ->
+    check Alcotest.bool "feasible under full grants" true
+      (Planner.Safe_planner.feasible sys.catalog policy plan)
+
+let test_connected_subtrees () =
+  let sys = chain ~relations:4 () in
+  let subtrees = Authz_gen.connected_subtrees sys ~max_edges:2 in
+  (* 4 singletons + 3 single edges + 2 two-edge chains. *)
+  check Alcotest.int "9 subtrees" 9 (List.length subtrees);
+  List.iter
+    (fun (rels, conds) ->
+      check Alcotest.int "relations = edges + 1"
+        (List.length conds + 1)
+        (List.length rels))
+    subtrees
+
+let test_data_gen () =
+  let sys = chain ~relations:3 () in
+  let instances = Data_gen.instances (Rng.make ~seed:4) ~rows:20 sys in
+  List.iter
+    (fun schema ->
+      match instances (Schema.name schema) with
+      | None -> Alcotest.failf "no instance for %s" (Schema.name schema)
+      | Some r ->
+        check Alcotest.int "20 rows (unique keys)" 20 (Relation.cardinality r))
+    (Catalog.schemas sys.catalog);
+  check Alcotest.bool "unknown relation" true (instances "Nope" = None)
+
+let test_data_gen_joins_match () =
+  (* domain_scale 1.0: every link value hits a key, joins are total. *)
+  let sys = chain ~relations:2 () in
+  let instances =
+    Data_gen.instances (Rng.make ~seed:4) ~rows:30 ~domain_scale:1.0 sys
+  in
+  let r0 = Option.get (instances "R0") and r1 = Option.get (instances "R1") in
+  let _, _, cond = List.hd sys.edges in
+  let joined = Relation.equi_join cond r0 r1 in
+  check Alcotest.int "every R0 row joins" 30 (Relation.cardinality joined)
+
+let test_rng_helpers () =
+  let rng = Rng.make ~seed:0 in
+  check Alcotest.int "int bound 1" 0 (Rng.int rng 1);
+  check Alcotest.int "int bound 0 safe" 0 (Rng.int rng 0);
+  let xs = [ 1; 2; 3; 4; 5 ] in
+  check Alcotest.int "sample size" 3 (List.length (Rng.sample rng 3 xs));
+  check Alcotest.int "sample clamps" 5 (List.length (Rng.sample rng 99 xs));
+  check Alcotest.bool "nonempty subset" true
+    (Rng.nonempty_subset rng ~p:0.0 xs <> []);
+  check Alcotest.int "shuffle preserves contents" 15
+    (List.fold_left ( + ) 0 (Rng.shuffle rng xs))
+
+let suite =
+  [
+    c "chain topology" `Quick test_chain_shape;
+    c "star topology" `Quick test_star_shape;
+    c "random topology" `Quick test_random_topology_connected;
+    c "determinism under a seed" `Quick test_determinism;
+    c "generator validation" `Quick test_validation;
+    c "generated queries are valid" `Quick test_query_gen_valid;
+    c "impossible walks return None" `Quick test_query_gen_too_many_joins;
+    c "base grants" `Quick test_base_grants;
+    c "density extremes" `Quick test_density_extremes;
+    c "full density feasible" `Quick test_full_density_makes_feasible;
+    c "connected subtrees" `Quick test_connected_subtrees;
+    c "data generation" `Quick test_data_gen;
+    c "joins match at scale 1" `Quick test_data_gen_joins_match;
+    c "rng helpers" `Quick test_rng_helpers;
+  ]
