@@ -20,6 +20,7 @@ type federation = {
   policy : Authz.Policy.t;
   instances : string -> Relation.t option;
   helpers : Server.t list;
+  joins : Joinpath.Cond.t list;  (** the schema's join graph *)
 }
 
 let medical =
@@ -29,6 +30,7 @@ let medical =
     policy = Scenario.Medical.policy;
     instances = Scenario.Medical.instances;
     helpers = [];
+    joins = Scenario.Medical.join_graph;
   }
 
 let supply_chain =
@@ -38,6 +40,7 @@ let supply_chain =
     policy = Scenario.Supply_chain.policy;
     instances = Scenario.Supply_chain.instances;
     helpers = [ Scenario.Supply_chain.s_b ];
+    joins = Scenario.Supply_chain.join_graph;
   }
 
 let research =
@@ -47,6 +50,7 @@ let research =
     policy = Scenario.Research.policy;
     instances = Scenario.Research.instances;
     helpers = [ Scenario.Research.s_t ];
+    joins = Scenario.Research.join_graph;
   }
 
 let scenarios = [ medical; supply_chain; research ]
@@ -140,6 +144,7 @@ let federation_of scenario schema authz data extra_helpers =
       policy;
       instances;
       helpers = List.map Server.make extra_helpers;
+      joins = sys.join_graph;
     }
 
 let federation_term =
@@ -419,6 +424,149 @@ let chase_cmd =
           implied authorizations.")
     Term.(const run $ federation_term)
 
+let lint_cmd =
+  let sqls =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SQL"
+          ~doc:
+            "Queries to plan and lint (plan pass + script verification). \
+             With no queries, only the policy is analysed.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: $(b,text) or $(b,json).")
+  in
+  let strict_flag =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Treat warnings as errors for the exit code (CI gate).")
+  in
+  let chase_budget =
+    Arg.(
+      value & opt int 20_000
+      & info [ "chase-budget" ] ~docv:"N"
+          ~doc:"Rule budget for each chase fixpoint of the redundancy pass.")
+  in
+  let random_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "random" ] ~docv:"SEED"
+          ~doc:
+            "Lint a generated workload instead of a federation: a random \
+             system, policy and queries from lib/workload (overrides \
+             $(b,-s)/$(b,--schema)).")
+  in
+  let relations =
+    Arg.(
+      value & opt int 5
+      & info [ "relations" ] ~doc:"Relations of the generated system.")
+  in
+  let query_joins =
+    Arg.(value & opt int 2 & info [ "joins" ] ~doc:"Joins per generated query.")
+  in
+  let density =
+    Arg.(
+      value & opt float 0.5
+      & info [ "density" ] ~doc:"Authorization density of the generated policy.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 3 & info [ "queries" ] ~doc:"Number of generated queries.")
+  in
+  let run fed sqls third_party no_semijoins format strict chase_budget
+      random_seed relations query_joins density queries =
+    let module D = Analysis.Diagnostic in
+    let catalog, policy, joins, helpers, plans =
+      match random_seed with
+      | Some seed ->
+        let rng = Workload.Rng.make ~seed in
+        let sys =
+          Workload.System_gen.generate rng ~relations ~servers:relations
+            ~extra:2 ~topology:Workload.System_gen.Chain
+        in
+        let policy = Workload.Authz_gen.generate rng ~density sys in
+        let plans =
+          List.init queries (fun _ ->
+              Workload.Query_gen.generate_plan rng ~joins:query_joins sys)
+          |> List.filter_map Fun.id
+        in
+        (sys.catalog, policy, sys.join_graph, [], plans)
+      | None ->
+        let plans =
+          List.map (fun sql -> Query.to_plan (parse_query fed sql)) sqls
+        in
+        (fed.catalog, fed.policy, fed.joins, fed.helpers, plans)
+    in
+    let policy_diags =
+      Analysis.Policy_lint.lint ~joins ~chase_budget policy
+    in
+    let config =
+      {
+        Planner.Safe_planner.default_config with
+        allow_semijoins = not no_semijoins;
+      }
+    in
+    let helpers = if third_party then helpers else [] in
+    let plan_diags =
+      List.concat_map
+        (fun plan ->
+          match
+            Planner.Safe_planner.plan ~config ~helpers catalog policy plan
+          with
+          | Error _ ->
+            [
+              D.make "CISQP022" D.Whole
+                "no safe assignment for query %s; plan and script checks \
+                 skipped"
+                (Plan.to_string plan);
+            ]
+          | Ok { assignment; _ } -> (
+            let lint =
+              Analysis.Plan_lint.lint ~third_party catalog policy plan
+                assignment
+            in
+            match
+              Planner.Script.of_assignment ~third_party catalog plan assignment
+            with
+            | Error e ->
+              lint
+              @ [
+                  D.make "CISQP005" D.Whole "script compilation failed: %a"
+                    Planner.Safety.pp_error e;
+                ]
+            | Ok script ->
+              lint @ Analysis.Script_verifier.verify catalog policy script))
+        plans
+    in
+    let all = policy_diags @ plan_diags in
+    (match format with
+     | `Text -> Fmt.pr "%a@." D.pp_report all
+     | `Json -> print_endline (D.to_json all));
+    let failing (d : D.t) =
+      match d.D.severity with
+      | D.Error -> true
+      | D.Warning -> strict
+      | D.Info -> false
+    in
+    if List.exists failing all then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis: lint the policy, plan the given queries and \
+          verify their compiled execution scripts independently of the \
+          planner. Exits non-zero when errors (or, with $(b,--strict), \
+          warnings) are found.")
+    Term.(
+      const run $ federation_term $ sqls $ third_party_flag $ no_semijoins_flag
+      $ format_arg $ strict_flag $ chase_budget $ random_seed $ relations
+      $ query_joins $ density $ queries)
+
 let sweep_cmd =
   let relations =
     Arg.(
@@ -479,5 +627,5 @@ let () =
        (Cmd.group info
           [
             repro_cmd; plan_cmd; run_cmd; advise_cmd; impact_cmd; chase_cmd;
-            sweep_cmd;
+            lint_cmd; sweep_cmd;
           ]))

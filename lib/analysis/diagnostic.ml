@@ -1,0 +1,133 @@
+type severity = Error | Warning | Info
+
+type location =
+  | Whole
+  | Rule of int
+  | Denial of int
+  | Step of int
+  | Node of int
+
+type t = {
+  code : string;
+  severity : severity;
+  location : location;
+  message : string;
+}
+
+(* Stable codes. Append-only: meanings must never change, tests and CI
+   gates match on them. 00x — script verification; 01x — policy lint;
+   02x — plan lint. *)
+let registry =
+  [
+    ("CISQP001", Error, "transfer not authorized by the policy");
+    ("CISQP002", Error, "statement reads data not present at its server");
+    ("CISQP003", Error, "unknown relation, attribute or temporary");
+    ("CISQP004", Error, "malformed script SQL");
+    ("CISQP005", Error, "script structure error (redefinition, missing result)");
+    ("CISQP010", Warning, "authorization subsumed by a broader rule");
+    ("CISQP011", Warning, "join path unreachable in the schema join graph");
+    ("CISQP012", Info, "authorization implied by the chase closure");
+    ("CISQP013", Warning, "open-policy denial shadowed by a broader denial");
+    ("CISQP014", Warning, "chase closure exceeded the rule budget");
+    ("CISQP020", Warning, "regular join where a semi-join is authorized");
+    ("CISQP021", Warning, "third party used where an operand server qualifies");
+    ("CISQP022", Info, "query has no safe assignment; plan checks skipped");
+  ]
+
+let severity_of_code code =
+  match List.find_opt (fun (c, _, _) -> c = code) registry with
+  | Some (_, sev, _) -> sev
+  | None -> invalid_arg (Printf.sprintf "Diagnostic.make: unknown code %s" code)
+
+let make code location fmt =
+  let severity = severity_of_code code in
+  Fmt.kstr (fun message -> { code; severity; location; message }) fmt
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pp_severity ppf s = Fmt.string ppf (severity_to_string s)
+
+let pp_location ppf = function
+  | Whole -> ()
+  | Rule i -> Fmt.pf ppf " rule %d" i
+  | Denial i -> Fmt.pf ppf " denial %d" i
+  | Step i -> Fmt.pf ppf " step %d" i
+  | Node i -> Fmt.pf ppf " n%d" i
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let location_rank = function
+  | Whole -> (0, 0)
+  | Rule i -> (1, i)
+  | Denial i -> (2, i)
+  | Step i -> (3, i)
+  | Node i -> (4, i)
+
+let compare_diag a b =
+  match compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+    match String.compare a.code b.code with
+    | 0 -> (
+      match compare (location_rank a.location) (location_rank b.location) with
+      | 0 -> String.compare a.message b.message
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let sort = List.sort compare_diag
+let errors ds = List.length (List.filter (fun d -> d.severity = Error) ds)
+let has_errors ds = errors ds > 0
+
+let pp ppf d =
+  Fmt.pf ppf "%a[%s]%a: %s" pp_severity d.severity d.code pp_location
+    d.location d.message
+
+let pp_report ppf ds =
+  match ds with
+  | [] -> Fmt.pf ppf "no findings"
+  | ds ->
+    let ds = sort ds in
+    let count sev =
+      List.length (List.filter (fun d -> d.severity = sev) ds)
+    in
+    Fmt.pf ppf "@[<v>%a@,%d error(s), %d warning(s), %d info(s)@]"
+      Fmt.(list ~sep:(any "@,") pp)
+      ds (count Error) (count Warning) (count Info)
+
+(* Hand-rolled JSON: the project deliberately has no JSON dependency. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let location_json = function
+  | Whole -> {|{"kind":"whole"}|}
+  | Rule i -> Printf.sprintf {|{"kind":"rule","index":%d}|} i
+  | Denial i -> Printf.sprintf {|{"kind":"denial","index":%d}|} i
+  | Step i -> Printf.sprintf {|{"kind":"step","index":%d}|} i
+  | Node i -> Printf.sprintf {|{"kind":"node","index":%d}|} i
+
+let to_json ds =
+  let one d =
+    Printf.sprintf
+      {|{"code":"%s","severity":"%s","location":%s,"message":"%s"}|}
+      (json_escape d.code)
+      (severity_to_string d.severity)
+      (location_json d.location)
+      (json_escape d.message)
+  in
+  "[" ^ String.concat "," (List.map one (sort ds)) ^ "]"

@@ -1,0 +1,66 @@
+(** The diagnostics framework shared by the three static-analysis
+    passes (script verifier, policy linter, plan linter).
+
+    Every finding carries a stable code from the {!registry} (so that CI
+    gates and tests can match on codes, not message text), a severity, a
+    structured location inside the analysed artifact, and a rendered
+    message. Diagnostics can be printed as text (one line each, in the
+    style of compiler output) or as a JSON array for tooling. *)
+
+type severity = Error | Warning | Info
+
+(** Where in the analysed artifact the finding points. *)
+type location =
+  | Whole  (** the artifact as a whole *)
+  | Rule of int  (** authorization [#i], 1-based as {!Authz.Policy.pp} *)
+  | Denial of int  (** negative rule [#i] of an open policy, 1-based *)
+  | Step of int  (** execution-script step [#i], 0-based *)
+  | Node of int  (** plan node [n<i>] *)
+
+type t = private {
+  code : string;  (** stable registry code, e.g. ["CISQP001"] *)
+  severity : severity;
+  location : location;
+  message : string;
+}
+
+(** The code registry: [(code, severity, one-line summary)]. Codes are
+    append-only; renderers and tests rely on them never changing
+    meaning. *)
+val registry : (string * severity * string) list
+
+(** [make code location fmt ...] builds a diagnostic, looking the
+    severity up in the registry.
+    @raise Invalid_argument on a code absent from the registry. *)
+val make : string -> location -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+(** Severity of a registered code.
+    @raise Invalid_argument on unregistered codes. *)
+val severity_of_code : string -> severity
+
+val severity_to_string : severity -> string
+val pp_severity : severity Fmt.t
+val pp_location : location Fmt.t
+
+(** Errors first, then warnings, then infos; ties broken by code then
+    location. *)
+val sort : t list -> t list
+
+(** Number of [Error]-severity diagnostics — the CI gate: a lint run
+    fails iff this is non-zero. *)
+val errors : t list -> int
+
+val has_errors : t list -> bool
+
+(** [error[CISQP001] step 3: message] — one line. *)
+val pp : t Fmt.t
+
+(** A text report, one diagnostic per line, sorted, followed by a
+    [N error(s), M warning(s), K info(s)] summary line. Prints
+    [no findings] for the empty list. *)
+val pp_report : t list Fmt.t
+
+(** The sorted list as a JSON array of
+    [{"code", "severity", "location": {"kind", "index"}, "message"}]
+    objects (index omitted for [Whole]). *)
+val to_json : t list -> string

@@ -1,0 +1,32 @@
+(** Lint of a (safe) executor assignment: releases that are authorized
+    but wasteful. Section 4 of the paper argues semi-joins "minimize
+    communication, which also benefits security" — this pass flags
+    assignments that left that benefit on the table.
+
+    Diagnostics emitted:
+    - [CISQP020] (warning) — a cross-server {e regular} join where the
+      semi-join variant (same master, the other operand's executor as
+      slave) is also authorized and strictly cheaper under the cost
+      model;
+    - [CISQP021] (warning) — a join executed by a third party
+      (footnote 3 proxy or coordinator) although assigning one of the
+      operands' executors as master is also safe: the third party sees
+      data it never needed to. *)
+
+open Relalg
+
+(** [lint ?third_party ?model catalog policy plan assignment]. [model]
+    defaults to {!Planner.Cost.uniform} with 1000-row relations; pass
+    the model actually used for planning for faithful byte counts. A
+    variant is only suggested when substituting it into the whole
+    assignment — dragging the Project/Select ancestors along with a
+    moved master, as Definition 4.1 requires — keeps
+    {!Planner.Safety.is_safe}. *)
+val lint :
+  ?third_party:bool ->
+  ?model:Planner.Cost.model ->
+  Catalog.t ->
+  Authz.Policy.t ->
+  Plan.t ->
+  Planner.Assignment.t ->
+  Diagnostic.t list

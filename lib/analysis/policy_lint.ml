@@ -1,0 +1,140 @@
+open Relalg
+open Authz
+module D = Diagnostic
+
+(* Closed-policy pass: subsumption, unreachable join paths, chase
+   redundancy. [rules] is the 1-based numbering of [Policy.pp]. *)
+let lint_closed ~joins ~chase_budget policy =
+  let rules =
+    List.mapi (fun i a -> (i + 1, a)) (Policy.authorizations policy)
+  in
+  let subsumed =
+    List.filter_map
+      (fun (i, (a : Authorization.t)) ->
+        let by =
+          List.find_opt
+            (fun (j, (b : Authorization.t)) ->
+              i <> j
+              && Server.equal a.server b.server
+              && Joinpath.equal a.path b.path
+              && Attribute.Set.subset a.attrs b.attrs)
+            rules
+        in
+        Option.map
+          (fun (j, b) ->
+            ( i,
+              D.make "CISQP010" (D.Rule i)
+                "%s is subsumed by rule %d (%s): same join path, broader \
+                 attribute set"
+                (Authorization.to_string a) j
+                (Authorization.to_string b) ))
+          by)
+      rules
+  in
+  let unreachable =
+    match joins with
+    | [] -> []
+    | graph ->
+      List.concat_map
+        (fun (i, (a : Authorization.t)) ->
+          Joinpath.conditions a.path
+          |> List.filter (fun c ->
+                 not (List.exists (Joinpath.Cond.equal c) graph))
+          |> List.map (fun c ->
+                 D.make "CISQP011" (D.Rule i)
+                   "join condition %s is not in the schema's join graph: no \
+                    query can construct this path"
+                   (Joinpath.Cond.to_string c)))
+        rules
+  in
+  let redundant, budget_hit =
+    match joins with
+    | [] -> ([], [])
+    | graph -> (
+      (* One chase per candidate rule is wasteful on big policies, so
+         bail out (with CISQP014) as soon as one closure blows the
+         budget — the remaining ones would too. *)
+      let subsumed_ids = List.map fst subsumed in
+      try
+        ( List.filter_map
+            (fun (i, (a : Authorization.t)) ->
+              if List.mem i subsumed_ids then None
+                (* already reported as CISQP010, the stronger finding *)
+              else
+                let rest = Policy.remove a policy in
+                let closure =
+                  Chase.close ~max_rules:chase_budget ~joins:graph rest
+                in
+                let profile =
+                  Profile.make ~pi:a.attrs ~join:a.path
+                    ~sigma:Attribute.Set.empty
+                in
+                if Policy.can_view closure profile a.server then
+                  Some
+                    (D.make "CISQP012" (D.Rule i)
+                       "%s is implied by the chase closure of the other \
+                        rules; it can be removed"
+                       (Authorization.to_string a))
+                else None)
+            rules,
+          [] )
+      with Invalid_argument _ ->
+        ( [],
+          [
+            D.make "CISQP014" D.Whole
+              "chase closure exceeded the budget of %d rules; redundancy \
+               analysis skipped"
+              chase_budget;
+          ] ))
+  in
+  List.map snd subsumed @ unreachable @ redundant @ budget_hit
+
+(* Open-policy pass: denial shadowing. Denials are upward-closed in
+   information (DESIGN.md): [A, J] -> S blocks every view with
+   [A ⊆ visible] and [J ⊆ path], so a denial with a subset of another's
+   attributes and a sub-path blocks strictly more. *)
+let lint_open ~joins policy =
+  let denials = List.mapi (fun i a -> (i + 1, a)) (Policy.denials policy) in
+  let shadowed =
+    List.filter_map
+      (fun (i, (a : Authorization.t)) ->
+        let by =
+          List.find_opt
+            (fun (j, (b : Authorization.t)) ->
+              i <> j
+              && Server.equal a.server b.server
+              && Attribute.Set.subset b.attrs a.attrs
+              && Joinpath.subset b.path a.path)
+            denials
+        in
+        Option.map
+          (fun (j, b) ->
+            D.make "CISQP013" (D.Denial i)
+              "denial %s is shadowed by denial %d (%s), which already blocks \
+               everything it blocks"
+              (Authorization.to_string a) j
+              (Authorization.to_string b))
+          by)
+      denials
+  in
+  let unreachable =
+    match joins with
+    | [] -> []
+    | graph ->
+      List.concat_map
+        (fun (i, (a : Authorization.t)) ->
+          Joinpath.conditions a.path
+          |> List.filter (fun c ->
+                 not (List.exists (Joinpath.Cond.equal c) graph))
+          |> List.map (fun c ->
+                 D.make "CISQP011" (D.Denial i)
+                   "join condition %s is not in the schema's join graph: the \
+                    denial can never apply"
+                   (Joinpath.Cond.to_string c)))
+        denials
+  in
+  shadowed @ unreachable
+
+let lint ?(joins = []) ?(chase_budget = 20_000) policy =
+  if Policy.is_open policy then lint_open ~joins policy
+  else lint_closed ~joins ~chase_budget policy

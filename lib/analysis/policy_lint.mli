@@ -1,0 +1,36 @@
+(** Static analysis of a policy itself — defects in the rule set, before
+    any query is planned.
+
+    For a {e closed} policy ({!Authz.Policy}), rules are numbered
+    1-based in the order of {!Authz.Policy.authorizations} (the order
+    {!Authz.Policy.pp} prints); for an {e open} policy the same is done
+    over {!Authz.Policy.denials}.
+
+    Diagnostics emitted:
+    - [CISQP010] (warning) — a rule is subsumed by another rule of the
+      same server with the same join path and a superset of attributes
+      (Definition 3.3 condition 1 already admits any subset);
+    - [CISQP011] (warning) — a rule's join path uses a condition absent
+      from the schema's join graph: no query can ever construct that
+      path, so the rule is dead (requires [joins]);
+    - [CISQP012] (info) — a rule is implied by the chase closure
+      ({!Authz.Chase.close}) of the remaining rules: removing it loses
+      nothing (requires [joins]);
+    - [CISQP013] (warning) — an open-policy denial is shadowed by a
+      broader denial (subset attributes, sub-path): every release the
+      narrower rule blocks is already blocked;
+    - [CISQP014] (warning) — the chase closure exceeded [chase_budget]
+      rules; redundancy analysis was skipped. *)
+
+open Relalg
+
+(** [lint ?joins ?chase_budget policy]. [joins] is the system's join
+    graph (the [join] lines of a schema file, {!Workload.System_gen}'s
+    [join_graph], or a scenario's [join_graph]); without it the
+    reachability and redundancy passes are skipped. [chase_budget]
+    (default [20_000]) bounds every chase fixpoint. *)
+val lint :
+  ?joins:Joinpath.Cond.t list ->
+  ?chase_budget:int ->
+  Authz.Policy.t ->
+  Diagnostic.t list

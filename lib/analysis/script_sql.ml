@@ -1,0 +1,141 @@
+type body =
+  | Scan of { source : string; where : string list option }
+  | Join of { left : string; right : string; on : (string * string) list }
+  | Natural_join of { left : string; right : string }
+
+type stmt = {
+  target : string;
+  distinct : bool;
+  columns : string list;
+  body : body;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer: identifiers (possibly dotted), punctuation, comparison
+   operators, single-quoted strings, numbers. *)
+
+type token =
+  | Ident of string
+  | Punct of string  (** [,], [(], [)], [=], [<=], ... *)
+  | Literal  (** a quoted string or a number — never an attribute *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '\'' ->
+        let rec close j =
+          if j >= n then Error "unterminated string literal"
+          else if s.[j] = '\'' then go (j + 1) (Literal :: acc)
+          else close (j + 1)
+        in
+        close (i + 1)
+      | (',' | '(' | ')') as c -> go (i + 1) (Punct (String.make 1 c) :: acc)
+      | '=' -> go (i + 1) (Punct "=" :: acc)
+      | '<' | '>' | '!' ->
+        let two = i + 1 < n && (s.[i + 1] = '=' || s.[i + 1] = '>') in
+        let len = if two then 2 else 1 in
+        go (i + len) (Punct (String.sub s i len) :: acc)
+      | c when is_digit c || (c = '-' && i + 1 < n && is_digit s.[i + 1]) ->
+        let j = ref (i + 1) in
+        while !j < n && (is_digit s.[!j] || s.[!j] = '.') do incr j done;
+        go !j (Literal :: acc)
+      | c when is_ident_char c ->
+        let j = ref i in
+        while !j < n && is_ident_char s.[!j] do incr j done;
+        go !j (Ident (String.sub s i (!j - i)) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []
+
+let keyword_is k = function
+  | Ident w -> String.uppercase_ascii w = k
+  | _ -> false
+
+(* WHERE-clause keywords and literals that are not attribute names. *)
+let where_keywords = [ "AND"; "OR"; "NOT"; "TRUE"; "FALSE"; "NULL" ]
+
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let expect_kw k = function
+  | t :: rest when keyword_is k t -> Ok rest
+  | _ -> Error (Printf.sprintf "expected %s" k)
+
+let expect_ident = function
+  | Ident w :: rest -> Ok (w, rest)
+  | _ -> Error "expected a name"
+
+(* [A, B, C] up to FROM. *)
+let rec parse_columns acc = function
+  | Ident w :: Punct "," :: rest -> parse_columns (w :: acc) rest
+  | Ident w :: rest -> Ok (List.rev (w :: acc), rest)
+  | _ -> Error "expected a column name"
+
+(* [A = B [AND C = D ...]] up to WHERE or end. *)
+let rec parse_on acc = function
+  | Ident a :: Punct "=" :: Ident b :: rest -> (
+    match rest with
+    | t :: rest' when keyword_is "AND" t -> parse_on ((a, b) :: acc) rest'
+    | _ -> Ok (List.rev ((a, b) :: acc), rest))
+  | _ -> Error "expected A = B in ON clause"
+
+(* The condition is only mined for attribute candidates: identifier
+   tokens that are not boolean keywords. *)
+let parse_where tokens =
+  List.filter_map
+    (function
+      | Ident w
+        when not (List.mem (String.uppercase_ascii w) where_keywords) ->
+        Some w
+      | _ -> None)
+    tokens
+
+let parse sql =
+  let* tokens = tokenize sql in
+  let* tokens = expect_kw "CREATE" tokens in
+  let* tokens = expect_kw "TEMP" tokens in
+  let* tokens = expect_kw "TABLE" tokens in
+  let* target, tokens = expect_ident tokens in
+  let* tokens = expect_kw "AS" tokens in
+  let* tokens = expect_kw "SELECT" tokens in
+  let distinct, tokens =
+    match tokens with
+    | t :: rest when keyword_is "DISTINCT" t -> (true, rest)
+    | _ -> (false, tokens)
+  in
+  let* columns, tokens = parse_columns [] tokens in
+  let* tokens = expect_kw "FROM" tokens in
+  let* source, tokens = expect_ident tokens in
+  let finish body = function
+    | [] -> Ok { target; distinct; columns; body }
+    | t :: rest when keyword_is "WHERE" t -> (
+      let where = parse_where rest in
+      match body with
+      | Scan { source; _ } ->
+        Ok { target; distinct; columns; body = Scan { source; where = Some where } }
+      | _ -> Error "WHERE after a join is not part of the script fragment")
+    | _ -> Error "trailing tokens after the statement"
+  in
+  match tokens with
+  | t :: rest when keyword_is "JOIN" t ->
+    let* right, rest = expect_ident rest in
+    let* rest = expect_kw "ON" rest in
+    let* on, rest = parse_on [] rest in
+    finish (Join { left = source; right; on }) rest
+  | t :: t' :: rest when keyword_is "NATURAL" t && keyword_is "JOIN" t' ->
+    let* right, rest = expect_ident rest in
+    finish (Natural_join { left = source; right }) rest
+  | rest -> finish (Scan { source; where = None }) rest

@@ -1,0 +1,36 @@
+(** Parser for the SQL fragment emitted by {!Planner.Script} — the
+    statements an execution script asks each server to run:
+
+    {v
+    CREATE TEMP TABLE t AS
+      SELECT [DISTINCT] A, B, ... FROM src
+        [JOIN src2 ON A = B [AND C = D ...] | NATURAL JOIN src2]
+        [WHERE condition]
+    v}
+
+    The parser is deliberately independent of {!Relalg.Sql_parser} (and
+    of the plan the script was compiled from): the script verifier must
+    be a second opinion, reconstructing profiles from nothing but the
+    statement text. Names are left unresolved — [src] may be a base
+    relation or a temporary; the verifier resolves them against its
+    environment and the catalog. *)
+
+type body =
+  | Scan of { source : string; where : string list option }
+      (** projection/selection over one source; [where] lists the
+          candidate attribute tokens of the condition, when present *)
+  | Join of { left : string; right : string; on : (string * string) list }
+      (** equi-join; [on] pairs the two sides of each [A = B] *)
+  | Natural_join of { left : string; right : string }
+
+type stmt = {
+  target : string;  (** the temporary being created *)
+  distinct : bool;
+  columns : string list;  (** SELECT list, bare attribute names *)
+  body : body;
+}
+
+(** Parse one [CREATE TEMP TABLE ... AS SELECT ...] statement. The
+    error string describes the first offence (unexpected token, missing
+    keyword, ...). *)
+val parse : string -> (stmt, string) result

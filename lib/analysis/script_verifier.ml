@@ -1,0 +1,227 @@
+open Relalg
+open Authz
+module D = Diagnostic
+
+(* A temporary known to the abstract interpreter: the profile re-derived
+   from its defining statement ([None] when that statement failed to
+   parse or resolve — the temporary is "poisoned" and later uses are
+   checked for presence only, so one defect does not cascade), and the
+   servers currently holding a copy. *)
+type entry = {
+  profile : Profile.t option;
+  present : Server.Set.t;
+}
+
+(* A [Ship] observed during interpretation, with the sender-side profile
+   of the shipped temporary. The policy check is layered on top of these
+   events so that {!derived_profiles} can reuse the interpreter without
+   a policy. *)
+type ship_event = {
+  step : int;
+  dst : Server.t;
+  temp : string;
+  shipped : Profile.t option;
+}
+
+let resolve_columns catalog ~step names k =
+  let diags = ref [] in
+  let attrs =
+    List.filter_map
+      (fun name ->
+        match Catalog.resolve_attribute catalog name with
+        | Ok a -> Some a
+        | Error e ->
+          diags :=
+            D.make "CISQP003" (D.Step step) "%a" Catalog.pp_error e :: !diags;
+          None)
+      names
+  in
+  (!diags, if List.length attrs = List.length names then Some (k attrs) else None)
+
+(* Interpret the script once: collect structural diagnostics, the
+   derived profile of every temporary (in definition order), and the
+   ship events for the policy layer. *)
+let interpret catalog (script : Planner.Script.t) =
+  let temps : (string, entry) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] (* derived (temp, profile), reversed *) in
+  let ships = ref [] in
+  let diags = ref [] in
+  let report d = diags := d :: !diags in
+  let define ~step name profile present =
+    if Hashtbl.mem temps name then
+      report
+        (D.make "CISQP005" (D.Step step) "temporary %s is defined twice" name);
+    Hashtbl.replace temps name { profile; present };
+    Option.iter (fun p -> order := (name, p) :: !order) profile
+  in
+  (* A statement source is a known temporary or a base relation; check
+     it is materialised at [at] and return its profile. *)
+  let source ~step ~at name =
+    match Hashtbl.find_opt temps name with
+    | Some entry ->
+      if not (Server.Set.mem at entry.present) then
+        report
+          (D.make "CISQP002" (D.Step step)
+             "%s reads temporary %s, which is not present at %s"
+             (Server.name at) name (Server.name at));
+      entry.profile
+    | None -> (
+      match Catalog.relation catalog name with
+      | Ok schema ->
+        if not (Catalog.stores catalog name at) then
+          report
+            (D.make "CISQP002" (D.Step step)
+               "%s reads relation %s, which it does not store"
+               (Server.name at) name);
+        Some (Profile.of_base schema)
+      | Error _ ->
+        report
+          (D.make "CISQP003" (D.Step step)
+             "unknown relation or temporary %s" name);
+        None)
+  in
+  let project ~step columns profile =
+    let missing =
+      List.filter (fun a -> not (Attribute.Set.mem a profile.Profile.pi)) columns
+    in
+    List.iter
+      (fun a ->
+        report
+          (D.make "CISQP003" (D.Step step)
+             "column %s is not produced by the statement's sources"
+             (Attribute.name a)))
+      missing;
+    if missing = [] then Some (Profile.project (Attribute.Set.of_list columns) profile)
+    else None
+  in
+  let local ~step at defines sql =
+    match Script_sql.parse sql with
+    | Error msg ->
+      report (D.make "CISQP004" (D.Step step) "cannot parse SQL: %s" msg);
+      define ~step defines None (Server.Set.singleton at)
+    | Ok stmt ->
+      if stmt.Script_sql.target <> defines then
+        report
+          (D.make "CISQP005" (D.Step step)
+             "step declares temporary %s but the statement creates %s" defines
+             stmt.Script_sql.target);
+      let cds, columns =
+        resolve_columns catalog ~step stmt.Script_sql.columns Fun.id
+      in
+      List.iter report cds;
+      let before_projection =
+        match stmt.Script_sql.body with
+        | Script_sql.Scan { source = src; where } -> (
+          let p = source ~step ~at src in
+          match where with
+          | None -> p
+          | Some tokens ->
+            let wds, sigma =
+              resolve_columns catalog ~step tokens Attribute.Set.of_list
+            in
+            List.iter report wds;
+            Option.bind p (fun p ->
+                Option.map (fun sigma -> Profile.select sigma p) sigma))
+        | Script_sql.Join { left; right; on } -> (
+          let lp = source ~step ~at left in
+          let rp = source ~step ~at right in
+          let lds, l_attrs =
+            resolve_columns catalog ~step (List.map fst on) Fun.id
+          in
+          let rds, r_attrs =
+            resolve_columns catalog ~step (List.map snd on) Fun.id
+          in
+          List.iter report (lds @ rds);
+          match (lp, rp, l_attrs, r_attrs) with
+          | Some lp, Some rp, Some left, Some right -> (
+            match Joinpath.Cond.make ~left ~right with
+            | cond -> Some (Profile.join cond lp rp)
+            | exception Invalid_argument msg ->
+              report (D.make "CISQP004" (D.Step step) "bad ON clause: %s" msg);
+              None)
+          | _ -> None)
+        | Script_sql.Natural_join { left; right } ->
+          (* A natural join equates attributes with themselves (the
+             shared columns of the two temporaries), which reveals no
+             new association: the profile is the component-wise union,
+             with no added join-path condition. *)
+          Option.bind (source ~step ~at left) (fun lp ->
+              Option.map
+                (fun rp ->
+                  Profile.make
+                    ~pi:(Attribute.Set.union lp.Profile.pi rp.Profile.pi)
+                    ~join:(Joinpath.union lp.Profile.join rp.Profile.join)
+                    ~sigma:
+                      (Attribute.Set.union lp.Profile.sigma rp.Profile.sigma))
+                (source ~step ~at right))
+      in
+      let profile =
+        match (before_projection, columns) with
+        | Some p, Some columns -> project ~step columns p
+        | _ -> None
+      in
+      define ~step defines profile (Server.Set.singleton at)
+  in
+  let ship ~step src dst temp =
+    match Hashtbl.find_opt temps temp with
+    | None ->
+      report
+        (D.make "CISQP003" (D.Step step) "SEND of undefined temporary %s" temp);
+      (* Bind it poisoned so later steps do not re-report. *)
+      Hashtbl.replace temps temp
+        { profile = None; present = Server.Set.of_list [ src; dst ] }
+    | Some entry ->
+      if not (Server.Set.mem src entry.present) then
+        report
+          (D.make "CISQP002" (D.Step step)
+             "%s sends temporary %s, which it does not hold" (Server.name src)
+             temp);
+      ships := { step; dst; temp; shipped = entry.profile } :: !ships;
+      Hashtbl.replace temps temp
+        { entry with present = Server.Set.add dst entry.present }
+  in
+  List.iteri
+    (fun step s ->
+      match s with
+      | Planner.Script.Local { at; defines; sql } -> local ~step at defines sql
+      | Planner.Script.Ship { src; dst; temp } -> ship ~step src dst temp)
+    script.Planner.Script.steps;
+  (match Hashtbl.find_opt temps script.Planner.Script.result with
+   | None ->
+     report
+       (D.make "CISQP005" D.Whole "result temporary %s is never defined"
+          script.Planner.Script.result)
+   | Some entry ->
+     if not (Server.Set.mem script.Planner.Script.location entry.present) then
+       report
+         (D.make "CISQP002" D.Whole
+            "result %s is not present at the declared location %s"
+            script.Planner.Script.result
+            (Server.name script.Planner.Script.location)));
+  (List.rev !diags, List.rev !order, List.rev !ships)
+
+let verify catalog policy script =
+  let diags, _, ships = interpret catalog script in
+  let policy_diags =
+    List.filter_map
+      (fun { step; dst; temp; shipped } ->
+        match shipped with
+        | None -> None (* poisoned: already reported structurally *)
+        | Some p ->
+          if Authz.Policy.can_view policy p dst then None
+          else
+            Some
+              (D.make "CISQP001" (D.Step step)
+                 "sending %s to %s discloses %s, which no authorization \
+                  admits"
+                 temp (Server.name dst) (Profile.to_string p)))
+      ships
+  in
+  diags @ policy_diags
+
+let accepts catalog policy script =
+  not (D.has_errors (verify catalog policy script))
+
+let derived_profiles catalog script =
+  let _, profiles, _ = interpret catalog script in
+  profiles

@@ -1,0 +1,44 @@
+(** Independent static verification of execution scripts.
+
+    {!Planner.Safety} decides Definition 4.2 on the {e plan tree}; this
+    module re-decides it on the compiled {e script} ({!Planner.Script.t})
+    with no access to the plan or the assignment: it parses each
+    server's SQL ({!Script_sql}), folds the Figure-4 profile rules over
+    the temporaries a statement derives from, tracks at which servers
+    every temporary is materialised, and checks each [Ship] transfer
+    against the policy (Definition 3.3).
+
+    The two implementations are differentially tested against each
+    other (test/test_analysis_diff.ml): for every structurally valid
+    assignment, [Safety.check = Ok] iff {!accepts}.
+
+    Diagnostics emitted:
+    - [CISQP001] (error) — a [Ship] sends a temporary to a server the
+      policy does not authorize to view its profile;
+    - [CISQP002] (error) — a statement reads a relation or temporary
+      not present at the executing server, a [Ship] sends from a server
+      that does not hold the temporary, or the result is not at the
+      declared location;
+    - [CISQP003] (error) — an unknown relation, attribute, column or
+      temporary name;
+    - [CISQP004] (error) — SQL outside the script fragment;
+    - [CISQP005] (error) — structural defects: a temporary redefined,
+      a statement defining a different temporary than declared, or a
+      missing result. *)
+
+open Relalg
+
+(** All findings, in step order. The empty list means the script is
+    well-formed and every transfer is authorized. *)
+val verify :
+  Catalog.t -> Authz.Policy.t -> Planner.Script.t -> Diagnostic.t list
+
+(** No error-severity findings — the verifier's accept decision. *)
+val accepts : Catalog.t -> Authz.Policy.t -> Planner.Script.t -> bool
+
+(** The profiles the verifier re-derives for each temporary, in
+    definition order — exposed so tests can compare them against
+    {!Planner.Safety.profile_of} on the originating plan. Best-effort:
+    temporaries whose statement fails to parse or resolve are absent. *)
+val derived_profiles :
+  Catalog.t -> Planner.Script.t -> (string * Authz.Profile.t) list

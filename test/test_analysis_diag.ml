@@ -1,0 +1,69 @@
+(* The diagnostics framework: registry, ordering, renderers. *)
+
+module D = Analysis.Diagnostic
+
+let test_registry () =
+  let codes = List.map (fun (c, _, _) -> c) D.registry in
+  Alcotest.(check int)
+    "codes are unique"
+    (List.length codes)
+    (List.length (List.sort_uniq compare codes));
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        "codes follow CISQPnnn" true
+        (String.length c = 8 && String.sub c 0 5 = "CISQP"))
+    codes;
+  Alcotest.check_raises "unknown code rejected"
+    (Invalid_argument "Diagnostic.make: unknown code CISQP999") (fun () ->
+      ignore (D.make "CISQP999" D.Whole "nope"))
+
+let test_severities () =
+  Alcotest.(check bool) "001 is an error" true (D.severity_of_code "CISQP001" = D.Error);
+  Alcotest.(check bool) "010 is a warning" true (D.severity_of_code "CISQP010" = D.Warning);
+  Alcotest.(check bool) "012 is info" true (D.severity_of_code "CISQP012" = D.Info)
+
+let test_sort_and_errors () =
+  let i = D.make "CISQP012" (D.Rule 2) "redundant" in
+  let w = D.make "CISQP010" (D.Rule 9) "subsumed" in
+  let e = D.make "CISQP001" (D.Step 3) "leak" in
+  let sorted = D.sort [ i; w; e ] in
+  Alcotest.(check (list string))
+    "errors first, then warnings, then infos"
+    [ "CISQP001"; "CISQP010"; "CISQP012" ]
+    (List.map (fun (d : D.t) -> d.D.code) sorted);
+  Alcotest.(check int) "one error" 1 (D.errors [ i; w; e ]);
+  Alcotest.(check bool) "has_errors" true (D.has_errors [ e ]);
+  Alcotest.(check bool) "warnings are not errors" false (D.has_errors [ i; w ])
+
+let test_text_rendering () =
+  let d = D.make "CISQP001" (D.Step 3) "profile %s refused" "[{A}, -]" in
+  Alcotest.(check string)
+    "one-line form" "error[CISQP001] step 3: profile [{A}, -] refused"
+    (Fmt.str "%a" D.pp d);
+  Alcotest.(check string) "empty report" "no findings" (Fmt.str "%a" D.pp_report []);
+  let report = Fmt.str "%a" D.pp_report [ d ] in
+  Alcotest.(check bool)
+    "report has a summary line" true
+    (Helpers.contains ~sub:"1 error(s), 0 warning(s), 0 info(s)" report)
+
+let test_json () =
+  Alcotest.(check string) "empty array" "[]" (D.to_json []);
+  let d = D.make "CISQP004" (D.Node 7) "bad \"quote\"\nand newline" in
+  Alcotest.(check string)
+    "escaped object"
+    {|[{"code":"CISQP004","severity":"error","location":{"kind":"node","index":7},"message":"bad \"quote\"\nand newline"}]|}
+    (D.to_json [ d ]);
+  let w = D.make "CISQP014" D.Whole "budget" in
+  Alcotest.(check bool)
+    "whole location has no index" true
+    (Helpers.contains ~sub:{|{"kind":"whole"}|} (D.to_json [ w ]))
+
+let suite =
+  [
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "severities" `Quick test_severities;
+    Alcotest.test_case "sort-and-errors" `Quick test_sort_and_errors;
+    Alcotest.test_case "text-rendering" `Quick test_text_rendering;
+    Alcotest.test_case "json" `Quick test_json;
+  ]

@@ -1,0 +1,176 @@
+(* Differential testing of the two safety oracles.
+
+   [Planner.Safety.check] decides Definition 4.2 on the plan tree;
+   [Analysis.Script_verifier] re-decides it on the compiled script,
+   re-deriving every profile from SQL text alone. For every structurally
+   valid assignment over a random system the two must agree exactly;
+   disagreements print a minimal repro (policy, plan, assignment,
+   script, diagnostics).
+
+   The sweep covers > 200 random workloads (system × policy × plan),
+   each probed with the planner's own assignment plus several random
+   structurally-valid assignments — so both accepting and rejecting
+   paths of both implementations are exercised. *)
+
+open Relalg
+module V = Analysis.Script_verifier
+
+(* A random assignment satisfying Definition 4.1 by construction:
+   leaves at their storage server, unary nodes with their operand, join
+   masters drawn from the operands' executors, slaves optional. *)
+let random_assignment rng catalog plan =
+  let master asg (n : Plan.node) =
+    (Planner.Assignment.find asg n.Plan.id).Planner.Assignment.master
+  in
+  List.fold_left
+    (fun asg (n : Plan.node) ->
+      let exec =
+        match n.Plan.op with
+        | Plan.Leaf schema ->
+          let home =
+            match Catalog.server_of catalog (Schema.name schema) with
+            | Ok s -> s
+            | Error _ -> Alcotest.fail "leaf relation missing from catalog"
+          in
+          Planner.Assignment.executor home
+        | Plan.Project (_, c) | Plan.Select (_, c) ->
+          Planner.Assignment.executor (master asg c)
+        | Plan.Join (_, l, r) -> (
+          let ls = master asg l and rs = master asg r in
+          match Workload.Rng.int rng 6 with
+          | 0 | 1 -> Planner.Assignment.executor ls
+          | 2 | 3 -> Planner.Assignment.executor rs
+          | 4 -> Planner.Assignment.executor ~slave:rs ls
+          | _ -> Planner.Assignment.executor ~slave:ls rs)
+      in
+      Planner.Assignment.set n.Plan.id exec asg)
+    Planner.Assignment.empty
+    (List.rev (Plan.nodes plan)) (* children before parents *)
+
+let repro catalog policy plan assignment script verdict_plan verdict_script =
+  Fmt.str
+    "@[<v>oracles disagree: Safety says %b, script verifier says %b@,@,\
+     policy:@,%a@,@,plan:@,%a@,@,assignment:@,%a@,@,script:@,%a@,@,\
+     diagnostics:@,%a@]"
+    verdict_plan verdict_script Authz.Policy.pp policy Plan.pp plan
+    Planner.Assignment.pp assignment Planner.Script.pp script
+    Analysis.Diagnostic.pp_report
+    (V.verify catalog policy script)
+
+let check_agreement catalog policy plan assignment =
+  let safety_ok =
+    match Planner.Safety.check catalog policy plan assignment with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  match Planner.Script.of_assignment catalog plan assignment with
+  | Error _ ->
+    (* No script to verify: the compiler refuses exactly the
+       structurally invalid assignments Safety refuses. *)
+    if safety_ok then
+      Alcotest.fail "Safety accepted an assignment Script refused to compile"
+  | Ok script ->
+    let verifier_ok = V.accepts catalog policy script in
+    if verifier_ok <> safety_ok then
+      Alcotest.fail (repro catalog policy plan assignment script safety_ok verifier_ok)
+
+let densities = [| 0.15; 0.3; 0.5; 0.75; 1.0 |]
+
+let topologies =
+  [|
+    Workload.System_gen.Chain;
+    Workload.System_gen.Star;
+    Workload.System_gen.Random { extra_edges = 1 };
+  |]
+
+let test_differential () =
+  let workloads = ref 0 and accepted = ref 0 and rejected = ref 0 in
+  for seed = 1 to 240 do
+    let rng = Workload.Rng.make ~seed in
+    let relations = 4 + (seed mod 3) in
+    let sys =
+      Workload.System_gen.generate rng ~relations ~servers:relations ~extra:2
+        ~replication:(if seed mod 4 = 0 then 0.3 else 0.0)
+        ~topology:topologies.(seed mod 3)
+    in
+    let policy =
+      Workload.Authz_gen.generate rng ~density:densities.(seed mod 5) sys
+    in
+    match
+      Workload.Query_gen.generate_plan rng ~joins:(1 + (seed mod 3)) sys
+    with
+    | None -> ()
+    | Some plan ->
+      incr workloads;
+      (* The planner's own assignment, when one exists, must pass the
+         script verifier. *)
+      (match Planner.Safe_planner.plan sys.catalog policy plan with
+       | Error _ -> ()
+       | Ok { assignment; _ } -> (
+         check_agreement sys.catalog policy plan assignment;
+         match Planner.Script.of_assignment sys.catalog plan assignment with
+         | Error e ->
+           Alcotest.failf "planner output failed to compile: %a"
+             Planner.Safety.pp_error e
+         | Ok script ->
+           if not (V.accepts sys.catalog policy script) then
+             Alcotest.fail
+               (repro sys.catalog policy plan assignment script true false)));
+      (* Random structurally-valid assignments: agreement on accept AND
+         reject. *)
+      for _ = 1 to 6 do
+        let assignment = random_assignment rng sys.catalog plan in
+        (match Planner.Safety.check sys.catalog policy plan assignment with
+         | Ok _ -> incr accepted
+         | Error _ -> incr rejected);
+        check_agreement sys.catalog policy plan assignment
+      done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 200 workloads (got %d)" !workloads)
+    true (!workloads >= 200);
+  (* The sweep must exercise both verdicts or it proves nothing. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "both verdicts seen (%d accepted, %d rejected)" !accepted
+       !rejected)
+    true
+    (!accepted > 50 && !rejected > 50)
+
+(* Tampering with a compiled script must flip the verifier even though
+   the plan-side oracle still accepts the untampered assignment: the
+   verifier reads the script, not the plan. *)
+let test_tampered_script () =
+  let module M = Scenario.Medical in
+  let plan = M.example_plan () in
+  match Planner.Safe_planner.plan M.catalog M.policy plan with
+  | Error f -> Alcotest.failf "planner failed: %a" Planner.Safe_planner.pp_failure f
+  | Ok { assignment; _ } -> (
+    match Planner.Script.of_assignment M.catalog plan assignment with
+    | Error e -> Alcotest.failf "compile failed: %a" Planner.Safety.pp_error e
+    | Ok script ->
+      (* Redirect every transfer to S_D, which Figure 3 authorizes to
+         see nothing but its own Disease_list. *)
+      let tampered =
+        {
+          script with
+          Planner.Script.steps =
+            List.map
+              (function
+                | Planner.Script.Ship { src; dst = _; temp } ->
+                  Planner.Script.Ship { src; dst = M.s_d; temp }
+                | step -> step)
+              script.Planner.Script.steps;
+        }
+      in
+      Alcotest.(check bool)
+        "original accepted" true
+        (V.accepts M.catalog M.policy script);
+      Alcotest.(check bool)
+        "tampered rejected" false
+        (V.accepts M.catalog M.policy tampered))
+
+let suite =
+  [
+    Alcotest.test_case "differential-200-workloads" `Slow test_differential;
+    Alcotest.test_case "tampered-script" `Quick test_tampered_script;
+  ]

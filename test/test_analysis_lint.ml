@@ -1,0 +1,222 @@
+(* Policy and plan linters on seeded-defect fixtures: each defect fires
+   exactly its registered code. The fixture texts mirror
+   test/cli.t/defective.* so the cram test and the unit tests agree. *)
+
+open Relalg
+module D = Analysis.Diagnostic
+
+let codes ds = List.sort_uniq compare (List.map (fun (d : D.t) -> d.D.code) ds)
+
+let fixture_schema =
+  {|relation Orders at S_A (OrderId*, Customer, Part)
+relation Parts  at S_B (PartNo*, Price)
+join Part = PartNo|}
+
+let fixture_authz =
+  {|[{OrderId, Customer, Part}, -] -> S_A
+[{PartNo, Price}, -] -> S_B
+[{Price}, -] -> S_B
+[{OrderId, PartNo}, {<OrderId, PartNo>}] -> S_A
+[{OrderId, Customer, Part, PartNo, Price}, {<Part, PartNo>}] -> S_A
+[{PartNo, Price}, -] -> S_A|}
+
+let fixture_shadowed =
+  {|DENY [{Customer, Price}, {<Part, PartNo>}] -> S_B
+DENY [{Price}, -] -> S_B|}
+
+let load_system () =
+  match Text.Schema_text.parse fixture_schema with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "schema fixture: %a" Text.Line_reader.pp_error e
+
+let load_policy catalog text =
+  match Text.Authz_text.parse catalog text with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "authz fixture: %a" Text.Line_reader.pp_error e
+
+let test_closed_policy_defects () =
+  let sys = load_system () in
+  let policy = load_policy sys.Text.Schema_text.catalog fixture_authz in
+  let ds = Analysis.Policy_lint.lint ~joins:sys.Text.Schema_text.join_graph policy in
+  Alcotest.(check (list string))
+    "subsumed, unreachable and redundant all fire"
+    [ "CISQP010"; "CISQP011"; "CISQP012" ]
+    (codes ds);
+  (* Severities as registered: two warnings, one info, no errors. *)
+  Alcotest.(check int) "no errors" 0 (D.errors ds);
+  List.iter
+    (fun (d : D.t) ->
+      match d.D.location with
+      | D.Rule i -> Alcotest.(check bool) "1-based rule index" true (i >= 1 && i <= 6)
+      | _ -> Alcotest.fail "policy findings point at rules")
+    ds
+
+let test_shadowed_denial () =
+  let sys = load_system () in
+  let policy = load_policy sys.Text.Schema_text.catalog fixture_shadowed in
+  let ds = Analysis.Policy_lint.lint ~joins:sys.Text.Schema_text.join_graph policy in
+  Alcotest.(check (list string)) "CISQP013 fires" [ "CISQP013" ] (codes ds);
+  match ds with
+  | [ { D.location = D.Denial 1; _ } ] -> ()
+  | _ -> Alcotest.fail "the narrow denial (printed first) is the shadowed one"
+
+let test_clean_policy_is_silent () =
+  let sys = load_system () in
+  let policy =
+    load_policy sys.Text.Schema_text.catalog
+      {|[{OrderId, Customer, Part}, -] -> S_A
+[{PartNo, Price}, -] -> S_B|}
+  in
+  Alcotest.(check (list string))
+    "no findings" []
+    (codes (Analysis.Policy_lint.lint ~joins:sys.Text.Schema_text.join_graph policy))
+
+let test_chase_budget () =
+  let sys = load_system () in
+  let policy = load_policy sys.Text.Schema_text.catalog fixture_authz in
+  let ds =
+    Analysis.Policy_lint.lint ~joins:sys.Text.Schema_text.join_graph
+      ~chase_budget:1 policy
+  in
+  Alcotest.(check bool)
+    "CISQP014 replaces the redundancy pass" true
+    (List.mem "CISQP014" (codes ds) && not (List.mem "CISQP012" (codes ds)))
+
+(* --- plan lint ------------------------------------------------------ *)
+
+(* Two relations at two servers, a third helper server, and a policy
+   that authorizes every mode everywhere: the linter should then flag
+   wasteful-but-safe choices. *)
+let open_world () =
+  let r0 = Schema.make "R0" ~key:[ "K" ] [ "K"; "A" ] in
+  let r1 = Schema.make "R1" ~key:[ "F" ] [ "F"; "B" ] in
+  let s1 = Server.make "S1"
+  and s2 = Server.make "S2"
+  and s3 = Server.make "S3" in
+  let catalog = Catalog.of_list [ (r0, s1); (r1, s2) ] in
+  let attr rel name = Attribute.make ~relation:rel name in
+  let cond = Joinpath.Cond.eq (attr "R0" "A") (attr "R1" "F") in
+  let all_attrs =
+    Attribute.Set.of_list
+      [ attr "R0" "K"; attr "R0" "A"; attr "R1" "F"; attr "R1" "B" ]
+  in
+  let grants server =
+    [
+      Authz.Authorization.make_exn
+        ~attrs:(Schema.attribute_set r0) ~path:Joinpath.empty server;
+      Authz.Authorization.make_exn
+        ~attrs:(Schema.attribute_set r1) ~path:Joinpath.empty server;
+      Authz.Authorization.make_exn ~attrs:all_attrs
+        ~path:(Joinpath.singleton cond) server;
+    ]
+  in
+  let policy = Authz.Policy.of_list (grants s1 @ grants s2 @ grants s3) in
+  let plan =
+    Query.to_plan
+      (Sql_parser.parse_exn catalog "SELECT K, B FROM R0 JOIN R1 ON A = F")
+  in
+  (catalog, policy, plan, s1, s2, s3, cond)
+
+(* Node ids: n0 = projection, n1 = join, n2/n3 = leaves. *)
+let leaf_ids plan =
+  List.filter_map
+    (fun (n : Plan.node) ->
+      match n.Plan.op with
+      | Plan.Leaf s -> Some (Schema.name s, n.Plan.id)
+      | _ -> None)
+    (Plan.nodes plan)
+
+let join_id plan =
+  match
+    List.find_opt
+      (fun (n : Plan.node) ->
+        match n.Plan.op with Plan.Join _ -> true | _ -> false)
+      (Plan.nodes plan)
+  with
+  | Some n -> n.Plan.id
+  | None -> Alcotest.fail "no join in plan"
+
+let assignment_of plan ~join_exec s1 s2 =
+  let leaves = leaf_ids plan in
+  let at name = List.assoc name leaves in
+  Planner.Assignment.empty
+  |> Planner.Assignment.set (at "R0") (Planner.Assignment.executor s1)
+  |> Planner.Assignment.set (at "R1") (Planner.Assignment.executor s2)
+  |> Planner.Assignment.set (join_id plan) join_exec
+  |> fun asg ->
+  (* the root projection rides with the join's master *)
+  List.fold_left
+    (fun asg (n : Plan.node) ->
+      match n.Plan.op with
+      | Plan.Project (_, c) | Plan.Select (_, c) ->
+        Planner.Assignment.set n.Plan.id
+          (Planner.Assignment.find asg c.Plan.id)
+          asg
+      | _ -> asg)
+    asg
+    (List.rev (Plan.nodes plan))
+
+let selective = { (Planner.Cost.uniform ~card:1000.0) with join_selectivity = 0.1 }
+
+let test_regular_join_flagged () =
+  let catalog, policy, plan, s1, s2, _, _ = open_world () in
+  let asg = assignment_of plan ~join_exec:(Planner.Assignment.executor s1) s1 s2 in
+  Alcotest.(check bool)
+    "assignment is safe" true
+    (Planner.Safety.is_safe catalog policy plan asg);
+  let ds = Analysis.Plan_lint.lint ~model:selective catalog policy plan asg in
+  Alcotest.(check (list string)) "CISQP020 fires" [ "CISQP020" ] (codes ds);
+  (* The semi-join variant itself is clean. *)
+  let semi =
+    assignment_of plan ~join_exec:(Planner.Assignment.executor ~slave:s2 s1) s1 s2
+  in
+  Alcotest.(check (list string))
+    "semi-join variant is clean" []
+    (codes (Analysis.Plan_lint.lint ~model:selective catalog policy plan semi))
+
+let test_third_party_flagged () =
+  let catalog, policy, plan, s1, s2, s3, _ = open_world () in
+  let asg = assignment_of plan ~join_exec:(Planner.Assignment.executor s3) s1 s2 in
+  Alcotest.(check bool)
+    "proxy assignment is safe under --third-party" true
+    (Planner.Safety.is_safe ~third_party:true catalog policy plan asg);
+  let ds =
+    Analysis.Plan_lint.lint ~third_party:true ~model:selective catalog policy
+      plan asg
+  in
+  Alcotest.(check bool) "CISQP021 fires" true (List.mem "CISQP021" (codes ds))
+
+let test_local_join_not_flagged () =
+  (* Both relations at one server: nothing to improve. *)
+  let r0 = Schema.make "R0" ~key:[ "K" ] [ "K"; "A" ] in
+  let r1 = Schema.make "R1" ~key:[ "F" ] [ "F"; "B" ] in
+  let s1 = Server.make "S1" in
+  let catalog = Catalog.of_list [ (r0, s1); (r1, s1) ] in
+  let policy =
+    Authz.Policy.of_list
+      [
+        Authz.Authorization.make_exn ~attrs:(Schema.attribute_set r0)
+          ~path:Joinpath.empty s1;
+        Authz.Authorization.make_exn ~attrs:(Schema.attribute_set r1)
+          ~path:Joinpath.empty s1;
+      ]
+  in
+  let plan =
+    Query.to_plan
+      (Sql_parser.parse_exn catalog "SELECT K, B FROM R0 JOIN R1 ON A = F")
+  in
+  let asg = assignment_of plan ~join_exec:(Planner.Assignment.executor s1) s1 s1 in
+  Alcotest.(check (list string))
+    "no findings" []
+    (codes (Analysis.Plan_lint.lint catalog policy plan asg))
+
+let suite =
+  [
+    Alcotest.test_case "closed-policy-defects" `Quick test_closed_policy_defects;
+    Alcotest.test_case "shadowed-denial" `Quick test_shadowed_denial;
+    Alcotest.test_case "clean-policy-silent" `Quick test_clean_policy_is_silent;
+    Alcotest.test_case "chase-budget" `Quick test_chase_budget;
+    Alcotest.test_case "regular-join-flagged" `Quick test_regular_join_flagged;
+    Alcotest.test_case "third-party-flagged" `Quick test_third_party_flagged;
+    Alcotest.test_case "local-join-not-flagged" `Quick test_local_join_not_flagged;
+  ]

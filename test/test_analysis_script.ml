@@ -1,0 +1,159 @@
+(* The independent script verifier: clean scripts pass, every seeded
+   defect fires its diagnostic code, and the profiles it re-derives from
+   SQL text agree with the planner-side Figure-4 fold. *)
+
+open Relalg
+module D = Analysis.Diagnostic
+module V = Analysis.Script_verifier
+module M = Scenario.Medical
+
+let codes ds = List.sort_uniq compare (List.map (fun (d : D.t) -> d.D.code) ds)
+
+let planned_script () =
+  let plan = M.example_plan () in
+  let assignment =
+    match Planner.Safe_planner.plan M.catalog M.policy plan with
+    | Ok { assignment; _ } -> assignment
+    | Error f -> Alcotest.failf "planner failed: %a" Planner.Safe_planner.pp_failure f
+  in
+  let script =
+    match Planner.Script.of_assignment M.catalog plan assignment with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "compilation failed: %a" Planner.Safety.pp_error e
+  in
+  (plan, script)
+
+let test_clean_script () =
+  let _, script = planned_script () in
+  Alcotest.(check (list string))
+    "no findings" []
+    (List.map (Fmt.str "%a" D.pp) (V.verify M.catalog M.policy script));
+  Alcotest.(check bool) "accepts" true (V.accepts M.catalog M.policy script)
+
+(* The verifier's profiles, re-derived from nothing but the SQL text,
+   must equal the planner's [Safety.profile_of] on the source plan. *)
+let test_derived_profiles_agree () =
+  let plan, script = planned_script () in
+  let derived = V.derived_profiles M.catalog script in
+  let checked = ref 0 in
+  List.iter
+    (fun (n : Plan.node) ->
+      match List.assoc_opt (Printf.sprintf "t%d" n.Plan.id) derived with
+      | None -> ()
+      | Some p ->
+        incr checked;
+        Alcotest.check Helpers.profile
+          (Printf.sprintf "profile of t%d" n.Plan.id)
+          (Planner.Safety.profile_of n) p)
+    (Plan.nodes plan);
+  Alcotest.(check bool) "compared several temporaries" true (!checked >= 5)
+
+let test_revoked_rule_fires () =
+  let _, script = planned_script () in
+  (* The plan ships Insurance's projection to S_N under rule 15,
+     [{Holder, Plan}, -] -> S_N; revoke it. *)
+  let rule =
+    Authz.Authorization.make_exn
+      ~attrs:(Helpers.attrs [ M.attr "Holder"; M.attr "Plan" ])
+      ~path:Joinpath.empty
+      (Server.make "S_N")
+  in
+  let tampered = Authz.Policy.remove rule M.policy in
+  let ds = V.verify M.catalog tampered script in
+  Alcotest.(check (list string)) "CISQP001 fires" [ "CISQP001" ] (codes ds);
+  Alcotest.(check bool) "rejects" false (V.accepts M.catalog tampered script)
+
+(* Hand-built defective scripts, one per code. *)
+
+let local at defines sql = Planner.Script.Local { at; defines; sql }
+let ship src dst temp = Planner.Script.Ship { src; dst; temp }
+
+let script steps ~result ~location = { Planner.Script.steps; result; location }
+
+let check_codes name expected script =
+  Alcotest.(check (list string))
+    name expected
+    (codes (V.verify M.catalog M.policy script))
+
+let test_seeded_defects () =
+  check_codes "malformed SQL -> CISQP004" [ "CISQP004" ]
+    (script
+       [ local M.s_h "t0" "DROP TABLE Hospital" ]
+       ~result:"t0" ~location:M.s_h);
+  check_codes "reading a relation not stored here -> CISQP002" [ "CISQP002" ]
+    (script
+       [ local M.s_h "t0" "CREATE TEMP TABLE t0 AS SELECT Holder, Plan FROM Insurance" ]
+       ~result:"t0" ~location:M.s_h);
+  check_codes "unknown relation -> CISQP003" [ "CISQP003" ]
+    (script
+       [ local M.s_h "t0" "CREATE TEMP TABLE t0 AS SELECT Holder FROM Nowhere" ]
+       ~result:"t0" ~location:M.s_h);
+  check_codes "unknown column -> CISQP003" [ "CISQP003" ]
+    (script
+       [ local M.s_h "t0" "CREATE TEMP TABLE t0 AS SELECT Holder FROM Hospital" ]
+       ~result:"t0" ~location:M.s_h);
+  check_codes "SEND of an undefined temporary -> CISQP003" [ "CISQP003" ]
+    (script
+       [
+         local M.s_h "t0" "CREATE TEMP TABLE t0 AS SELECT Patient FROM Hospital";
+         ship M.s_h M.s_n "t9";
+       ]
+       ~result:"t0" ~location:M.s_h);
+  check_codes "unauthorized transfer -> CISQP001" [ "CISQP001" ]
+    (script
+       [
+         local M.s_h "t0"
+           "CREATE TEMP TABLE t0 AS SELECT Disease, Patient FROM Hospital";
+         ship M.s_h M.s_d "t0";
+       ]
+       ~result:"t0" ~location:M.s_h);
+  check_codes "redefined temporary -> CISQP005" [ "CISQP005" ]
+    (script
+       [
+         local M.s_h "t0" "CREATE TEMP TABLE t0 AS SELECT Patient FROM Hospital";
+         local M.s_h "t0" "CREATE TEMP TABLE t0 AS SELECT Patient FROM Hospital";
+       ]
+       ~result:"t0" ~location:M.s_h);
+  check_codes "missing result -> CISQP005" [ "CISQP005" ]
+    (script
+       [ local M.s_h "t0" "CREATE TEMP TABLE t0 AS SELECT Patient FROM Hospital" ]
+       ~result:"t9" ~location:M.s_h);
+  check_codes "result not at the declared location -> CISQP002" [ "CISQP002" ]
+    (script
+       [ local M.s_h "t0" "CREATE TEMP TABLE t0 AS SELECT Patient FROM Hospital" ]
+       ~result:"t0" ~location:M.s_i);
+  check_codes "sender does not hold the temporary -> CISQP002" [ "CISQP002" ]
+    (script
+       [
+         local M.s_h "t0" "CREATE TEMP TABLE t0 AS SELECT Patient FROM Hospital";
+         ship M.s_n M.s_h "t0";
+       ]
+       ~result:"t0" ~location:M.s_h)
+
+(* A selection's condition attributes land in sigma: the WHERE clause is
+   mined from raw text, so check the re-derived sigma explicitly. *)
+let test_where_sigma () =
+  let s =
+    script
+      [
+        local M.s_h "t0"
+          "CREATE TEMP TABLE t0 AS SELECT Patient, Disease FROM Hospital WHERE Disease = 'flu'";
+      ]
+      ~result:"t0" ~location:M.s_h
+  in
+  Alcotest.(check (list string)) "clean" [] (codes (V.verify M.catalog M.policy s));
+  match V.derived_profiles M.catalog s with
+  | [ ("t0", p) ] ->
+    Alcotest.check Helpers.attribute_set "sigma = {Disease}"
+      (Helpers.attrs [ M.attr "Disease" ])
+      p.Authz.Profile.sigma
+  | other -> Alcotest.failf "unexpected derivations (%d)" (List.length other)
+
+let suite =
+  [
+    Alcotest.test_case "clean-script" `Quick test_clean_script;
+    Alcotest.test_case "derived-profiles-agree" `Quick test_derived_profiles_agree;
+    Alcotest.test_case "revoked-rule-fires" `Quick test_revoked_rule_fires;
+    Alcotest.test_case "seeded-defects" `Quick test_seeded_defects;
+    Alcotest.test_case "where-sigma" `Quick test_where_sigma;
+  ]
