@@ -243,9 +243,76 @@ let run_micro () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Inference-pass perf trajectory: saturation wall-clock vs message-log
+   size, written to BENCH_inference.json so successive PRs can compare
+   runs. One generated federation serves a growing batch of queries;
+   after each query the accumulated flow log is saturated afresh. *)
+
+let run_inference_bench () =
+  let sys =
+    System_gen.generate (Rng.make ~seed:11) ~relations:6 ~servers:6 ~extra:3
+      ~topology:System_gen.Chain
+  in
+  let catalog = sys.System_gen.catalog in
+  let joins = sys.System_gen.join_graph in
+  let policy =
+    Authz_gen.generate (Rng.make ~seed:4) ~attr_keep:1.0 ~density:1.0 sys
+  in
+  let batches =
+    List.init 24 (fun i ->
+        Option.bind
+          (Query_gen.generate_plan (Rng.make ~seed:(100 + i)) ~joins:3 sys)
+          (fun plan ->
+            match Planner.Safe_planner.plan catalog policy plan with
+            | Error _ -> None
+            | Ok { assignment; _ } -> (
+              match Planner.Safety.flows catalog plan assignment with
+              | Ok flows -> Some flows
+              | Error _ -> None)))
+    |> List.filter_map Fun.id
+  in
+  let entries = ref [] in
+  let prefix = ref [] in
+  List.iter
+    (fun batch ->
+      prefix := !prefix @ [ batch ];
+      let knowledge = Analysis.Knowledge.of_flow_batches catalog !prefix in
+      let messages = List.length (List.concat !prefix) in
+      let best = ref infinity and profiles = ref 0 in
+      for _ = 1 to 3 do
+        let t0 = Unix.gettimeofday () in
+        let outcome = Analysis.Knowledge.saturate ~joins knowledge in
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt;
+        profiles :=
+          List.fold_left
+            (fun acc s ->
+              acc
+              + List.length (Analysis.Knowledge.items outcome.knowledge s))
+            0
+            (Analysis.Knowledge.servers outcome.knowledge)
+      done;
+      entries := (messages, !profiles, !best) :: !entries)
+    batches;
+  let oc = open_out "BENCH_inference.json" in
+  let one (messages, profiles, seconds) =
+    Printf.sprintf {|{"messages":%d,"profiles":%d,"seconds":%.9f}|} messages
+      profiles seconds
+  in
+  Printf.fprintf oc
+    {|{"bench":"inference-saturation","budget":%d,"entries":[%s]}|}
+    Analysis.Knowledge.default_budget
+    (String.concat "," (List.rev_map one !entries));
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "inference saturation bench: %d points -> BENCH_inference.json@."
+    (List.length !entries)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   Fmt.pr "%s@." (Scenario.Paper_figures.all ());
   Tables.run_all ~seeds:(if quick then 40 else 100);
+  run_inference_bench ();
   if not quick then run_micro ()

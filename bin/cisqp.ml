@@ -451,6 +451,34 @@ let lint_cmd =
       & info [ "chase-budget" ] ~docv:"N"
           ~doc:"Rule budget for each chase fixpoint of the redundancy pass.")
   in
+  let passes =
+    Arg.(
+      value
+      & opt_all
+          (enum
+             [
+               ("policy", `Policy);
+               ("plan", `Plan);
+               ("inference", `Inference);
+               ("all", `All);
+             ])
+          []
+      & info [ "pass" ] ~docv:"PASS"
+          ~doc:
+            "Analysis pass to run (repeatable): $(b,policy), $(b,plan) \
+             (plan lint + script verification), $(b,inference) \
+             (cumulative-knowledge saturation), or $(b,all). Default: \
+             $(b,policy) and $(b,plan).")
+  in
+  let saturation_budget =
+    Arg.(
+      value
+      & opt int Analysis.Knowledge.default_budget
+      & info [ "saturation-budget" ] ~docv:"N"
+          ~doc:
+            "Maximum profiles per server knowledge base in the inference \
+             pass; hitting it emits CISQP031.")
+  in
   let random_seed =
     Arg.(
       value
@@ -478,9 +506,16 @@ let lint_cmd =
     Arg.(
       value & opt int 3 & info [ "queries" ] ~doc:"Number of generated queries.")
   in
-  let run fed sqls third_party no_semijoins format strict chase_budget
-      random_seed relations query_joins density queries =
+  let run fed sqls third_party no_semijoins format strict chase_budget passes
+      saturation_budget random_seed relations query_joins density queries =
     let module D = Analysis.Diagnostic in
+    let passes =
+      match passes with
+      | [] -> [ `Policy; `Plan ]
+      | ps when List.mem `All ps -> [ `Policy; `Plan; `Inference ]
+      | ps -> ps
+    in
+    let want p = List.mem p passes in
     let catalog, policy, joins, helpers, plans =
       match random_seed with
       | Some seed ->
@@ -503,7 +538,8 @@ let lint_cmd =
         (fed.catalog, fed.policy, fed.joins, fed.helpers, plans)
     in
     let policy_diags =
-      Analysis.Policy_lint.lint ~joins ~chase_budget policy
+      if want `Policy then Analysis.Policy_lint.lint ~joins ~chase_budget policy
+      else []
     in
     let config =
       {
@@ -512,38 +548,75 @@ let lint_cmd =
       }
     in
     let helpers = if third_party then helpers else [] in
-    let plan_diags =
-      List.concat_map
-        (fun plan ->
-          match
-            Planner.Safe_planner.plan ~config ~helpers catalog policy plan
-          with
-          | Error _ ->
-            [
-              D.make "CISQP022" D.Whole
-                "no safe assignment for query %s; plan and script checks \
-                 skipped"
-                (Plan.to_string plan);
-            ]
-          | Ok { assignment; _ } -> (
-            let lint =
-              Analysis.Plan_lint.lint ~third_party catalog policy plan
-                assignment
-            in
-            match
-              Planner.Script.of_assignment ~third_party catalog plan assignment
-            with
-            | Error e ->
-              lint
-              @ [
-                  D.make "CISQP005" D.Whole "script compilation failed: %a"
-                    Planner.Safety.pp_error e;
-                ]
-            | Ok script ->
-              lint @ Analysis.Script_verifier.verify catalog policy script))
-        plans
+    (* Plan each query once; the plan pass and the inference pass both
+       consume the results. *)
+    let planned =
+      if want `Plan || want `Inference then
+        List.map
+          (fun plan ->
+            (plan, Planner.Safe_planner.plan ~config ~helpers catalog policy plan))
+          plans
+      else []
     in
-    let all = policy_diags @ plan_diags in
+    let unplannable_diags =
+      List.filter_map
+        (fun (plan, result) ->
+          match result with
+          | Error _ ->
+            Some
+              (D.make "CISQP022" D.Whole
+                 "no safe assignment for query %s; plan and script checks \
+                  skipped"
+                 (Plan.to_string plan))
+          | Ok _ -> None)
+        planned
+    in
+    let plan_diags =
+      if not (want `Plan) then []
+      else
+        List.concat_map
+          (fun (plan, result) ->
+            match result with
+            | Error _ -> []
+            | Ok { Planner.Safe_planner.assignment; _ } -> (
+              let lint =
+                Analysis.Plan_lint.lint ~third_party catalog policy plan
+                  assignment
+              in
+              match
+                Planner.Script.of_assignment ~third_party catalog plan
+                  assignment
+              with
+              | Error e ->
+                lint
+                @ [
+                    D.make "CISQP005" D.Whole "script compilation failed: %a"
+                      Planner.Safety.pp_error e;
+                  ]
+              | Ok script ->
+                lint @ Analysis.Script_verifier.verify catalog policy script))
+          planned
+    in
+    let inference_diags =
+      if not (want `Inference) then []
+      else
+        let batches =
+          List.filter_map
+            (fun (plan, result) ->
+              match result with
+              | Error _ -> None
+              | Ok { Planner.Safe_planner.assignment; _ } -> (
+                match
+                  Planner.Safety.flows ~third_party catalog plan assignment
+                with
+                | Ok flows -> Some flows
+                | Error _ -> None))
+            planned
+        in
+        Analysis.Knowledge.lint ~budget:saturation_budget ~joins policy
+          (Analysis.Knowledge.of_flow_batches catalog batches)
+    in
+    let all = policy_diags @ unplannable_diags @ plan_diags @ inference_diags in
     (match format with
      | `Text -> Fmt.pr "%a@." D.pp_report all
      | `Json -> print_endline (D.to_json all));
@@ -564,8 +637,8 @@ let lint_cmd =
           warnings) are found.")
     Term.(
       const run $ federation_term $ sqls $ third_party_flag $ no_semijoins_flag
-      $ format_arg $ strict_flag $ chase_budget $ random_seed $ relations
-      $ query_joins $ density $ queries)
+      $ format_arg $ strict_flag $ chase_budget $ passes $ saturation_budget
+      $ random_seed $ relations $ query_joins $ density $ queries)
 
 let sweep_cmd =
   let relations =

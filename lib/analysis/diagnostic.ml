@@ -6,6 +6,7 @@ type location =
   | Denial of int
   | Step of int
   | Node of int
+  | Server of string
 
 type t = {
   code : string;
@@ -16,7 +17,7 @@ type t = {
 
 (* Stable codes. Append-only: meanings must never change, tests and CI
    gates match on them. 00x — script verification; 01x — policy lint;
-   02x — plan lint. *)
+   02x — plan lint; 03x — cumulative-knowledge inference. *)
 let registry =
   [
     ("CISQP001", Error, "transfer not authorized by the policy");
@@ -32,6 +33,8 @@ let registry =
     ("CISQP020", Warning, "regular join where a semi-join is authorized");
     ("CISQP021", Warning, "third party used where an operand server qualifies");
     ("CISQP022", Info, "query has no safe assignment; plan checks skipped");
+    ("CISQP030", Warning, "composition leak: accumulated deliveries assemble an unauthorized view");
+    ("CISQP031", Warning, "knowledge saturation stopped at the budget; inference incomplete");
   ]
 
 let severity_of_code code =
@@ -39,9 +42,21 @@ let severity_of_code code =
   | Some (_, sev, _) -> sev
   | None -> invalid_arg (Printf.sprintf "Diagnostic.make: unknown code %s" code)
 
+(* Messages are one-line by contract: render with an effectively
+   unbounded margin AND max-indent (the latter is what breaks the line
+   before a box opened past it) so a long profile or witness list never
+   picks up a line break. *)
 let make code location fmt =
   let severity = severity_of_code code in
-  Fmt.kstr (fun message -> { code; severity; location; message }) fmt
+  let buf = Buffer.create 80 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_set_geometry ppf ~max_indent:(1000 * 1000)
+    ~margin:((1000 * 1000) + 1);
+  Format.kfprintf
+    (fun ppf ->
+      Format.pp_print_flush ppf ();
+      { code; severity; location; message = Buffer.contents buf })
+    ppf fmt
 
 let severity_to_string = function
   | Error -> "error"
@@ -56,22 +71,32 @@ let pp_location ppf = function
   | Denial i -> Fmt.pf ppf " denial %d" i
   | Step i -> Fmt.pf ppf " step %d" i
   | Node i -> Fmt.pf ppf " n%d" i
+  | Server s -> Fmt.pf ppf " server %s" s
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
 let location_rank = function
-  | Whole -> (0, 0)
-  | Rule i -> (1, i)
-  | Denial i -> (2, i)
-  | Step i -> (3, i)
-  | Node i -> (4, i)
+  | Whole -> 0
+  | Rule _ -> 1
+  | Denial _ -> 2
+  | Step _ -> 3
+  | Node _ -> 4
+  | Server _ -> 5
+
+(* Total and deterministic: the renderers' stable order depends on it. *)
+let compare_location a b =
+  match (a, b) with
+  | Rule i, Rule j | Denial i, Denial j | Step i, Step j | Node i, Node j ->
+    Int.compare i j
+  | Server s, Server t -> String.compare s t
+  | _ -> Int.compare (location_rank a) (location_rank b)
 
 let compare_diag a b =
   match compare (severity_rank a.severity) (severity_rank b.severity) with
   | 0 -> (
     match String.compare a.code b.code with
     | 0 -> (
-      match compare (location_rank a.location) (location_rank b.location) with
+      match compare_location a.location b.location with
       | 0 -> String.compare a.message b.message
       | c -> c)
     | c -> c)
@@ -120,6 +145,7 @@ let location_json = function
   | Denial i -> Printf.sprintf {|{"kind":"denial","index":%d}|} i
   | Step i -> Printf.sprintf {|{"kind":"step","index":%d}|} i
   | Node i -> Printf.sprintf {|{"kind":"node","index":%d}|} i
+  | Server s -> Printf.sprintf {|{"kind":"server","name":"%s"}|} (json_escape s)
 
 let to_json ds =
   let one d =

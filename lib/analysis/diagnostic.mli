@@ -16,6 +16,7 @@ type location =
   | Denial of int  (** negative rule [#i] of an open policy, 1-based *)
   | Step of int  (** execution-script step [#i], 0-based *)
   | Node of int  (** plan node [n<i>] *)
+  | Server of string  (** a federation server, by name *)
 
 type t = private {
   code : string;  (** stable registry code, e.g. ["CISQP001"] *)
@@ -42,8 +43,10 @@ val severity_to_string : severity -> string
 val pp_severity : severity Fmt.t
 val pp_location : location Fmt.t
 
-(** Errors first, then warnings, then infos; ties broken by code then
-    location. *)
+(** Errors first, then warnings, then infos; ties broken by code, then
+    location, then message — a total, deterministic order, so that the
+    text and JSON renderers emit identical sequences regardless of the
+    order the analysis passes produced the findings in. *)
 val sort : t list -> t list
 
 (** Number of [Error]-severity diagnostics — the CI gate: a lint run
@@ -62,5 +65,6 @@ val pp_report : t list Fmt.t
 
 (** The sorted list as a JSON array of
     [{"code", "severity", "location": {"kind", "index"}, "message"}]
-    objects (index omitted for [Whole]). *)
+    objects (index omitted for [Whole]; [Server] locations carry
+    ["name"] instead of ["index"]). *)
 val to_json : t list -> string

@@ -1,0 +1,258 @@
+open Relalg
+open Authz
+
+type source = { seq : int; sender : Server.t; note : string }
+
+type item = {
+  profile : Profile.t;
+  sources : source list;
+  via : Joinpath.Cond.t list;
+}
+
+module PMap = Map.Make (Profile)
+
+type t = item PMap.t Server.Map.t
+
+let empty = Server.Map.empty
+
+(* Witness size: fewer joins, then fewer messages. [add] and the
+   saturation loop keep the smallest-rank item per profile, so the
+   reported witness is (breadth-first) minimal. *)
+let rank it = (List.length it.via, List.length it.sources)
+
+let add server it t =
+  let table =
+    match Server.Map.find_opt server t with
+    | Some table -> table
+    | None -> PMap.empty
+  in
+  let table =
+    match PMap.find_opt it.profile table with
+    | Some old when rank old <= rank it -> table
+    | _ -> PMap.add it.profile it table
+  in
+  Server.Map.add server table t
+
+let of_catalog catalog =
+  let t =
+    Server.Set.fold
+      (fun s t -> Server.Map.add s PMap.empty t)
+      (Catalog.servers catalog) empty
+  in
+  List.fold_left
+    (fun t schema ->
+      let holders =
+        match Catalog.servers_of catalog (Schema.name schema) with
+        | Ok servers -> servers
+        | Error _ -> []
+      in
+      let it =
+        { profile = Profile.of_base schema; sources = []; via = [] }
+      in
+      List.fold_left (fun t s -> add s it t) t holders)
+    t (Catalog.schemas catalog)
+
+let receive ~receiver ~source profile t =
+  add receiver { profile; sources = [ source ]; via = [] } t
+
+let of_flow_batches catalog batches =
+  let _, t =
+    List.fold_left
+      (fun (seq, t) flows ->
+        List.fold_left
+          (fun (seq, t) (f : Planner.Safety.flow) ->
+            let source =
+              {
+                seq;
+                sender = f.sender;
+                note = Fmt.str "%a" Planner.Safety.pp_payload f.payload;
+              }
+            in
+            (seq + 1, receive ~receiver:f.receiver ~source f.profile t))
+          (seq, t) flows)
+      (0, of_catalog catalog)
+      batches
+  in
+  t
+
+let of_script catalog script =
+  let profiles = Script_verifier.derived_profiles catalog script in
+  let _, t =
+    List.fold_left
+      (fun (seq, t) step ->
+        match (step : Planner.Script.step) with
+        | Local _ -> (seq + 1, t)
+        | Ship { src; dst; temp } -> (
+          match List.assoc_opt temp profiles with
+          | None -> (seq + 1, t)
+          | Some profile ->
+            let source = { seq; sender = src; note = temp } in
+            (seq + 1, receive ~receiver:dst ~source profile t)))
+      (0, of_catalog catalog)
+      script.Planner.Script.steps
+  in
+  t
+
+let servers t = List.map fst (Server.Map.bindings t)
+
+let items t server =
+  match Server.Map.find_opt server t with
+  | None -> []
+  | Some table -> List.map snd (PMap.bindings table)
+
+let profiles t server = List.map (fun it -> it.profile) (items t server)
+
+let mem t server profile =
+  match Server.Map.find_opt server t with
+  | None -> false
+  | Some table -> PMap.mem profile table
+
+let default_budget = 1024
+
+type outcome = { knowledge : t; exhausted : Server.t list }
+
+let merge_sources a b =
+  List.sort_uniq (fun s1 s2 -> Int.compare s1.seq s2.seq) (a @ b)
+
+let merge_via cond a b =
+  List.sort_uniq Joinpath.Cond.compare (cond :: (a @ b))
+
+(* Per-server breadth-first closure under the Figure-4 join rule.
+   Popping [p] joins it against the whole current table; profiles
+   discovered later are joined against [p] when their own turn comes
+   ([Profile.try_join] tries both orientations), so every pair is
+   eventually considered. The budget caps the table's cardinality, not
+   the work: once a knowledge base holds [budget] profiles its
+   saturation stops and the server is reported exhausted. *)
+let saturate ?(budget = default_budget) ~joins t =
+  let exhausted = ref [] in
+  let knowledge =
+    Server.Map.mapi
+      (fun server table ->
+        let table = ref table in
+        let queue = Queue.create () in
+        PMap.iter (fun _ it -> Queue.add it queue) !table;
+        let stop = ref false in
+        while (not !stop) && not (Queue.is_empty queue) do
+          let p = Queue.pop queue in
+          let partners = PMap.bindings !table in
+          List.iter
+            (fun (_, q) ->
+              List.iter
+                (fun cond ->
+                  if not !stop then
+                    match Profile.try_join cond p.profile q.profile with
+                    | None -> ()
+                    | Some joined ->
+                      if not (PMap.mem joined !table) then
+                        if PMap.cardinal !table >= budget then begin
+                          stop := true;
+                          exhausted := server :: !exhausted
+                        end
+                        else begin
+                          let it =
+                            {
+                              profile = joined;
+                              sources = merge_sources p.sources q.sources;
+                              via = merge_via cond p.via q.via;
+                            }
+                          in
+                          table := PMap.add joined it !table;
+                          Queue.add it queue
+                        end)
+                joins)
+            partners
+        done;
+        !table)
+      t
+  in
+  { knowledge; exhausted = List.rev !exhausted }
+
+type leak = { server : Server.t; item : item }
+
+(* Local-only items recombine data the server already stores, and
+   directly received unauthorized profiles are CISQP001 / audit
+   territory — a composition leak needs at least one message and at
+   least one saturation join. *)
+let leaks policy t =
+  Server.Map.fold
+    (fun server table acc ->
+      PMap.fold
+        (fun _ it acc ->
+          if
+            it.sources <> []
+            && it.via <> []
+            && not (Policy.can_view policy it.profile server)
+          then { server; item = it } :: acc
+          else acc)
+        table acc)
+    t []
+  |> List.rev
+
+let pp_source ppf s =
+  Fmt.pf ppf "#%d from %a (%s)" s.seq Server.pp s.sender s.note
+
+let pp_item ppf it =
+  Fmt.pf ppf "@[<h>%a" Profile.pp it.profile;
+  (match it.sources with
+  | [] -> Fmt.pf ppf " local"
+  | ss -> Fmt.pf ppf " from %a" Fmt.(list ~sep:(any ", ") pp_source) ss);
+  (match it.via with
+  | [] -> ()
+  | conds ->
+    Fmt.pf ppf " via %a" Fmt.(list ~sep:(any ", ") Joinpath.Cond.pp) conds);
+  Fmt.pf ppf "@]"
+
+let lint ?budget ~joins policy t =
+  let { knowledge; exhausted } = saturate ?budget ~joins t in
+  let leak_diags =
+    List.map
+      (fun { server; item } ->
+        Diagnostic.make "CISQP030"
+          (Diagnostic.Server (Server.name server))
+          "can assemble %a by joining deliveries %a on %a; no authorization \
+           admits it"
+          Profile.pp item.profile
+          Fmt.(list ~sep:(any ", ") pp_source)
+          item.sources
+          Fmt.(list ~sep:(any ", ") Joinpath.Cond.pp)
+          item.via)
+      (leaks policy knowledge)
+  in
+  let budget_value =
+    match budget with Some b -> b | None -> default_budget
+  in
+  let budget_diags =
+    List.map
+      (fun server ->
+        Diagnostic.make "CISQP031"
+          (Diagnostic.Server (Server.name server))
+          "knowledge base reached the saturation budget (%d profiles); \
+           derivations beyond it were not explored"
+          budget_value)
+      exhausted
+  in
+  leak_diags @ budget_diags
+
+let subset a b =
+  Server.Map.for_all
+    (fun server table ->
+      let other =
+        match Server.Map.find_opt server b with
+        | Some t -> t
+        | None -> PMap.empty
+      in
+      PMap.for_all (fun p _ -> PMap.mem p other) table)
+    a
+
+let equal a b = subset a b && subset b a
+
+let pp ppf t =
+  let pp_server ppf (server, table) =
+    Fmt.pf ppf "@[<v 2>%a knows:@,%a@]" Server.pp server
+      Fmt.(list ~sep:(any "@,") pp_item)
+      (List.map snd (PMap.bindings table))
+  in
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(list ~sep:(any "@,") pp_server)
+    (Server.Map.bindings t)

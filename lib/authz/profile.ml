@@ -25,6 +25,14 @@ let join cond l r =
     sigma = Attribute.Set.union l.sigma r.sigma;
   }
 
+let joinable cond l r =
+  let jl = Attribute.Set.of_list (Joinpath.Cond.left cond)
+  and jr = Attribute.Set.of_list (Joinpath.Cond.right cond) in
+  (Attribute.Set.subset jl l.pi && Attribute.Set.subset jr r.pi)
+  || (Attribute.Set.subset jl r.pi && Attribute.Set.subset jr l.pi)
+
+let try_join cond l r = if joinable cond l r then Some (join cond l r) else None
+
 let rec of_algebra = function
   | Algebra.Relation schema -> of_base schema
   | Algebra.Project (attrs, e) -> project attrs (of_algebra e)

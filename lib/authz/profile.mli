@@ -37,6 +37,20 @@ val select : Attribute.Set.t -> t -> t
     [\[R_l^pi ∪ R_r^pi, R_l^join ∪ R_r^join ∪ j, R_l^sigma ∪ R_r^sigma\]]. *)
 val join : Joinpath.Cond.t -> t -> t -> t
 
+(** [joinable cond l r] — can a party holding materialisations of both
+    [l] and [r] compute their join on [cond]? True iff the condition's
+    attributes are carried {e as values} by the two sides, in either
+    orientation ([cond_l ⊆ l.pi] and [cond_r ⊆ r.pi], or swapped).
+    [sigma] attributes do not qualify: a selection reveals information
+    about them but does not deliver their values. *)
+val joinable : Joinpath.Cond.t -> t -> t -> bool
+
+(** [try_join cond l r] is [Some (join cond l r)] when {!joinable}
+    holds, [None] otherwise. The Figure-4 join row is symmetric in its
+    operands (component-wise unions), so the orientation that satisfied
+    {!joinable} does not affect the result. *)
+val try_join : Joinpath.Cond.t -> t -> t -> t option
+
 (** Profile of the relation computed by an algebra expression, obtained
     by folding the Figure-4 rules bottom-up. *)
 val of_algebra : Algebra.t -> t

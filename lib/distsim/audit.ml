@@ -46,8 +46,16 @@ let is_clean policy network = Result.is_ok (run policy network)
 let pp_reason ppf = function
   | Unauthorized -> Fmt.string ppf "no authorization admits this flow"
   | Header_mismatch { header; claimed } ->
+    let undeclared = Attribute.Set.diff header claimed
+    and missing = Attribute.Set.diff claimed header in
     Fmt.pf ppf "transmitted attributes %a differ from declared profile %a"
-      Attribute.Set.pp header Attribute.Set.pp claimed
+      Attribute.Set.pp header Attribute.Set.pp claimed;
+    if not (Attribute.Set.is_empty undeclared) then
+      Fmt.pf ppf "; transmitted but not declared: %a" Attribute.Set.pp
+        undeclared;
+    if not (Attribute.Set.is_empty missing) then
+      Fmt.pf ppf "; declared but not transmitted: %a" Attribute.Set.pp
+        missing
 
 let pp_violation ppf (v : violation) =
   Fmt.pf ppf "VIOLATION %a: %a" Network.pp_message v.message pp_reason v.reason
@@ -58,3 +66,22 @@ let pp_entry ppf (e : entry) =
     Fmt.pf ppf "%a@,  admitted by %a" Network.pp_message e.message
       Authorization.pp rule
   | None -> Network.pp_message ppf e.message
+
+(* Cumulative-knowledge cross-check: the runtime counterpart of the
+   static inference pass. The message log is replayed into per-server
+   knowledge bases with the engine's own profiles, so the static
+   analysis (over Safety.flows) and this replay must agree whenever the
+   plans execute as planned — that agreement is differentially
+   tested. *)
+let knowledge catalog network =
+  List.fold_left
+    (fun k (m : Network.message) ->
+      let source =
+        { Analysis.Knowledge.seq = m.seq; sender = m.sender; note = m.note }
+      in
+      Analysis.Knowledge.receive ~receiver:m.receiver ~source m.profile k)
+    (Analysis.Knowledge.of_catalog catalog)
+    (Network.messages network)
+
+let inference ?budget ~joins catalog policy network =
+  Analysis.Knowledge.lint ?budget ~joins policy (knowledge catalog network)

@@ -40,3 +40,20 @@ val is_clean : Policy.t -> Network.t -> bool
 
 val pp_violation : violation Fmt.t
 val pp_entry : entry Fmt.t
+
+(** Replay the message log into per-server knowledge bases
+    ({!Analysis.Knowledge}): every server starts from the base
+    relations it stores and accumulates each delivery it received, with
+    the engine's own runtime profiles as ground truth. *)
+val knowledge : Relalg.Catalog.t -> Network.t -> Analysis.Knowledge.t
+
+(** The inference pass over a concrete execution: {!knowledge} then
+    {!Analysis.Knowledge.lint} — [CISQP030] per composition leak,
+    [CISQP031] per budget-exhausted server. *)
+val inference :
+  ?budget:int ->
+  joins:Relalg.Joinpath.Cond.t list ->
+  Relalg.Catalog.t ->
+  Policy.t ->
+  Network.t ->
+  Analysis.Diagnostic.t list

@@ -87,5 +87,10 @@ val check :
 val is_safe :
   ?third_party:bool -> Catalog.t -> Policy.t -> Plan.t -> Assignment.t -> bool
 
+(** [result of n3], [join attributes of n3], ... — a short phrase
+    naming what the flow carries, suitable for message-provenance
+    notes. *)
+val pp_payload : payload Fmt.t
+
 val pp_flow : flow Fmt.t
 val pp_violation : violation Fmt.t

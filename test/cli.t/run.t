@@ -135,3 +135,37 @@ chase-implied rules in the Figure-3 policy):
   info[CISQP012] rule 12: [{Citizen, HealthAid, Holder, Plan}, {⟨Citizen, Holder⟩}] -> S_N is implied by the chase closure of the other rules; it can be removed
   info[CISQP012] rule 13: [{Disease, Holder, Patient, Plan}, {⟨Patient, Holder⟩}] -> S_N is implied by the chase closure of the other rules; it can be removed
   0 error(s), 0 warning(s), 4 info(s)
+
+The inference pass accumulates every delivery a server receives across
+queries and saturates it under the schema's joins: here each shipment
+to S_R is individually authorized, yet joining the two deliveries
+assembles the Part = PartNo association no rule grants (the last
+warning is the minimal witness: two messages, one join):
+
+  $ cisqp lint --schema leaky.schema --authz leaky.authz --pass inference "SELECT Customer, Part, RegPart FROM Orders JOIN Registry ON OrderKey = RegOrder" "SELECT Price, RegPart FROM Parts JOIN Registry ON PartNo = RegPart"
+  warning[CISQP030] server S_R: can assemble [{Customer, OrderKey, Part, PartNo, Price, RegOrder, RegPart}, {⟨OrderKey, RegOrder⟩, ⟨Part, PartNo⟩, ⟨PartNo, RegPart⟩}, {}] by joining deliveries #0 from S_O (result of n2), #1 from S_P (result of n2) on ⟨OrderKey, RegOrder⟩, ⟨Part, PartNo⟩, ⟨PartNo, RegPart⟩; no authorization admits it
+  warning[CISQP030] server S_R: can assemble [{Customer, OrderKey, Part, PartNo, Price, RegOrder, RegPart}, {⟨OrderKey, RegOrder⟩, ⟨Part, PartNo⟩}, {}] by joining deliveries #0 from S_O (result of n2), #1 from S_P (result of n2) on ⟨OrderKey, RegOrder⟩, ⟨Part, PartNo⟩; no authorization admits it
+  warning[CISQP030] server S_R: can assemble [{Customer, OrderKey, Part, PartNo, Price, RegOrder, RegPart}, {⟨OrderKey, RegOrder⟩, ⟨PartNo, RegPart⟩}, {}] by joining deliveries #0 from S_O (result of n2), #1 from S_P (result of n2) on ⟨OrderKey, RegOrder⟩, ⟨PartNo, RegPart⟩; no authorization admits it
+  warning[CISQP030] server S_R: can assemble [{Customer, OrderKey, Part, PartNo, Price, RegOrder, RegPart}, {⟨Part, PartNo⟩, ⟨PartNo, RegPart⟩}, {}] by joining deliveries #0 from S_O (result of n2), #1 from S_P (result of n2) on ⟨Part, PartNo⟩, ⟨PartNo, RegPart⟩; no authorization admits it
+  warning[CISQP030] server S_R: can assemble [{Customer, OrderKey, Part, PartNo, Price}, {⟨Part, PartNo⟩}, {}] by joining deliveries #0 from S_O (result of n2), #1 from S_P (result of n2) on ⟨Part, PartNo⟩; no authorization admits it
+  0 error(s), 5 warning(s), 0 info(s)
+
+Composition leaks are warnings; --strict turns them into a failing
+exit code for CI:
+
+  $ cisqp lint --schema leaky.schema --authz leaky.authz --pass inference --strict "SELECT Customer, Part, RegPart FROM Orders JOIN Registry ON OrderKey = RegOrder" "SELECT Price, RegPart FROM Parts JOIN Registry ON PartNo = RegPart" > /dev/null
+  [1]
+
+An exhausted saturation budget is reported rather than silently
+truncating the exploration (S_R holds three profiles before any join
+is tried):
+
+  $ cisqp lint --schema leaky.schema --authz leaky.authz --pass inference --saturation-budget 3 "SELECT Customer, Part, RegPart FROM Orders JOIN Registry ON OrderKey = RegOrder" "SELECT Price, RegPart FROM Parts JOIN Registry ON PartNo = RegPart"
+  warning[CISQP031] server S_R: knowledge base reached the saturation budget (3 profiles); derivations beyond it were not explored
+  0 error(s), 1 warning(s), 0 info(s)
+
+A single query's deliveries compose only into views the policy already
+grants here, so the same federation lints clean:
+
+  $ cisqp lint --schema leaky.schema --authz leaky.authz --pass inference --format json "SELECT Customer, Part, RegPart FROM Orders JOIN Registry ON OrderKey = RegOrder"
+  []

@@ -59,6 +59,59 @@ let test_json () =
     "whole location has no index" true
     (Helpers.contains ~sub:{|{"kind":"whole"}|} (D.to_json [ w ]))
 
+let test_server_location () =
+  let d = D.make "CISQP030" (D.Server "S_N") "derivable" in
+  Alcotest.(check string)
+    "text form" "warning[CISQP030] server S_N: derivable"
+    (Fmt.str "%a" D.pp d);
+  Alcotest.(check bool)
+    "json carries the name" true
+    (Helpers.contains ~sub:{|{"kind":"server","name":"S_N"}|} (D.to_json [ d ]));
+  Alcotest.(check bool)
+    "031 is a warning" true
+    (D.severity_of_code "CISQP031" = D.Warning)
+
+(* Satellite: renderer output must not depend on the order the passes
+   produced the findings in — every permutation renders identically. *)
+let test_deterministic_order () =
+  let ds =
+    [
+      D.make "CISQP030" (D.Server "S_B") "b";
+      D.make "CISQP030" (D.Server "S_A") "a";
+      D.make "CISQP001" (D.Step 2) "later step";
+      D.make "CISQP001" (D.Step 1) "earlier step";
+      D.make "CISQP012" (D.Rule 4) "info";
+      D.make "CISQP030" (D.Server "S_A") "a2";
+    ]
+  in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | xs ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y != x) xs in
+          List.map (fun p -> x :: p) (permutations rest))
+        xs
+  in
+  let reference_text = Fmt.str "%a" D.pp_report (D.sort ds) in
+  let reference_json = D.to_json (D.sort ds) in
+  List.iteri
+    (fun i perm ->
+      Alcotest.(check string)
+        (Printf.sprintf "text permutation %d" i)
+        reference_text
+        (Fmt.str "%a" D.pp_report perm);
+      Alcotest.(check string)
+        (Printf.sprintf "json permutation %d" i)
+        reference_json (D.to_json perm))
+    (permutations ds);
+  (* Spot-check the order itself: severity, then code, then location
+     (servers alphabetically), then message. *)
+  Alcotest.(check (list string))
+    "sorted messages"
+    [ "earlier step"; "later step"; "a"; "a2"; "b"; "info" ]
+    (List.map (fun (d : D.t) -> d.D.message) (D.sort ds))
+
 let suite =
   [
     Alcotest.test_case "registry" `Quick test_registry;
@@ -66,4 +119,6 @@ let suite =
     Alcotest.test_case "sort-and-errors" `Quick test_sort_and_errors;
     Alcotest.test_case "text-rendering" `Quick test_text_rendering;
     Alcotest.test_case "json" `Quick test_json;
+    Alcotest.test_case "server-location" `Quick test_server_location;
+    Alcotest.test_case "deterministic-order" `Quick test_deterministic_order;
   ]

@@ -95,6 +95,65 @@ let test_mixed_report_collects_all_violations () =
   | Error vs -> check Alcotest.int "both leaks reported" 2 (List.length vs)
   | Ok _ -> Alcotest.fail "leaks unreported"
 
+(* Satellite: the text renderer covers every [reason] variant, and a
+   header mismatch spells out both attribute sets plus the diff in each
+   direction. *)
+let test_reason_rendering () =
+  let data = Option.get (M.instances "Insurance") in
+  (* carries {Holder, Plan} *)
+  let violation reason =
+    {
+      Audit.message =
+        {
+          Network.seq = 0;
+          sender = M.s_i;
+          receiver = M.s_n;
+          data;
+          profile = Authz.Profile.of_base M.insurance;
+          purpose = Network.Full_operand { join = 0 };
+          note = "test";
+        };
+      reason;
+    }
+  in
+  let render reason = Fmt.str "%a" Audit.pp_violation (violation reason) in
+  let has sub s = check Alcotest.bool sub true (Helpers.contains ~sub s) in
+  let lacks sub s = check Alcotest.bool sub false (Helpers.contains ~sub s) in
+  (* Unauthorized *)
+  has "no authorization admits" (render Audit.Unauthorized);
+  let header = Relation.attribute_set data in
+  (* Under-declaration: transmitted ⊃ declared. *)
+  let narrow =
+    render
+      (Audit.Header_mismatch
+         { header; claimed = Attribute.Set.singleton (M.attr "Holder") })
+  in
+  has "transmitted attributes" narrow;
+  has "declared profile" narrow;
+  has "Plan" narrow;
+  has "transmitted but not declared" narrow;
+  lacks "declared but not transmitted" narrow;
+  (* Over-declaration: declared ⊃ transmitted. *)
+  let wide =
+    render
+      (Audit.Header_mismatch
+         {
+           header;
+           claimed = Attribute.Set.add (M.attr "HealthAid") header;
+         })
+  in
+  has "declared but not transmitted" wide;
+  has "HealthAid" wide;
+  lacks "transmitted but not declared" wide;
+  (* Disjoint drift: both diff clauses at once. *)
+  let both =
+    render
+      (Audit.Header_mismatch
+         { header; claimed = Attribute.Set.singleton (M.attr "HealthAid") })
+  in
+  has "transmitted but not declared" both;
+  has "declared but not transmitted" both
+
 let suite =
   [
     c "clean run cites admitting rules" `Quick test_clean_run_cites_rules;
@@ -102,4 +161,5 @@ let suite =
     c "under-declared profile flagged" `Quick test_header_mismatch_flagged;
     c "is_clean" `Quick test_is_clean;
     c "all violations collected" `Quick test_mixed_report_collects_all_violations;
+    c "every reason variant renders" `Quick test_reason_rendering;
   ]
