@@ -309,10 +309,83 @@ let run_inference_bench () =
     (List.length !entries)
 
 (* ------------------------------------------------------------------ *)
+(* Fault-recovery sweep: how often a guaranteed permanent crash of the
+   answering server is survived, as a function of the catalog's
+   replication factor. Written to BENCH_faults.json so successive PRs
+   can compare recovery rates. *)
+
+let run_fault_bench () =
+  let seeds = 120 in
+  let sweep replication =
+    let cases = ref 0
+    and recovered = ref 0
+    and failed_over = ref 0
+    and degraded = ref 0
+    and attempts = ref 0
+    and retries = ref 0 in
+    for seed = 1 to seeds do
+      let rng = Rng.make ~seed:(700_000 + seed) in
+      let relations = 4 + (seed mod 2) in
+      let sys =
+        System_gen.generate ~replication rng ~relations ~servers:relations
+          ~extra:2 ~topology:System_gen.Chain
+      in
+      let policy = Authz_gen.generate rng ~density:0.8 sys in
+      match Query_gen.generate_plan rng ~joins:2 sys with
+      | None -> ()
+      | Some plan ->
+        (match
+           Planner.Third_party.plan ~helpers:[] sys.System_gen.catalog policy
+             plan
+         with
+         | Error _ -> ()
+         | Ok { assignment; _ } ->
+           incr cases;
+           (* Kill the server that would deliver the answer, at step 0:
+              only a replica (direct or via replan) can save the run. *)
+           let victim =
+             (Planner.Assignment.find assignment (Plan.root plan).Plan.id)
+               .Planner.Assignment.master
+           in
+           let instances = Data_gen.instances rng ~rows:8 sys in
+           let fault =
+             Distsim.Fault.make
+               ~crashes:[ Distsim.Fault.crash victim ~at:0 ]
+               ~seed ()
+           in
+           (match
+              Distsim.Recover.execute sys.System_gen.catalog policy ~instances
+                ~fault plan
+            with
+            | Ok r ->
+              incr recovered;
+              if r.Distsim.Recover.failovers <> [] then incr failed_over;
+              attempts := !attempts + r.Distsim.Recover.attempts;
+              retries := !retries + r.Distsim.Recover.retries
+            | Error _ -> incr degraded))
+    done;
+    let mean n = if !cases = 0 then 0.0 else float_of_int n /. float_of_int !cases in
+    Printf.sprintf
+      {|{"replication":%.1f,"cases":%d,"recovered":%d,"failed_over":%d,"degraded":%d,"mean_attempts":%.3f,"mean_retries":%.3f}|}
+      replication !cases !recovered !failed_over !degraded (mean !attempts)
+      (mean !retries)
+  in
+  let entries = List.map sweep [ 0.0; 0.3; 0.6; 0.9 ] in
+  let oc = open_out "BENCH_faults.json" in
+  Printf.fprintf oc {|{"bench":"fault-recovery","seeds":%d,"entries":[%s]}|}
+    seeds
+    (String.concat "," entries);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "fault recovery bench: %d replication levels -> BENCH_faults.json@."
+    (List.length entries)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   Fmt.pr "%s@." (Scenario.Paper_figures.all ());
   Tables.run_all ~seeds:(if quick then 40 else 100);
   run_inference_bench ();
+  run_fault_bench ();
   if not quick then run_micro ()

@@ -285,41 +285,148 @@ let run_cmd =
       & info [ "makespan" ]
           ~doc:"Estimate the makespan under a 1 ms / 10 MB/s network model.")
   in
-  let run fed sql third_party no_semijoins optimize makespan =
-    let query = parse_query fed sql in
-    let plan, assignment, _ =
-      plan_query fed query ~third_party ~no_semijoins ~optimize
-    in
+  let crash_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "crash" ] ~docv:"SERVER[@STEP]"
+          ~doc:
+            "Crash $(docv) permanently at the given logical step (default \
+             0). Repeatable. Implies fault-injected execution.")
+  in
+  let drop_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"P"
+          ~doc:"Probability each transmission attempt is lost.")
+  in
+  let corrupt_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "corrupt" ] ~docv:"P"
+          ~doc:"Probability each transmission attempt arrives corrupted.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:"Seed of the fault injector's RNG stream (default 0).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retransmission attempts after the first (default 5).")
+  in
+  let parse_crash spec =
+    match String.index_opt spec '@' with
+    | None -> Distsim.Fault.crash (Server.make spec) ~at:0
+    | Some i ->
+      let name = String.sub spec 0 i in
+      (match
+         int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1))
+       with
+       | Some at -> Distsim.Fault.crash (Server.make name) ~at
+       | None -> die "bad --crash %S (expected SERVER or SERVER@STEP)" spec)
+  in
+  let fault_of crashes drop corrupt fault_seed retries =
+    if crashes = [] && drop = 0.0 && corrupt = 0.0 && fault_seed = None
+       && retries = None then None
+    else
+      Some
+        (Distsim.Fault.make
+           ~crashes:(List.map parse_crash crashes)
+           ~default_link:{ Distsim.Fault.drop; corrupt }
+           ?max_retries:retries
+           ~seed:(Option.value fault_seed ~default:0)
+           ())
+  in
+  let report_audit fed network =
+    match Distsim.Audit.run fed.policy network with
+    | Ok entries ->
+      Fmt.pr "@.Audit: clean (%d flows authorized)@." (List.length entries)
+    | Error violations ->
+      Fmt.pr "@.Audit: %d VIOLATIONS@.%a@." (List.length violations)
+        Fmt.(list ~sep:(any "@\n") Distsim.Audit.pp_violation)
+        violations
+  in
+  let run_faulty fed plan fault ~third_party ~makespan =
+    let helpers = if third_party then fed.helpers else [] in
     match
-      Distsim.Engine.execute ~third_party fed.catalog
-        ~instances:fed.instances plan assignment
+      Distsim.Recover.execute ~helpers fed.catalog fed.policy
+        ~instances:fed.instances ~fault plan
     with
-    | Error e -> die "execution error: %a" Distsim.Engine.pp_error e
-    | Ok ({ result; location; network; _ } as outcome) ->
-      Fmt.pr "Assignment:@.%a@.@.Result (at %a):@.%a@.@.Data flows:@.%a@."
-        Planner.Assignment.pp assignment Server.pp location Relation.pp
-        result Distsim.Network.pp network;
-      (match Distsim.Audit.run fed.policy network with
-       | Ok entries ->
-         Fmt.pr "@.Audit: clean (%d flows authorized)@." (List.length entries)
-       | Error violations ->
-         Fmt.pr "@.Audit: %d VIOLATIONS@.%a@." (List.length violations)
-           Fmt.(list ~sep:(any "@\n") Distsim.Audit.pp_violation)
-           violations);
+    | Error (d : Distsim.Recover.degraded) ->
+      List.iter
+        (fun f -> Fmt.pr "Failover: %a@." Distsim.Recover.pp_failover f)
+        d.Distsim.Recover.failovers;
+      Fmt.pr "Degraded: %a@." Distsim.Recover.pp_reason d.Distsim.Recover.reason;
+      (match d.Distsim.Recover.partial with
+       | [] -> ()
+       | ps ->
+         Fmt.pr "Partial sub-results: %a@."
+           Fmt.(list ~sep:comma (fmt "n%d"))
+           (List.map fst ps));
+      report_audit fed d.Distsim.Recover.log;
+      exit 1
+    | Ok (r : Distsim.Recover.recovered) ->
+      List.iter
+        (fun f -> Fmt.pr "Failover: %a@." Distsim.Recover.pp_failover f)
+        r.Distsim.Recover.failovers;
+      Fmt.pr
+        "Recovered: %d attempt(s), %d retransmission(s), %.3f s of backoff@.@."
+        r.Distsim.Recover.attempts r.Distsim.Recover.retries
+        r.Distsim.Recover.delay;
+      Fmt.pr "Assignment:@.%a@.@.Result (at %a):@.%a@.@.Data flows (all \
+              attempts):@.%a@."
+        Planner.Assignment.pp r.Distsim.Recover.assignment Server.pp
+        r.Distsim.Recover.location Relation.pp r.Distsim.Recover.result
+        Distsim.Network.pp r.Distsim.Recover.log;
+      report_audit fed r.Distsim.Recover.log;
       if makespan then
-        let schedule =
-          Distsim.Timing.makespan (Distsim.Timing.uniform ()) plan assignment
-            outcome
-        in
-        Fmt.pr "@.Makespan (1 ms latency, 10 MB/s):@.%a@."
-          Distsim.Timing.pp_schedule schedule
+        Fmt.pr "@.Makespan (1 ms latency, 10 MB/s, retries priced):@.%.6f s@."
+          (Distsim.Recover.makespan (Distsim.Timing.uniform ()) fault plan r)
+  in
+  let run fed sql third_party no_semijoins optimize makespan crashes drop
+      corrupt fault_seed retries =
+    let query = parse_query fed sql in
+    match fault_of crashes drop corrupt fault_seed retries with
+    | Some fault ->
+      (* The supervisor replans (and re-plans on failover) itself; the
+         planning flags of the clean path do not apply. *)
+      let plan = Query.to_plan query in
+      run_faulty fed plan fault ~third_party ~makespan
+    | None ->
+      let plan, assignment, _ =
+        plan_query fed query ~third_party ~no_semijoins ~optimize
+      in
+      (match
+         Distsim.Engine.execute ~third_party fed.catalog
+           ~instances:fed.instances plan assignment
+       with
+       | Error e -> die "execution error: %a" Distsim.Engine.pp_error e
+       | Ok ({ result; location; network; _ } as outcome) ->
+         Fmt.pr "Assignment:@.%a@.@.Result (at %a):@.%a@.@.Data flows:@.%a@."
+           Planner.Assignment.pp assignment Server.pp location Relation.pp
+           result Distsim.Network.pp network;
+         report_audit fed network;
+         if makespan then
+           let schedule =
+             Distsim.Timing.makespan (Distsim.Timing.uniform ()) plan
+               assignment outcome
+           in
+           Fmt.pr "@.Makespan (1 ms latency, 10 MB/s):@.%a@."
+             Distsim.Timing.pp_schedule schedule)
   in
   Cmd.v
     (Cmd.info "run"
-       ~doc:"Plan a query, execute it on the simulator and audit the flows.")
+       ~doc:
+         "Plan a query, execute it on the simulator and audit the flows. \
+          With --crash/--drop/--corrupt/--fault-seed the execution runs \
+          under deterministic fault injection and safe recovery.")
     Term.(
       const run $ federation_term $ sql_arg $ third_party_flag
-      $ no_semijoins_flag $ optimize_flag $ makespan_flag)
+      $ no_semijoins_flag $ optimize_flag $ makespan_flag $ crash_arg
+      $ drop_arg $ corrupt_arg $ fault_seed_arg $ retries_arg)
 
 let advise_cmd =
   let run fed sql =

@@ -1,21 +1,54 @@
-(* Randomized soak: 2000 random federations through the full pipeline.
+(* Randomized soak: random federations through the full pipeline.
 
-   Checks, per case: greedy-infeasible implies exhaustively infeasible
-   (completeness on small plans), planner output passes the independent
-   safety checker, distributed execution equals centralized evaluation,
-   and the runtime audit is clean. Exits non-zero on any failure.
+   Clean slice (--cases, default 2000): greedy-infeasible implies
+   exhaustively infeasible (completeness on small plans), planner
+   output passes the independent safety checker, distributed execution
+   equals centralized evaluation, and the runtime audit is clean.
 
-   Slower than the unit suite; run on demand:
-     dune exec bin/soak.exe
+   Fault slice (--fault-cases, default 1000): the same differential
+   under seeded fault injection — crash windows, lossy and corrupting
+   links — run through the recovery supervisor. A recovered run must
+   equal the centralized reference and leave a clean cumulative audit
+   (aborted attempts included); an unrecoverable run must fail *typed*,
+   with every emission it did make still authorized. Every 50th seed is
+   re-run from scratch to assert bit-for-bit replay determinism:
+   identical message log, retry schedule and outcome.
 
-   Historical note: this soak is what exposed the co-location gap in
-   the paper's Figure-6 pseudo-code (see DESIGN.md, "Local joins"). *)
+   Exits non-zero on any failure. Slower than the unit suite; run on
+   demand (`dune exec bin/soak.exe -- --cases N --fault-cases M`) or
+   bounded via `dune build @soak`.
+
+   Historical note: the clean slice is what exposed the co-location gap
+   in the paper's Figure-6 pseudo-code (see DESIGN.md, "Local joins"). *)
 open Relalg
 open Workload
 
+let cases = ref 2000
+let fault_cases = ref 2000
+
 let () =
-  let failures = ref 0 and planned = ref 0 and total = ref 0 in
-  for seed = 1 to 2000 do
+  let rec parse = function
+    | [] -> ()
+    | "--cases" :: v :: rest ->
+      cases := int_of_string v;
+      parse rest
+    | "--fault-cases" :: v :: rest ->
+      fault_cases := int_of_string v;
+      parse rest
+    | arg :: _ ->
+      Fmt.epr "soak: unknown argument %s@." arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let failures = ref 0
+
+(* ------------------------------------------------------------------ *)
+(* Clean slice.                                                        *)
+
+let clean_slice () =
+  let planned = ref 0 and total = ref 0 in
+  for seed = 1 to !cases do
     let rng = Rng.make ~seed in
     let topology =
       match seed mod 3 with
@@ -64,5 +97,121 @@ let () =
               Fmt.pr "AUDIT failure at seed %d@." seed
             end))
   done;
-  Fmt.pr "soak: %d cases, %d planned, %d failures@." !total !planned !failures;
+  Fmt.pr "soak (clean): %d cases, %d planned@." !total !planned
+
+(* ------------------------------------------------------------------ *)
+(* Fault slice.                                                        *)
+
+(* Regenerate a whole faulty case from its seed — system, policy, plan,
+   data and fault plan all flow from one RNG, so the replay check can
+   rebuild the case bit-for-bit. Replication 0.6 gives permanent
+   crashes something to fail over to. *)
+let fault_case seed =
+  let rng = Rng.make ~seed:(900_000 + seed) in
+  let topology =
+    match seed mod 3 with
+    | 0 -> System_gen.Chain
+    | 1 -> System_gen.Star
+    | _ -> System_gen.Random { extra_edges = 2 }
+  in
+  let relations = 4 + (seed mod 3) in
+  let sys =
+    System_gen.generate ~replication:0.6 rng ~relations ~servers:relations
+      ~extra:2 ~topology
+  in
+  let density = [| 0.4; 0.6; 0.9 |].(seed mod 3) in
+  let policy = Authz_gen.generate rng ~density sys in
+  match Query_gen.generate_plan rng ~joins:(2 + (seed mod 2)) sys with
+  | None -> None
+  | Some plan ->
+    (match Planner.Third_party.plan ~helpers:[] sys.catalog policy plan with
+     | Error _ -> None (* no fault-free baseline: nothing to recover *)
+     | Ok _ ->
+       let instances = Data_gen.instances rng ~rows:10 sys in
+       let fault =
+         Distsim.Fault.random_plan rng ~servers:(System_gen.servers sys)
+       in
+       Some (sys, policy, plan, instances, fault))
+
+let run_case (sys : System_gen.t) policy plan instances fault =
+  Distsim.Recover.execute sys.System_gen.catalog policy ~instances ~fault plan
+
+(* A faithful rendering of everything determinism promises: the
+   cumulative message log, the injector's event schedule and the
+   outcome itself (result relation included). *)
+let render (o : Distsim.Recover.outcome) =
+  let log l = Fmt.str "%a" Distsim.Network.pp l in
+  let sched s =
+    Fmt.str "%a" Fmt.(list ~sep:(any "\n") Distsim.Fault.pp_event) s
+  in
+  match o with
+  | Ok r ->
+    Fmt.str "OK %a @@%a | %s | %s | %a" Relation.pp r.Distsim.Recover.result
+      Server.pp r.Distsim.Recover.location
+      (log r.Distsim.Recover.log)
+      (sched r.Distsim.Recover.schedule)
+      Distsim.Recover.pp_outcome o
+  | Error d ->
+    Fmt.str "ERR %a | %s | %s" Distsim.Recover.pp_reason
+      d.Distsim.Recover.reason
+      (log d.Distsim.Recover.log)
+      (sched d.Distsim.Recover.schedule)
+
+let fault_slice () =
+  let total = ref 0
+  and recovered = ref 0
+  and failed_over = ref 0
+  and degraded = ref 0
+  and replayed = ref 0 in
+  for seed = 1 to !fault_cases do
+    match fault_case seed with
+    | None -> ()
+    | Some (sys, policy, plan, instances, fault) ->
+      incr total;
+      let outcome = run_case sys policy plan instances fault in
+      (match outcome with
+       | Ok r ->
+         incr recovered;
+         if r.Distsim.Recover.failovers <> [] then incr failed_over;
+         let reference = Distsim.Engine.centralized ~instances plan in
+         if not (Relation.equal r.Distsim.Recover.result reference) then begin
+           incr failures;
+           Fmt.pr "FAULT WRONG RESULT at seed %d@." seed
+         end;
+         if not (Distsim.Audit.is_clean policy r.Distsim.Recover.log) then begin
+           incr failures;
+           Fmt.pr "FAULT AUDIT failure at seed %d (recovered run)@." seed
+         end
+       | Error d ->
+         incr degraded;
+         (* Typed failure is acceptable; an unauthorized emission on
+            the way down is not. *)
+         if not (Distsim.Audit.is_clean policy d.Distsim.Recover.log) then begin
+           incr failures;
+           Fmt.pr "FAULT AUDIT failure at seed %d (degraded run)@." seed
+         end);
+      if seed mod 50 = 0 then begin
+        (* Replay determinism: rebuild the case from scratch and demand
+           an identical transcript. *)
+        incr replayed;
+        match fault_case seed with
+        | None -> ()
+        | Some (sys', policy', plan', instances', fault') ->
+          let again = run_case sys' policy' plan' instances' fault' in
+          if render outcome <> render again then begin
+            incr failures;
+            Fmt.pr "NON-DETERMINISTIC replay at seed %d@." seed
+          end
+      end
+  done;
+  Fmt.pr
+    "soak (fault): %d cases, %d recovered (%d after failover), %d degraded, \
+     %d replayed@."
+    !total !recovered !failed_over !degraded !replayed
+
+let () =
+  clean_slice ();
+  fault_slice ();
+  if !failures = 0 then Fmt.pr "soak: all checks passed@."
+  else Fmt.pr "soak: %d FAILURES@." !failures;
   exit (if !failures = 0 then 0 else 1)

@@ -20,28 +20,79 @@ type run = {
   utilization : (string * float) list;
 }
 
+type graph_error =
+  | Duplicate_task of string
+  | Unknown_dependency of { task : string; dep : string }
+  | Dependency_cycle of string list
+
+exception Invalid_graph of graph_error
+
+let pp_graph_error ppf = function
+  | Duplicate_task id -> Fmt.pf ppf "duplicate task %S" id
+  | Unknown_dependency { task; dep } ->
+    Fmt.pf ppf "%S depends on unknown task %S" task dep
+  | Dependency_cycle ids ->
+    Fmt.pf ppf "dependency cycle among %a"
+      Fmt.(list ~sep:comma (quote string))
+      ids
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_graph e -> Some (Fmt.str "Des.Invalid_graph: %a" pp_graph_error e)
+    | _ -> None)
+
+let validate tasks =
+  let exception E of graph_error in
+  try
+    let by_id = Hashtbl.create 64 in
+    List.iter
+      (fun t ->
+        if Hashtbl.mem by_id t.id then raise (E (Duplicate_task t.id));
+        Hashtbl.replace by_id t.id t)
+      tasks;
+    List.iter
+      (fun t ->
+        List.iter
+          (fun d ->
+            if not (Hashtbl.mem by_id d) then
+              raise (E (Unknown_dependency { task = t.id; dep = d })))
+          t.deps)
+      tasks;
+    (* Kahn's algorithm: whatever cannot be peeled off lies on or
+       downstream of a cycle. *)
+    let resolved = Hashtbl.create 64 in
+    let remaining = ref tasks in
+    let progress = ref true in
+    while !progress do
+      let runnable, blocked =
+        List.partition
+          (fun t -> List.for_all (Hashtbl.mem resolved) t.deps)
+          !remaining
+      in
+      if runnable = [] then progress := false
+      else begin
+        List.iter (fun t -> Hashtbl.replace resolved t.id ()) runnable;
+        remaining := blocked
+      end
+    done;
+    if !remaining <> [] then
+      raise
+        (E
+           (Dependency_cycle
+              (List.sort String.compare
+                 (List.map (fun t -> t.id) !remaining))));
+    Ok ()
+  with E e -> Error e
+
 let cpu server = "cpu:" ^ Server.name server
 
 let link ~src ~dst =
   Printf.sprintf "link:%s->%s" (Server.name src) (Server.name dst)
 
 let simulate tasks =
-  let by_id = Hashtbl.create 64 in
-  List.iter
-    (fun t ->
-      if Hashtbl.mem by_id t.id then
-        invalid_arg (Printf.sprintf "Des.simulate: duplicate task %S" t.id);
-      Hashtbl.replace by_id t.id t)
-    tasks;
-  List.iter
-    (fun t ->
-      List.iter
-        (fun d ->
-          if not (Hashtbl.mem by_id d) then
-            invalid_arg
-              (Printf.sprintf "Des.simulate: %S depends on unknown %S" t.id d))
-        t.deps)
-    tasks;
+  (match validate tasks with
+   | Ok () -> ()
+   | Error e -> raise (Invalid_graph e));
   let finish_of = Hashtbl.create 64 in
   let resource_free = Hashtbl.create 16 in
   let free resource =
@@ -57,8 +108,8 @@ let simulate tasks =
         (fun t -> List.for_all (Hashtbl.mem finish_of) t.deps)
         !remaining
     in
-    if runnable = [] then
-      invalid_arg "Des.simulate: dependency cycle";
+    (* validate ruled out cycles, so some task is always runnable. *)
+    assert (runnable <> []);
     let ready t =
       List.fold_left
         (fun acc d -> Float.max acc (Hashtbl.find finish_of d))
@@ -117,8 +168,9 @@ let simulate tasks =
 
 (* ------------------------------------------------------------------ *)
 
-let tasks_of_execution ?(prefix = "q") ?(release = 0.0) (model : Timing.model)
-    plan assignment (outcome : Engine.outcome) =
+let tasks_of_execution ?(prefix = "q") ?(release = 0.0)
+    ?(backoff = fun _ -> 0.0) (model : Timing.model) plan assignment
+    (outcome : Engine.outcome) =
   let rows id =
     match List.assoc_opt id outcome.Engine.node_rows with
     | Some r -> float_of_int r
@@ -138,17 +190,49 @@ let tasks_of_execution ?(prefix = "q") ?(release = 0.0) (model : Timing.model)
       release;
     }
   in
+  (* A transfer expands into its whole attempt chain: every failed
+     attempt of the same protocol step (same purpose/sender/receiver)
+     becomes a link task named "<final>~aK", chained by dependency, the
+     failed ones carrying [backoff] seconds of wait on top of their wire
+     time. The delivered attempt keeps the plain name, so dependents
+     need not know whether retries happened. *)
   let transfer ~node ~kind ~(msg : Network.message) ~deps =
     let l = model.Timing.link msg.sender msg.receiver in
-    {
-      id = tname node kind;
-      resource = link ~src:msg.sender ~dst:msg.receiver;
-      duration =
-        l.Timing.latency
-        +. (float_of_int (Relation.byte_size msg.data) /. l.Timing.bandwidth);
-      deps;
-      release;
-    }
+    let wire (a : Network.message) =
+      l.Timing.latency
+      +. (float_of_int (Relation.byte_size a.Network.data)
+         /. l.Timing.bandwidth)
+    in
+    let chain =
+      List.filter
+        (fun (a : Network.message) ->
+          a.Network.purpose = msg.purpose
+          && Server.equal a.Network.sender msg.sender
+          && Server.equal a.Network.receiver msg.receiver
+          && a.Network.attempt <= msg.attempt)
+        (Network.attempts_at_join outcome.Engine.network node)
+    in
+    let chain = if chain = [] then [ msg ] else chain in
+    let final = tname node kind in
+    let _, rev =
+      List.fold_left
+        (fun (prev, acc) (a : Network.message) ->
+          let failed = a.Network.attempt < msg.attempt in
+          let t =
+            {
+              id = (if failed then Printf.sprintf "%s~a%d" final a.attempt
+                    else final);
+              resource = link ~src:msg.sender ~dst:msg.receiver;
+              duration =
+                (wire a +. if failed then backoff a.Network.attempt else 0.0);
+              deps = (match prev with None -> deps | Some p -> [ p ]);
+              release;
+            }
+          in
+          (Some t.id, t :: acc))
+        (None, []) chain
+    in
+    List.rev rev
   in
   (* The task completing each node is named "<prefix>/n<id>/done". *)
   let done_of id = tname id "done" in
@@ -191,11 +275,11 @@ let tasks_of_execution ?(prefix = "q") ?(release = 0.0) (model : Timing.model)
             if Server.equal m l_server then done_of l.Plan.id
             else done_of r.Plan.id
           in
-          [
-            transfer ~node:n.id ~kind:"ship" ~msg ~deps:[ other_done ];
-            compute ~node:n.id ~kind:"done" ~at:m ~work:work_join
-              ~deps:[ master_done; tname n.id "ship" ];
-          ]
+          transfer ~node:n.id ~kind:"ship" ~msg ~deps:[ other_done ]
+          @ [
+              compute ~node:n.id ~kind:"done" ~at:m ~work:work_join
+                ~deps:[ master_done; tname n.id "ship" ];
+            ]
         | [ ({ purpose = Network.Join_attributes _; _ } as fwd);
             ({ purpose = Network.Semijoin_result _; _ } as back) ] ->
           let master_child, slave_child =
@@ -207,21 +291,25 @@ let tasks_of_execution ?(prefix = "q") ?(release = 0.0) (model : Timing.model)
             compute ~node:n.id ~kind:"project" ~at:m
               ~work:(rows master_child)
               ~deps:[ done_of master_child ];
-            transfer ~node:n.id ~kind:"fwd" ~msg:fwd
-              ~deps:[ tname n.id "project" ];
-            compute ~node:n.id ~kind:"slave-join" ~at:slave
-              ~work:
-                (rows slave_child
-                +. float_of_int (Relation.cardinality fwd.Network.data))
-              ~deps:[ done_of slave_child; tname n.id "fwd" ];
-            transfer ~node:n.id ~kind:"back" ~msg:back
-              ~deps:[ tname n.id "slave-join" ];
-            compute ~node:n.id ~kind:"done" ~at:m
-              ~work:
-                (rows master_child
-                +. float_of_int (Relation.cardinality back.Network.data))
-              ~deps:[ done_of master_child; tname n.id "back" ];
           ]
+          @ transfer ~node:n.id ~kind:"fwd" ~msg:fwd
+              ~deps:[ tname n.id "project" ]
+          @ [
+              compute ~node:n.id ~kind:"slave-join" ~at:slave
+                ~work:
+                  (rows slave_child
+                  +. float_of_int (Relation.cardinality fwd.Network.data))
+                ~deps:[ done_of slave_child; tname n.id "fwd" ];
+            ]
+          @ transfer ~node:n.id ~kind:"back" ~msg:back
+              ~deps:[ tname n.id "slave-join" ]
+          @ [
+              compute ~node:n.id ~kind:"done" ~at:m
+                ~work:
+                  (rows master_child
+                  +. float_of_int (Relation.cardinality back.Network.data))
+                ~deps:[ done_of master_child; tname n.id "back" ];
+            ]
         | [ ({ purpose = Network.Join_attributes _; _ } as k1);
             ({ purpose = Network.Join_attributes _; _ } as k2);
             ({ purpose = Network.Matched_keys _; _ } as matched);
@@ -238,30 +326,34 @@ let tasks_of_execution ?(prefix = "q") ?(release = 0.0) (model : Timing.model)
             if Server.equal msg.Network.sender m then done_of master_child
             else done_of other_child
           in
-          [
-            transfer ~node:n.id ~kind:"keys1" ~msg:k1 ~deps:[ key_src k1 ];
-            transfer ~node:n.id ~kind:"keys2" ~msg:k2 ~deps:[ key_src k2 ];
-            compute ~node:n.id ~kind:"match" ~at:coordinator
-              ~work:
-                (float_of_int
-                   (Relation.cardinality k1.Network.data
-                   + Relation.cardinality k2.Network.data))
-              ~deps:[ tname n.id "keys1"; tname n.id "keys2" ];
-            transfer ~node:n.id ~kind:"matched" ~msg:matched
-              ~deps:[ tname n.id "match" ];
-            compute ~node:n.id ~kind:"reduce" ~at:other
-              ~work:
-                (rows other_child
-                +. float_of_int (Relation.cardinality matched.Network.data))
-              ~deps:[ done_of other_child; tname n.id "matched" ];
-            transfer ~node:n.id ~kind:"reduced" ~msg:reduced
-              ~deps:[ tname n.id "reduce" ];
-            compute ~node:n.id ~kind:"done" ~at:m
-              ~work:
-                (rows master_child
-                +. float_of_int (Relation.cardinality reduced.Network.data))
-              ~deps:[ done_of master_child; tname n.id "reduced" ];
-          ]
+          transfer ~node:n.id ~kind:"keys1" ~msg:k1 ~deps:[ key_src k1 ]
+          @ transfer ~node:n.id ~kind:"keys2" ~msg:k2 ~deps:[ key_src k2 ]
+          @ [
+              compute ~node:n.id ~kind:"match" ~at:coordinator
+                ~work:
+                  (float_of_int
+                     (Relation.cardinality k1.Network.data
+                     + Relation.cardinality k2.Network.data))
+                ~deps:[ tname n.id "keys1"; tname n.id "keys2" ];
+            ]
+          @ transfer ~node:n.id ~kind:"matched" ~msg:matched
+              ~deps:[ tname n.id "match" ]
+          @ [
+              compute ~node:n.id ~kind:"reduce" ~at:other
+                ~work:
+                  (rows other_child
+                  +. float_of_int (Relation.cardinality matched.Network.data))
+                ~deps:[ done_of other_child; tname n.id "matched" ];
+            ]
+          @ transfer ~node:n.id ~kind:"reduced" ~msg:reduced
+              ~deps:[ tname n.id "reduce" ]
+          @ [
+              compute ~node:n.id ~kind:"done" ~at:m
+                ~work:
+                  (rows master_child
+                  +. float_of_int (Relation.cardinality reduced.Network.data))
+                ~deps:[ done_of master_child; tname n.id "reduced" ];
+            ]
         | msgs
           when List.for_all
                  (fun (msg : Network.message) ->
@@ -270,21 +362,26 @@ let tasks_of_execution ?(prefix = "q") ?(release = 0.0) (model : Timing.model)
                    | _ -> false)
                  msgs ->
           let ship_tasks =
-            List.mapi
-              (fun i (msg : Network.message) ->
-                let src_done =
-                  if Server.equal msg.sender l_server then done_of l.Plan.id
-                  else done_of r.Plan.id
-                in
-                transfer ~node:n.id
-                  ~kind:(Printf.sprintf "proxy%d" i)
-                  ~msg ~deps:[ src_done ])
-              msgs
+            List.concat
+              (List.mapi
+                 (fun i (msg : Network.message) ->
+                   let src_done =
+                     if Server.equal msg.sender l_server then
+                       done_of l.Plan.id
+                     else done_of r.Plan.id
+                   in
+                   transfer ~node:n.id
+                     ~kind:(Printf.sprintf "proxy%d" i)
+                     ~msg ~deps:[ src_done ])
+                 msgs)
           in
           ship_tasks
           @ [
               compute ~node:n.id ~kind:"done" ~at:m ~work:work_join
-                ~deps:(List.map (fun t -> t.id) ship_tasks);
+                ~deps:
+                  (List.mapi
+                     (fun i _ -> tname n.id (Printf.sprintf "proxy%d" i))
+                     msgs);
             ]
         | _ ->
           invalid_arg

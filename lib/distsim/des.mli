@@ -42,9 +42,22 @@ type run = {
       (** per resource: busy time / makespan (sorted by name) *)
 }
 
+(** What makes a task list not a schedulable DAG. *)
+type graph_error =
+  | Duplicate_task of string
+  | Unknown_dependency of { task : string; dep : string }
+  | Dependency_cycle of string list
+      (** task ids on or downstream of a cycle, sorted *)
+
+exception Invalid_graph of graph_error
+
+(** [validate tasks] checks that [tasks] form a schedulable DAG —
+    unique ids, known dependencies, no cycles — reporting the first
+    problem found (in that order of priority). *)
+val validate : task list -> (unit, graph_error) result
+
 (** Simulate a task set.
-    @raise Invalid_argument on duplicate ids, unknown dependencies or
-    dependency cycles. *)
+    @raise Invalid_graph when {!validate} rejects the task list. *)
 val simulate : task list -> run
 
 (** [cpu server] and [link ~src ~dst] build resource names. *)
@@ -55,15 +68,26 @@ val link : src:Server.t -> dst:Server.t -> string
 (** Decompose one executed query into tasks. [prefix] namespaces the
     ids so several queries can share a simulation; [release] is the
     query's arrival time (default 0). The [outcome] must come from
-    {!Engine.execute} on the same plan and assignment. *)
+    {!Engine.execute} on the same plan and assignment.
+
+    Under fault injection each delivered transfer expands into its
+    whole attempt chain: failed attempts become link tasks named
+    ["<task>~aK"] (attempt [K]), each adding [backoff K] seconds of
+    wait (default 0 — pass [Fault.backoff fault_plan]) on top of its
+    wire time, chained by dependency before the delivered attempt,
+    which keeps the un-suffixed name so downstream dependencies are
+    unchanged. *)
 val tasks_of_execution :
   ?prefix:string ->
   ?release:float ->
+  ?backoff:(int -> float) ->
   Timing.model ->
   Plan.t ->
   Planner.Assignment.t ->
   Engine.outcome ->
   task list
+
+val pp_graph_error : graph_error Fmt.t
 
 (** Completion time of a query's root task within a run.
     @raise Not_found if the prefix does not appear. *)

@@ -15,10 +15,23 @@ type outcome = {
 type error =
   | Structure of Planner.Safety.error
   | Missing_instance of string
+  | Server_down of { server : Server.t; node : int; permanent : bool }
+  | Transfer_failed of {
+      sender : Server.t;
+      receiver : Server.t;
+      node : int;
+      attempts : int;
+    }
 
 let pp_error ppf = function
   | Structure e -> Planner.Safety.pp_error ppf e
   | Missing_instance r -> Fmt.pf ppf "no instance for base relation %S" r
+  | Server_down { server; node; permanent } ->
+    Fmt.pf ppf "server %a is down at n%d (%s)" Server.pp server node
+      (if permanent then "permanent crash" else "retries exhausted")
+  | Transfer_failed { sender; receiver; node; attempts } ->
+    Fmt.pf ppf "transfer %a -> %a at n%d failed after %d attempts" Server.pp
+      sender Server.pp receiver node attempts
 
 exception Fail of error
 
@@ -33,17 +46,103 @@ type piece = {
   profile : Profile.t;
 }
 
-let execute ?(third_party = false) catalog ~instances plan assignment =
-  let network = Network.create () in
+let execute ?(third_party = false) ?fault ?network ?observe catalog ~instances
+    plan assignment =
+  let network =
+    match network with Some n -> n | None -> Network.create ()
+  in
   let rows = ref [] in
   let exec_of (n : Plan.node) =
     match Assignment.find_opt assignment n.id with
     | Some e -> e
     | None -> raise (Fail (Structure (Planner.Safety.Unassigned_node n.id)))
   in
+  (* A compute step at [server]: under fault injection, wait out a
+     transient outage (bounded retries with deterministic backoff);
+     permanent crashes and exhausted retries abort the execution with a
+     typed error the supervisor turns into a failover. *)
+  let ensure_up server node =
+    match fault with
+    | None -> ()
+    | Some f ->
+      (match Fault.compute f ~server ~node with
+       | Fault.Up -> ()
+       | Fault.Permanent ->
+         raise (Fail (Server_down { server; node; permanent = true }))
+       | Fault.Transient ->
+         let max_retries = (Fault.plan_of f).Fault.max_retries in
+         let rec retry attempt =
+           if attempt > max_retries then
+             raise (Fail (Server_down { server; node; permanent = false }))
+           else begin
+             ignore (Fault.wait f ~attempt);
+             match Fault.status f server with
+             | Fault.Up -> ()
+             | Fault.Permanent ->
+               raise (Fail (Server_down { server; node; permanent = true }))
+             | Fault.Transient -> retry (attempt + 1)
+           end
+         in
+         retry 1)
+  in
+  (* Every boundary crossing goes through here. Without an injector
+     this is exactly [Network.send]. With one, each attempt is logged
+     with its fate — an emission is an emission, delivered or not, so
+     the audit sees dropped and corrupted attempts too — and retries
+     re-emit the same data under the same profile after a deterministic
+     backoff. *)
+  let xmit ~node ~sender ~receiver ~profile ~purpose ~note data =
+    match fault with
+    | None ->
+      Network.send network ~sender ~receiver ~profile ~purpose ~note data
+    | Some f ->
+      let max_attempts = 1 + (Fault.plan_of f).Fault.max_retries in
+      let rec attempt k =
+        let check who =
+          match Fault.status f who with
+          | Fault.Permanent ->
+            raise (Fail (Server_down { server = who; node; permanent = true }))
+          | (Fault.Up | Fault.Transient) as s -> s
+        in
+        let sender_status = check sender in
+        let receiver_status = check receiver in
+        let verdict =
+          if sender_status = Fault.Transient then
+            (* Nothing leaves a downed sender: no emission to log. *)
+            `Mute
+          else if receiver_status = Fault.Transient then `Lost
+          else
+            match Fault.transmission f ~sender ~receiver ~attempt:k with
+            | Fault.Deliver -> `Deliver
+            | Fault.Drop -> `Lost
+            | Fault.Corrupt -> `Corrupt
+        in
+        match verdict with
+        | `Deliver ->
+          Network.send network ~attempt:k ~sender ~receiver ~profile ~purpose
+            ~note data
+        | (`Mute | `Lost | `Corrupt) as v ->
+          (if v <> `Mute then
+             let delivery =
+               if v = `Corrupt then Network.Corrupted else Network.Dropped
+             in
+             ignore
+               (Network.send network ~attempt:k ~delivery ~sender ~receiver
+                  ~profile ~purpose ~note data));
+          if k >= max_attempts then
+            raise
+              (Fail (Transfer_failed { sender; receiver; node; attempts = k }))
+          else begin
+            ignore (Fault.wait f ~attempt:k);
+            attempt (k + 1)
+          end
+      in
+      attempt 1
+  in
   let rec go (n : Plan.node) : piece =
     let piece = go_op n in
     rows := (n.id, Relation.cardinality piece.value) :: !rows;
+    Option.iter (fun f -> f n.id piece.value) observe;
     Log.debug (fun m ->
         m "n%d done at %a: %d tuples" n.id Server.pp piece.at
           (Relation.cardinality piece.value));
@@ -67,6 +166,7 @@ let execute ?(third_party = false) catalog ~instances plan assignment =
                 (Planner.Safety.Leaf_not_at_home
                    { node = n.id; expected = home; got = master })))
       end;
+      ensure_up master n.id;
       let value =
         match instances name with
         | Some r -> r
@@ -81,6 +181,7 @@ let execute ?(third_party = false) catalog ~instances plan assignment =
              (Structure
                 (Planner.Safety.Unary_moved
                    { node = n.id; expected = child.at; got = master })));
+      ensure_up master n.id;
       {
         value = Relation.project attrs child.value;
         at = master;
@@ -94,6 +195,7 @@ let execute ?(third_party = false) catalog ~instances plan assignment =
              (Structure
                 (Planner.Safety.Unary_moved
                    { node = n.id; expected = child.at; got = master })));
+      ensure_up master n.id;
       {
         value = Relation.select pred child.value;
         at = master;
@@ -101,6 +203,7 @@ let execute ?(third_party = false) catalog ~instances plan assignment =
       }
     | Plan.Join (cond, l, r) ->
       let lp = go l and rp = go r in
+      ensure_up master n.id;
       let cond = Planner.Safety.oriented_cond cond l in
       let profile = Profile.join cond lp.profile rp.profile in
       let join_here lpiece rpiece =
@@ -120,18 +223,19 @@ let execute ?(third_party = false) catalog ~instances plan assignment =
           let p_j = Profile.project mj_set m.profile in
           (* Step 2: ship them to the slave. *)
           let r_j =
-            Network.send network ~sender:master ~receiver:slave ~profile:p_j
+            xmit ~node:n.id ~sender:master ~receiver:slave ~profile:p_j
               ~purpose:(Network.Join_attributes { join = n.id })
               ~note:(Printf.sprintf "join attributes for n%d" n.id)
               r_j
           in
           (* Step 3: slave joins them with its operand. *)
+          ensure_up slave n.id;
           let sided_cond = Joinpath.Cond.make ~left:mj ~right:oj in
           let r_jlr = Relation.equi_join sided_cond r_j o.value in
           let p_jlr = Profile.join cond p_j o.profile in
           (* Step 4: ship the reduced operand back to the master. *)
           let r_jlr =
-            Network.send network ~sender:slave ~receiver:master
+            xmit ~node:n.id ~sender:slave ~receiver:master
               ~profile:p_jlr
               ~purpose:(Network.Semijoin_result { join = n.id })
               ~note:(Printf.sprintf "semi-join result for n%d" n.id)
@@ -144,7 +248,7 @@ let execute ?(third_party = false) catalog ~instances plan assignment =
         in
         let regular ~(m : piece) ~(o : piece) ~left_is_master =
           let shipped =
-            Network.send network ~sender:o.at ~receiver:master
+            xmit ~node:n.id ~sender:o.at ~receiver:master
               ~profile:o.profile
               ~purpose:(Network.Full_operand { join = n.id })
               ~note:(Printf.sprintf "full operand for n%d" n.id)
@@ -173,19 +277,20 @@ let execute ?(third_party = false) catalog ~instances plan assignment =
                    o.profile.Profile.sigma)
           in
           let m_keys =
-            Network.send network ~sender:m.at ~receiver:t
+            xmit ~node:n.id ~sender:m.at ~receiver:t
               ~profile:(Profile.project mj_set m.profile)
               ~purpose:(Network.Join_attributes { join = n.id })
               ~note:(Printf.sprintf "master join attributes for n%d" n.id)
               (Relation.project mj_set m.value)
           in
           let o_keys =
-            Network.send network ~sender:o.at ~receiver:t
+            xmit ~node:n.id ~sender:o.at ~receiver:t
               ~profile:(Profile.project oj_set o.profile)
               ~purpose:(Network.Join_attributes { join = n.id })
               ~note:(Printf.sprintf "other join attributes for n%d" n.id)
               (Relation.project oj_set o.value)
           in
+          ensure_up t n.id;
           let matched_at_t =
             Relation.project oj_set
               (Relation.equi_join
@@ -193,19 +298,20 @@ let execute ?(third_party = false) catalog ~instances plan assignment =
                  m_keys o_keys)
           in
           let matched =
-            Network.send network ~sender:t ~receiver:o.at
+            xmit ~node:n.id ~sender:t ~receiver:o.at
               ~profile:(joined_info oj_set)
               ~purpose:(Network.Matched_keys { join = n.id })
               ~note:(Printf.sprintf "matched keys for n%d" n.id)
               matched_at_t
           in
+          ensure_up o.at n.id;
           let reduced =
             Relation.semi_join
               (Joinpath.Cond.make ~left:oj ~right:oj)
               o.value matched
           in
           let reduced =
-            Network.send network ~sender:o.at ~receiver:master
+            xmit ~node:n.id ~sender:o.at ~receiver:master
               ~profile:(joined_info o.profile.Profile.pi)
               ~purpose:(Network.Semijoin_result { join = n.id })
               ~note:(Printf.sprintf "reduced operand for n%d" n.id)
@@ -253,14 +359,14 @@ let execute ?(third_party = false) catalog ~instances plan assignment =
         else if third_party && exec.Assignment.slave = None then (
           (* Proxy join: both operands ship their results. *)
           let lv =
-            Network.send network ~sender:lp.at ~receiver:master
+            xmit ~node:n.id ~sender:lp.at ~receiver:master
               ~profile:lp.profile
               ~purpose:(Network.Proxy_operand { join = n.id; side = `Left })
               ~note:(Printf.sprintf "left operand for proxy n%d" n.id)
               lp.value
           in
           let rv =
-            Network.send network ~sender:rp.at ~receiver:master
+            xmit ~node:n.id ~sender:rp.at ~receiver:master
               ~profile:rp.profile
               ~purpose:(Network.Proxy_operand { join = n.id; side = `Right })
               ~note:(Printf.sprintf "right operand for proxy n%d" n.id)

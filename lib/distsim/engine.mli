@@ -32,6 +32,19 @@ type error =
   | Structure of Planner.Safety.error
       (** the assignment violates Definition 4.1 *)
   | Missing_instance of string  (** no instance for a base relation *)
+  | Server_down of { server : Server.t; node : int; permanent : bool }
+      (** fault injection: [server] was unavailable for node [node];
+          [permanent] distinguishes a crash-for-good from a transient
+          outage that outlasted the retry budget. Either way the
+          supervisor ({!Recover}) may exclude the server and fail over. *)
+  | Transfer_failed of {
+      sender : Server.t;
+      receiver : Server.t;
+      node : int;
+      attempts : int;
+    }
+      (** fault injection: the link kept dropping or corrupting the
+          message and the retry budget ran out *)
 
 (** Alias of {!Planner.Assignment}, for the signature below. *)
 module Assignment = Planner.Assignment
@@ -40,9 +53,26 @@ val pp_error : error Fmt.t
 
 (** [execute catalog ~instances plan assignment] runs the plan.
     [instances] maps base-relation names to their stored instances.
-    [third_party] (default [false]) accepts proxy joins. *)
+    [third_party] (default [false]) accepts proxy joins.
+
+    [fault] (default none) runs the execution under a fault injector:
+    every compute step checks the server's crash windows and every
+    transfer becomes a bounded retransmission loop — each attempt
+    logged to the network with its fate and the {e same} profile, so
+    the audit judges retries exactly as it judges first sends. Without
+    an injector, behaviour is byte-identical to the pre-fault engine.
+
+    [network] (default a fresh log) lets a supervisor accumulate the
+    emissions of several execution attempts into one auditable log.
+
+    [observe] (default none) is called with each completed node's id
+    and value — the hook {!Recover} uses to salvage partial results
+    from an execution that later dies. *)
 val execute :
   ?third_party:bool ->
+  ?fault:Fault.t ->
+  ?network:Network.t ->
+  ?observe:(int -> Relation.t -> unit) ->
   Catalog.t ->
   instances:(string -> Relation.t option) ->
   Plan.t ->

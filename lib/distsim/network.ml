@@ -12,6 +12,11 @@ type purpose =
   | Matched_keys of { join : int }
   | Proxy_operand of { join : int; side : [ `Left | `Right ] }
 
+type delivery =
+  | Delivered
+  | Dropped
+  | Corrupted
+
 type message = {
   seq : int;
   sender : Server.t;
@@ -20,6 +25,8 @@ type message = {
   profile : Profile.t;
   purpose : purpose;
   note : string;
+  attempt : int;
+  delivery : delivery;
 }
 
 let join_of = function
@@ -34,19 +41,44 @@ type t = { mutable log : message list (* reversed *) }
 
 let create () = { log = [] }
 
-let send t ~sender ~receiver ~profile ~purpose ~note data =
+let send t ?(attempt = 1) ?(delivery = Delivered) ~sender ~receiver ~profile
+    ~purpose ~note data =
   let seq = List.length t.log in
   Log.debug (fun m ->
       m "#%d %a -> %a: %d tuples (%s)" seq Server.pp sender Server.pp receiver
         (Relation.cardinality data) note);
-  t.log <- { seq; sender; receiver; data; profile; purpose; note } :: t.log;
+  t.log <-
+    { seq; sender; receiver; data; profile; purpose; note; attempt; delivery }
+    :: t.log;
   data
 
+let delivered t =
+  List.filter (fun m -> m.delivery = Delivered) (List.rev t.log)
+
 let at_join t join =
+  List.filter
+    (fun m -> join_of m.purpose = join && m.delivery = Delivered)
+    (List.rev t.log)
+
+let attempts_at_join t join =
   List.filter (fun m -> join_of m.purpose = join) (List.rev t.log)
+
+let retransmissions t =
+  List.fold_left (fun acc m -> if m.attempt > 1 then acc + 1 else acc) 0 t.log
 
 let messages t = List.rev t.log
 let message_count t = List.length t.log
+
+let concat ts =
+  let merged = { log = [] } in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun m ->
+          merged.log <- { m with seq = List.length merged.log } :: merged.log)
+        (List.rev t.log))
+    ts;
+  merged
 
 let total_tuples t =
   List.fold_left (fun acc m -> acc + Relation.cardinality m.data) 0 t.log
@@ -68,11 +100,21 @@ let traffic_matrix t =
          | 0 -> Server.compare b1 b2
          | c -> c)
 
+let pp_delivery ppf = function
+  | Delivered -> Fmt.string ppf "delivered"
+  | Dropped -> Fmt.string ppf "dropped"
+  | Corrupted -> Fmt.string ppf "corrupted"
+
 let pp_message ppf m =
-  Fmt.pf ppf "#%d %a -> %a: %d tuples, %d bytes (%s) %a" m.seq Server.pp
+  let pp_fate ppf m =
+    (* Silent for the common case so fault-free logs read as before. *)
+    if m.attempt > 1 || m.delivery <> Delivered then
+      Fmt.pf ppf " [attempt %d, %a]" m.attempt pp_delivery m.delivery
+  in
+  Fmt.pf ppf "#%d %a -> %a: %d tuples, %d bytes (%s)%a %a" m.seq Server.pp
     m.sender Server.pp m.receiver
     (Relation.cardinality m.data)
     (Relation.byte_size m.data)
-    m.note Profile.pp m.profile
+    m.note pp_fate m Profile.pp m.profile
 
 let pp ppf t = Fmt.(list ~sep:(any "@\n") pp_message) ppf (messages t)

@@ -23,6 +23,18 @@ type purpose =
   | Proxy_operand of { join : int; side : [ `Left | `Right ] }
       (** third-party join: an operand shipped to the proxy *)
 
+(** The join node a protocol step belongs to. *)
+val join_of : purpose -> int
+
+(** The fate of one transmission attempt under fault injection.
+    Whatever the fate, the {e emission} happened — the sender released
+    the data onto the wire — so every message is audited, delivered or
+    not: a drop never excuses an unauthorized flow. *)
+type delivery =
+  | Delivered
+  | Dropped  (** lost in transit (or the receiver was down) *)
+  | Corrupted  (** arrived damaged; discarded by the receiver *)
+
 type message = {
   seq : int;  (** send order, from 0 *)
   sender : Server.t;
@@ -31,6 +43,8 @@ type message = {
   profile : Profile.t;
   purpose : purpose;
   note : string;  (** human-readable step, e.g. ["semi-join at n1"] *)
+  attempt : int;  (** 1 for the first transmission, 2+ for retries *)
+  delivery : delivery;
 }
 
 type t
@@ -38,9 +52,12 @@ type t
 val create : unit -> t
 
 (** Record a transfer; returns the sent data unchanged so sends chain
-    naturally inside expressions. *)
+    naturally inside expressions. [attempt] defaults to [1] and
+    [delivery] to [Delivered] — fault-free code never mentions them. *)
 val send :
   t ->
+  ?attempt:int ->
+  ?delivery:delivery ->
   sender:Server.t ->
   receiver:Server.t ->
   profile:Profile.t ->
@@ -49,8 +66,24 @@ val send :
   Relation.t ->
   Relation.t
 
-(** Messages belonging to one join node, in send order. *)
+(** Delivered messages belonging to one join node, in send order — the
+    protocol structure, as {!Timing} and {!Des} pattern-match it. *)
 val at_join : t -> int -> message list
+
+(** Every attempt at one join node, failed ones included — what the
+    retries actually cost. *)
+val attempts_at_join : t -> int -> message list
+
+(** Delivered messages only, in send order. *)
+val delivered : t -> message list
+
+(** Number of messages with [attempt > 1]. *)
+val retransmissions : t -> int
+
+(** Merge several logs into one, renumbering [seq] in order — the
+    cumulative log of a recovered execution (every aborted attempt's
+    emissions followed by the final run's), ready for {!Audit.run}. *)
+val concat : t list -> t
 
 (** Messages in send order. *)
 val messages : t -> message list
@@ -62,5 +95,6 @@ val total_bytes : t -> int
 (** Bytes per (sender, receiver) pair, lexicographic order. *)
 val traffic_matrix : t -> ((Server.t * Server.t) * int) list
 
+val pp_delivery : delivery Fmt.t
 val pp_message : message Fmt.t
 val pp : t Fmt.t

@@ -1,0 +1,212 @@
+open Relalg
+
+let src = Logs.Src.create "cisqp.recover" ~doc:"Fault recovery supervisor"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type failover = {
+  attempt : int;
+  dead : Server.t;
+  permanent : bool;
+  failed_node : int;
+  assignment : Planner.Assignment.t;
+}
+
+type reason =
+  | No_safe_replan of { dead : Server.t list; failed_at : int }
+  | Replan_unsafe of { dead : Server.t list }
+  | Transfer_failed of {
+      sender : Server.t;
+      receiver : Server.t;
+      node : int;
+      attempts : int;
+    }
+  | Failover_limit of { dead : Server.t list }
+  | Execution_failed of string
+
+type recovered = {
+  result : Relation.t;
+  location : Server.t;
+  outcome : Engine.outcome;
+  log : Network.t;
+  assignment : Planner.Assignment.t;
+  rescues : Planner.Third_party.rescue list;
+  failovers : failover list;
+  excluded : Server.t list;
+  attempts : int;
+  retries : int;
+  delay : float;
+  schedule : Fault.event list;
+}
+
+type degraded = {
+  reason : reason;
+  log : Network.t;
+  failovers : failover list;
+  partial : (int * Relation.t) list;
+  failed_node : int option;
+  excluded : Server.t list;
+  schedule : Fault.event list;
+}
+
+type outcome = (recovered, degraded) result
+
+let execute ?(helpers = []) ?max_failovers catalog policy ~instances ~fault
+    plan =
+  let injector = Fault.start fault in
+  let max_failovers =
+    match max_failovers with
+    | Some m -> m
+    | None -> Server.Set.cardinal (Catalog.servers catalog)
+  in
+  let segments = ref [] in
+  (* newest first *)
+  let failovers = ref [] in
+  let excluded = ref [] in
+  let merged () = Network.concat (List.rev !segments) in
+  let degraded ?failed_node ?(partial = []) reason =
+    Error
+      {
+        reason;
+        log = merged ();
+        failovers = List.rev !failovers;
+        partial;
+        failed_node;
+        excluded = !excluded;
+        schedule = Fault.events injector;
+      }
+  in
+  (* [pending] carries the death that triggered this replan; the
+     failover record is completed once the replacement assignment
+     exists. *)
+  let rec attempt i ~pending =
+    match
+      Planner.Third_party.plan ~excluded:!excluded ~helpers catalog policy
+        plan
+    with
+    | Error f ->
+      degraded
+        (No_safe_replan
+           { dead = !excluded; failed_at = f.Planner.Third_party.failed_at })
+    | Ok { assignment; rescues } ->
+      (match pending with
+       | None -> ()
+       | Some (dead, permanent, failed_node, died_at) ->
+         Log.info (fun m ->
+             m "failover %d: %a dead at n%d, replanned without it" died_at
+               Server.pp dead failed_node);
+         failovers :=
+           { attempt = died_at; dead; permanent; failed_node; assignment }
+           :: !failovers);
+      let third_party = rescues <> [] in
+      (* Re-prove Definition 4.2 with the independent checker before a
+         single message of this attempt is emitted. *)
+      (match
+         Planner.Safety.check ~third_party catalog policy plan assignment
+       with
+       | Error _ -> degraded (Replan_unsafe { dead = !excluded })
+       | Ok _flows ->
+         let network = Network.create () in
+         segments := network :: !segments;
+         let partial = ref [] in
+         let observe id value =
+           partial := (id, value) :: List.remove_assoc id !partial
+         in
+         let done_so_far () =
+           List.sort (fun (a, _) (b, _) -> Int.compare a b) !partial
+         in
+         (match
+            Engine.execute ~third_party ~fault:injector ~network ~observe
+              catalog ~instances plan assignment
+          with
+          | Ok (o : Engine.outcome) ->
+            let log = merged () in
+            Ok
+              {
+                result = o.Engine.result;
+                location = o.Engine.location;
+                outcome = o;
+                log;
+                assignment;
+                rescues;
+                failovers = List.rev !failovers;
+                excluded = !excluded;
+                attempts = i;
+                retries = Network.retransmissions log;
+                delay = Fault.total_delay injector;
+                schedule = Fault.events injector;
+              }
+          | Error (Engine.Server_down { server; node; permanent }) ->
+            if List.length !excluded >= max_failovers then
+              degraded ~failed_node:node ~partial:(done_so_far ())
+                (Failover_limit { dead = !excluded @ [ server ] })
+            else begin
+              excluded := !excluded @ [ server ];
+              attempt (i + 1) ~pending:(Some (server, permanent, node, i))
+            end
+          | Error (Engine.Transfer_failed { sender; receiver; node; attempts })
+            ->
+            degraded ~failed_node:node ~partial:(done_so_far ())
+              (Transfer_failed { sender; receiver; node; attempts })
+          | Error e ->
+            degraded ~partial:(done_so_far ())
+              (Execution_failed (Fmt.str "%a" Engine.pp_error e))))
+  in
+  attempt 1 ~pending:None
+
+let wire_time (model : Timing.model) network =
+  List.fold_left
+    (fun acc (m : Network.message) ->
+      let l = model.Timing.link m.Network.sender m.Network.receiver in
+      acc +. l.Timing.latency
+      +. (float_of_int (Relation.byte_size m.Network.data)
+         /. l.Timing.bandwidth))
+    0.0
+    (Network.messages network)
+
+let makespan model fplan plan (r : recovered) =
+  let backoff = Fault.backoff fplan in
+  let final =
+    (Timing.makespan ~backoff model plan r.assignment r.outcome)
+      .Timing.makespan
+  in
+  (* Aborted attempts: their emissions cost wire time even though the
+     work was discarded. *)
+  let aborted =
+    wire_time model r.log -. wire_time model r.outcome.Engine.network
+  in
+  final +. aborted
+
+let pp_failover ppf f =
+  Fmt.pf ppf "attempt %d: %a died at n%d (%s); replanned without it"
+    f.attempt Server.pp f.dead f.failed_node
+    (if f.permanent then "permanent" else "outage outlasted retries")
+
+let pp_reason ppf = function
+  | No_safe_replan { dead; failed_at } ->
+    Fmt.pf ppf "no safe replan without %a (blocked at n%d)"
+      Fmt.(list ~sep:comma Server.pp)
+      dead failed_at
+  | Replan_unsafe { dead } ->
+    Fmt.pf ppf "replan without %a failed the independent safety re-proof"
+      Fmt.(list ~sep:comma Server.pp)
+      dead
+  | Transfer_failed { sender; receiver; node; attempts } ->
+    Fmt.pf ppf "link %a -> %a never delivered at n%d (%d attempts)" Server.pp
+      sender Server.pp receiver node attempts
+  | Failover_limit { dead } ->
+    Fmt.pf ppf "failover limit reached; dead: %a"
+      Fmt.(list ~sep:comma Server.pp)
+      dead
+  | Execution_failed msg -> Fmt.pf ppf "execution failed: %s" msg
+
+let pp_outcome ppf = function
+  | Ok r ->
+    Fmt.pf ppf
+      "recovered at %a: %d attempt(s), %d failover(s), %d retransmission(s)"
+      Server.pp r.location r.attempts
+      (List.length r.failovers)
+      r.retries
+  | Error d ->
+    Fmt.pf ppf "unrecoverable: %a (%d node(s) completed)" pp_reason d.reason
+      (List.length d.partial)

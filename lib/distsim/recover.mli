@@ -1,0 +1,127 @@
+(** Safe recovery: a supervisor that executes a query plan under a
+    fault plan and survives what can be survived.
+
+    The supervisor runs {!Engine.execute} with a {!Fault} injector.
+    Message-level faults (drops, corruption, transient outages) are
+    absorbed inside the engine by bounded retransmission with
+    deterministic exponential backoff. What escapes to this layer is
+    server death: on {!Engine.Server_down} the dead server is excluded
+    from the candidate universe and the plan is re-planned with
+    {!Planner.Safe_planner} (replicated leaves fail over to a surviving
+    copy, helpers may step in), then — before a single post-failover
+    message is emitted — the replacement assignment is {e re-proved}
+    safe by the independent {!Planner.Safety} checker. Only then does
+    execution resume, from the root, under the same injector.
+
+    The central invariant is {b safety under failure}: no retry,
+    retransmission or failover replan ever emits a message the policy
+    does not authorize. Retransmissions carry the same profile as the
+    original send; every replan is safe by construction {e and} by
+    independent re-proof; and the cumulative log ({!recovered.log} /
+    {!degraded.log}) contains the emissions of every attempt, aborted
+    ones included, so {!Audit.run} can hold the whole faulty history to
+    Definition 3.3 — the fault soak asserts it does, clean, on
+    thousands of seeded runs.
+
+    When recovery is impossible the supervisor never fakes an answer:
+    it returns a typed {!degraded} outcome naming the reason, the
+    subtree that died and whatever sub-results completed — partial,
+    explicitly so, never silently wrong.
+
+    Everything here is deterministic: same seed, same fault plan, same
+    federation ⇒ identical message log, retry schedule and outcome. *)
+
+open Relalg
+
+(** One failover the supervisor performed. *)
+type failover = {
+  attempt : int;  (** 1-based execution attempt that died *)
+  dead : Server.t;
+  permanent : bool;
+      (** [false] when a transient outage exhausted the retry budget
+          and was escalated to exclusion *)
+  failed_node : int;  (** plan node being executed when it died *)
+  assignment : Planner.Assignment.t;  (** the replacement assignment *)
+}
+
+(** Why an execution could not be recovered. *)
+type reason =
+  | No_safe_replan of { dead : Server.t list; failed_at : int }
+      (** with the dead servers excluded, no safe assignment exists
+          (data lost with its only copy, or the policy leaves no
+          authorized executor) *)
+  | Replan_unsafe of { dead : Server.t list }
+      (** the replanned assignment failed the independent safety
+          re-proof — by construction this should never happen; it is a
+          distinct outcome precisely so that it cannot be confused with
+          a legitimate failure *)
+  | Transfer_failed of {
+      sender : Server.t;
+      receiver : Server.t;
+      node : int;
+      attempts : int;
+    }  (** a link never delivered within the retry budget *)
+  | Failover_limit of { dead : Server.t list }
+      (** more servers died than the supervisor may exclude *)
+  | Execution_failed of string
+      (** non-fault engine error (structural, missing instance) *)
+
+type recovered = {
+  result : Relation.t;
+  location : Server.t;
+  outcome : Engine.outcome;
+      (** the final (successful) attempt — its network holds only that
+          attempt's messages, so {!Timing.makespan} and
+          {!Des.tasks_of_execution} pattern-match it directly *)
+  log : Network.t;
+      (** cumulative emissions of {e all} attempts, for {!Audit.run} *)
+  assignment : Planner.Assignment.t;  (** the assignment that succeeded *)
+  rescues : Planner.Third_party.rescue list;
+  failovers : failover list;  (** empty: recovered without replanning *)
+  excluded : Server.t list;  (** servers written off during recovery *)
+  attempts : int;  (** execution attempts, [1 + List.length failovers] *)
+  retries : int;  (** retransmitted messages across the whole log *)
+  delay : float;  (** simulated seconds spent in backoffs *)
+  schedule : Fault.event list;  (** the injector's deterministic record *)
+}
+
+type degraded = {
+  reason : reason;
+  log : Network.t;  (** cumulative emissions up to the point of death *)
+  failovers : failover list;  (** failovers that did succeed before *)
+  partial : (int * Relation.t) list;
+      (** completed sub-results of the last attempt, by node id — an
+          honest partial answer, never presented as the full one *)
+  failed_node : int option;  (** the subtree that died, when known *)
+  excluded : Server.t list;
+  schedule : Fault.event list;
+}
+
+type outcome = (recovered, degraded) result
+
+(** [execute catalog policy ~instances ~fault plan] plans and runs
+    [plan] under [fault]. [helpers] are offered to the planner (initial
+    plan and every replan alike); [max_failovers] (default: the number
+    of servers in the catalog) bounds how many servers may be excluded
+    before giving up. *)
+val execute :
+  ?helpers:Server.t list ->
+  ?max_failovers:int ->
+  Catalog.t ->
+  Authz.Policy.t ->
+  instances:(string -> Relation.t option) ->
+  fault:Fault.plan ->
+  Plan.t ->
+  outcome
+
+(** Total makespan of a recovered faulty run: the final attempt priced
+    by {!Timing.makespan} with the fault plan's backoff schedule, plus
+    the wire time of every aborted attempt's emissions (their work was
+    spent even though it was thrown away). An upper bound — attempts
+    are sequential. *)
+val makespan :
+  Timing.model -> Fault.plan -> Plan.t -> recovered -> float
+
+val pp_failover : failover Fmt.t
+val pp_reason : reason Fmt.t
+val pp_outcome : outcome Fmt.t

@@ -18,7 +18,8 @@ type schedule = {
   makespan : float;
 }
 
-let makespan model plan assignment (outcome : Engine.outcome) =
+let makespan ?(backoff = fun _ -> 0.0) model plan assignment
+    (outcome : Engine.outcome) =
   let rows id =
     match List.assoc_opt id outcome.node_rows with
     | Some r -> float_of_int r
@@ -26,9 +27,31 @@ let makespan model plan assignment (outcome : Engine.outcome) =
       invalid_arg
         (Printf.sprintf "Timing.makespan: no measurement for node n%d" id)
   in
+  (* The cost of landing a message includes every failed attempt that
+     preceded it on the same protocol step (same purpose, sender and
+     receiver) plus the backoff waited between attempts: retries are
+     not free, they are the whole point of measuring a faulty run. *)
   let transfer (m : Network.message) =
     let link = model.link m.sender m.receiver in
-    link.latency +. float_of_int (Relation.byte_size m.data) /. link.bandwidth
+    let one (a : Network.message) =
+      link.latency
+      +. (float_of_int (Relation.byte_size a.data) /. link.bandwidth)
+    in
+    let chain =
+      List.filter
+        (fun (a : Network.message) ->
+          a.purpose = m.purpose
+          && Server.equal a.sender m.sender
+          && Server.equal a.receiver m.receiver
+          && a.attempt <= m.attempt)
+        (Network.attempts_at_join outcome.network (Network.join_of m.purpose))
+    in
+    List.fold_left
+      (fun acc a ->
+        acc +. one a
+        +. (if a.Network.attempt < m.attempt then backoff a.Network.attempt
+            else 0.0))
+      0.0 chain
   in
   let exec id = Planner.Assignment.find assignment id in
   let finishes = ref [] in

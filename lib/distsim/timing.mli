@@ -49,9 +49,22 @@ type schedule = {
 (** [makespan model plan assignment outcome] replays the execution's
     message log against the model. The [outcome] must come from
     {!Engine.execute} on the same plan and assignment.
+
+    Under fault injection a delivered message may have been preceded by
+    failed attempts of the same protocol step; each is priced like a
+    send (latency + bytes/bandwidth) plus [backoff attempt] seconds of
+    waiting before the retry (default: no wait — pass
+    [Fault.backoff fault_plan] to price the injector's schedule).
+    Waits caused by a transiently-down {e sender} leave no message in
+    the log and are not priced here.
     @raise Invalid_argument if the outcome does not match the plan
     (missing node measurements). *)
 val makespan :
-  model -> Plan.t -> Planner.Assignment.t -> Engine.outcome -> schedule
+  ?backoff:(int -> float) ->
+  model ->
+  Plan.t ->
+  Planner.Assignment.t ->
+  Engine.outcome ->
+  schedule
 
 val pp_schedule : schedule Fmt.t

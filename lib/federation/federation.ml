@@ -77,6 +77,7 @@ type response = {
   messages : int;
   bytes : int;
   from_cache : bool;
+  failovers : Distsim.Recover.failover list;
 }
 
 type error =
@@ -86,6 +87,12 @@ type error =
       advice : Planner.Advisor.proposal option;
     }
   | Execution_error of string
+  | Degraded of {
+      reason : Distsim.Recover.reason;
+      failovers : int;
+      partial : (int * Relation.t) list;
+      failed_node : int option;
+    }
   | Audit_violation of string
 
 let pp_error ppf = function
@@ -99,6 +106,19 @@ let pp_error ppf = function
             Planner.Advisor.pp_proposal p)
       advice
   | Execution_error msg -> Fmt.pf ppf "execution error: %s" msg
+  | Degraded { reason; failovers; partial; failed_node } ->
+    Fmt.pf ppf "degraded: %a" Distsim.Recover.pp_reason reason;
+    if failovers > 0 then
+      Fmt.pf ppf "; survived %d earlier failover(s)" failovers;
+    (match failed_node with
+     | Some n -> Fmt.pf ppf "; died executing n%d" n
+     | None -> ());
+    (match partial with
+     | [] -> Fmt.pf ppf "; no answer"
+     | ps ->
+       Fmt.pf ppf "; partial answer only (sub-results for %a)"
+         Fmt.(list ~sep:comma (fmt "n%d"))
+         (List.map fst ps))
   | Audit_violation msg -> Fmt.pf ppf "AUDIT VIOLATION: %s" msg
 
 let parse t sql =
@@ -132,43 +152,92 @@ let plan_sql t sql =
             (Infeasible
                { failed_at = f.Planner.Third_party.failed_at; advice })))
 
-let query t sql =
+(* Audit a log (defence in depth) and, on success, fold it into the
+   federation's compliance record and traffic counters. *)
+let admit t network k =
+  match Distsim.Audit.run t.policy network with
+  | Error violations ->
+    Error
+      (Audit_violation
+         (Fmt.str "%a"
+            Fmt.(list ~sep:(any "; ") Distsim.Audit.pp_violation)
+            violations))
+  | Ok entries ->
+    t.audit_entries <- List.rev_append entries t.audit_entries;
+    t.queries_served <- t.queries_served + 1;
+    let messages = Distsim.Network.message_count network in
+    let bytes = Distsim.Network.total_bytes network in
+    t.total_messages <- t.total_messages + messages;
+    t.total_bytes <- t.total_bytes + bytes;
+    Ok (k ~messages ~bytes)
+
+let query ?fault t sql =
   match plan_sql t sql with
   | Error e -> Error e
   | Ok (cached, from_cache) ->
-    let third_party = cached.c_rescues <> [] in
-    (match
-       Distsim.Engine.execute ~third_party t.catalog ~instances:t.instances
-         cached.c_plan cached.c_assignment
-     with
-     | Error e ->
-       Error (Execution_error (Fmt.str "%a" Distsim.Engine.pp_error e))
-     | Ok { result; location; network; _ } ->
-       (match Distsim.Audit.run t.policy network with
-        | Error violations ->
-          Error
-            (Audit_violation
-               (Fmt.str "%a"
-                  Fmt.(list ~sep:(any "; ") Distsim.Audit.pp_violation)
-                  violations))
-        | Ok entries ->
-          t.audit_entries <- List.rev_append entries t.audit_entries;
-          t.queries_served <- t.queries_served + 1;
-          let messages = Distsim.Network.message_count network in
-          let bytes = Distsim.Network.total_bytes network in
-          t.total_messages <- t.total_messages + messages;
-          t.total_bytes <- t.total_bytes + bytes;
-          Ok
-            {
-              plan = cached.c_plan;
-              assignment = cached.c_assignment;
-              rescues = cached.c_rescues;
-              result;
-              location;
-              messages;
-              bytes;
-              from_cache;
-            }))
+    (match fault with
+     | None ->
+       let third_party = cached.c_rescues <> [] in
+       (match
+          Distsim.Engine.execute ~third_party t.catalog ~instances:t.instances
+            cached.c_plan cached.c_assignment
+        with
+        | Error e ->
+          Error (Execution_error (Fmt.str "%a" Distsim.Engine.pp_error e))
+        | Ok { result; location; network; _ } ->
+          admit t network (fun ~messages ~bytes ->
+              {
+                plan = cached.c_plan;
+                assignment = cached.c_assignment;
+                rescues = cached.c_rescues;
+                result;
+                location;
+                messages;
+                bytes;
+                from_cache;
+                failovers = [];
+              }))
+     | Some fault ->
+       (* The supervisor replans as servers die, so the cached
+          assignment only seeds the first attempt implicitly; what we
+          report is the assignment that actually answered. *)
+       (match
+          Distsim.Recover.execute ~helpers:t.helpers t.catalog t.policy
+            ~instances:t.instances ~fault cached.c_plan
+        with
+        | Ok (r : Distsim.Recover.recovered) ->
+          admit t r.log (fun ~messages ~bytes ->
+              {
+                plan = cached.c_plan;
+                assignment = r.assignment;
+                rescues = r.rescues;
+                result = r.result;
+                location = r.location;
+                messages;
+                bytes;
+                from_cache;
+                failovers = r.failovers;
+              })
+        | Error (d : Distsim.Recover.degraded) ->
+          (* Even a failed run's emissions belong in the compliance
+             log; an audit violation still takes precedence. *)
+          (match Distsim.Audit.run t.policy d.log with
+           | Error violations ->
+             Error
+               (Audit_violation
+                  (Fmt.str "%a"
+                     Fmt.(list ~sep:(any "; ") Distsim.Audit.pp_violation)
+                     violations))
+           | Ok entries ->
+             t.audit_entries <- List.rev_append entries t.audit_entries;
+             Error
+               (Degraded
+                  {
+                    reason = d.reason;
+                    failovers = List.length d.failovers;
+                    partial = d.partial;
+                    failed_node = d.failed_node;
+                  }))))
 
 let explain t sql =
   match parse t sql with

@@ -57,6 +57,9 @@ type response = {
   messages : int;  (** transfers this execution performed *)
   bytes : int;
   from_cache : bool;  (** the plan (not the result) was cached *)
+  failovers : Distsim.Recover.failover list;
+      (** non-empty: the answer is correct but came the hard way — one
+          replan per server that died under fault injection *)
 }
 
 type error =
@@ -67,6 +70,17 @@ type error =
           (** minimal grants that would repair it, when one exists *)
     }
   | Execution_error of string
+  | Degraded of {
+      reason : Distsim.Recover.reason;
+      failovers : int;  (** failovers that {e did} succeed before *)
+      partial : (int * Relation.t) list;
+          (** completed sub-results by node id; empty means the run
+              failed outright, non-empty is an honest partial answer *)
+      failed_node : int option;
+    }
+      (** a fault-injected run could not be recovered; never a silent
+          wrong answer ([Ok] with [failovers <> []] is the "answered
+          after failover" case) *)
   | Audit_violation of string
       (** defence in depth: an executed flow failed the runtime audit —
           the response is withheld *)
@@ -74,8 +88,11 @@ type error =
 val pp_error : error Fmt.t
 
 (** Serve one SQL query. Plans are cached per SQL string; execution and
-    auditing always run. *)
-val query : t -> string -> (response, error) result
+    auditing always run. [fault] runs the query under fault injection
+    via {!Distsim.Recover.execute}: message-level faults are absorbed
+    by retransmission, dead servers by safe replanning; the cumulative
+    log of every attempt is audited and accumulated. *)
+val query : ?fault:Distsim.Fault.plan -> t -> string -> (response, error) result
 
 (** Planner trace for a query, without executing it. *)
 val explain : t -> string -> (Planner.Safe_planner.trace, error) result

@@ -106,7 +106,10 @@ let normalize_candidates ?(prefer_high_count = true) cs =
             | c -> c)
          | c -> c)
 
-let find_candidates ?(helpers = []) config catalog policy plan =
+let find_candidates ?(helpers = []) ?(excluded = []) config catalog policy
+    plan =
+  let available s = not (List.exists (Server.equal s) excluded) in
+  let helpers = List.filter available helpers in
   let can_view profile server = Policy.can_view policy profile server in
   let visits = ref [] in
   let infos = Hashtbl.create 16 in
@@ -128,6 +131,12 @@ let find_candidates ?(helpers = []) config catalog policy plan =
             (Fmt.str "Safe_planner: leaf %s: %a" (Schema.name schema)
                Catalog.pp_error e)
       in
+      (* Failover exclusion: a dead server stores nothing any more. A
+         leaf whose every copy is excluded has no candidate — planning
+         fails right here, which the caller reports as unrecoverable
+         data loss. *)
+      let homes = List.filter available homes in
+      if homes = [] then raise (Infeasible n.id);
       record
         {
           node = n.id;
@@ -393,15 +402,15 @@ let assign_ex infos plan =
   go (Plan.root plan) None;
   (!assignment, List.rev !order)
 
-let plan ?(config = default_config) ?helpers catalog policy p =
-  match find_candidates ?helpers config catalog policy p with
+let plan ?(config = default_config) ?helpers ?excluded catalog policy p =
+  match find_candidates ?helpers ?excluded config catalog policy p with
   | Error (node, visits) -> Error { failed_at = node; info = visits }
   | Ok (visit_order, infos) ->
     let assignment, assign_order = assign_ex infos p in
     Ok { assignment; trace = { visit_order; assign_order } }
 
-let feasible ?config ?helpers catalog policy p =
-  match plan ?config ?helpers catalog policy p with
+let feasible ?config ?helpers ?excluded catalog policy p =
+  match plan ?config ?helpers ?excluded catalog policy p with
   | Ok _ -> true
   | Error _ -> false
 

@@ -102,10 +102,18 @@ val default_config : config
     footnote 3: when a join has no operand candidate, a helper server
     authorized to view both operands in full is injected as a proxy
     executor (candidate with [fromchild = None]); such assignments must
-    be checked with [Safety.check ~third_party:true]. *)
+    be checked with [Safety.check ~third_party:true].
+
+    [excluded] (default none) removes servers from consideration
+    entirely — leaf homes, masters, slaves, coordinators and helpers
+    alike. This is the failover hook: after a permanent crash,
+    {!Distsim.Recover} replans with the dead server excluded, relying
+    on catalog replication for the leaves it stored. A leaf with no
+    surviving copy fails planning at that leaf's node. *)
 val plan :
   ?config:config ->
   ?helpers:Server.t list ->
+  ?excluded:Server.t list ->
   Catalog.t ->
   Policy.t ->
   Plan.t ->
@@ -115,6 +123,7 @@ val plan :
 val feasible :
   ?config:config ->
   ?helpers:Server.t list ->
+  ?excluded:Server.t list ->
   Catalog.t ->
   Policy.t ->
   Plan.t ->

@@ -38,8 +38,11 @@ type failure = {
 
 (** [plan ~helpers catalog policy p] — first the plain Figure-6
     algorithm; on failure, candidate lists of blocked joins are extended
-    with viable helpers and the traversal retried. *)
+    with viable helpers and the traversal retried. [excluded] (default
+    none) bars servers from every role, as in {!Safe_planner.plan} —
+    the failover path of {!Distsim.Recover}. *)
 val plan :
+  ?excluded:Server.t list ->
   helpers:Server.t list ->
   Catalog.t ->
   Policy.t ->

@@ -169,3 +169,36 @@ grants here, so the same federation lints clean:
 
   $ cisqp lint --schema leaky.schema --authz leaky.authz --pass inference --format json "SELECT Customer, Part, RegPart FROM Orders JOIN Registry ON OrderKey = RegOrder"
   []
+
+Fault injection through the CLI: the failover fixture replicates both
+relations at both servers, so the permanent death of the server the
+planner picked is survived by a safe replan onto the survivor — shown
+explicitly, with the cumulative audit still clean:
+
+  $ cisqp run --schema failover.schema --authz failover.authz --data failover.data --crash SA "SELECT Adata, Bdata FROM A JOIN B ON Ax = Bx"
+  Failover: attempt 1: SA died at n2 (permanent); replanned without it
+  Recovered: 2 attempt(s), 0 retransmission(s), 0.000 s of backoff
+  
+  Assignment:
+  n0: [SB, NULL]
+  n1: [SB, NULL]
+  n2: [SB, NULL]
+  n3: [SB, NULL]
+  
+  Result (at SB):
+  Adata | Bdata
+  (Adata='a1', Bdata='b1')
+  
+  Data flows (all attempts):
+  
+  
+  Audit: clean (0 flows authorized)
+
+Without the only copy of Insurance the supervisor refuses, typed,
+instead of answering wrong — and the exit code says so:
+
+  $ cisqp run -s medical --crash S_I "SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient"
+  Degraded: no safe replan without S_I (blocked at n4)
+  
+  Audit: clean (0 flows authorized)
+  [1]

@@ -95,6 +95,81 @@ let test_mixed_report_collects_all_violations () =
   | Error vs -> check Alcotest.int "both leaks reported" 2 (List.length vs)
   | Ok _ -> Alcotest.fail "leaks unreported"
 
+(* Fault injection: retransmitted and undelivered messages are judged
+   exactly like first attempts — same profile, same admitting rule; a
+   lost emission never escapes the audit. *)
+let test_retransmission_chain_same_rule () =
+  let n = Network.create () in
+  let data = Option.get (M.instances "Insurance") in
+  let profile = Authz.Profile.of_base M.insurance in
+  let send attempt delivery =
+    ignore
+      (Network.send n ~attempt ~delivery ~sender:M.s_i ~receiver:M.s_n
+         ~profile
+         ~purpose:(Network.Full_operand { join = 0 })
+         ~note:"retry chain" data)
+  in
+  send 1 Network.Dropped;
+  send 2 Network.Corrupted;
+  send 3 Network.Delivered;
+  match Audit.run M.policy n with
+  | Error _ -> Alcotest.fail "authorized retry chain flagged"
+  | Ok entries ->
+    check Alcotest.int "every attempt audited" 3 (List.length entries);
+    let rules =
+      List.map
+        (fun (e : Audit.entry) ->
+          match e.admitted_by with
+          | Some rule -> Fmt.str "%a" Authz.Authorization.pp rule
+          | None -> Alcotest.fail "attempt admitted without a rule")
+        entries
+    in
+    (match rules with
+     | first :: rest ->
+       List.iter
+         (fun r -> check Alcotest.string "same admitting rule" first r)
+         rest
+     | [] -> assert false)
+
+let test_dropped_leak_still_flagged () =
+  (* A drop is not an excuse: the emission happened, so an unauthorized
+     flow is a violation even though nothing arrived. *)
+  let n = Network.create () in
+  let data = Option.get (M.instances "Hospital") in
+  let (_ : Relation.t) =
+    Network.send n ~delivery:Network.Dropped ~sender:M.s_h ~receiver:M.s_i
+      ~profile:(Authz.Profile.of_base M.hospital)
+      ~purpose:(Network.Full_operand { join = 0 })
+      ~note:"dropped leak" data
+  in
+  match Audit.run M.policy n with
+  | Error [ v ] ->
+    check Alcotest.bool "unauthorized" true
+      (v.Audit.reason = Audit.Unauthorized)
+  | _ -> Alcotest.fail "dropped leak not flagged"
+
+let test_corrupted_retransmission_header_mismatch () =
+  (* A corrupted retransmission whose declared profile no longer
+     matches the bytes it carries is a header mismatch, attempt number
+     notwithstanding. *)
+  let n = Network.create () in
+  let data = Option.get (M.instances "Insurance") in
+  let lying =
+    Authz.Profile.make
+      ~pi:(Attribute.Set.singleton (M.attr "Holder"))
+      ~join:Joinpath.empty ~sigma:Attribute.Set.empty
+  in
+  let (_ : Relation.t) =
+    Network.send n ~attempt:2 ~delivery:Network.Corrupted ~sender:M.s_i
+      ~receiver:M.s_n ~profile:lying
+      ~purpose:(Network.Full_operand { join = 0 })
+      ~note:"corrupted retry" data
+  in
+  match Audit.run M.policy n with
+  | Error [ { Audit.reason = Audit.Header_mismatch _; message; _ } ] ->
+    check Alcotest.int "on the retransmission" 2 message.Network.attempt
+  | _ -> Alcotest.fail "corrupted retransmission not flagged"
+
 (* Satellite: the text renderer covers every [reason] variant, and a
    header mismatch spells out both attribute sets plus the diff in each
    direction. *)
@@ -112,6 +187,8 @@ let test_reason_rendering () =
           profile = Authz.Profile.of_base M.insurance;
           purpose = Network.Full_operand { join = 0 };
           note = "test";
+          attempt = 1;
+          delivery = Network.Delivered;
         };
       reason;
     }
@@ -161,5 +238,10 @@ let suite =
     c "under-declared profile flagged" `Quick test_header_mismatch_flagged;
     c "is_clean" `Quick test_is_clean;
     c "all violations collected" `Quick test_mixed_report_collects_all_violations;
+    c "retransmission chain cites one rule" `Quick
+      test_retransmission_chain_same_rule;
+    c "dropped leak still flagged" `Quick test_dropped_leak_still_flagged;
+    c "corrupted retransmission mismatch" `Quick
+      test_corrupted_retransmission_header_mismatch;
     c "every reason variant renders" `Quick test_reason_rendering;
   ]

@@ -62,19 +62,59 @@ let test_fifo_tie_break () =
   let order = List.map (fun s -> s.Des.task.Des.id) run.Des.schedule in
   check Alcotest.(list string) "id order" [ "a"; "z" ] order
 
+let graph_error =
+  Alcotest.testable Des.pp_graph_error (fun a b -> a = b)
+
 let test_validation () =
+  (* simulate raises the typed exception... *)
   (match Des.simulate [ task "a" "r" 1.0; task "a" "r" 1.0 ] with
-   | exception Invalid_argument _ -> ()
+   | exception Des.Invalid_graph (Des.Duplicate_task "a") -> ()
    | _ -> Alcotest.fail "duplicate id accepted");
   (match Des.simulate [ task ~deps:[ "ghost" ] "a" "r" 1.0 ] with
-   | exception Invalid_argument _ -> ()
+   | exception
+       Des.Invalid_graph (Des.Unknown_dependency { task = "a"; dep = "ghost" })
+     ->
+     ()
    | _ -> Alcotest.fail "unknown dep accepted");
+  (match
+     Des.simulate
+       [ task ~deps:[ "b" ] "a" "r" 1.0; task ~deps:[ "a" ] "b" "r" 1.0 ]
+   with
+   | exception Des.Invalid_graph (Des.Dependency_cycle [ "a"; "b" ]) -> ()
+   | _ -> Alcotest.fail "cycle accepted");
+  (* ...and validate reports the same verdicts without raising. *)
+  check
+    Alcotest.(result unit graph_error)
+    "duplicate"
+    (Error (Des.Duplicate_task "a"))
+    (Des.validate [ task "a" "r" 1.0; task "a" "r" 1.0 ]);
+  check
+    Alcotest.(result unit graph_error)
+    "unknown dep"
+    (Error (Des.Unknown_dependency { task = "a"; dep = "ghost" }))
+    (Des.validate [ task ~deps:[ "ghost" ] "a" "r" 1.0 ]);
+  check
+    Alcotest.(result unit graph_error)
+    "clean graph" (Ok ())
+    (Des.validate [ task "a" "r" 1.0; task ~deps:[ "a" ] "b" "r" 1.0 ])
+
+let test_cycle_downstream_tasks_listed () =
+  (* A task hanging off a cycle is stuck too, and named in the error;
+     the task upstream of the cycle is not. *)
   match
-    Des.simulate
-      [ task ~deps:[ "b" ] "a" "r" 1.0; task ~deps:[ "a" ] "b" "r" 1.0 ]
+    Des.validate
+      [
+        task "root" "r" 1.0;
+        task ~deps:[ "root"; "c2" ] "c1" "r" 1.0;
+        task ~deps:[ "c1" ] "c2" "r" 1.0;
+        task ~deps:[ "c2" ] "victim" "r" 1.0;
+      ]
   with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "cycle accepted"
+  | Error (Des.Dependency_cycle ids) ->
+    check Alcotest.(list string) "cycle + downstream" [ "c1"; "c2"; "victim" ]
+      ids
+  | Ok () -> Alcotest.fail "cycle accepted"
+  | Error e -> Alcotest.failf "wrong error: %a" Des.pp_graph_error e
 
 let test_empty () =
   checkf "empty makespan" 0.0 (Des.simulate []).Des.makespan
@@ -206,6 +246,7 @@ let suite =
     c "release times" `Quick test_release_time;
     c "FIFO tie-break" `Quick test_fifo_tie_break;
     c "validation" `Quick test_validation;
+    c "cycle error names stuck tasks" `Quick test_cycle_downstream_tasks_listed;
     c "empty task set" `Quick test_empty;
     c "medical execution task graph" `Quick test_medical_tasks;
     c "DES dominates the analytic model" `Quick test_des_dominates_analytic;

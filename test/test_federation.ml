@@ -156,6 +156,77 @@ let test_close_under_chase () =
    | Error _, Ok _ -> ()  (* closure recovered it *)
    | _, Error _ -> Alcotest.fail "closure lost feasibility")
 
+(* Fault injection through the facade: the "answered after failover" /
+   "partial answer" / "failed" trichotomy of the robustness work. *)
+
+let test_query_with_fault_failover () =
+  (* Two servers, both relations replicated at both, open policy: the
+     planner's first choice dies permanently and the survivor answers
+     after one safe replan. *)
+  let sa = Server.make "SA" and sb = Server.make "SB" in
+  let a = Schema.make "A" ~key:[ "Ax" ] [ "Ax"; "Adata" ] in
+  let b = Schema.make "B" ~key:[ "Bx" ] [ "Bx"; "Bdata" ] in
+  let catalog =
+    let c = Catalog.of_list [ (a, sa); (b, sb) ] in
+    let c = Helpers.check_ok Catalog.pp_error (Catalog.replicate c "A" ~at:sb) in
+    Helpers.check_ok Catalog.pp_error (Catalog.replicate c "B" ~at:sa)
+  in
+  let str s = Value.String s in
+  let instances =
+    let table =
+      [
+        ("A", Relation.of_rows a [ [ str "x1"; str "a1" ] ]);
+        ("B", Relation.of_rows b [ [ str "x1"; str "b1" ] ]);
+      ]
+    in
+    fun name -> List.assoc_opt name table
+  in
+  let fed =
+    Federation.create ~catalog ~policy:(Authz.Policy.open_policy []) ~instances
+      ()
+  in
+  let sql = "SELECT Adata, Bdata FROM A JOIN B ON Ax = Bx" in
+  let victim =
+    match Federation.query fed sql with
+    | Ok r -> r.location
+    | Error e -> Alcotest.failf "baseline failed: %a" Federation.pp_error e
+  in
+  let fault =
+    Distsim.Fault.make
+      ~crashes:[ Distsim.Fault.crash victim ~at:0 ]
+      ~seed:1 ()
+  in
+  match Federation.query ~fault fed sql with
+  | Error e -> Alcotest.failf "not recovered: %a" Federation.pp_error e
+  | Ok r ->
+    check Alcotest.int "answered after one failover" 1
+      (List.length r.failovers);
+    check Alcotest.int "one answer" 1 (Relation.cardinality r.result);
+    check Alcotest.bool "the survivor answered" false
+      (Server.equal r.location victim)
+
+let test_query_with_fault_degraded () =
+  let fed = medical () in
+  let fault =
+    Distsim.Fault.make ~crashes:[ Distsim.Fault.crash M.s_i ~at:0 ] ~seed:1 ()
+  in
+  match Federation.query ~fault fed M.example_query_sql with
+  | Error (Federation.Degraded { reason = Distsim.Recover.No_safe_replan _; _ })
+    ->
+    ()
+  | Ok _ -> Alcotest.fail "answered without the only copy of Insurance"
+  | Error e -> Alcotest.failf "wrong error: %a" Federation.pp_error e
+
+let test_query_with_reliable_fault_plan () =
+  let fed = medical () in
+  match
+    Federation.query ~fault:Distsim.Fault.reliable fed M.example_query_sql
+  with
+  | Error e -> Alcotest.failf "%a" Federation.pp_error e
+  | Ok r ->
+    check Alcotest.int "no failovers" 0 (List.length r.failovers);
+    check Alcotest.int "three answers" 3 (Relation.cardinality r.result)
+
 let suite =
   [
     c "query end to end" `Quick test_query_end_to_end;
@@ -170,4 +241,8 @@ let suite =
     c "of_text" `Quick test_of_text;
     c "of_text errors" `Quick test_of_text_errors;
     c "close_under runs the chase" `Quick test_close_under_chase;
+    c "fault: answered after failover" `Quick test_query_with_fault_failover;
+    c "fault: typed degradation" `Quick test_query_with_fault_degraded;
+    c "fault: reliable plan transparent" `Quick
+      test_query_with_reliable_fault_plan;
   ]
