@@ -309,6 +309,65 @@ let run_inference_bench () =
     (List.length !entries)
 
 (* ------------------------------------------------------------------ *)
+(* Chase-closure perf trajectory: semi-naive indexed evaluation vs the
+   naive all-pairs reference, on planner-size policies (chain schemas,
+   one server per relation, subtree grants up to 2 edges — closures
+   derive the longer paths round by round, which is exactly where
+   rescanning every pair hurts). Written to BENCH_chase.json so
+   successive PRs can compare. Each point also asserts the two
+   closures are identical — the bench doubles as a differential. *)
+
+let run_chase_bench () =
+  let measure f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let point relations density =
+    let rng = Rng.make ~seed:(41 * relations) in
+    let sys =
+      System_gen.generate rng ~relations ~servers:relations ~extra:2
+        ~topology:System_gen.Chain
+    in
+    let policy =
+      Authz_gen.generate
+        (Rng.make ~seed:(relations + 1))
+        ~max_path:2 ~attr_keep:1.0 ~density sys
+    in
+    let joins = sys.System_gen.join_graph in
+    let fast = Authz.Chase.close ~joins policy in
+    let slow = Authz.Chase.close_naive ~joins policy in
+    if not (Authz.Policy.equal fast slow) then
+      failwith
+        (Printf.sprintf "chase bench: closures differ at %d relations"
+           relations);
+    let seminaive = measure (fun () -> Authz.Chase.close ~joins policy) in
+    let naive = measure (fun () -> Authz.Chase.close_naive ~joins policy) in
+    Printf.sprintf
+      {|{"relations":%d,"servers":%d,"joins":%d,"density":%.2f,"base_rules":%d,"closed_rules":%d,"seminaive_seconds":%.9f,"naive_seconds":%.9f,"speedup":%.2f}|}
+      relations relations (List.length joins) density
+      (Authz.Policy.cardinality policy)
+      (Authz.Policy.cardinality fast)
+      seminaive naive
+      (naive /. seminaive)
+  in
+  let entries =
+    [ point 6 0.5; point 9 0.4; point 12 0.35; point 15 0.3 ]
+  in
+  let oc = open_out "BENCH_chase.json" in
+  Printf.fprintf oc {|{"bench":"chase-closure","entries":[%s]}|}
+    (String.concat "," entries);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "chase closure bench: %d points -> BENCH_chase.json@."
+    (List.length entries)
+
+(* ------------------------------------------------------------------ *)
 (* Fault-recovery sweep: how often a guaranteed permanent crash of the
    answering server is survived, as a function of the catalog's
    replication factor. Written to BENCH_faults.json so successive PRs
@@ -384,8 +443,13 @@ let run_fault_bench () =
 
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
-  Fmt.pr "%s@." (Scenario.Paper_figures.all ());
-  Tables.run_all ~seeds:(if quick then 40 else 100);
-  run_inference_bench ();
-  run_fault_bench ();
-  if not quick then run_micro ()
+  let chase_only = Array.exists (fun a -> a = "chase") Sys.argv in
+  if chase_only then run_chase_bench ()
+  else begin
+    Fmt.pr "%s@." (Scenario.Paper_figures.all ());
+    Tables.run_all ~seeds:(if quick then 40 else 100);
+    run_inference_bench ();
+    run_chase_bench ();
+    run_fault_bench ();
+    if not quick then run_micro ()
+  end

@@ -203,10 +203,48 @@ let repro_cmd =
     (Cmd.info "repro" ~doc:"Reproduce the figures of the paper.")
     Term.(const run $ fig)
 
+(* Malformed SQL is user input, not an internal failure: report it as
+   the registered CISQP040 diagnostic and exit 2 (1 is reserved for
+   semantic failures — infeasible plans, audit violations). The
+   [Invalid_argument] guard is defensive: the parser's contract is to
+   return [Error], and any residual exception must not crash the CLI
+   with a backtrace. *)
 let parse_query fed sql =
-  match Sql_parser.parse fed.catalog sql with
+  let result =
+    try Sql_parser.parse fed.catalog sql
+    with Invalid_argument msg ->
+      Error (Sql_parser.Syntax { offset = 0; message = msg })
+  in
+  match result with
   | Ok q -> q
-  | Error e -> die "%a" Sql_parser.pp_error e
+  | Error e ->
+    let module D = Analysis.Diagnostic in
+    Fmt.epr "%a@."
+      D.pp
+      (D.make "CISQP040" D.Whole "%a in %S" Sql_parser.pp_error e sql);
+    exit 2
+
+let chase_flag =
+  Arg.(
+    value & flag
+    & info [ "chase" ]
+        ~doc:
+          "Close the policy under the chase (Section 3.2) over the schema's \
+           join graph before planning. Derived authorizations then admit \
+           assignments the explicit rules alone would reject. The closure \
+           is computed once per invocation.")
+
+let with_chase chase fed =
+  if not chase then fed
+  else if Authz.Policy.is_open fed.policy then
+    die "--chase applies to closed policies only"
+  else
+    {
+      fed with
+      policy =
+        Authz.Chase.closure
+          (Authz.Chase.closed_policy ~joins:fed.joins fed.policy);
+    }
 
 let plan_query fed query ~third_party ~no_semijoins ~optimize =
   let config =
@@ -251,7 +289,8 @@ let plan_cmd =
             "Emit the per-server execution script (SQL + transfers) instead \
              of the planner trace.")
   in
-  let run fed sql third_party no_semijoins optimize dot script =
+  let run fed sql third_party no_semijoins optimize chase dot script =
+    let fed = with_chase chase fed in
     let query = parse_query fed sql in
     let plan, assignment, trace =
       plan_query fed query ~third_party ~no_semijoins ~optimize
@@ -276,7 +315,8 @@ let plan_cmd =
     (Cmd.info "plan" ~doc:"Find a safe executor assignment for a query.")
     Term.(
       const run $ federation_term $ sql_arg $ third_party_flag
-      $ no_semijoins_flag $ optimize_flag $ dot_flag $ script_flag)
+      $ no_semijoins_flag $ optimize_flag $ chase_flag $ dot_flag
+      $ script_flag)
 
 let run_cmd =
   let makespan_flag =
@@ -386,8 +426,9 @@ let run_cmd =
         Fmt.pr "@.Makespan (1 ms latency, 10 MB/s, retries priced):@.%.6f s@."
           (Distsim.Recover.makespan (Distsim.Timing.uniform ()) fault plan r)
   in
-  let run fed sql third_party no_semijoins optimize makespan crashes drop
-      corrupt fault_seed retries =
+  let run fed sql third_party no_semijoins optimize chase makespan crashes
+      drop corrupt fault_seed retries =
+    let fed = with_chase chase fed in
     let query = parse_query fed sql in
     match fault_of crashes drop corrupt fault_seed retries with
     | Some fault ->
@@ -425,8 +466,8 @@ let run_cmd =
           under deterministic fault injection and safe recovery.")
     Term.(
       const run $ federation_term $ sql_arg $ third_party_flag
-      $ no_semijoins_flag $ optimize_flag $ makespan_flag $ crash_arg
-      $ drop_arg $ corrupt_arg $ fault_seed_arg $ retries_arg)
+      $ no_semijoins_flag $ optimize_flag $ chase_flag $ makespan_flag
+      $ crash_arg $ drop_arg $ corrupt_arg $ fault_seed_arg $ retries_arg)
 
 let advise_cmd =
   let run fed sql =

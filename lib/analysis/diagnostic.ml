@@ -17,7 +17,8 @@ type t = {
 
 (* Stable codes. Append-only: meanings must never change, tests and CI
    gates match on them. 00x — script verification; 01x — policy lint;
-   02x — plan lint; 03x — cumulative-knowledge inference. *)
+   02x — plan lint; 03x — cumulative-knowledge inference; 04x — query
+   front end. *)
 let registry =
   [
     ("CISQP001", Error, "transfer not authorized by the policy");
@@ -35,6 +36,7 @@ let registry =
     ("CISQP022", Info, "query has no safe assignment; plan checks skipped");
     ("CISQP030", Warning, "composition leak: accumulated deliveries assemble an unauthorized view");
     ("CISQP031", Warning, "knowledge saturation stopped at the budget; inference incomplete");
+    ("CISQP040", Error, "malformed query SQL");
   ]
 
 let severity_of_code code =

@@ -117,51 +117,100 @@ let merge_sources a b =
 let merge_via cond a b =
   List.sort_uniq Joinpath.Cond.compare (cond :: (a @ b))
 
-(* Per-server breadth-first closure under the Figure-4 join rule.
-   Popping [p] joins it against the whole current table; profiles
-   discovered later are joined against [p] when their own turn comes
-   ([Profile.try_join] tries both orientations), so every pair is
-   eventually considered. The budget caps the table's cardinality, not
-   the work: once a knowledge base holds [budget] profiles its
-   saturation stops and the server is reported exhausted. *)
+(* Per-server breadth-first closure under the Figure-4 join rule,
+   semi-naive like the chase: the queue is the frontier, and a popped
+   profile [p] looks up its join partners in per-attribute buckets —
+   for each condition one of whose sides [p] carries, only the
+   profiles whose [pi] contains the other side's first attribute are
+   inspected, instead of rescanning the whole table per pop
+   ([Profile.try_join] still arbitrates both orientations). Profiles
+   discovered later join against [p] when their own turn comes, so
+   every pair is eventually considered. The budget caps the table's
+   cardinality, not the work: once a knowledge base holds [budget]
+   profiles its saturation stops and the server is reported
+   exhausted. *)
 let saturate ?(budget = default_budget) ~joins t =
   let exhausted = ref [] in
+  let sides =
+    List.map
+      (fun cond ->
+        ( cond,
+          Attribute.Set.of_list (Joinpath.Cond.left cond),
+          Attribute.Set.of_list (Joinpath.Cond.right cond) ))
+      joins
+  in
   let knowledge =
     Server.Map.mapi
       (fun server table ->
         let table = ref table in
+        let bucket : (Attribute.t, Profile.t list ref) Hashtbl.t =
+          Hashtbl.create 64
+        in
+        let index (p : Profile.t) =
+          Attribute.Set.iter
+            (fun a ->
+              match Hashtbl.find_opt bucket a with
+              | Some ps -> ps := p :: !ps
+              | None -> Hashtbl.add bucket a (ref [ p ]))
+            p.Profile.pi
+        in
+        PMap.iter (fun p _ -> index p) !table;
+        let covering side =
+          match Attribute.Set.min_elt_opt side with
+          | None -> []
+          | Some probe ->
+            (match Hashtbl.find_opt bucket probe with
+             | None -> []
+             | Some ps ->
+               List.filter
+                 (fun (q : Profile.t) -> Attribute.Set.subset side q.Profile.pi)
+                 !ps)
+        in
         let queue = Queue.create () in
         PMap.iter (fun _ it -> Queue.add it queue) !table;
         let stop = ref false in
         while (not !stop) && not (Queue.is_empty queue) do
           let p = Queue.pop queue in
-          let partners = PMap.bindings !table in
           List.iter
-            (fun (_, q) ->
-              List.iter
-                (fun cond ->
-                  if not !stop then
-                    match Profile.try_join cond p.profile q.profile with
-                    | None -> ()
-                    | Some joined ->
-                      if not (PMap.mem joined !table) then
-                        if PMap.cardinal !table >= budget then begin
-                          stop := true;
-                          exhausted := server :: !exhausted
-                        end
-                        else begin
-                          let it =
-                            {
-                              profile = joined;
-                              sources = merge_sources p.sources q.sources;
-                              via = merge_via cond p.via q.via;
-                            }
-                          in
-                          table := PMap.add joined it !table;
-                          Queue.add it queue
-                        end)
-                joins)
-            partners
+            (fun (cond, jl, jr) ->
+              if not !stop then begin
+                let pi = p.profile.Profile.pi in
+                let candidates =
+                  (if Attribute.Set.subset jl pi then covering jr else [])
+                  @ (if Attribute.Set.subset jr pi then covering jl else [])
+                in
+                (* Sorted for determinism: the bucket order depends on
+                   insertion history, and first-found wins below. *)
+                let candidates = List.sort_uniq Profile.compare candidates in
+                List.iter
+                  (fun q_profile ->
+                    if not !stop then
+                      match PMap.find_opt q_profile !table with
+                      | None -> ()
+                      | Some q ->
+                        (match Profile.try_join cond p.profile q.profile with
+                         | None -> ()
+                         | Some joined ->
+                           if not (PMap.mem joined !table) then
+                             if PMap.cardinal !table >= budget then begin
+                               stop := true;
+                               exhausted := server :: !exhausted
+                             end
+                             else begin
+                               let it =
+                                 {
+                                   profile = joined;
+                                   sources = merge_sources p.sources q.sources;
+                                   via = merge_via cond p.via q.via;
+                                 }
+                               in
+                               table := PMap.add joined it !table;
+                               index joined;
+                               Queue.add it queue
+                             end))
+                  candidates
+              end)
+            sides
         done;
         !table)
       t
@@ -174,7 +223,14 @@ type leak = { server : Server.t; item : item }
    directly received unauthorized profiles are CISQP001 / audit
    territory — a composition leak needs at least one message and at
    least one saturation join. *)
-let leaks policy t =
+let leaks ?closed policy t =
+  (* With a chase handle the leak check runs against its cached
+     closure; nothing is re-closed per item. *)
+  let policy =
+    match closed with
+    | Some c -> Chase.closure c
+    | None -> policy
+  in
   Server.Map.fold
     (fun server table acc ->
       PMap.fold
@@ -203,7 +259,7 @@ let pp_item ppf it =
     Fmt.pf ppf " via %a" Fmt.(list ~sep:(any ", ") Joinpath.Cond.pp) conds);
   Fmt.pf ppf "@]"
 
-let lint ?budget ~joins policy t =
+let lint ?budget ?closed ~joins policy t =
   let { knowledge; exhausted } = saturate ?budget ~joins t in
   let leak_diags =
     List.map
@@ -217,7 +273,7 @@ let lint ?budget ~joins policy t =
           item.sources
           Fmt.(list ~sep:(any ", ") Joinpath.Cond.pp)
           item.via)
-      (leaks policy knowledge)
+      (leaks ?closed policy knowledge)
   in
   let budget_value =
     match budget with Some b -> b | None -> default_budget

@@ -107,14 +107,19 @@ type leak = { server : Server.t; item : item }
 
 (** Derived-but-unauthorized profiles, in deterministic (server,
     profile) order. Only items with [sources <> []] and [via <> []]
-    qualify — see the module preamble. *)
-val leaks : Policy.t -> t -> leak list
+    qualify — see the module preamble. [closed] runs the policy
+    re-check against a {!Chase.closed} handle's cached closure
+    (superseding the policy argument) so per-item checks never re-close
+    the policy. *)
+val leaks : ?closed:Chase.closed -> Policy.t -> t -> leak list
 
 (** Saturate then re-check: one [CISQP030] per {!leaks} entry (naming
     the server, the contributing messages and the witness join
-    conditions) and one [CISQP031] per budget-exhausted server. *)
+    conditions) and one [CISQP031] per budget-exhausted server.
+    [closed] is passed through to {!leaks}. *)
 val lint :
   ?budget:int ->
+  ?closed:Chase.closed ->
   joins:Joinpath.Cond.t list ->
   Policy.t ->
   t ->

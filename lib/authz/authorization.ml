@@ -58,7 +58,9 @@ let relations t =
   List.sort_uniq String.compare (owners t.attrs @ Joinpath.relations t.path)
 
 let compare a b =
-  match Server.compare a.server b.server with
+  if a == b then 0
+  else
+    match Server.compare a.server b.server with
   | 0 ->
     (match Attribute.Set.compare a.attrs b.attrs with
      | 0 -> Joinpath.compare a.path b.path

@@ -1,31 +1,172 @@
 open Relalg
 
-(* One merge step: can [j] combine the views of [a1] and [a2]?  Both
-   sides of [j] must be visible, one side per view (in either
-   orientation), and the two rules must belong to the same server. *)
-let merge (a1 : Authorization.t) (a2 : Authorization.t) j =
-  if not (Server.equal a1.server a2.server) then None
-  else
-    let covers attrs side = List.for_all (fun a -> Attribute.Set.mem a attrs) side in
-    let jl = Joinpath.Cond.left j and jr = Joinpath.Cond.right j in
-    let ok =
-      (covers a1.attrs jl && covers a2.attrs jr)
-      || (covers a1.attrs jr && covers a2.attrs jl)
-    in
-    if not ok then None
-    else
-      let path = Joinpath.add j (Joinpath.union a1.path a2.path) in
-      (* Skip merges that add nothing: same path and no new attribute. *)
-      let attrs = Attribute.Set.union a1.attrs a2.attrs in
-      match Authorization.make ~attrs ~path a1.server with
-      | Ok derived -> Some derived
-      | Error _ -> None
+(* The merge rule: [j] can combine the views of [a1] and [a2] held by
+   one server when both sides of [j] are visible, one side per view (in
+   either orientation); the result is [a1.attrs ∪ a2.attrs] under
+   [a1.path ∪ a2.path ∪ {j}]. A merge that adds nothing over a parent —
+   same path and no new attribute — is skipped: the parent rule already
+   admits the derived view (Definition 3.3), so the closure filter
+   would reject it one step later anyway. [rounds] below implements
+   the rule on interned ids; [close_naive] keeps a direct structural
+   copy. *)
 
-let close ?(max_rules = 100_000) ~joins policy =
+let default_max_rules = 100_000
+
+let overflow max_rules =
+  invalid_arg
+    (Printf.sprintf "Chase.close: closure exceeds %d rules" max_rules)
+
+(* Union memos, keyed on interned ids. A closure derives the same few
+   hundred distinct rules from tens of thousands of candidate pairs
+   (the same wide rule arises from many different parents), so the
+   expensive part of a merge — the attribute-set and join-path unions —
+   is computed once per distinct pair of operands and afterwards costs
+   a small-int hash probe. The keys are canonical (attribute sets and
+   paths are interned on their sorted forms, conditions on their
+   oriented pairs), so the tables are sound process-wide and shared
+   across closures, like the {!Policy.Index} interner itself. *)
+let attrs_memo : (int * int, Attribute.Set.t * int) Hashtbl.t =
+  Hashtbl.create 1024
+
+let path_memo : (int * int * int, Joinpath.t * int) Hashtbl.t =
+  Hashtbl.create 1024
+
+let union_attrs aid1 s1 aid2 s2 =
+  let key = if aid1 <= aid2 then (aid1, aid2) else (aid2, aid1) in
+  match Hashtbl.find_opt attrs_memo key with
+  | Some v -> v
+  | None ->
+    let u = Attribute.Set.union s1 s2 in
+    let v = (u, Policy.Index.attrs_id u) in
+    Hashtbl.add attrs_memo key v;
+    v
+
+let union_path cid j pid1 p1 pid2 p2 =
+  let key = if pid1 <= pid2 then (cid, pid1, pid2) else (cid, pid2, pid1) in
+  match Hashtbl.find_opt path_memo key with
+  | Some v -> v
+  | None ->
+    let u = Joinpath.add j (Joinpath.union p1 p2) in
+    let v = (u, Policy.Index.path_id u) in
+    Hashtbl.add path_memo key v;
+    v
+
+(* Semi-naive rounds. [frontier] is the list of rules added in the
+   previous round (initially the explicit rules); each round merges
+   only (frontier x policy) pairs, so over the whole run every
+   unordered rule pair is examined once — at the first round where both
+   members are present. The naive engine rescans (all x all) each
+   round instead. Merge partners come from the policy's per-(server,
+   attribute) buckets ({!Policy.covering_entries}), which carry each
+   partner's interned ids, so a candidate merge is: two memoised
+   unions, an id-level adds-nothing test, and duplicate detection on
+   the hash-consed {!Policy.Index.rule_id} — the derived rule is only
+   constructed when it is genuinely fresh. The admission filter runs
+   against the round-start policy exactly as the naive engine's
+   [can_view] does — which is why the two produce identical rule sets
+   (proved by the differential suite in test_chase_diff.ml). *)
+let rec rounds ~max_rules ~joins policy frontier =
+  if Policy.cardinality policy > max_rules then overflow max_rules;
+  match frontier with
+  | [] -> policy
+  | _ ->
+    let open_mode = Policy.is_open policy in
+    let jinfo =
+      List.map
+        (fun j ->
+          (j, Policy.Index.cond_id j, Joinpath.Cond.left j, Joinpath.Cond.right j))
+        joins
+    in
+    let seen = Hashtbl.create 64 in
+    let fresh = ref [] in
+    List.iter
+      (fun (a1 : Authorization.t) ->
+        let aid1 = Policy.Index.attrs_id a1.attrs in
+        let pid1 = Policy.Index.path_id a1.path in
+        List.iter
+          (fun (j, cid, jl, jr) ->
+            let covers side =
+              List.for_all (fun x -> Attribute.Set.mem x a1.attrs) side
+            in
+            let partners other =
+              List.iter
+                (fun (e : Policy.entry) ->
+                  let a2 = e.rule in
+                  let attrs, aid = union_attrs aid1 a1.attrs e.attrs_id a2.attrs in
+                  let path, pid = union_path cid j pid1 a1.path e.path_id a2.path in
+                  (* Adds-nothing skip on ids: the derived rule equals a
+                     parent iff it has the parent's attribute set AND
+                     join path (see [merge]). *)
+                  if
+                    not
+                      ((aid = aid1 && pid = pid1)
+                       || (aid = e.attrs_id && pid = e.path_id))
+                  then begin
+                    let rid =
+                      Policy.Index.rule_id_of a1.server ~attrs_id:aid
+                        ~path_id:pid
+                    in
+                    if
+                      (not (Hashtbl.mem seen rid))
+                      && (not (Policy.mem_id rid policy))
+                      && not
+                           (if open_mode then
+                              Policy.can_view policy
+                                (Profile.make ~pi:attrs ~join:path
+                                   ~sigma:Attribute.Set.empty)
+                                a1.server
+                            else Policy.admits policy a1.server ~path_id:pid attrs)
+                    then begin
+                      match Authorization.make ~attrs ~path a1.server with
+                      | Ok d ->
+                        Hashtbl.add seen rid ();
+                        fresh := d :: !fresh
+                      | Error _ -> ()
+                    end
+                  end)
+                (Policy.covering_entries policy a1.server other)
+            in
+            if covers jl then partners jr;
+            if covers jr then partners jl)
+          jinfo)
+      frontier;
+    (match !fresh with
+     | [] -> policy
+     | fresh ->
+       rounds ~max_rules ~joins
+         (List.fold_left (fun p d -> Policy.add d p) policy fresh)
+         fresh)
+
+let close ?(max_rules = default_max_rules) ~joins policy =
+  rounds ~max_rules ~joins policy (Policy.authorizations policy)
+
+(* The seed engine, kept as the reference implementation for the
+   differential tests and the old-vs-new benchmark. It carries its own
+   direct structural merge (no interning, no memos, no adds-nothing
+   skip) so a defect in the production id-level merge inside [rounds]
+   cannot hide from the differential. *)
+let close_naive ?(max_rules = default_max_rules) ~joins policy =
+  let merge (a1 : Authorization.t) (a2 : Authorization.t) j =
+    if not (Server.equal a1.server a2.server) then None
+    else
+      let covers attrs side =
+        List.for_all (fun a -> Attribute.Set.mem a attrs) side
+      in
+      let jl = Joinpath.Cond.left j and jr = Joinpath.Cond.right j in
+      let ok =
+        (covers a1.attrs jl && covers a2.attrs jr)
+        || (covers a1.attrs jr && covers a2.attrs jl)
+      in
+      if not ok then None
+      else
+        let path = Joinpath.add j (Joinpath.union a1.path a2.path) in
+        let attrs = Attribute.Set.union a1.attrs a2.attrs in
+        (match Authorization.make ~attrs ~path a1.server with
+         | Ok derived -> Some derived
+         | Error _ -> None)
+  in
   let rec fixpoint policy =
-    if Policy.cardinality policy > max_rules then
-      invalid_arg
-        (Printf.sprintf "Chase.close: closure exceeds %d rules" max_rules);
+    if Policy.cardinality policy > max_rules then overflow max_rules;
     let rules = Policy.authorizations policy in
     let fresh =
       List.concat_map
@@ -35,11 +176,10 @@ let close ?(max_rules = 100_000) ~joins policy =
               List.filter_map
                 (fun j ->
                   match merge a1 a2 j with
-                  | Some d when not (Policy.can_view policy
-                                       (Profile.make ~pi:d.Authorization.attrs
-                                          ~join:d.Authorization.path
-                                          ~sigma:Attribute.Set.empty)
-                                       d.Authorization.server) ->
+                  | Some d
+                    when not
+                           (Policy.can_view policy (Profile.of_rule d)
+                              d.Authorization.server) ->
                     Some d
                   | _ -> None)
                 joins)
@@ -51,5 +191,50 @@ let close ?(max_rules = 100_000) ~joins policy =
   in
   fixpoint policy
 
+(* Incremental handle: the closure is computed at most once per policy
+   state and shared by every consumer holding the handle. *)
+type closed = {
+  base : Policy.t;
+  joins : Joinpath.Cond.t list;
+  max_rules : int;
+  closure : Policy.t Lazy.t;
+}
+
+let closed_policy ?(max_rules = default_max_rules) ~joins policy =
+  {
+    base = policy;
+    joins;
+    max_rules;
+    closure = lazy (close ~max_rules ~joins policy);
+  }
+
+let policy t = t.base
+let joins t = t.joins
+let closure t = Lazy.force t.closure
+let can_view t profile s = Policy.can_view (closure t) profile s
+
+let add a t =
+  if Policy.mem a t.base then t
+  else
+    let base = Policy.add a t.base in
+    let closure =
+      if Lazy.is_val t.closure then
+        (* Semi-naive increment: the new rule is the whole frontier.
+           The result can differ from [close base] as a rule SET (the
+           cached closure may already admit views that a from-scratch
+           run keeps as explicit derived rules) but admits exactly the
+           same releases — extensional equality, which is what every
+           consumer of a policy observes. *)
+        let prev = Lazy.force t.closure in
+        lazy (rounds ~max_rules:t.max_rules ~joins:t.joins (Policy.add a prev) [ a ])
+      else lazy (close ~max_rules:t.max_rules ~joins:t.joins base)
+    in
+    { t with base; closure }
+
+let revoke a t =
+  (* Removal invalidates: derived rules may lose their support, so the
+     closure is recomputed from the shrunk base on next use. *)
+  closed_policy ~max_rules:t.max_rules ~joins:t.joins (Policy.remove a t.base)
+
 let derives ~joins policy profile s =
-  Policy.can_view (close ~joins policy) profile s
+  can_view (closed_policy ~joins policy) profile s

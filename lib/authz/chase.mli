@@ -26,15 +26,70 @@ open Relalg
     over the join conditions [joins] (the join graph — the lines of
     Figure 1). The result contains [policy].
 
+    The engine is {e semi-naive}: each round merges only
+    (previous-round frontier × policy) pairs found through the
+    policy's per-(server, attribute) buckets, dedupes derived rules
+    within the round by their hash-consed {!Policy.Index.rule_id}, and
+    filters with [can_view] against the round-start policy — producing
+    the {e same rule set} as a naive (all × all) rescan in far less
+    work (see DESIGN.md §5d and the differential suite).
+
     [max_rules] (default [100_000]) bounds the size of the closure; the
     bound can only be hit on pathological inputs (the closure is finite
     — at most one rule per (attribute set, join path) pair — but can be
-    exponential in the join graph).
+    exponential in the join graph). The bound counts {e distinct}
+    rules: duplicate or symmetric derivations within a round never
+    count against it.
 
     @raise Invalid_argument when the bound is exceeded. *)
 val close : ?max_rules:int -> joins:Joinpath.Cond.t list -> Policy.t -> Policy.t
 
+(** The seed (naive) engine: every round rescans (all × all) rule
+    pairs. Kept as the executable reference — the differential tests
+    prove [close ≡ close_naive] on randomized policies, and the chase
+    benchmark reports old-vs-new wall clock. Not for production use. *)
+val close_naive :
+  ?max_rules:int -> joins:Joinpath.Cond.t list -> Policy.t -> Policy.t
+
+(** An incrementally-maintained closed policy: the closure is computed
+    lazily, at most once per policy state, and shared by every consumer
+    holding the handle ([Planner.Safety], [Planner.Safe_planner],
+    [Analysis.Knowledge], [Distsim.Recover], [cisqp --chase]), instead
+    of each of them re-closing the same policy per check. *)
+type closed
+
+(** [closed_policy ~joins policy] — a handle over [policy]. Nothing is
+    computed until the closure is first consulted. *)
+val closed_policy :
+  ?max_rules:int -> joins:Joinpath.Cond.t list -> Policy.t -> closed
+
+(** The explicit (pre-closure) policy under the handle. *)
+val policy : closed -> Policy.t
+
+(** The join graph the handle closes under. *)
+val joins : closed -> Joinpath.Cond.t list
+
+(** The closed policy; computed on first call, cached afterwards. *)
+val closure : closed -> Policy.t
+
+(** [can_view t profile s] — Definition 3.3 against the cached
+    closure. *)
+val can_view : closed -> Profile.t -> Server.t -> bool
+
+(** [add a t] — handle over [Policy.add a (policy t)]. If the closure
+    was already computed it is {e extended} semi-naively with frontier
+    [{a}] rather than recomputed: the resulting rule set can differ
+    from a from-scratch closure (already-implied views stay implicit)
+    but admits exactly the same releases. *)
+val add : Authorization.t -> closed -> closed
+
+(** [revoke a t] — handle over [Policy.remove a (policy t)]. Removal
+    invalidates the cache: derived rules may lose their support, so the
+    closure is recomputed lazily from the shrunk base. *)
+val revoke : Authorization.t -> closed -> closed
+
 (** [derives ~joins policy profile s] — convenience: does the closure
-    admit the release of [profile] to [s]? *)
+    admit the release of [profile] to [s]? One-shot; callers with more
+    than one query should keep a {!closed} handle. *)
 val derives :
   joins:Joinpath.Cond.t list -> Policy.t -> Profile.t -> Server.t -> bool

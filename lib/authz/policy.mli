@@ -15,9 +15,59 @@
 
 open Relalg
 
+(** Hash-consed canonical keys for join paths, attribute sets and whole
+    rules. Structural values (balanced-tree sets) are mapped to small
+    int ids via their canonical forms, so the chase closure and
+    {!can_view} replace [compare] walks with hash lookups and int
+    tests. Ids are process-global: every policy shares one interner,
+    and an id, once minted, is stable for the program's lifetime. *)
+module Index : sig
+  (** [path_id p] interns the canonical form of [p]
+      ({!Joinpath.Cond.pairs} of its sorted conditions). Equal paths
+      get equal ids. *)
+  val path_id : Joinpath.t -> int
+
+  (** Like {!path_id} but never allocates a fresh id: [None] means no
+      rule anywhere has used this path, so no closed policy can admit
+      it. *)
+  val find_path : Joinpath.t -> int option
+
+  (** Interned sorted-element form of an attribute set. *)
+  val attrs_id : Attribute.Set.t -> int
+
+  (** Interned canonical ({!Joinpath.Cond.pairs}) form of a single join
+      condition — the chase keys its path-union memo on it. *)
+  val cond_id : Joinpath.Cond.t -> int
+
+  (** Interned [(server, attrs_id, path_id)] triple — the identity of a
+      rule. [rule_id a = rule_id b] iff [Authorization.equal a b]. *)
+  val rule_id : Authorization.t -> int
+
+  (** [rule_id] from already-interned parts, skipping the structural
+      walks. *)
+  val rule_id_of : Server.t -> attrs_id:int -> path_id:int -> int
+end
+
 type t
 
+(** A rule together with its interned identities, as stored in the
+    per-(attribute, server) buckets. The chase reads a merge partner's
+    ids straight out of the bucket instead of re-walking its sets. *)
+type entry = private {
+  rule : Authorization.t;
+  rule_id : int;
+  attrs_id : int;
+  path_id : int;
+}
+
 val empty : t
+
+(** [mem a t] — O(log n) over int ids, no structural comparison. *)
+val mem : Authorization.t -> t -> bool
+
+(** [mem_id id t] — membership by {!Index.rule_id}. *)
+val mem_id : int -> t -> bool
+
 val add : Authorization.t -> t -> t
 
 (** [remove a t] — [t] without rule [a] (no-op when absent). *)
@@ -43,6 +93,20 @@ val authorizations : t -> Authorization.t list
     by the paper's [CanView] function (Figure 6). *)
 val view : t -> Server.t -> Authorization.t list
 
+(** [covering t s side] — the rules of [view t s] whose attribute set
+    contains every attribute of [side], found through the per-attribute
+    bucket of the first element of [side]. This is the chase's
+    merge-partner lookup: only rules that can possibly cover one side
+    of a join condition are inspected. [side = \[\]] degrades to
+    {!view}. *)
+val covering : t -> Server.t -> Attribute.t list -> Authorization.t list
+
+(** {!covering} with each rule's interned ids ([side] must be
+    non-empty).
+
+    @raise Invalid_argument on an empty [side]. *)
+val covering_entries : t -> Server.t -> Attribute.t list -> entry list
+
 val cardinality : t -> int
 val servers : t -> Server.Set.t
 
@@ -55,6 +119,13 @@ val servers : t -> Server.Set.t
 
     This is the paper's [CanView] (Figure 6). *)
 val can_view : t -> Profile.t -> Server.t -> bool
+
+(** [admits t s ~path_id visible] is {!can_view} for a {e closed}
+    policy when the caller already holds the interned path id and the
+    visible set of a selection-free profile — the chase's filter, with
+    no structural walks. Open-mode admission depends on the concrete
+    join path; callers holding an open policy must use {!can_view}. *)
+val admits : t -> Server.t -> path_id:int -> Attribute.Set.t -> bool
 
 (** The authorization justifying the release, if any — used by audit
     trails to cite the admitting rule. *)

@@ -8,6 +8,9 @@ type t = {
 
 let make ~pi ~join ~sigma = { pi; join; sigma }
 
+let of_rule (a : Authorization.t) =
+  { pi = a.attrs; join = a.path; sigma = Attribute.Set.empty }
+
 let of_base schema =
   {
     pi = Schema.attribute_set schema;

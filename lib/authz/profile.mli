@@ -26,6 +26,13 @@ val make :
 (** Profile of a base relation: [\[{A1..An}, ∅, ∅\]]. *)
 val of_base : Schema.t -> t
 
+(** The view a rule [\[A, J\] -> S] grants, as a profile:
+    [\[A, J, ∅\]]. A rule always admits its own view
+    ([can_view (of_rule a) a.server] holds whenever [a] is in the
+    policy), which is how the chase asks "is this derived rule already
+    implied?". *)
+val of_rule : Authorization.t -> t
+
 (** Figure 4, row [π_X(R_l)]: [\[X, R_l^join, R_l^sigma\]]. *)
 val project : Attribute.Set.t -> t -> t
 

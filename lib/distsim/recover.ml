@@ -51,9 +51,18 @@ type degraded = {
 
 type outcome = (recovered, degraded) result
 
-let execute ?(helpers = []) ?max_failovers catalog policy ~instances ~fault
-    plan =
+let execute ?(helpers = []) ?max_failovers ?close_under catalog policy
+    ~instances ~fault plan =
   let injector = Fault.start fault in
+  (* One chase handle for the whole recovery: its closure is computed
+     lazily on first use and then shared by the planner of every
+     failover attempt and by every independent safety re-proof, instead
+     of re-closing the policy per attempt. *)
+  let closed =
+    Option.map
+      (fun joins -> Authz.Chase.closed_policy ~joins policy)
+      close_under
+  in
   let max_failovers =
     match max_failovers with
     | Some m -> m
@@ -81,8 +90,8 @@ let execute ?(helpers = []) ?max_failovers catalog policy ~instances ~fault
      exists. *)
   let rec attempt i ~pending =
     match
-      Planner.Third_party.plan ~excluded:!excluded ~helpers catalog policy
-        plan
+      Planner.Third_party.plan ~excluded:!excluded ?closed ~helpers catalog
+        policy plan
     with
     | Error f ->
       degraded
@@ -102,7 +111,8 @@ let execute ?(helpers = []) ?max_failovers catalog policy ~instances ~fault
       (* Re-prove Definition 4.2 with the independent checker before a
          single message of this attempt is emitted. *)
       (match
-         Planner.Safety.check ~third_party catalog policy plan assignment
+         Planner.Safety.check ~third_party ?closed catalog policy plan
+           assignment
        with
        | Error _ -> degraded (Replan_unsafe { dead = !excluded })
        | Ok _flows ->

@@ -103,10 +103,14 @@ type outcome = (recovered, degraded) result
     [plan] under [fault]. [helpers] are offered to the planner (initial
     plan and every replan alike); [max_failovers] (default: the number
     of servers in the catalog) bounds how many servers may be excluded
-    before giving up. *)
+    before giving up. [close_under] makes planning and every safety
+    re-proof chase-aware: the policy is closed under the given join
+    graph {e once}, through a single {!Authz.Chase.closed} handle
+    shared by all failover attempts. *)
 val execute :
   ?helpers:Server.t list ->
   ?max_failovers:int ->
+  ?close_under:Joinpath.Cond.t list ->
   Catalog.t ->
   Authz.Policy.t ->
   instances:(string -> Relation.t option) ->

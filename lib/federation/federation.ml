@@ -30,9 +30,11 @@ type t = {
 
 let create ~catalog ~policy ?(helpers = []) ?close_under ~instances () =
   let policy =
+    (* Close once, through a chase handle, and serve every later check
+       (planning, safety proofs, audits) from the stored closure. *)
     match close_under with
     | Some joins when not (Authz.Policy.is_open policy) ->
-      Authz.Chase.close ~joins policy
+      Authz.Chase.closure (Authz.Chase.closed_policy ~joins policy)
     | _ -> policy
   in
   {

@@ -1,5 +1,9 @@
 open Relalg
 
+let log_src = Logs.Src.create "cisqp.cost" ~doc:"Planner cost model"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type model = {
   card : string -> float;
   join_selectivity : float;
@@ -10,7 +14,11 @@ type model = {
 let uniform ~card =
   {
     card = (fun _ -> card);
-    join_selectivity = 1.0;
+    (* Key–foreign-key joins match each foreign-key row with exactly
+       one key row: selectivity 1/|key domain| = 1/card, so
+       |L ⋈ R| = |L|·|R|/card = card when both operands are base
+       relations. *)
+    join_selectivity = 1.0 /. Float.max 1.0 card;
     select_selectivity = 0.5;
     attr_bytes = 8.0;
   }
@@ -21,8 +29,13 @@ let rec node_rows model (n : Plan.node) =
   | Plan.Project (_, c) -> node_rows model c
   | Plan.Select (_, c) -> model.select_selectivity *. node_rows model c
   | Plan.Join (_, l, r) ->
-    model.join_selectivity
-    *. Float.max (node_rows model l) (node_rows model r)
+    (* Standard independence estimate |L ⋈ R| = sel · |L| · |R|,
+       clamped to [0, |L|·|R|]: a selectivity is a fraction of the
+       cross product, so estimates beyond it (or below zero) are
+       model-configuration artefacts, not cardinalities. *)
+    let lr = node_rows model l and rr = node_rows model r in
+    let cross = lr *. rr in
+    Float.max 0.0 (Float.min (model.join_selectivity *. cross) cross)
 
 let width attrs = float_of_int (Attribute.Set.cardinal attrs)
 
@@ -57,8 +70,17 @@ let flow_bytes model plan (flow : Safety.flow) =
     in
     bytes rows flow.profile.Authz.Profile.pi
 
-let assignment_cost ?third_party model catalog plan assignment =
+let assignment_cost_checked ?third_party model catalog plan assignment =
   match Safety.flows ?third_party catalog plan assignment with
-  | Error _ -> infinity
+  | Error e -> Error e
   | Ok flows ->
-    List.fold_left (fun acc f -> acc +. flow_bytes model plan f) 0.0 flows
+    Ok (List.fold_left (fun acc f -> acc +. flow_bytes model plan f) 0.0 flows)
+
+let assignment_cost ?third_party model catalog plan assignment =
+  match assignment_cost_checked ?third_party model catalog plan assignment with
+  | Ok cost -> cost
+  | Error e ->
+    Log.debug (fun m ->
+        m "assignment structurally invalid (%a); costing it at infinity"
+          Safety.pp_error e);
+    infinity

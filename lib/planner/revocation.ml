@@ -1,6 +1,11 @@
 open Authz
 
-let support catalog policy plan assignment =
+let support ?closed catalog policy plan assignment =
+  let policy =
+    match closed with
+    | Some c -> Chase.closure c
+    | None -> policy
+  in
   match Safety.check catalog policy plan assignment with
   | Error (`Structure e) -> Error (Fmt.str "%a" Safety.pp_error e)
   | Error (`Violations _) -> Error "assignment is not safe"
@@ -13,13 +18,36 @@ let support catalog policy plan assignment =
     in
     Ok (List.sort_uniq Authorization.compare rules)
 
-let load_bearing catalog policy plan =
-  if not (Safe_planner.feasible catalog policy plan) then []
+(* Chase-aware revocation: feasibility of "policy minus rule" must be
+   judged against the closure of the shrunk policy (a revoked rule
+   also takes down every derivation it supported), so each candidate
+   removal goes through [Chase.revoke], which invalidates the cached
+   closure and re-closes lazily. The baseline closure is computed once
+   on the shared handle. *)
+let leave_one_out ~joins policy rule =
+  Chase.revoke rule (Chase.closed_policy ~joins policy)
+
+let load_bearing ?joins catalog policy plan =
+  let feasible_without =
+    match joins with
+    | None ->
+      fun rule -> Safe_planner.feasible catalog (Policy.remove rule policy) plan
+    | Some joins ->
+      fun rule ->
+        Safe_planner.feasible ~closed:(leave_one_out ~joins policy rule)
+          catalog policy plan
+  in
+  let feasible_now =
+    match joins with
+    | None -> Safe_planner.feasible catalog policy plan
+    | Some joins ->
+      Safe_planner.feasible ~closed:(Chase.closed_policy ~joins policy)
+        catalog policy plan
+  in
+  if not feasible_now then []
   else
     List.filter
-      (fun rule ->
-        not
-          (Safe_planner.feasible catalog (Policy.remove rule policy) plan))
+      (fun rule -> not (feasible_without rule))
       (Policy.authorizations policy)
 
 type impact = {
@@ -28,19 +56,28 @@ type impact = {
   broken : int;
 }
 
-let impact catalog policy plans =
+let impact ?joins catalog policy plans =
+  let closed = Option.map (fun joins -> Chase.closed_policy ~joins policy) joins in
   let feasible_plans =
-    List.filter (fun p -> Safe_planner.feasible catalog policy p) plans
+    List.filter
+      (fun p -> Safe_planner.feasible ?closed catalog policy p)
+      plans
   in
   let total = List.length feasible_plans in
   Policy.authorizations policy
   |> List.map (fun rule ->
-         let without = Policy.remove rule policy in
+         let feasible_without =
+           match joins with
+           | None ->
+             let without = Policy.remove rule policy in
+             fun p -> Safe_planner.feasible catalog without p
+           | Some joins ->
+             let closed = leave_one_out ~joins policy rule in
+             fun p -> Safe_planner.feasible ~closed catalog policy p
+         in
          let broken =
            List.length
-             (List.filter
-                (fun p -> not (Safe_planner.feasible catalog without p))
-                feasible_plans)
+             (List.filter (fun p -> not (feasible_without p)) feasible_plans)
          in
          { rule; total; broken })
   |> List.sort (fun a b ->

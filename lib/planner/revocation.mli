@@ -17,8 +17,11 @@ open Authz
 
 (** Rules admitting the flows of the given assignment (deduplicated,
     sorted). [Error] if the assignment is not safe in the first
-    place. *)
+    place. [closed] cites rules of its cached closure instead of the
+    raw policy (a flow admitted only by a derived rule then names that
+    derivation). *)
 val support :
+  ?closed:Chase.closed ->
   Catalog.t ->
   Policy.t ->
   Plan.t ->
@@ -27,8 +30,19 @@ val support :
 
 (** Rules [r] of the policy such that the plan is feasible under the
     policy but infeasible under [policy - r]. Plans that are already
-    infeasible have no load-bearing rules. *)
-val load_bearing : Catalog.t -> Policy.t -> Plan.t -> Authorization.t list
+    infeasible have no load-bearing rules.
+
+    [joins] makes the analysis chase-aware: feasibility is judged
+    against closed policies, and each candidate removal goes through
+    {!Chase.revoke} — revoking a rule also takes down every derivation
+    it supported, so a rule can be load-bearing through a derived rule
+    that cites it. *)
+val load_bearing :
+  ?joins:Joinpath.Cond.t list ->
+  Catalog.t ->
+  Policy.t ->
+  Plan.t ->
+  Authorization.t list
 
 type impact = {
   rule : Authorization.t;
@@ -37,7 +51,13 @@ type impact = {
 }
 
 (** Impact of revoking each rule of the policy on a workload of
-    plans, sorted by decreasing [broken]. *)
-val impact : Catalog.t -> Policy.t -> Plan.t list -> impact list
+    plans, sorted by decreasing [broken]. [joins] closes policies as in
+    {!load_bearing}. *)
+val impact :
+  ?joins:Joinpath.Cond.t list ->
+  Catalog.t ->
+  Policy.t ->
+  Plan.t list ->
+  impact list
 
 val pp_impact : impact Fmt.t

@@ -106,10 +106,17 @@ let normalize_candidates ?(prefer_high_count = true) cs =
             | c -> c)
          | c -> c)
 
-let find_candidates ?(helpers = []) ?(excluded = []) config catalog policy
-    plan =
+let find_candidates ?(helpers = []) ?(excluded = []) ?closed config catalog
+    policy plan =
   let available s = not (List.exists (Server.equal s) excluded) in
   let helpers = List.filter available helpers in
+  (* Every CanView of the traversal goes through one decision function;
+     a chase handle swaps in its cached closure without re-closing. *)
+  let policy =
+    match closed with
+    | Some c -> Chase.closure c
+    | None -> policy
+  in
   let can_view profile server = Policy.can_view policy profile server in
   let visits = ref [] in
   let infos = Hashtbl.create 16 in
@@ -402,15 +409,16 @@ let assign_ex infos plan =
   go (Plan.root plan) None;
   (!assignment, List.rev !order)
 
-let plan ?(config = default_config) ?helpers ?excluded catalog policy p =
-  match find_candidates ?helpers ?excluded config catalog policy p with
+let plan ?(config = default_config) ?helpers ?excluded ?closed catalog policy
+    p =
+  match find_candidates ?helpers ?excluded ?closed config catalog policy p with
   | Error (node, visits) -> Error { failed_at = node; info = visits }
   | Ok (visit_order, infos) ->
     let assignment, assign_order = assign_ex infos p in
     Ok { assignment; trace = { visit_order; assign_order } }
 
-let feasible ?config ?helpers ?excluded catalog policy p =
-  match plan ?config ?helpers ?excluded catalog policy p with
+let feasible ?config ?helpers ?excluded ?closed catalog policy p =
+  match plan ?config ?helpers ?excluded ?closed catalog policy p with
   | Ok _ -> true
   | Error _ -> false
 

@@ -109,11 +109,16 @@ val default_config : config
     alike. This is the failover hook: after a permanent crash,
     {!Distsim.Recover} replans with the dead server excluded, relying
     on catalog replication for the leaves it stored. A leaf with no
-    surviving copy fails planning at that leaf's node. *)
+    surviving copy fails planning at that leaf's node.
+
+    [closed] supplies a {!Chase.closed} handle; every [CanView] of the
+    traversal then consults its cached closure (superseding [policy])
+    so replans never re-close the same policy. *)
 val plan :
   ?config:config ->
   ?helpers:Server.t list ->
   ?excluded:Server.t list ->
+  ?closed:Chase.closed ->
   Catalog.t ->
   Policy.t ->
   Plan.t ->
@@ -124,6 +129,7 @@ val feasible :
   ?config:config ->
   ?helpers:Server.t list ->
   ?excluded:Server.t list ->
+  ?closed:Chase.closed ->
   Catalog.t ->
   Policy.t ->
   Plan.t ->

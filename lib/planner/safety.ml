@@ -242,7 +242,14 @@ let flows ?(third_party = false) catalog plan assignment =
 
 type violation = { flow : flow; rule : Authorization.t option }
 
-let check ?third_party catalog policy plan assignment =
+let check ?third_party ?closed catalog policy plan assignment =
+  (* With a chase handle, decisions run against its cached closure —
+     the policy argument is superseded and nothing is re-closed here. *)
+  let policy =
+    match closed with
+    | Some c -> Chase.closure c
+    | None -> policy
+  in
   match flows ?third_party catalog plan assignment with
   | Error e -> Error (`Structure e)
   | Ok fs ->
@@ -255,8 +262,8 @@ let check ?third_party catalog policy plan assignment =
     in
     if violations = [] then Ok fs else Error (`Violations violations)
 
-let is_safe ?third_party catalog policy plan assignment =
-  match check ?third_party catalog policy plan assignment with
+let is_safe ?third_party ?closed catalog policy plan assignment =
+  match check ?third_party ?closed catalog policy plan assignment with
   | Ok _ -> true
   | Error _ -> false
 

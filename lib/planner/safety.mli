@@ -74,9 +74,14 @@ type violation = { flow : flow; rule : Authorization.t option }
     Definition 4.2: [Ok flows] when every entailed view is authorized
     (each flow paired with no violation), [Error] listing the
     unauthorized flows otherwise. Structural errors are reported
-    through [Error (`Structure e)]. *)
+    through [Error (`Structure e)].
+
+    [closed] supplies a {!Chase.closed} handle; when present the
+    decision runs against its cached closure (the [policy] argument is
+    superseded) so repeated checks never re-close the policy. *)
 val check :
   ?third_party:bool ->
+  ?closed:Chase.closed ->
   Catalog.t ->
   Policy.t ->
   Plan.t ->
@@ -85,7 +90,13 @@ val check :
 
 (** [is_safe] is [check] collapsed to a boolean. *)
 val is_safe :
-  ?third_party:bool -> Catalog.t -> Policy.t -> Plan.t -> Assignment.t -> bool
+  ?third_party:bool ->
+  ?closed:Chase.closed ->
+  Catalog.t ->
+  Policy.t ->
+  Plan.t ->
+  Assignment.t ->
+  bool
 
 (** [result of n3], [join attributes of n3], ... — a short phrase
     naming what the flow carries, suitable for message-provenance

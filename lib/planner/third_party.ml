@@ -40,8 +40,8 @@ let rescues_of plan assignment =
       | Plan.Leaf _ | Plan.Project _ | Plan.Select _ -> None)
     (Plan.nodes plan)
 
-let plan ?excluded ~helpers catalog policy p =
-  match Safe_planner.plan ~helpers ?excluded catalog policy p with
+let plan ?excluded ?closed ~helpers catalog policy p =
+  match Safe_planner.plan ~helpers ?excluded ?closed catalog policy p with
   | Ok { assignment; _ } ->
     Ok { assignment; rescues = rescues_of p assignment }
   | Error (f : Safe_planner.failure) ->

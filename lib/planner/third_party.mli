@@ -40,9 +40,12 @@ type failure = {
     algorithm; on failure, candidate lists of blocked joins are extended
     with viable helpers and the traversal retried. [excluded] (default
     none) bars servers from every role, as in {!Safe_planner.plan} —
-    the failover path of {!Distsim.Recover}. *)
+    the failover path of {!Distsim.Recover}. [closed] passes a
+    {!Chase.closed} handle through to the planner so retries share one
+    cached closure. *)
 val plan :
   ?excluded:Server.t list ->
+  ?closed:Chase.closed ->
   helpers:Server.t list ->
   Catalog.t ->
   Policy.t ->

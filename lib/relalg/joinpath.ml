@@ -30,6 +30,7 @@ module Cond = struct
   let eq l r = make ~left:[ l ] ~right:[ r ]
   let left t = t.left
   let right t = t.right
+  let pairs t = t.pairs
   let flip t = { t with left = t.right; right = t.left }
 
   let attributes t =

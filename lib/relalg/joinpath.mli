@@ -43,6 +43,13 @@ module Cond : sig
   (** [flip c] swaps sides: [⟨J_r, J_l⟩]. Equal to [c]. *)
   val flip : t -> t
 
+  (** The canonical form: equalities oriented smaller-attribute first
+      and sorted. Two conditions are [equal] iff their [pairs] are
+      structurally equal, which makes the result a valid hash key
+      (unlike [left]/[right], which keep the user-supplied
+      orientation). *)
+  val pairs : t -> (Attribute.t * Attribute.t) list
+
   (** All attributes mentioned on either side. *)
   val attributes : t -> Attribute.Set.t
 

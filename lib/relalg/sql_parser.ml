@@ -202,6 +202,7 @@ and parse_atom catalog st =
 
 (* ON clause: conjunction of attribute equalities, one join condition. *)
 let parse_on catalog st =
+  let start = peek st in
   let rec eqs acc =
     let loff = peek st in
     let lname = expect_ident st "attribute" in
@@ -217,7 +218,15 @@ let parse_on catalog st =
     if accept_kw st "AND" then eqs acc else List.rev acc
   in
   let pairs = eqs [] in
-  Joinpath.Cond.make ~left:(List.map fst pairs) ~right:(List.map snd pairs)
+  (* [Cond.make] validates the condition (e.g. rejects a repeated
+     equality such as [ON A = B AND A = B]); report its complaint as a
+     syntax error at the ON clause rather than letting the exception
+     escape [parse]. *)
+  match
+    Joinpath.Cond.make ~left:(List.map fst pairs) ~right:(List.map snd pairs)
+  with
+  | cond -> cond
+  | exception Invalid_argument msg -> fail start.offset msg
 
 let parse_select_list catalog st =
   let star = peek st in

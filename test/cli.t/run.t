@@ -202,3 +202,57 @@ instead of answering wrong — and the exit code says so:
   
   Audit: clean (0 flows authorized)
   [1]
+
+Malformed SQL is a diagnostic, not a crash: the repeated equality is
+rejected by the join-condition validator, reported under the
+registered CISQP040 code, and the exit code 2 distinguishes bad input
+from semantic failures:
+
+  $ cisqp plan -s medical "SELECT Patient FROM Hospital JOIN Nat_registry ON Patient = Citizen AND Patient = Citizen"
+  error[CISQP040]: syntax error at offset 50: Joinpath.Cond.make: repeated equality in "SELECT Patient FROM Hospital JOIN Nat_registry ON Patient = Citizen AND Patient = Citizen"
+  [2]
+
+The chase fixture's policy grants only base views (SB may see A, SC
+may see A and B) — no explicit rule covers any join result, so the
+three-way query has no safe assignment:
+
+  $ cisqp plan --schema chase.schema --authz chase.authz "SELECT Ax, Cd FROM A JOIN B ON Ab = Bx JOIN C ON Bc = Cx"
+  error: no safe assignment exists for node n1
+  [1]
+
+With --chase the policy is closed once under the schema's join graph;
+the derived rules [{Ax, Ab, Bx, Bc}, {<Ab, Bx>}] -> SB / SC make SB a
+lawful executor of the A-B join and SC a lawful receiver of its
+result:
+
+  $ cisqp plan --chase --schema chase.schema --authz chase.authz "SELECT Ax, Cd FROM A JOIN B ON Ab = Bx JOIN C ON Bc = Cx"
+  Query tree plan:
+  n0: π{Ax, Cd} (n1)
+  n1: ⋈[Bc = Cx] (n2, n3)
+  n2: ⋈[Ab = Bx] (n4, n5)
+  n3: C
+  n4: A
+  n5: B
+  
+  Find_candidates:
+  n4   [SA, -, 0] 
+  n5   [SB, -, 0] 
+  n2   [SB, right, 1] 
+  n3   [SC, -, 0] 
+  n1   [SC, right, 1] 
+  n0   [SC, left, 1] 
+  Assign_ex:
+  n0   [SC, NULL]
+  n1   [SC, NULL]
+  n2   [SB, NULL]
+  n4   [SA, NULL]
+  n5   [SB, NULL]
+  n3   [SC, NULL]
+  
+  Assignment:
+  n0: [SC, NULL]
+  n1: [SC, NULL]
+  n2: [SB, NULL]
+  n3: [SC, NULL]
+  n4: [SA, NULL]
+  n5: [SB, NULL]

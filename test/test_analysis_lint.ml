@@ -156,7 +156,10 @@ let assignment_of plan ~join_exec s1 s2 =
     asg
     (List.rev (Plan.nodes plan))
 
-let selective = { (Planner.Cost.uniform ~card:1000.0) with join_selectivity = 0.1 }
+(* sel * 1000 * 1000 = 100 join rows, well under the 1000-row operand,
+   so shipping the semi-join answer genuinely beats the regular join. *)
+let selective =
+  { (Planner.Cost.uniform ~card:1000.0) with join_selectivity = 1e-4 }
 
 let test_regular_join_flagged () =
   let catalog, policy, plan, s1, s2, _, _ = open_world () in

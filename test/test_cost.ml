@@ -55,13 +55,15 @@ let test_assignment_cost_total () =
     (Cost.assignment_cost model M.catalog plan (medical_assignment ()))
 
 let test_semijoin_beats_regular_when_selective () =
-  (* With join selectivity < 1 the semi-join answer shrinks while the
-     full-operand transfer does not: the semi-join execution of n1 must
-     cost less than the all-regular alternative. *)
+  (* With a selective join the answer (sel * |L| * |R|) shrinks below
+     the full operand while the full-operand transfer does not: the
+     semi-join execution of n1 must cost less than the all-regular
+     alternative. sel = 1e-3 over 10 x 1000 operands gives a 10-row
+     join against a 1000-row shipped operand. *)
   let selective =
     {
       model with
-      join_selectivity = 0.1;
+      join_selectivity = 0.001;
       card = (function "Hospital" -> 10.0 | _ -> 1000.0);
     }
   in
@@ -83,6 +85,63 @@ let test_structural_error_is_infinite () =
   checkf "unusable assignment" infinity
     (Cost.assignment_cost model M.catalog plan Assignment.empty)
 
+let test_checked_reports_reason () =
+  let plan = M.example_plan () in
+  (match Cost.assignment_cost_checked model M.catalog plan Assignment.empty with
+  | Ok c -> Alcotest.failf "expected a structural error, got cost %f" c
+  | Error _ -> ());
+  match
+    Cost.assignment_cost_checked model M.catalog plan (medical_assignment ())
+  with
+  | Ok c -> checkf "agrees with assignment_cost" 6400.0 c
+  | Error e -> Alcotest.failf "unexpected error: %a" Safety.pp_error e
+
+let test_join_estimate_is_product () =
+  (* Regression for the old [sel *. max l r] estimate: with unequal
+     operands 10 x 1000 and sel 0.01 the join is 100 rows (the old
+     formula said 10 — off by the smaller operand's factor). *)
+  let m =
+    {
+      model with
+      join_selectivity = 0.01;
+      card = (function "Hospital" -> 10.0 | _ -> 1000.0);
+    }
+  in
+  let plan = M.example_plan () in
+  (* n1 joins the n2 result (Insurance x Nat_registry, 0.01 * 1000 *
+     1000 = 10000 rows) with the Hospital projection (10 rows). *)
+  let node id = Option.get (Plan.node plan id) in
+  checkf "inner join" 10_000.0 (Cost.node_rows m (node 2));
+  checkf "outer join" 1000.0 (Cost.node_rows m (node 1));
+  (* The estimate is clamped to the cross product. *)
+  let loose = { m with join_selectivity = 2.0 } in
+  checkf "clamped to cross product" 1_000_000.0
+    (Cost.node_rows loose (node 2))
+
+let test_selectivity_flips_ranking () =
+  (* The corrected estimate changes which plan wins: shipping the
+     n2 join result (sel * |Insurance| * |Nat_registry| rows) versus
+     shipping the Hospital operand. Under the old max-based estimate
+     the join result never outgrew its larger operand, so the
+     semi-join route always looked at least as cheap; under the
+     product estimate a weakly selective join makes the all-regular
+     route cheaper — the ranking genuinely flips with sel. *)
+  let mk sel =
+    {
+      model with
+      join_selectivity = sel;
+      card = (function "Hospital" -> 10.0 | _ -> 1000.0);
+    }
+  in
+  let plan = M.example_plan () in
+  let semi = medical_assignment () in
+  let regular = Assignment.set 1 (Assignment.executor M.s_h) semi in
+  let cost m a = Cost.assignment_cost m M.catalog plan a in
+  check Alcotest.bool "selective: semi wins" true
+    (cost (mk 0.001) semi < cost (mk 0.001) regular);
+  check Alcotest.bool "weakly selective: regular wins" true
+    (cost (mk 0.1) regular < cost (mk 0.1) semi)
+
 let suite =
   [
     c "node_rows" `Quick test_node_rows;
@@ -92,4 +151,9 @@ let suite =
     c "semi-join wins under selective joins" `Quick
       test_semijoin_beats_regular_when_selective;
     c "structural errors cost infinity" `Quick test_structural_error_is_infinite;
+    c "checked variant reports the reason" `Quick test_checked_reports_reason;
+    c "join estimate is the clamped product" `Quick
+      test_join_estimate_is_product;
+    c "selectivity flips the plan ranking" `Quick
+      test_selectivity_flips_ranking;
   ]

@@ -144,6 +144,25 @@ let test_roundtrip_through_pp () =
   check Alcotest.bool "same join path" true
     (Joinpath.equal (Query.join_path q) (Query.join_path q2))
 
+let test_bad_on_clause_is_error () =
+  (* Regression: [Joinpath.Cond.make] rejects a repeated equality with
+     [Invalid_argument]; the parser must contain it as a syntax error
+     at the ON clause instead of letting the exception escape. *)
+  let sql =
+    "SELECT Patient FROM Hospital JOIN Nat_registry ON Patient = Citizen AND \
+     Patient = Citizen"
+  in
+  match parse sql with
+  | Ok _ -> Alcotest.fail "repeated equality accepted"
+  | Error (Sql_parser.Syntax { offset; message }) ->
+    check Alcotest.int "offset points at the ON clause" 50 offset;
+    check Alcotest.bool "names the complaint" true
+      (String.length message > 0)
+  | Error e -> Alcotest.failf "expected a syntax error, got %a" Sql_parser.pp_error e
+  | exception e ->
+    Alcotest.failf "parse raised %s instead of returning Error"
+      (Printexc.to_string e)
+
 let suite =
   [
     c "Example 2.2" `Quick test_example_22;
@@ -159,5 +178,7 @@ let suite =
     c "error carries offset" `Quick test_error_offset;
     c "ambiguous attribute rejected" `Quick test_ambiguous_attribute;
     c "parse_exn" `Quick test_parse_exn;
+    c "bad ON clause is Error, not exception" `Quick
+      test_bad_on_clause_is_error;
     c "pp round-trip" `Quick test_roundtrip_through_pp;
   ]
