@@ -657,6 +657,21 @@ let lint_cmd =
   let run fed sqls third_party no_semijoins format strict chase_budget passes
       saturation_budget random_seed relations query_joins density queries =
     let module D = Analysis.Diagnostic in
+    (* Budgets are cardinalities: zero or negative values have no
+       sensible fixpoint semantics (a chase would overflow its budget
+       on the seed rules; a saturation would report every server
+       exhausted). Reject them up front like malformed SQL: a
+       positioned CISQP041 on stderr and exit 2. *)
+    let require_positive flag value =
+      if value < 1 then begin
+        Fmt.epr "%a@." D.pp
+          (D.make "CISQP041" (D.Flag flag)
+             "expected a positive profile/rule budget, got %d" value);
+        exit 2
+      end
+    in
+    require_positive "--chase-budget" chase_budget;
+    require_positive "--saturation-budget" saturation_budget;
     let passes =
       match passes with
       | [] -> [ `Policy; `Plan ]

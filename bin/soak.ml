@@ -14,9 +14,17 @@
    re-run from scratch to assert bit-for-bit replay determinism:
    identical message log, retry schedule and outcome.
 
+   Knowledge slice (--knowledge-cases, default 2000): the
+   static-vs-runtime inference differential at soak scale — on each
+   executed workload, the static knowledge accumulated from
+   Planner.Safety.flows must equal the runtime replay of the message
+   log, the semi-naive indexed saturation must reach the same
+   CISQP030/031 verdicts as the naive reference engine, and the
+   incremental audit cursor must agree with batch lint.
+
    Exits non-zero on any failure. Slower than the unit suite; run on
-   demand (`dune exec bin/soak.exe -- --cases N --fault-cases M`) or
-   bounded via `dune build @soak`.
+   demand (`dune exec bin/soak.exe -- --cases N --fault-cases M
+   --knowledge-cases K`) or bounded via `dune build @soak`.
 
    Historical note: the clean slice is what exposed the co-location gap
    in the paper's Figure-6 pseudo-code (see DESIGN.md, "Local joins"). *)
@@ -25,6 +33,7 @@ open Workload
 
 let cases = ref 2000
 let fault_cases = ref 2000
+let knowledge_cases = ref 2000
 
 let () =
   let rec parse = function
@@ -34,6 +43,9 @@ let () =
       parse rest
     | "--fault-cases" :: v :: rest ->
       fault_cases := int_of_string v;
+      parse rest
+    | "--knowledge-cases" :: v :: rest ->
+      knowledge_cases := int_of_string v;
       parse rest
     | arg :: _ ->
       Fmt.epr "soak: unknown argument %s@." arg;
@@ -209,9 +221,104 @@ let fault_slice () =
      %d replayed@."
     !total !recovered !failed_over !degraded !replayed
 
+(* ------------------------------------------------------------------ *)
+(* Knowledge slice: static vs runtime vs incremental inference.        *)
+
+let knowledge_slice () =
+  let module K = Analysis.Knowledge in
+  (* Distinct (code, server) verdicts: which servers get a CISQP030 /
+     CISQP031. Witness items and same-code multiplicities depend on
+     each engine's exploration order; the verdict set does not. *)
+  let verdicts policy (o : K.outcome) =
+    List.sort_uniq compare
+      (List.map
+         (fun (l : K.leak) -> ("CISQP030", Server.to_string l.K.server))
+         (K.leaks policy o.K.knowledge)
+      @ List.map (fun s -> ("CISQP031", Server.to_string s)) o.K.exhausted)
+  in
+  let diag_verdicts diags =
+    List.sort_uniq compare
+      (List.map
+         (fun (d : Analysis.Diagnostic.t) ->
+           (d.Analysis.Diagnostic.code,
+            Fmt.str "%a" Analysis.Diagnostic.pp_location
+              d.Analysis.Diagnostic.location))
+         diags)
+  in
+  let total = ref 0 and leaking = ref 0 in
+  let seed = ref 0 in
+  while !total < !knowledge_cases && !seed < 10 * !knowledge_cases do
+    incr seed;
+    let seed = !seed in
+    let rng = Rng.make ~seed:(500_000 + seed) in
+    let topology =
+      match seed mod 3 with
+      | 0 -> System_gen.Chain
+      | 1 -> System_gen.Star
+      | _ -> System_gen.Random { extra_edges = 1 }
+    in
+    let relations = 3 + (seed mod 3) in
+    let sys =
+      System_gen.generate rng ~relations ~servers:relations ~extra:2
+        ~replication:(if seed mod 4 = 0 then 0.3 else 0.0)
+        ~topology
+    in
+    let density = [| 0.5; 0.75; 1.0 |].(seed mod 3) in
+    let policy = Authz_gen.generate rng ~density sys in
+    match Query_gen.generate_plan rng ~joins:(1 + (seed mod 3)) sys with
+    | None -> ()
+    | Some plan -> (
+      match Planner.Safe_planner.plan sys.catalog policy plan with
+      | Error _ -> ()
+      | Ok { assignment; _ } -> (
+        match Planner.Safety.flows sys.catalog plan assignment with
+        | Error _ -> ()
+        | Ok flows -> (
+          let instances = Data_gen.instances rng ~rows:10 sys in
+          match
+            Distsim.Engine.execute sys.catalog ~instances plan assignment
+          with
+          | Error _ -> ()
+          | Ok { network; _ } ->
+            incr total;
+            let joins = sys.join_graph in
+            let static = K.of_flow_batches sys.catalog [ flows ] in
+            let runtime = Distsim.Audit.knowledge sys.catalog network in
+            if not (K.equal static runtime) then begin
+              incr failures;
+              Fmt.pr "KNOWLEDGE static/runtime drift at seed %d@." seed
+            end;
+            let fast = K.saturate ~joins static in
+            let slow = K.saturate_naive ~joins static in
+            if verdicts policy fast <> verdicts policy slow then begin
+              incr failures;
+              Fmt.pr "KNOWLEDGE indexed/naive verdict drift at seed %d@." seed
+            end;
+            if
+              not
+                (K.subset fast.K.knowledge slow.K.knowledge
+                && K.covered_by slow.K.knowledge fast.K.knowledge)
+            then begin
+              incr failures;
+              Fmt.pr "KNOWLEDGE coverage failure at seed %d@." seed
+            end;
+            let batch_diags = K.lint ~joins policy static in
+            let cursor_diags =
+              Distsim.Audit.inference ~joins sys.catalog policy network
+            in
+            if diag_verdicts batch_diags <> diag_verdicts cursor_diags
+            then begin
+              incr failures;
+              Fmt.pr "KNOWLEDGE cursor/batch verdict drift at seed %d@." seed
+            end;
+            if verdicts policy fast <> [] then incr leaking)))
+  done;
+  Fmt.pr "soak (knowledge): %d cases, %d with findings@." !total !leaking
+
 let () =
   clean_slice ();
   fault_slice ();
+  knowledge_slice ();
   if !failures = 0 then Fmt.pr "soak: all checks passed@."
   else Fmt.pr "soak: %d FAILURES@." !failures;
   exit (if !failures = 0 then 0 else 1)

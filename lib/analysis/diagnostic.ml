@@ -7,6 +7,7 @@ type location =
   | Step of int
   | Node of int
   | Server of string
+  | Flag of string
 
 type t = {
   code : string;
@@ -37,6 +38,7 @@ let registry =
     ("CISQP030", Warning, "composition leak: accumulated deliveries assemble an unauthorized view");
     ("CISQP031", Warning, "knowledge saturation stopped at the budget; inference incomplete");
     ("CISQP040", Error, "malformed query SQL");
+    ("CISQP041", Error, "invalid command-line option value");
   ]
 
 let severity_of_code code =
@@ -74,6 +76,7 @@ let pp_location ppf = function
   | Step i -> Fmt.pf ppf " step %d" i
   | Node i -> Fmt.pf ppf " n%d" i
   | Server s -> Fmt.pf ppf " server %s" s
+  | Flag f -> Fmt.pf ppf " option %s" f
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
@@ -84,13 +87,14 @@ let location_rank = function
   | Step _ -> 3
   | Node _ -> 4
   | Server _ -> 5
+  | Flag _ -> 6
 
 (* Total and deterministic: the renderers' stable order depends on it. *)
 let compare_location a b =
   match (a, b) with
   | Rule i, Rule j | Denial i, Denial j | Step i, Step j | Node i, Node j ->
     Int.compare i j
-  | Server s, Server t -> String.compare s t
+  | Server s, Server t | Flag s, Flag t -> String.compare s t
   | _ -> Int.compare (location_rank a) (location_rank b)
 
 let compare_diag a b =
@@ -148,6 +152,7 @@ let location_json = function
   | Step i -> Printf.sprintf {|{"kind":"step","index":%d}|} i
   | Node i -> Printf.sprintf {|{"kind":"node","index":%d}|} i
   | Server s -> Printf.sprintf {|{"kind":"server","name":"%s"}|} (json_escape s)
+  | Flag f -> Printf.sprintf {|{"kind":"option","name":"%s"}|} (json_escape f)
 
 let to_json ds =
   let one d =

@@ -17,6 +17,7 @@ type location =
   | Step of int  (** execution-script step [#i], 0-based *)
   | Node of int  (** plan node [n<i>] *)
   | Server of string  (** a federation server, by name *)
+  | Flag of string  (** a command-line option, e.g. ["--chase-budget"] *)
 
 type t = private {
   code : string;  (** stable registry code, e.g. ["CISQP001"] *)
@@ -65,6 +66,7 @@ val pp_report : t list Fmt.t
 
 (** The sorted list as a JSON array of
     [{"code", "severity", "location": {"kind", "index"}, "message"}]
-    objects (index omitted for [Whole]; [Server] locations carry
-    ["name"] instead of ["index"]). *)
+    objects (index omitted for [Whole]; [Server] and [Flag] locations
+    carry ["name"] instead of ["index"], the latter with kind
+    ["option"]). *)
 val to_json : t list -> string

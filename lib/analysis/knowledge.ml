@@ -111,25 +111,398 @@ let default_budget = 1024
 
 type outcome = { knowledge : t; exhausted : Server.t list }
 
+(* ------------------------------------------------------------------ *)
+(* Indexed saturation engine.
+
+   The naive engine below re-walks structural sets at every step: each
+   candidate pair pays a [Profile.try_join] (set subsets plus three
+   unions), duplicate detection is a [Profile.compare] walk through a
+   [PMap], and witness merges are [sort_uniq] list appends. Here every
+   profile is hash-consed through {!Policy.Index} to a small int id
+   ([(attrs_id pi, path_id, attrs_id sigma)]), so membership, dedup and
+   the adds-nothing check are int hashtable probes; join attempts are
+   memoised process-wide on [(cond id, profile id, profile id)] keys
+   (canonical, like the interner itself, so sharing across saturations
+   and across cursor steps is sound); and provenance travels as sets of
+   interned ids (message seq numbers, condition ids) with set unions in
+   place of the quadratic list appends. *)
+
+module Int_set = Set.Make (Int)
+
+(* A profile with its interned identities, shared process-wide through
+   the [pid]-keyed registry so a derived profile is reconstructed once
+   ever. *)
+type pinfo = {
+  p : Profile.t;
+  pid : int;
+  pi_id : int;
+  path_id : int;
+  sigma_id : int;
+}
+
+let pinfo_tbl : (int, pinfo) Hashtbl.t = Hashtbl.create 512
+
+let intern (p : Profile.t) =
+  let pi_id = Policy.Index.attrs_id p.Profile.pi in
+  let sigma_id = Policy.Index.attrs_id p.Profile.sigma in
+  let path_id = Policy.Index.path_id p.Profile.join in
+  let pid = Policy.Index.profile_id_of ~pi_id ~path_id ~sigma_id in
+  match Hashtbl.find_opt pinfo_tbl pid with
+  | Some info -> info
+  | None ->
+    let info = { p; pid; pi_id; path_id; sigma_id } in
+    Hashtbl.add pinfo_tbl pid info;
+    info
+
+(* Reverse registry of interned conditions, so witness [via] sets can
+   travel as int sets and be materialised back at the end. *)
+let cond_reg : (int, Joinpath.Cond.t) Hashtbl.t = Hashtbl.create 64
+
+let cond_id c =
+  let id = Policy.Index.cond_id c in
+  if not (Hashtbl.mem cond_reg id) then Hashtbl.add cond_reg id c;
+  id
+
+(* Attribute-set inclusion memoised on interned ids — the same two
+   sets are compared over and over (join sides against candidate
+   profiles, candidates against dominators). Sound process-wide: ids
+   are canonical. *)
+let subset_memo : (int * int, bool) Hashtbl.t = Hashtbl.create 4096
+
+let subset_ids aid1 s1 aid2 s2 =
+  if aid1 = aid2 then true
+  else
+    let key = (aid1, aid2) in
+    match Hashtbl.find_opt subset_memo key with
+    | Some b -> b
+    | None ->
+      let b = Attribute.Set.subset s1 s2 in
+      Hashtbl.add subset_memo key b;
+      b
+
+(* Join attempts memoised on (condition, unordered profile pair):
+   [Profile.try_join] is symmetric, so the key is orientation-free.
+   The same few thousand distinct pairs are attempted from many
+   frontier orders (and again on every cursor step and every re-run
+   over a grown log), and after the first attempt a pair costs one
+   hash probe. *)
+let join_memo : (int * int * int, int option) Hashtbl.t = Hashtbl.create 4096
+
+let try_join_ids cid cond (a : pinfo) (b : pinfo) =
+  let key =
+    if a.pid <= b.pid then (cid, a.pid, b.pid) else (cid, b.pid, a.pid)
+  in
+  match Hashtbl.find_opt join_memo key with
+  | Some r -> r
+  | None ->
+    let r =
+      match Profile.try_join cond a.p b.p with
+      | None -> None
+      | Some joined -> Some (intern joined).pid
+    in
+    Hashtbl.add join_memo key r;
+    r
+
+(* One element of an in-flight knowledge base: interned profile plus
+   provenance as id sets ([srcs] = message seq numbers, [vias] =
+   condition ids). *)
+type entry = { info : pinfo; srcs : Int_set.t; vias : Int_set.t }
+
+(* Qualifies for a CISQP030 report: at least one message and at least
+   one saturation join (see [leaks]). *)
+let leak_candidate e =
+  not (Int_set.is_empty e.srcs || Int_set.is_empty e.vias)
+
+type sstate = {
+  entries : (int, entry) Hashtbl.t;  (** by profile id *)
+  sides : (int * Attribute.Set.t) list;
+      (** distinct join-condition sides, by interned attrs id *)
+  covers : (int, int list ref) Hashtbl.t;
+      (** per side id, the profile ids whose [pi] contains the side —
+          maintained at insert time, so the join-partner lookup is a
+          plain bucket read instead of an attribute-bucket scan per
+          frontier pop *)
+  by_path : (int, int list ref) Hashtbl.t;
+      (** profile ids per interned join path — the subsumption probe *)
+  pending : int Queue.t;  (** the frontier *)
+  mutable hit_budget : bool;
+}
+
+let new_state ~sides () =
+  {
+    entries = Hashtbl.create 64;
+    sides;
+    covers = Hashtbl.create 16;
+    by_path = Hashtbl.create 16;
+    pending = Queue.create ();
+    hit_budget = false;
+  }
+
+let push tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> l := v :: !l
+  | None -> Hashtbl.add tbl key (ref [ v ])
+
+let insert st e =
+  Hashtbl.replace st.entries e.info.pid e;
+  List.iter
+    (fun (sid, sset) ->
+      if subset_ids sid sset e.info.pi_id e.info.p.Profile.pi then
+        push st.covers sid e.info.pid)
+    st.sides;
+  push st.by_path e.info.path_id e.info.pid;
+  Queue.add e.info.pid st.pending
+
+(* Subsumption pruning: a fresh candidate is dropped when a retained
+   entry with the SAME join path already carries at least its [pi] and
+   [sigma]. Everything derivable from the candidate is then derivable
+   from the dominator with a component-wise wider result (the Figure-4
+   join row is monotone in both operands), and under a closed policy a
+   rule admitting the dominator admits the candidate (same path,
+   smaller visible set) — so the candidate can neither reach a profile
+   the dominator cannot, nor leak where the dominator does not. The
+   provenance guard keeps verdicts faithful: a leak-qualified candidate
+   (>= 1 message, >= 1 join) is only dropped for a leak-qualified
+   dominator, so a CISQP030 witness is never pruned in favour of an
+   entry [leaks] would not report. *)
+let dominated st (cand : pinfo) ~candidate_leaks =
+  match Hashtbl.find_opt st.by_path cand.path_id with
+  | None -> false
+  | Some pids ->
+    List.exists
+      (fun pid ->
+        match Hashtbl.find_opt st.entries pid with
+        | None -> false
+        | Some d ->
+          subset_ids cand.pi_id cand.p.Profile.pi d.info.pi_id
+            d.info.p.Profile.pi
+          && subset_ids cand.sigma_id cand.p.Profile.sigma d.info.sigma_id
+               d.info.p.Profile.sigma
+          && ((not candidate_leaks) || leak_candidate d))
+      !pids
+
+(* A join condition with its interned sides. *)
+type joinfo = {
+  cond : Joinpath.Cond.t;
+  cid : int;
+  jl : Attribute.Set.t;
+  jl_id : int;
+  jr : Attribute.Set.t;
+  jr_id : int;
+}
+
+let joinfo_of joins =
+  let jinfos =
+    List.map
+      (fun cond ->
+        let jl = Attribute.Set.of_list (Joinpath.Cond.left cond) in
+        let jr = Attribute.Set.of_list (Joinpath.Cond.right cond) in
+        {
+          cond;
+          cid = cond_id cond;
+          jl;
+          jl_id = Policy.Index.attrs_id jl;
+          jr;
+          jr_id = Policy.Index.attrs_id jr;
+        })
+      joins
+  in
+  let sides =
+    List.sort_uniq
+      (fun (a, _) (b, _) -> Int.compare a b)
+      (List.concat_map
+         (fun ji -> [ (ji.jl_id, ji.jl); (ji.jr_id, ji.jr) ])
+         jinfos)
+  in
+  (jinfos, sides)
+
+let covering st side_id =
+  match Hashtbl.find_opt st.covers side_id with
+  | None -> []
+  | Some pids -> !pids
+
+(* Semi-naive frontier closure of one knowledge base. The queue holds
+   exactly the entries not yet used as the left operand; a popped entry
+   joins against the full current base through the per-attribute
+   buckets, so over the run every unordered pair is considered once —
+   at the moment its later member is popped — and fresh × old work
+   never degenerates to old × old rescans. The budget caps the base's
+   cardinality: derivations stop (and the server reports exhausted)
+   once [budget] profiles are held; accumulated deliveries themselves
+   are exempt, exactly as in the naive engine. *)
+let drain ~budget jinfos st =
+  while (not st.hit_budget) && not (Queue.is_empty st.pending) do
+    let pid = Queue.pop st.pending in
+    let e = Hashtbl.find st.entries pid in
+    List.iter
+      (fun ji ->
+        if not st.hit_budget then begin
+          let pi = e.info.p.Profile.pi and pi_id = e.info.pi_id in
+          let candidates =
+            (if subset_ids ji.jl_id ji.jl pi_id pi then
+               covering st ji.jr_id
+             else [])
+            @ (if subset_ids ji.jr_id ji.jr pi_id pi then
+                 covering st ji.jl_id
+               else [])
+          in
+          (* Sorted for determinism: bucket order depends on insertion
+             history, and first-found wins for the witness. *)
+          let candidates = List.sort_uniq Int.compare candidates in
+          List.iter
+            (fun qid ->
+              if not st.hit_budget then
+                let q = Hashtbl.find st.entries qid in
+                match try_join_ids ji.cid ji.cond e.info q.info with
+                | None -> ()
+                | Some jpid ->
+                  if not (Hashtbl.mem st.entries jpid) then begin
+                    let jinfo = Hashtbl.find pinfo_tbl jpid in
+                    let srcs = Int_set.union e.srcs q.srcs in
+                    let vias =
+                      Int_set.add ji.cid (Int_set.union e.vias q.vias)
+                    in
+                    let candidate_leaks = not (Int_set.is_empty srcs) in
+                    if not (dominated st jinfo ~candidate_leaks) then begin
+                      if Hashtbl.length st.entries >= budget then
+                        st.hit_budget <- true
+                      else insert st { info = jinfo; srcs; vias }
+                    end
+                  end)
+            candidates
+        end)
+      jinfos
+  done
+
+(* Seed a server state from an accumulated table, registering every
+   delivery in [sources_reg] so id sets can be materialised back. *)
+let seed_state ~sides sources_reg table =
+  let st = new_state ~sides () in
+  PMap.iter
+    (fun _ it ->
+      let info = intern it.profile in
+      List.iter (fun s -> Hashtbl.replace sources_reg s.seq s) it.sources;
+      let srcs = Int_set.of_list (List.map (fun s -> s.seq) it.sources) in
+      let vias = Int_set.of_list (List.map cond_id it.via) in
+      insert st { info; srcs; vias })
+    table;
+  st
+
+let materialize sources_reg st =
+  Hashtbl.fold
+    (fun _ e acc ->
+      let sources =
+        List.map (fun seq -> Hashtbl.find sources_reg seq)
+          (Int_set.elements e.srcs)
+      in
+      let via =
+        List.sort Joinpath.Cond.compare
+          (List.map (fun cid -> Hashtbl.find cond_reg cid)
+             (Int_set.elements e.vias))
+      in
+      PMap.add e.info.p { profile = e.info.p; sources; via } acc)
+    st.entries PMap.empty
+
+let saturate ?(budget = default_budget) ~joins t =
+  let jinfos, sides = joinfo_of joins in
+  let sources_reg = Hashtbl.create 64 in
+  let exhausted = ref [] in
+  let knowledge =
+    Server.Map.mapi
+      (fun server table ->
+        let st = seed_state ~sides sources_reg table in
+        drain ~budget jinfos st;
+        if st.hit_budget then exhausted := server :: !exhausted;
+        materialize sources_reg st)
+      t
+  in
+  (* Deduped and sorted: one CISQP031 per exhausted server, however
+     many times its budget was hit. *)
+  { knowledge; exhausted = List.sort_uniq Server.compare !exhausted }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental cursor: the audit path feeds one message at a time and
+   re-saturates only from that message's frontier. *)
+
+type cursor = {
+  c_budget : int;
+  c_jinfos : joinfo list;
+  c_sides : (int * Attribute.Set.t) list;
+  c_states : (Server.t, sstate) Hashtbl.t;
+  c_sources : (int, source) Hashtbl.t;
+}
+
+let cursor ?(budget = default_budget) ~joins t =
+  let jinfos, sides = joinfo_of joins in
+  let c =
+    {
+      c_budget = budget;
+      c_jinfos = jinfos;
+      c_sides = sides;
+      c_states = Hashtbl.create 16;
+      c_sources = Hashtbl.create 64;
+    }
+  in
+  Server.Map.iter
+    (fun server table ->
+      let st = seed_state ~sides c.c_sources table in
+      drain ~budget c.c_jinfos st;
+      Hashtbl.replace c.c_states server st)
+    t;
+  c
+
+let feed c ~receiver ~(source : source) profile =
+  Hashtbl.replace c.c_sources source.seq source;
+  let st =
+    match Hashtbl.find_opt c.c_states receiver with
+    | Some st -> st
+    | None ->
+      let st = new_state ~sides:c.c_sides () in
+      Hashtbl.replace c.c_states receiver st;
+      st
+  in
+  let info = intern profile in
+  if not (Hashtbl.mem st.entries info.pid) then begin
+    (* A delivery is accumulation, not derivation: it enters the base
+       unconditionally (budget- and subsumption-exempt, like every
+       seed of the batch engine); only the joins it unlocks are
+       budgeted. *)
+    insert st
+      { info; srcs = Int_set.singleton source.seq; vias = Int_set.empty };
+    drain ~budget:c.c_budget c.c_jinfos st
+  end
+
+let snapshot c =
+  let knowledge =
+    Hashtbl.fold
+      (fun server st acc ->
+        Server.Map.add server (materialize c.c_sources st) acc)
+      c.c_states Server.Map.empty
+  in
+  let exhausted =
+    Hashtbl.fold
+      (fun server st acc -> if st.hit_budget then server :: acc else acc)
+      c.c_states []
+    |> List.sort_uniq Server.compare
+  in
+  { knowledge; exhausted }
+
+(* ------------------------------------------------------------------ *)
+(* The seed engine, kept as the reference implementation for the
+   differential tests and the old-vs-new benchmark (the
+   [close]/[close_naive] pattern). It carries its own structural
+   membership tests, per-pair [Profile.try_join] calls and sort_uniq
+   witness merges — no interning, no memos, no subsumption — so a
+   defect in the id-level engine above cannot hide from the
+   differential. *)
+
 let merge_sources a b =
   List.sort_uniq (fun s1 s2 -> Int.compare s1.seq s2.seq) (a @ b)
 
 let merge_via cond a b =
   List.sort_uniq Joinpath.Cond.compare (cond :: (a @ b))
 
-(* Per-server breadth-first closure under the Figure-4 join rule,
-   semi-naive like the chase: the queue is the frontier, and a popped
-   profile [p] looks up its join partners in per-attribute buckets —
-   for each condition one of whose sides [p] carries, only the
-   profiles whose [pi] contains the other side's first attribute are
-   inspected, instead of rescanning the whole table per pop
-   ([Profile.try_join] still arbitrates both orientations). Profiles
-   discovered later join against [p] when their own turn comes, so
-   every pair is eventually considered. The budget caps the table's
-   cardinality, not the work: once a knowledge base holds [budget]
-   profiles its saturation stops and the server is reported
-   exhausted. *)
-let saturate ?(budget = default_budget) ~joins t =
+let saturate_naive ?(budget = default_budget) ~joins t =
   let exhausted = ref [] in
   let sides =
     List.map
@@ -215,7 +588,9 @@ let saturate ?(budget = default_budget) ~joins t =
         !table)
       t
   in
-  { knowledge; exhausted = List.rev !exhausted }
+  { knowledge; exhausted = List.sort_uniq Server.compare !exhausted }
+
+(* ------------------------------------------------------------------ *)
 
 type leak = { server : Server.t; item : item }
 
@@ -259,8 +634,7 @@ let pp_item ppf it =
     Fmt.pf ppf " via %a" Fmt.(list ~sep:(any ", ") Joinpath.Cond.pp) conds);
   Fmt.pf ppf "@]"
 
-let lint ?budget ?closed ~joins policy t =
-  let { knowledge; exhausted } = saturate ?budget ~joins t in
+let diagnostics ~budget ?closed policy { knowledge; exhausted } =
   let leak_diags =
     List.map
       (fun { server; item } ->
@@ -275,9 +649,6 @@ let lint ?budget ?closed ~joins policy t =
           item.via)
       (leaks ?closed policy knowledge)
   in
-  let budget_value =
-    match budget with Some b -> b | None -> default_budget
-  in
   let budget_diags =
     List.map
       (fun server ->
@@ -285,10 +656,19 @@ let lint ?budget ?closed ~joins policy t =
           (Diagnostic.Server (Server.name server))
           "knowledge base reached the saturation budget (%d profiles); \
            derivations beyond it were not explored"
-          budget_value)
-      exhausted
+          budget)
+      (List.sort_uniq Server.compare exhausted)
   in
   leak_diags @ budget_diags
+
+let lint ?budget ?closed ~joins policy t =
+  let budget_value =
+    match budget with Some b -> b | None -> default_budget
+  in
+  diagnostics ~budget:budget_value ?closed policy (saturate ?budget ~joins t)
+
+let cursor_lint ?closed policy c =
+  diagnostics ~budget:c.c_budget ?closed policy (snapshot c)
 
 let subset a b =
   Server.Map.for_all
@@ -302,6 +682,26 @@ let subset a b =
     a
 
 let equal a b = subset a b && subset b a
+
+(* Domination, item-level: [q] carries at least [p]'s attributes under
+   the same join path. *)
+let dominates (q : Profile.t) (p : Profile.t) =
+  Joinpath.equal p.Profile.join q.Profile.join
+  && Attribute.Set.subset p.Profile.pi q.Profile.pi
+  && Attribute.Set.subset p.Profile.sigma q.Profile.sigma
+
+let covered_by a b =
+  Server.Map.for_all
+    (fun server table ->
+      let other =
+        match Server.Map.find_opt server b with
+        | Some t -> t
+        | None -> PMap.empty
+      in
+      PMap.for_all
+        (fun p _ -> PMap.exists (fun q _ -> dominates q p) other)
+        table)
+    a
 
 let pp ppf t =
   let pp_server ppf (server, table) =

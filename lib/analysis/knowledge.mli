@@ -100,8 +100,69 @@ type outcome = {
     {!Profile.try_join} over the given join conditions (the schema join
     graph), breadth-first so witnesses are minimal-step. The fixpoint
     is reached when no pair of known profiles joins into an unknown
-    one, or the per-server [budget] is hit. *)
+    one, or the per-server [budget] is hit.
+
+    This is the semi-naive indexed engine: profiles are hash-consed
+    through {!Policy.Index.profile_id} so membership and dedup are
+    int-level, each fresh entry joins once against the full base
+    (never old×old), join attempts and attribute-set inclusions are
+    memoised process-wide, and a derived entry whose visible
+    attributes are implied by a retained same-path entry is dropped
+    before it spawns candidates ({e subsumption pruning}). Pruning
+    preserves {!lint} verdicts but not the exact profile set — the
+    saturated base is a minimal antichain-ish cover of the naive
+    closure; use {!covered_by} to compare saturated results. *)
 val saturate : ?budget:int -> joins:Joinpath.Cond.t list -> t -> outcome
+
+(** The pre-index reference engine — structural membership tests, one
+    {!Profile.try_join} per candidate pair, list-append witness merges,
+    no subsumption. Kept for the differential tests and the
+    naive-vs-indexed benchmark (the [Chase.close_naive] pattern):
+    {!lint} verdicts computed from either engine must coincide. *)
+val saturate_naive :
+  ?budget:int -> joins:Joinpath.Cond.t list -> t -> outcome
+
+(** [covered_by a b]: every profile known in [a] is dominated by a
+    profile of [b] on the same server — same join path, [pi] and
+    [sigma] included in the dominator's. The saturated bases of the
+    two engines cover each other; a pruned base still covers every
+    naive derivation. *)
+val covered_by : t -> t -> bool
+
+(** {2 Incremental saturation}
+
+    The runtime audit replays a message log one delivery at a time and
+    re-checks after each. Re-saturating the whole log per message is
+    quadratic in log length; a cursor keeps the saturated per-server
+    bases alive and extends them from each new message's frontier only
+    — joins between already-known profiles were all attempted when
+    they first met. *)
+
+(** A mutable saturated-knowledge handle. *)
+type cursor
+
+(** [cursor ~joins t] seeds a handle with the accumulated bases of [t]
+    (typically {!of_catalog}) and saturates them. *)
+val cursor : ?budget:int -> joins:Joinpath.Cond.t list -> t -> cursor
+
+(** [feed c ~receiver ~source profile] folds one delivery in and
+    re-saturates the receiver's base from the new entry's frontier. A
+    profile the receiver already holds keeps its existing (first,
+    breadth-first-minimal) witness. Deliveries are accumulation, not
+    derivation: like batch seeds they are budget- and
+    subsumption-exempt. *)
+val feed : cursor -> receiver:Server.t -> source:source -> Profile.t -> unit
+
+(** The current saturated state, materialised. Exhausted servers are
+    deduped and sorted. *)
+val snapshot : cursor -> outcome
+
+(** {!lint} on the cursor's current state, without re-saturating:
+    [cursor_lint policy c] = [lint ~joins policy accumulated] for the
+    accumulated deliveries fed so far (same CISQP030/031 verdicts; the
+    witness items may differ by exploration order). *)
+val cursor_lint :
+  ?closed:Chase.closed -> Policy.t -> cursor -> Diagnostic.t list
 
 type leak = { server : Server.t; item : item }
 

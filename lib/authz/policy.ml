@@ -108,6 +108,31 @@ module Index = struct
 
   let rule_id (a : Authorization.t) =
     rule_id_of a.server ~attrs_id:(attrs_id a.attrs) ~path_id:(path_id a.path)
+
+  (* Whole relation profiles, keyed by their already-interned parts —
+     the knowledge-saturation analogue of [rule_id]. Like every other
+     id here they are process-global and never freed, so a profile
+     derived during one saturation keeps its id for the next, and the
+     fixpoint's membership / dedup / adds-nothing tests are int
+     lookups. *)
+  let profile_tbl : (int * int * int, int) Hashtbl.t = Hashtbl.create 256
+  let profile_count = ref 0
+
+  let profile_id_of ~pi_id ~path_id ~sigma_id =
+    let key = (pi_id, path_id, sigma_id) in
+    match Hashtbl.find_opt profile_tbl key with
+    | Some id -> id
+    | None ->
+      let id = !profile_count in
+      incr profile_count;
+      Hashtbl.add profile_tbl key id;
+      id
+
+  let profile_id (p : Profile.t) =
+    let pi_id = attrs_id p.Profile.pi in
+    let sigma_id = attrs_id p.Profile.sigma in
+    let path_id = path_id p.Profile.join in
+    profile_id_of ~pi_id ~path_id ~sigma_id
 end
 
 module Int_set = Set.Make (Int)

@@ -46,6 +46,16 @@ module Index : sig
   (** [rule_id] from already-interned parts, skipping the structural
       walks. *)
   val rule_id_of : Server.t -> attrs_id:int -> path_id:int -> int
+
+  (** Interned [(attrs_id pi, path_id join, attrs_id sigma)] triple —
+      the identity of a relation profile.
+      [profile_id a = profile_id b] iff [Profile.equal a b]. The
+      knowledge-saturation pass keys its fixpoint on it. *)
+  val profile_id : Profile.t -> int
+
+  (** [profile_id] from already-interned parts, skipping the structural
+      walks. *)
+  val profile_id_of : pi_id:int -> path_id:int -> sigma_id:int -> int
 end
 
 type t

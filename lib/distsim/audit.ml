@@ -83,5 +83,22 @@ let knowledge catalog network =
     (Analysis.Knowledge.of_catalog catalog)
     (Network.messages network)
 
+(* The audit path is incremental: deliveries stream into a saturation
+   cursor one at a time, so each message pays only its own frontier —
+   joins between profiles already known were attempted when they first
+   met. Verdicts match a batch [Knowledge.lint] over {!knowledge}
+   (differentially tested); only witness details may differ by
+   exploration order. *)
 let inference ?budget ~joins catalog policy network =
-  Analysis.Knowledge.lint ?budget ~joins policy (knowledge catalog network)
+  let cursor =
+    Analysis.Knowledge.cursor ?budget ~joins
+      (Analysis.Knowledge.of_catalog catalog)
+  in
+  List.iter
+    (fun (m : Network.message) ->
+      let source =
+        { Analysis.Knowledge.seq = m.seq; sender = m.sender; note = m.note }
+      in
+      Analysis.Knowledge.feed cursor ~receiver:m.receiver ~source m.profile)
+    (Network.messages network);
+  Analysis.Knowledge.cursor_lint policy cursor

@@ -47,9 +47,13 @@ val pp_entry : entry Fmt.t
     the engine's own runtime profiles as ground truth. *)
 val knowledge : Relalg.Catalog.t -> Network.t -> Analysis.Knowledge.t
 
-(** The inference pass over a concrete execution: {!knowledge} then
-    {!Analysis.Knowledge.lint} — [CISQP030] per composition leak,
-    [CISQP031] per budget-exhausted server. *)
+(** The inference pass over a concrete execution: the message log is
+    streamed into an {!Analysis.Knowledge.cursor} (each delivery
+    re-saturates only its own frontier) and the final state is linted —
+    [CISQP030] per composition leak, [CISQP031] per budget-exhausted
+    server. Verdicts coincide with a batch
+    {!Analysis.Knowledge.lint} over {!knowledge}; witness details may
+    differ by exploration order. *)
 val inference :
   ?budget:int ->
   joins:Relalg.Joinpath.Cond.t list ->

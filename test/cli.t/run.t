@@ -164,6 +164,18 @@ is tried):
   warning[CISQP031] server S_R: knowledge base reached the saturation budget (3 profiles); derivations beyond it were not explored
   0 error(s), 1 warning(s), 0 info(s)
 
+Budgets are cardinalities: zero or negative values are rejected up
+front with a positioned CISQP041 and the usage exit code, for both the
+saturation and the chase budget:
+
+  $ cisqp lint --schema leaky.schema --authz leaky.authz --pass inference --saturation-budget 0 "SELECT Customer, Part, RegPart FROM Orders JOIN Registry ON OrderKey = RegOrder"
+  error[CISQP041] option --saturation-budget: expected a positive profile/rule budget, got 0
+  [2]
+
+  $ cisqp lint --schema leaky.schema --authz leaky.authz --chase-budget=-5 "SELECT Customer, Part, RegPart FROM Orders JOIN Registry ON OrderKey = RegOrder"
+  error[CISQP041] option --chase-budget: expected a positive profile/rule budget, got -5
+  [2]
+
 A single query's deliveries compose only into views the policy already
 grants here, so the same federation lints clean:
 

@@ -95,10 +95,13 @@ let test_monotonicity_medical () =
     let larger = K.of_flow_batches M.catalog [ flows ] in
     check Alcotest.bool "accumulation is monotone" true
       (K.subset smaller larger);
+    (* Coverage, not exact inclusion: subsumption pruning may retain,
+       for the larger log, a dominating entry in place of the exact
+       profile the smaller log derives. *)
     let s = (K.saturate ~joins:M.join_graph smaller).K.knowledge in
     let l = (K.saturate ~joins:M.join_graph larger).K.knowledge in
     check Alcotest.bool "saturation preserves monotonicity" true
-      (K.subset s l)
+      (K.covered_by s l)
   done
 
 (* ------------------------------------------------------------------ *)
@@ -117,9 +120,16 @@ let leak_facts leaks =
         List.map Joinpath.Cond.to_string item.K.via ))
     leaks
 
+(* Distinct (code, location) verdicts: how many same-code diagnostics
+   a server accumulates depends on which leak witnesses each engine
+   retains (the incremental audit cursor and the batch engine explore
+   in different orders), but WHETHER a server gets a CISQP030/031 is
+   order-independent. *)
 let diag_facts diags =
-  List.map (fun (d : D.t) -> (d.D.code, Fmt.str "%a" D.pp_location d.D.location))
-    (D.sort diags)
+  List.sort_uniq compare
+    (List.map
+       (fun (d : D.t) -> (d.D.code, Fmt.str "%a" D.pp_location d.D.location))
+       diags)
 
 let densities = [| 0.5; 0.75; 1.0 |]
 
@@ -236,8 +246,8 @@ let test_monotonicity_random () =
                    (K.of_flow_batches sys.catalog [ prefix ]))
                   .K.knowledge
               in
-              check Alcotest.bool "prefix knowledge is a subset" true
-                (K.subset partial full))
+              check Alcotest.bool "prefix knowledge is covered" true
+                (K.covered_by partial full))
             flows))
   done;
   check Alcotest.bool
