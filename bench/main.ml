@@ -421,6 +421,190 @@ let run_chase_bench () =
     (List.length entries)
 
 (* ------------------------------------------------------------------ *)
+(* Certificate-checker overhead: the independent linear-time checker
+   must be strictly cheaper than the engine whose verdict it validates,
+   at every measured point — otherwise proof-carrying mode would double
+   the cost it is meant to bound. Three families of points: chase
+   closure vs derivation-trace replay, planning + safety re-proof vs
+   plan-certificate check, and log saturation vs join-tree
+   counterexample checks. Written to BENCH_certify.json; each point
+   asserts checker < engine and that every certificate checks. *)
+
+let run_certify_bench () =
+  let module C = Analysis.Certificate in
+  let measure f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let assert_below what engine checker =
+    if not (checker < engine) then
+      failwith
+        (Printf.sprintf
+           "certify bench: checker not below engine at %s (%.9f >= %.9f)"
+           what checker engine)
+  in
+  (* Chase points (the BENCH_chase sweep): closing the policy vs
+     replaying its recorded derivation trace. *)
+  let chase_point relations density =
+    let rng = Rng.make ~seed:(41 * relations) in
+    let sys =
+      System_gen.generate rng ~relations ~servers:relations ~extra:2
+        ~topology:System_gen.Chain
+    in
+    let policy =
+      Authz_gen.generate
+        (Rng.make ~seed:(relations + 1))
+        ~max_path:2 ~attr_keep:1.0 ~density sys
+    in
+    let joins = sys.System_gen.join_graph in
+    let _, trace = Authz.Chase.close_trace ~joins policy in
+    let rules = C.rules_of_trace policy trace in
+    (match C.check_rules ~joins policy rules with
+     | [] -> ()
+     | _ ->
+       failwith
+         (Printf.sprintf "certify bench: chase trace rejected at %d relations"
+            relations));
+    let engine = measure (fun () -> Authz.Chase.close_trace ~joins policy) in
+    let checker = measure (fun () -> C.check_rules ~joins policy rules) in
+    assert_below (Printf.sprintf "chase-%d" relations) engine checker;
+    Printf.sprintf
+      {|{"kind":"chase","relations":%d,"rules":%d,"engine_seconds":%.9f,"checker_seconds":%.9f,"ratio":%.2f}|}
+      relations (List.length rules) engine checker (engine /. checker)
+  in
+  (* Plan points (the planner chain cases): planning + the independent
+     safety re-proof vs checking the emitted certificate. *)
+  let plan_point joins_n =
+    let sys, policy, plan = chain_case joins_n in
+    let catalog = sys.System_gen.catalog in
+    let joins = sys.System_gen.join_graph in
+    let assignment =
+      match Planner.Safe_planner.plan catalog policy plan with
+      | Ok r -> r.Planner.Safe_planner.assignment
+      | Error _ -> assert false
+    in
+    let cert =
+      match C.emit_plan catalog policy plan assignment with
+      | Ok c -> c
+      | Error msg -> failwith ("certify bench: emission failed: " ^ msg)
+    in
+    (match C.check_plan ~joins catalog policy plan cert with
+     | [] -> ()
+     | _ ->
+       failwith
+         (Printf.sprintf "certify bench: plan certificate rejected at %d joins"
+            joins_n));
+    let engine =
+      measure (fun () ->
+          match Planner.Safe_planner.plan catalog policy plan with
+          | Ok r ->
+            Planner.Safety.check catalog policy plan
+              r.Planner.Safe_planner.assignment
+          | Error _ -> assert false)
+    in
+    let checker =
+      measure (fun () -> C.check_plan ~joins catalog policy plan cert)
+    in
+    assert_below (Printf.sprintf "plan-chain-%d" joins_n) engine checker;
+    Printf.sprintf
+      {|{"kind":"plan","joins":%d,"flows":%d,"engine_seconds":%.9f,"checker_seconds":%.9f,"ratio":%.2f}|}
+      joins_n (List.length cert.C.flows) engine checker (engine /. checker)
+  in
+  (* Saturation point (the inference-bench federation): saturating the
+     full accumulated log vs checking the per-leak join-tree
+     counterexamples reconstructed from the saturation's provenance. *)
+  let saturation_point () =
+    let sys =
+      System_gen.generate (Rng.make ~seed:11) ~relations:6 ~servers:6 ~extra:3
+        ~topology:System_gen.Chain
+    in
+    let catalog = sys.System_gen.catalog in
+    let joins = sys.System_gen.join_graph in
+    let policy =
+      Authz_gen.generate (Rng.make ~seed:4) ~attr_keep:1.0 ~density:1.0 sys
+    in
+    let batches =
+      List.init 24 (fun i ->
+          Option.bind
+            (Query_gen.generate_plan (Rng.make ~seed:(100 + i)) ~joins:3 sys)
+            (fun plan ->
+              match Planner.Safe_planner.plan catalog policy plan with
+              | Error _ -> None
+              | Ok { assignment; _ } -> (
+                match Planner.Safety.flows catalog plan assignment with
+                | Ok flows -> Some flows
+                | Error _ -> None)))
+      |> List.filter_map Fun.id
+    in
+    let module K = Analysis.Knowledge in
+    let accumulated = K.of_flow_batches catalog batches in
+    let deliveries = C.deliveries_of_batches batches in
+    let cur = K.cursor ~joins accumulated in
+    let snap = K.snapshot cur in
+    let leaks = K.leaks policy snap.K.knowledge in
+    let certs =
+      List.filter_map
+        (fun (l : K.leak) ->
+          let (it : K.item) = l.K.item in
+          Option.map
+            (fun tree ->
+              {
+                C.epoch = C.epoch policy;
+                server = l.K.server;
+                profile = it.K.profile;
+                tree;
+              })
+            (K.explain cur catalog l.K.server it.K.profile))
+        leaks
+    in
+    List.iter
+      (fun cert ->
+        match C.check_leak ~joins catalog policy ~deliveries cert with
+        | [] -> ()
+        | _ -> failwith "certify bench: leak certificate rejected")
+      certs;
+    let engine = measure (fun () -> K.saturate ~joins accumulated) in
+    let checker =
+      measure (fun () ->
+          List.iter
+            (fun cert ->
+              ignore (C.check_leak ~joins catalog policy ~deliveries cert))
+            certs)
+    in
+    assert_below "saturation" engine checker;
+    Printf.sprintf
+      {|{"kind":"saturation","leaks":%d,"certified":%d,"engine_seconds":%.9f,"checker_seconds":%.9f,"ratio":%.2f}|}
+      (List.length leaks) (List.length certs) engine checker
+      (engine /. checker)
+  in
+  let entries =
+    [
+      chase_point 6 0.5;
+      chase_point 9 0.4;
+      chase_point 12 0.35;
+      chase_point 15 0.3;
+      plan_point 2;
+      plan_point 4;
+      plan_point 8;
+      plan_point 16;
+      saturation_point ();
+    ]
+  in
+  let oc = open_out "BENCH_certify.json" in
+  Printf.fprintf oc {|{"bench":"certificate-checker","entries":[%s]}|}
+    (String.concat "," entries);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "certificate checker bench: %d points -> BENCH_certify.json@."
+    (List.length entries)
+
+(* ------------------------------------------------------------------ *)
 (* Fault-recovery sweep: how often a guaranteed permanent crash of the
    answering server is survived, as a function of the catalog's
    replication factor. Written to BENCH_faults.json so successive PRs
@@ -498,13 +682,16 @@ let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let chase_only = Array.exists (fun a -> a = "chase") Sys.argv in
   let inference_only = Array.exists (fun a -> a = "inference") Sys.argv in
+  let certify_only = Array.exists (fun a -> a = "certify") Sys.argv in
   if chase_only then run_chase_bench ()
   else if inference_only then run_inference_bench ()
+  else if certify_only then run_certify_bench ()
   else begin
     Fmt.pr "%s@." (Scenario.Paper_figures.all ());
     Tables.run_all ~seeds:(if quick then 40 else 100);
     run_inference_bench ();
     run_chase_bench ();
+    run_certify_bench ();
     run_fault_bench ();
     if not quick then run_micro ()
   end

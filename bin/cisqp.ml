@@ -13,6 +13,7 @@
 
 open Cmdliner
 open Relalg
+module D = Analysis.Diagnostic
 
 type federation = {
   name : string;
@@ -109,6 +110,18 @@ let read_file path =
 
 let die fmt = Fmt.kstr (fun msg -> Fmt.epr "error: %s@." msg; exit 1) fmt
 
+(* Exit-code contract (documented in the README): 0 clean, 1 semantic
+   failure (infeasible plan, audit violation, lint errors, certificate
+   check failure), 2 invalid usage or input. Usage errors are reported
+   as positioned CISQP042 diagnostics, like CISQP040/041 before them,
+   so scripts can grep one uniform format off stderr. *)
+let usage_error loc fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "%a@." D.pp (D.make "CISQP042" loc "%s" msg);
+      exit 2)
+    fmt
+
 (* Resolve the federation from flags: files override the scenario. *)
 let federation_of scenario schema authz data extra_helpers =
   match schema with
@@ -120,15 +133,19 @@ let federation_of scenario schema authz data extra_helpers =
     let sys =
       match Text.Schema_text.parse (read_file schema_path) with
       | Ok s -> s
-      | Error e -> die "%s: %a" schema_path Text.Line_reader.pp_error e
+      | Error e ->
+        usage_error (D.Flag "--schema") "%s: %a" schema_path
+          Text.Line_reader.pp_error e
     in
     let policy =
       match authz with
-      | None -> die "--schema requires --authz"
+      | None -> usage_error (D.Flag "--authz") "--schema requires --authz"
       | Some path ->
         (match Text.Authz_text.parse sys.catalog (read_file path) with
          | Ok p -> p
-         | Error e -> die "%s: %a" path Text.Line_reader.pp_error e)
+         | Error e ->
+           usage_error (D.Flag "--authz") "%s: %a" path
+             Text.Line_reader.pp_error e)
     in
     let instances =
       match data with
@@ -136,7 +153,9 @@ let federation_of scenario schema authz data extra_helpers =
       | Some path ->
         (match Text.Data_text.parse sys.catalog (read_file path) with
          | Ok i -> i
-         | Error e -> die "%s: %a" path Text.Line_reader.pp_error e)
+         | Error e ->
+           usage_error (D.Flag "--data") "%s: %a" path
+             Text.Line_reader.pp_error e)
     in
     {
       name = schema_path;
@@ -197,7 +216,9 @@ let repro_cmd =
     | "fig5" -> print_endline (F.fig5_execution_modes ())
     | "fig6" | "fig7" -> print_endline (F.fig7_algorithm_trace ())
     | "all" -> print_endline (F.all ())
-    | other -> die "unknown figure %S" other
+    | other ->
+      usage_error (D.Argv 1) "unknown figure %S (try: fig1..fig5, fig7, all)"
+        other
   in
   Cmd.v
     (Cmd.info "repro" ~doc:"Reproduce the figures of the paper.")
@@ -234,17 +255,77 @@ let chase_flag =
            assignments the explicit rules alone would reject. The closure \
            is computed once per invocation.")
 
+(* Returns the (possibly closed) federation and, when the chase ran,
+   the handle: its trace is what lets --certify replay chase-derived
+   witnesses against the pre-chase base policy. *)
 let with_chase chase fed =
-  if not chase then fed
+  if not chase then (fed, None)
   else if Authz.Policy.is_open fed.policy then
-    die "--chase applies to closed policies only"
+    usage_error (D.Flag "--chase") "--chase applies to closed policies only"
   else
-    {
-      fed with
-      policy =
-        Authz.Chase.closure
-          (Authz.Chase.closed_policy ~joins:fed.joins fed.policy);
-    }
+    let handle = Authz.Chase.closed_policy ~joins:fed.joins fed.policy in
+    ({ fed with policy = Authz.Chase.closure handle }, Some handle)
+
+let certify_flag =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Emit a proof-carrying certificate for the chosen assignment and \
+           validate it with the independent linear-time checker against the \
+           base (pre-chase) policy. A check failure is reported as CISQP050 \
+           and exits 1.")
+
+let cert_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cert-out" ] ~docv:"FILE"
+        ~doc:
+          "With --certify, also write the certificate as JSON to $(docv) \
+           (re-checkable later with $(b,cisqp certify)).")
+
+(* Emit, optionally persist, and independently check a plan
+   certificate. The check runs against the *base* policy: pre-chase
+   when [handle] is present, the federation's own policy otherwise. *)
+let do_certify fed handle ~third_party plan assignment cert_out =
+  let module C = Analysis.Certificate in
+  if Authz.Policy.is_open fed.policy then begin
+    Fmt.epr "%a@." D.pp
+      (D.make "CISQP051" D.Whole
+         "open-mode policies are outside the certificate language; nothing \
+          to certify");
+    exit 1
+  end;
+  let base =
+    match handle with Some h -> Authz.Chase.policy h | None -> fed.policy
+  in
+  match
+    C.emit_plan ~third_party ?closed:handle fed.catalog fed.policy plan
+      assignment
+  with
+  | Error msg ->
+    Fmt.epr "%a@." D.pp
+      (D.make "CISQP050" D.Whole "certificate emission failed: %s" msg);
+    exit 1
+  | Ok cert ->
+    (match cert_out with
+     | None -> ()
+     | Some path ->
+       let oc = open_out_bin path in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           output_string oc (C.plan_to_json cert);
+           output_char oc '\n'));
+    (match C.check_plan ~joins:fed.joins fed.catalog base plan cert with
+     | [] ->
+       Fmt.pr "Certificate: OK (%d rule(s), %d flow(s) checked)@."
+         (List.length cert.C.rules)
+         (List.length cert.C.flows)
+     | failures ->
+       List.iter (fun d -> Fmt.epr "%a@." D.pp d) (C.to_diagnostics failures);
+       exit 1)
 
 let plan_query fed query ~third_party ~no_semijoins ~optimize =
   let config =
@@ -289,8 +370,13 @@ let plan_cmd =
             "Emit the per-server execution script (SQL + transfers) instead \
              of the planner trace.")
   in
-  let run fed sql third_party no_semijoins optimize chase dot script =
-    let fed = with_chase chase fed in
+  let run fed sql third_party no_semijoins optimize chase certify cert_out dot
+      script =
+    if certify && optimize then
+      usage_error (D.Flag "--certify")
+        "--certify and --optimize cannot be combined: certificates replay \
+         the canonical plan shape derived from the SQL";
+    let fed, handle = with_chase chase fed in
     let query = parse_query fed sql in
     let plan, assignment, trace =
       plan_query fed query ~third_party ~no_semijoins ~optimize
@@ -308,15 +394,17 @@ let plan_cmd =
       Option.iter
         (fun t -> Fmt.pr "%a@.@." Planner.Safe_planner.pp_trace t)
         trace;
-      Fmt.pr "Assignment:@.%a@." Planner.Assignment.pp assignment
+      Fmt.pr "Assignment:@.%a@." Planner.Assignment.pp assignment;
+      if certify then
+        do_certify fed handle ~third_party plan assignment cert_out
     end
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Find a safe executor assignment for a query.")
     Term.(
       const run $ federation_term $ sql_arg $ third_party_flag
-      $ no_semijoins_flag $ optimize_flag $ chase_flag $ dot_flag
-      $ script_flag)
+      $ no_semijoins_flag $ optimize_flag $ chase_flag $ certify_flag
+      $ cert_out_arg $ dot_flag $ script_flag)
 
 let run_cmd =
   let makespan_flag =
@@ -366,7 +454,9 @@ let run_cmd =
          int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1))
        with
        | Some at -> Distsim.Fault.crash (Server.make name) ~at
-       | None -> die "bad --crash %S (expected SERVER or SERVER@STEP)" spec)
+       | None ->
+         usage_error (D.Flag "--crash")
+           "bad --crash %S (expected SERVER or SERVER@STEP)" spec)
   in
   let fault_of crashes drop corrupt fault_seed retries =
     if crashes = [] && drop = 0.0 && corrupt = 0.0 && fault_seed = None
@@ -389,7 +479,8 @@ let run_cmd =
         Fmt.(list ~sep:(any "@\n") Distsim.Audit.pp_violation)
         violations
   in
-  let run_faulty fed plan fault ~third_party ~makespan =
+  let run_faulty fed handle plan fault ~third_party ~makespan ~certify
+      cert_out =
     let helpers = if third_party then fed.helpers else [] in
     match
       Distsim.Recover.execute ~helpers fed.catalog fed.policy
@@ -424,18 +515,29 @@ let run_cmd =
       report_audit fed r.Distsim.Recover.log;
       if makespan then
         Fmt.pr "@.Makespan (1 ms latency, 10 MB/s, retries priced):@.%.6f s@."
-          (Distsim.Recover.makespan (Distsim.Timing.uniform ()) fault plan r)
+          (Distsim.Recover.makespan (Distsim.Timing.uniform ()) fault plan r);
+      if certify then
+        (* Certify the assignment that actually answered, third-party
+           iff a helper had to step in during recovery. *)
+        do_certify fed handle
+          ~third_party:(r.Distsim.Recover.rescues <> [])
+          plan r.Distsim.Recover.assignment cert_out
   in
-  let run fed sql third_party no_semijoins optimize chase makespan crashes
-      drop corrupt fault_seed retries =
-    let fed = with_chase chase fed in
+  let run fed sql third_party no_semijoins optimize chase certify cert_out
+      makespan crashes drop corrupt fault_seed retries =
+    if certify && optimize then
+      usage_error (D.Flag "--certify")
+        "--certify and --optimize cannot be combined: certificates replay \
+         the canonical plan shape derived from the SQL";
+    let fed, handle = with_chase chase fed in
     let query = parse_query fed sql in
     match fault_of crashes drop corrupt fault_seed retries with
     | Some fault ->
       (* The supervisor replans (and re-plans on failover) itself; the
          planning flags of the clean path do not apply. *)
       let plan = Query.to_plan query in
-      run_faulty fed plan fault ~third_party ~makespan
+      run_faulty fed handle plan fault ~third_party ~makespan ~certify
+        cert_out
     | None ->
       let plan, assignment, _ =
         plan_query fed query ~third_party ~no_semijoins ~optimize
@@ -450,13 +552,16 @@ let run_cmd =
            Planner.Assignment.pp assignment Server.pp location Relation.pp
            result Distsim.Network.pp network;
          report_audit fed network;
-         if makespan then
+         if makespan then begin
            let schedule =
              Distsim.Timing.makespan (Distsim.Timing.uniform ()) plan
                assignment outcome
            in
            Fmt.pr "@.Makespan (1 ms latency, 10 MB/s):@.%a@."
-             Distsim.Timing.pp_schedule schedule)
+             Distsim.Timing.pp_schedule schedule
+         end;
+         if certify then
+           do_certify fed handle ~third_party plan assignment cert_out)
   in
   Cmd.v
     (Cmd.info "run"
@@ -466,8 +571,9 @@ let run_cmd =
           under deterministic fault injection and safe recovery.")
     Term.(
       const run $ federation_term $ sql_arg $ third_party_flag
-      $ no_semijoins_flag $ optimize_flag $ chase_flag $ makespan_flag
-      $ crash_arg $ drop_arg $ corrupt_arg $ fault_seed_arg $ retries_arg)
+      $ no_semijoins_flag $ optimize_flag $ chase_flag $ certify_flag
+      $ cert_out_arg $ makespan_flag $ crash_arg $ drop_arg $ corrupt_arg
+      $ fault_seed_arg $ retries_arg)
 
 let advise_cmd =
   let run fed sql =
@@ -572,6 +678,80 @@ let chase_cmd =
           implied authorizations.")
     Term.(const run $ federation_term)
 
+let certify_cmd =
+  let cert_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"CERT"
+          ~doc:"Certificate JSON file (written by $(b,--cert-out).)")
+  in
+  let certify_sql_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"SQL" ~doc:"The query the certificate is for.")
+  in
+  let revalidate_flag =
+    Arg.(
+      value & flag
+      & info [ "revalidate" ]
+          ~doc:
+            "Skip the policy-epoch pin and replay the evidence against the \
+             current policy — the re-validation entry point for cached \
+             plans after a policy change.")
+  in
+  let stale fmt =
+    Fmt.kstr
+      (fun msg ->
+        Fmt.epr "%a@." D.pp (D.make "CISQP051" D.Whole "%s" msg);
+        exit 2)
+      fmt
+  in
+  let run fed cert_path sql revalidate =
+    let module C = Analysis.Certificate in
+    let contents =
+      match read_file cert_path with
+      | s -> s
+      | exception Sys_error msg -> stale "cannot read certificate: %s" msg
+    in
+    let cert =
+      match C.plan_of_json contents with
+      | Ok cert -> cert
+      | Error msg -> stale "%s: not a plan certificate: %s" cert_path msg
+    in
+    (* The plan shape is canonical from the SQL (Query.to_plan is
+       deterministic and policy-independent), so the checker replays
+       the certificate against a freshly derived tree — no planner
+       involved. Chase-derived witnesses carry their own derivation
+       chains, so no --chase is needed either. *)
+    let query = parse_query fed sql in
+    let plan = Query.to_plan query in
+    match
+      C.check_plan ~revalidate ~joins:fed.joins fed.catalog fed.policy plan
+        cert
+    with
+    | [] ->
+      Fmt.pr "Certificate: OK (%d rule(s), %d flow(s) checked%s)@."
+        (List.length cert.C.rules)
+        (List.length cert.C.flows)
+        (if revalidate then ", revalidated against the current policy"
+         else "")
+    | failures ->
+      List.iter (fun d -> Fmt.epr "%a@." D.pp d) (C.to_diagnostics failures);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Check a stored plan certificate against a federation's policy \
+          with the independent linear-time checker. Exit 0: the evidence \
+          proves the plan safe under this policy; 1: check failed \
+          (CISQP050); 2: unusable input (CISQP051 or usage).")
+    Term.(
+      const run $ federation_term $ cert_arg $ certify_sql_arg
+      $ revalidate_flag)
+
 let lint_cmd =
   let sqls =
     Arg.(
@@ -654,9 +834,9 @@ let lint_cmd =
     Arg.(
       value & opt int 3 & info [ "queries" ] ~doc:"Number of generated queries.")
   in
-  let run fed sqls third_party no_semijoins format strict chase_budget passes
-      saturation_budget random_seed relations query_joins density queries =
-    let module D = Analysis.Diagnostic in
+  let run fed sqls third_party no_semijoins format strict certify chase_budget
+      passes saturation_budget random_seed relations query_joins density
+      queries =
     (* Budgets are cardinalities: zero or negative values have no
        sensible fixpoint semantics (a chase would overflow its budget
        on the seed rules; a saturation would report every server
@@ -760,29 +940,125 @@ let lint_cmd =
                 lint @ Analysis.Script_verifier.verify catalog policy script))
           planned
     in
+    let batches =
+      if not (want `Inference) then []
+      else
+        List.filter_map
+          (fun (plan, result) ->
+            match result with
+            | Error _ -> None
+            | Ok { Planner.Safe_planner.assignment; _ } -> (
+              match
+                Planner.Safety.flows ~third_party catalog plan assignment
+              with
+              | Ok flows -> Some flows
+              | Error _ -> None))
+          planned
+    in
     let inference_diags =
       if not (want `Inference) then []
       else
-        let batches =
-          List.filter_map
-            (fun (plan, result) ->
-              match result with
-              | Error _ -> None
-              | Ok { Planner.Safe_planner.assignment; _ } -> (
-                match
-                  Planner.Safety.flows ~third_party catalog plan assignment
-                with
-                | Ok flows -> Some flows
-                | Error _ -> None))
-            planned
-        in
         Analysis.Knowledge.lint ~budget:saturation_budget ~joins policy
           (Analysis.Knowledge.of_flow_batches catalog batches)
     in
-    let all = policy_diags @ unplannable_diags @ plan_diags @ inference_diags in
+    (* --certify: each planned query gets a plan certificate, emitted
+       and independently checked against the policy; each CISQP030
+       leak verdict gets a join-tree counterexample, checked against
+       the actual delivery log and rendered for the user. Failures of
+       either check surface as CISQP050. *)
+    let module C = Analysis.Certificate in
+    let certificate_diags, leak_witnesses =
+      if not certify then ([], [])
+      else if Authz.Policy.is_open policy then
+        ( [
+            D.make "CISQP051" D.Whole
+              "open-mode policies are outside the certificate language; \
+               nothing to certify";
+          ],
+          [] )
+      else begin
+        let plan_cert_diags =
+          if not (want `Plan) then []
+          else
+            List.concat_map
+              (fun (plan, result) ->
+                match result with
+                | Error _ -> []
+                | Ok { Planner.Safe_planner.assignment; _ } -> (
+                  match
+                    C.emit_plan ~third_party catalog policy plan assignment
+                  with
+                  | Error msg ->
+                    [
+                      D.make "CISQP050" D.Whole
+                        "certificate emission failed for query %s: %s"
+                        (Plan.to_string plan) msg;
+                    ]
+                  | Ok cert ->
+                    C.to_diagnostics
+                      (C.check_plan ~joins catalog policy plan cert)))
+              planned
+        in
+        let leak_cert_diags, witnesses =
+          if not (want `Inference) then ([], [])
+          else begin
+            let deliveries = C.deliveries_of_batches batches in
+            let cur =
+              Analysis.Knowledge.cursor ~budget:saturation_budget ~joins
+                (Analysis.Knowledge.of_flow_batches catalog batches)
+            in
+            let snap = Analysis.Knowledge.snapshot cur in
+            let diags = ref [] and wits = ref [] in
+            List.iter
+              (fun (l : Analysis.Knowledge.leak) ->
+                let (it : Analysis.Knowledge.item) = l.item in
+                match
+                  Analysis.Knowledge.explain cur catalog l.server it.profile
+                with
+                | None ->
+                  diags :=
+                    D.make "CISQP050" D.Whole
+                      "no join-tree counterexample reconstructed for the \
+                       leak of %a at %a"
+                      Authz.Profile.pp it.profile Server.pp l.server
+                    :: !diags
+                | Some tree -> (
+                  let cert =
+                    {
+                      C.epoch = C.epoch policy;
+                      server = l.server;
+                      profile = it.profile;
+                      tree;
+                    }
+                  in
+                  match
+                    C.check_leak ~joins catalog policy ~deliveries cert
+                  with
+                  | [] -> wits := (l.server, tree) :: !wits
+                  | failures ->
+                    diags := C.to_diagnostics failures @ !diags))
+              (Analysis.Knowledge.leaks policy
+                 snap.Analysis.Knowledge.knowledge);
+            (List.rev !diags, List.rev !wits)
+          end
+        in
+        (plan_cert_diags @ leak_cert_diags, witnesses)
+      end
+    in
+    let all =
+      policy_diags @ unplannable_diags @ plan_diags @ inference_diags
+      @ certificate_diags
+    in
     (match format with
-     | `Text -> Fmt.pr "%a@." D.pp_report all
-     | `Json -> print_endline (D.to_json all));
+     | `Text ->
+       Fmt.pr "%a@." D.pp_report all;
+       List.iter
+         (fun (server, tree) ->
+           Fmt.pr "leak witness at %a: %a@." Server.pp server C.pp_tree tree)
+         leak_witnesses
+     | `Json ->
+       ignore leak_witnesses;
+       print_endline (D.to_json all));
     let failing (d : D.t) =
       match d.D.severity with
       | D.Error -> true
@@ -800,8 +1076,9 @@ let lint_cmd =
           warnings) are found.")
     Term.(
       const run $ federation_term $ sqls $ third_party_flag $ no_semijoins_flag
-      $ format_arg $ strict_flag $ chase_budget $ passes $ saturation_budget
-      $ random_seed $ relations $ query_joins $ density $ queries)
+      $ format_arg $ strict_flag $ certify_flag $ chase_budget $ passes
+      $ saturation_budget $ random_seed $ relations $ query_joins $ density
+      $ queries)
 
 let sweep_cmd =
   let relations =
@@ -863,5 +1140,5 @@ let () =
        (Cmd.group info
           [
             repro_cmd; plan_cmd; run_cmd; advise_cmd; impact_cmd; chase_cmd;
-            lint_cmd; sweep_cmd;
+            certify_cmd; lint_cmd; sweep_cmd;
           ]))

@@ -22,9 +22,21 @@
    CISQP030/031 verdicts as the naive reference engine, and the
    incremental audit cursor must agree with batch lint.
 
+   Certificate slice (--certify-cases, default 2000): proof-carrying
+   safety at soak scale — every safely planned random case must emit a
+   plan certificate the independent checker accepts against the base
+   policy (every third case plans against the chase closure, so the
+   certificate carries Composed derivation chains replayed from the
+   pre-chase base), the certificate must survive a JSON round-trip,
+   and every 50th certified case replays seeded forgeries (stale
+   epoch, out-of-range witness, dropped flow) that the checker must
+   reject. The fault slice additionally asserts every recovered run
+   and every failover carries a certificate that re-checks.
+
    Exits non-zero on any failure. Slower than the unit suite; run on
    demand (`dune exec bin/soak.exe -- --cases N --fault-cases M
-   --knowledge-cases K`) or bounded via `dune build @soak`.
+   --knowledge-cases K --certify-cases C`) or bounded via
+   `dune build @soak`.
 
    Historical note: the clean slice is what exposed the co-location gap
    in the paper's Figure-6 pseudo-code (see DESIGN.md, "Local joins"). *)
@@ -34,6 +46,7 @@ open Workload
 let cases = ref 2000
 let fault_cases = ref 2000
 let knowledge_cases = ref 2000
+let certify_cases = ref 2000
 
 let () =
   let rec parse = function
@@ -46,6 +59,9 @@ let () =
       parse rest
     | "--knowledge-cases" :: v :: rest ->
       knowledge_cases := int_of_string v;
+      parse rest
+    | "--certify-cases" :: v :: rest ->
+      certify_cases := int_of_string v;
       parse rest
     | arg :: _ ->
       Fmt.epr "soak: unknown argument %s@." arg;
@@ -193,6 +209,32 @@ let fault_slice () =
          if not (Distsim.Audit.is_clean policy r.Distsim.Recover.log) then begin
            incr failures;
            Fmt.pr "FAULT AUDIT failure at seed %d (recovered run)@." seed
+         end;
+         (* Proof-carrying failover: the assignment that answered, and
+            the replacement assignment of every failover on the way,
+            must carry a certificate the independent checker accepts. *)
+         if not (Authz.Policy.is_open policy) then begin
+           let module C = Analysis.Certificate in
+           let joins = sys.System_gen.join_graph in
+           let recheck what = function
+             | None ->
+               incr failures;
+               Fmt.pr "FAULT MISSING %s certificate at seed %d@." what seed
+             | Some cert -> (
+               match
+                 C.check_plan ~joins sys.System_gen.catalog policy plan cert
+               with
+               | [] -> ()
+               | f :: _ ->
+                 incr failures;
+                 Fmt.pr "FAULT %s certificate rejected at seed %d: %a@." what
+                   seed C.pp_failure f)
+           in
+           recheck "final" r.Distsim.Recover.certificate;
+           List.iter
+             (fun (f : Distsim.Recover.failover) ->
+               recheck "failover" f.Distsim.Recover.certificate)
+             r.Distsim.Recover.failovers
          end
        | Error d ->
          incr degraded;
@@ -315,10 +357,106 @@ let knowledge_slice () =
   done;
   Fmt.pr "soak (knowledge): %d cases, %d with findings@." !total !leaking
 
+(* ------------------------------------------------------------------ *)
+(* Certificate slice: proof-carrying safety at soak scale.             *)
+
+let certify_slice () =
+  let module C = Analysis.Certificate in
+  let total = ref 0 and chased = ref 0 and mutated = ref 0 in
+  let seed = ref 0 in
+  while !total < !certify_cases && !seed < 10 * !certify_cases do
+    incr seed;
+    let seed = !seed in
+    let rng = Rng.make ~seed:(700_000 + seed) in
+    let topology =
+      match seed mod 3 with
+      | 0 -> System_gen.Chain
+      | 1 -> System_gen.Star
+      | _ -> System_gen.Random { extra_edges = 2 }
+    in
+    let relations = 4 + (seed mod 3) in
+    let sys =
+      System_gen.generate rng ~relations ~servers:relations ~extra:2 ~topology
+    in
+    let density = [| 0.4; 0.6; 0.9 |].(seed mod 3) in
+    let policy = Authz_gen.generate rng ~density sys in
+    match Query_gen.generate_plan rng ~joins:(2 + (seed mod 2)) sys with
+    | None -> ()
+    | Some plan ->
+      let joins = sys.join_graph in
+      (* Every third case plans against the chase closure, so its
+         certificate carries Composed derivation chains that the
+         checker replays against the pre-chase base policy. *)
+      let closed =
+        if seed mod 3 = 0 && not (Authz.Policy.is_open policy) then
+          Some (Authz.Chase.closed_policy ~joins policy)
+        else None
+      in
+      let serving =
+        match closed with Some c -> Authz.Chase.closure c | None -> policy
+      in
+      (match Planner.Safe_planner.plan sys.catalog serving plan with
+       | Error _ -> ()
+       | Ok { assignment; _ } when Authz.Policy.is_open policy ->
+         ignore assignment
+       | Ok { assignment; _ } -> (
+         incr total;
+         if Option.is_some closed then incr chased;
+         let base =
+           match closed with Some c -> Authz.Chase.policy c | None -> policy
+         in
+         match C.emit_plan ?closed sys.catalog serving plan assignment with
+         | Error msg ->
+           incr failures;
+           Fmt.pr "CERT EMIT failure at seed %d: %s@." seed msg
+         | Ok cert ->
+           (match C.check_plan ~joins sys.catalog base plan cert with
+            | [] -> ()
+            | f :: _ ->
+              incr failures;
+              Fmt.pr "CERT CHECK failure at seed %d: %a@." seed C.pp_failure f);
+           (* The JSON round-trip must preserve checkability. *)
+           (match C.plan_of_json (C.plan_to_json cert) with
+            | Error msg ->
+              incr failures;
+              Fmt.pr "CERT JSON failure at seed %d: %s@." seed msg
+            | Ok cert' ->
+              if C.check_plan ~joins sys.catalog base plan cert' <> [] then begin
+                incr failures;
+                Fmt.pr "CERT ROUND-TRIP failure at seed %d@." seed
+              end);
+           (* Every 50th certified case replays seeded forgeries; the
+              checker must reject each (CISQP050 territory). *)
+           if !total mod 50 = 0 then begin
+             incr mutated;
+             let reject what forged =
+               if C.check_plan ~joins sys.catalog base plan forged = []
+               then begin
+                 incr failures;
+                 Fmt.pr "CERT FORGERY (%s) accepted at seed %d@." what seed
+               end
+             in
+             reject "stale epoch" { cert with C.epoch = "deadbeef" };
+             match cert.C.flows with
+             | [] -> ()
+             | f0 :: rest ->
+               reject "dropped flow" { cert with C.flows = rest };
+               reject "out-of-range witness"
+                 {
+                   cert with
+                   C.flows =
+                     { f0 with C.witness = List.length cert.C.rules } :: rest;
+                 }
+           end))
+  done;
+  Fmt.pr "soak (certify): %d cases (%d chase-closed), %d mutation replays@."
+    !total !chased !mutated
+
 let () =
   clean_slice ();
   fault_slice ();
   knowledge_slice ();
+  certify_slice ();
   if !failures = 0 then Fmt.pr "soak: all checks passed@."
   else Fmt.pr "soak: %d FAILURES@." !failures;
   exit (if !failures = 0 then 0 else 1)

@@ -8,6 +8,7 @@ type location =
   | Node of int
   | Server of string
   | Flag of string
+  | Argv of int
 
 type t = {
   code : string;
@@ -39,6 +40,9 @@ let registry =
     ("CISQP031", Warning, "knowledge saturation stopped at the budget; inference incomplete");
     ("CISQP040", Error, "malformed query SQL");
     ("CISQP041", Error, "invalid command-line option value");
+    ("CISQP042", Error, "invalid command-line usage");
+    ("CISQP050", Error, "certificate check failed: evidence does not prove the verdict");
+    ("CISQP051", Error, "certificate missing, unreadable or stale");
   ]
 
 let severity_of_code code =
@@ -77,6 +81,7 @@ let pp_location ppf = function
   | Node i -> Fmt.pf ppf " n%d" i
   | Server s -> Fmt.pf ppf " server %s" s
   | Flag f -> Fmt.pf ppf " option %s" f
+  | Argv i -> Fmt.pf ppf " argument %d" i
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
@@ -88,11 +93,16 @@ let location_rank = function
   | Node _ -> 4
   | Server _ -> 5
   | Flag _ -> 6
+  | Argv _ -> 7
 
 (* Total and deterministic: the renderers' stable order depends on it. *)
 let compare_location a b =
   match (a, b) with
-  | Rule i, Rule j | Denial i, Denial j | Step i, Step j | Node i, Node j ->
+  | Rule i, Rule j
+  | Denial i, Denial j
+  | Step i, Step j
+  | Node i, Node j
+  | Argv i, Argv j ->
     Int.compare i j
   | Server s, Server t | Flag s, Flag t -> String.compare s t
   | _ -> Int.compare (location_rank a) (location_rank b)
@@ -153,6 +163,7 @@ let location_json = function
   | Node i -> Printf.sprintf {|{"kind":"node","index":%d}|} i
   | Server s -> Printf.sprintf {|{"kind":"server","name":"%s"}|} (json_escape s)
   | Flag f -> Printf.sprintf {|{"kind":"option","name":"%s"}|} (json_escape f)
+  | Argv i -> Printf.sprintf {|{"kind":"argument","index":%d}|} i
 
 let to_json ds =
   let one d =

@@ -18,6 +18,7 @@ type location =
   | Node of int  (** plan node [n<i>] *)
   | Server of string  (** a federation server, by name *)
   | Flag of string  (** a command-line option, e.g. ["--chase-budget"] *)
+  | Argv of int  (** a positional command-line argument, 1-based *)
 
 type t = private {
   code : string;  (** stable registry code, e.g. ["CISQP001"] *)

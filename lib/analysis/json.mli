@@ -1,0 +1,41 @@
+(** A minimal JSON value type with a strict parser and printer.
+
+    The project deliberately has no JSON dependency; certificates
+    ({!Certificate}) and diagnostics ({!Diagnostic.to_json}) are the
+    only JSON surfaces, and both are small. The parser is strict where
+    it matters for those uses: it rejects trailing garbage, unescaped
+    control characters inside strings, and malformed escapes, so it
+    doubles as a validator for the hand-rolled emitters. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [parse s] — the single JSON value encoded by [s] (surrounding
+    whitespace allowed, nothing else). [Str] payloads are the decoded
+    code points re-encoded as UTF-8 bytes. *)
+val parse : string -> (t, string) result
+
+(** [to_string v] — compact (no-whitespace) rendering. Strings are
+    emitted byte-transparently except for the double quote, the
+    backslash and control characters below [0x20], which are escaped;
+    this matches {!Diagnostic.to_json}. *)
+val to_string : t -> string
+
+(** [member name v] — field [name] of object [v], if both exist. *)
+val member : string -> t -> t option
+
+(** Coercions, [None] on shape mismatch. [to_int] additionally requires
+    the number to be integral. *)
+
+val to_str : t -> string option
+
+val to_int : t -> int option
+
+val to_bool : t -> bool option
+
+val to_list : t -> t list option

@@ -225,6 +225,15 @@ type sstate = {
   by_path : (int, int list ref) Hashtbl.t;
       (** profile ids per interned join path — the subsumption probe *)
   pending : int Queue.t;  (** the frontier *)
+  origins : (int, item) Hashtbl.t;
+      (** provenance of seeds and deliveries, by profile id — a stored
+          base relation ([sources = via = \[\]]) or one delivery
+          ([sources = \[s\]; via = \[\]]); consumed by {!explain} *)
+  parents : (int, int * int * int) Hashtbl.t;
+      (** per derived profile id, the [(condition id, left profile id,
+          right profile id)] of the join that first produced it; both
+          parents were inserted strictly earlier, so walking parents
+          terminates — the join tree of the certificate *)
   mutable hit_budget : bool;
 }
 
@@ -235,6 +244,8 @@ let new_state ~sides () =
     covers = Hashtbl.create 16;
     by_path = Hashtbl.create 16;
     pending = Queue.create ();
+    origins = Hashtbl.create 16;
+    parents = Hashtbl.create 16;
     hit_budget = false;
   }
 
@@ -366,7 +377,11 @@ let drain ~budget jinfos st =
                     if not (dominated st jinfo ~candidate_leaks) then begin
                       if Hashtbl.length st.entries >= budget then
                         st.hit_budget <- true
-                      else insert st { info = jinfo; srcs; vias }
+                      else begin
+                        insert st { info = jinfo; srcs; vias };
+                        Hashtbl.replace st.parents jpid
+                          (ji.cid, e.info.pid, q.info.pid)
+                      end
                     end
                   end)
             candidates
@@ -384,7 +399,8 @@ let seed_state ~sides sources_reg table =
       List.iter (fun s -> Hashtbl.replace sources_reg s.seq s) it.sources;
       let srcs = Int_set.of_list (List.map (fun s -> s.seq) it.sources) in
       let vias = Int_set.of_list (List.map cond_id it.via) in
-      insert st { info; srcs; vias })
+      insert st { info; srcs; vias };
+      Hashtbl.replace st.origins info.pid it)
     table;
   st
 
@@ -469,6 +485,8 @@ let feed c ~receiver ~(source : source) profile =
        budgeted. *)
     insert st
       { info; srcs = Int_set.singleton source.seq; vias = Int_set.empty };
+    Hashtbl.replace st.origins info.pid
+      { profile; sources = [ source ]; via = [] };
     drain ~budget:c.c_budget c.c_jinfos st
   end
 
@@ -486,6 +504,48 @@ let snapshot c =
     |> List.sort_uniq Server.compare
   in
   { knowledge; exhausted }
+
+(* Reconstruct the join tree behind a derived profile from the
+   recorded provenance: origins bottom out in stored relations and
+   single deliveries, parents point strictly backwards, so the walk is
+   linear in the tree size and never re-runs saturation. [None] when
+   the profile was seeded pre-joined (a knowledge base not built by
+   {!of_catalog}/{!feed}), in which case no checkable counterexample
+   exists. *)
+let explain c catalog server profile =
+  match Hashtbl.find_opt c.c_states server with
+  | None -> None
+  | Some st ->
+    let rec tree_of pid =
+      match Hashtbl.find_opt st.origins pid with
+      | Some it -> (
+        match (it.sources, it.via) with
+        | [], [] ->
+          let stored sch =
+            Catalog.stores catalog (Schema.name sch) server
+            && Profile.equal (Profile.of_base sch) it.profile
+          in
+          (match List.find_opt stored (Catalog.schemas catalog) with
+           | Some sch ->
+             Some (Certificate.Stored { relation = Schema.name sch })
+           | None -> None)
+        | [ s ], [] ->
+          Some
+            (Certificate.Received
+               { seq = s.seq; sender = s.sender; profile = it.profile })
+        | _ -> None)
+      | None -> (
+        match Hashtbl.find_opt st.parents pid with
+        | None -> None
+        | Some (cid, lpid, rpid) -> (
+          match (tree_of lpid, tree_of rpid) with
+          | Some left, Some right ->
+            Some
+              (Certificate.Joined
+                 { via = Hashtbl.find cond_reg cid; left; right })
+          | _ -> None))
+    in
+    tree_of (intern profile).pid
 
 (* ------------------------------------------------------------------ *)
 (* The seed engine, kept as the reference implementation for the

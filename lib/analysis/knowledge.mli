@@ -157,6 +157,18 @@ val feed : cursor -> receiver:Server.t -> source:source -> Profile.t -> unit
     deduped and sorted. *)
 val snapshot : cursor -> outcome
 
+(** [explain c catalog server profile] — the join tree behind
+    [profile] in [server]'s saturated knowledge base, reconstructed
+    from provenance recorded during saturation (no re-saturation):
+    leaves are relations stored at the server or single logged
+    deliveries, internal nodes the join steps that first derived each
+    intermediate profile. This is the checkable counterexample
+    attached to a CISQP030 verdict — validate it with
+    {!Certificate.check_leak}. [None] when the profile is not in the
+    base or was seeded pre-joined. *)
+val explain :
+  cursor -> Catalog.t -> Server.t -> Profile.t -> Certificate.tree option
+
 (** {!lint} on the cursor's current state, without re-saturating:
     [cursor_lint policy c] = [lint ~joins policy accumulated] for the
     accumulated deliveries fed so far (same CISQP030/031 verdicts; the

@@ -12,6 +12,18 @@ open Relalg
 
 let default_max_rules = 100_000
 
+(* One application of the merge rule, in the order the engine performed
+   it. The list produced by a closure is chronological, so every
+   premise of a step is either a base rule or the [derived] of an
+   earlier step — exactly the shape the certificate checker
+   ({!Analysis.Certificate}) replays in one linear pass. *)
+type derivation = {
+  derived : Authorization.t;
+  left : Authorization.t;
+  right : Authorization.t;
+  via : Joinpath.Cond.t;
+}
+
 let overflow max_rules =
   invalid_arg
     (Printf.sprintf "Chase.close: closure exceeds %d rules" max_rules)
@@ -65,7 +77,8 @@ let union_path cid j pid1 p1 pid2 p2 =
    against the round-start policy exactly as the naive engine's
    [can_view] does — which is why the two produce identical rule sets
    (proved by the differential suite in test_chase_diff.ml). *)
-let rec rounds ~max_rules ~joins policy frontier =
+let rec rounds ?(record = fun (_ : derivation) -> ()) ~max_rules ~joins
+    policy frontier =
   if Policy.cardinality policy > max_rules then overflow max_rules;
   match frontier with
   | [] -> policy
@@ -120,6 +133,7 @@ let rec rounds ~max_rules ~joins policy frontier =
                       match Authorization.make ~attrs ~path a1.server with
                       | Ok d ->
                         Hashtbl.add seen rid ();
+                        record { derived = d; left = a1; right = a2; via = j };
                         fresh := d :: !fresh
                       | Error _ -> ()
                     end
@@ -133,12 +147,20 @@ let rec rounds ~max_rules ~joins policy frontier =
     (match !fresh with
      | [] -> policy
      | fresh ->
-       rounds ~max_rules ~joins
+       rounds ~record ~max_rules ~joins
          (List.fold_left (fun p d -> Policy.add d p) policy fresh)
          fresh)
 
 let close ?(max_rules = default_max_rules) ~joins policy =
   rounds ~max_rules ~joins policy (Policy.authorizations policy)
+
+let close_trace ?(max_rules = default_max_rules) ~joins policy =
+  let acc = ref [] in
+  let record d = acc := d :: !acc in
+  let closure =
+    rounds ~record ~max_rules ~joins policy (Policy.authorizations policy)
+  in
+  (closure, List.rev !acc)
 
 (* The seed engine, kept as the reference implementation for the
    differential tests and the old-vs-new benchmark. It carries its own
@@ -197,7 +219,7 @@ type closed = {
   base : Policy.t;
   joins : Joinpath.Cond.t list;
   max_rules : int;
-  closure : Policy.t Lazy.t;
+  closure : (Policy.t * derivation list) Lazy.t;
 }
 
 let closed_policy ?(max_rules = default_max_rules) ~joins policy =
@@ -205,12 +227,13 @@ let closed_policy ?(max_rules = default_max_rules) ~joins policy =
     base = policy;
     joins;
     max_rules;
-    closure = lazy (close ~max_rules ~joins policy);
+    closure = lazy (close_trace ~max_rules ~joins policy);
   }
 
 let policy t = t.base
 let joins t = t.joins
-let closure t = Lazy.force t.closure
+let closure t = fst (Lazy.force t.closure)
+let derivations t = snd (Lazy.force t.closure)
 let can_view t profile s = Policy.can_view (closure t) profile s
 
 let add a t =
@@ -225,9 +248,16 @@ let add a t =
            run keeps as explicit derived rules) but admits exactly the
            same releases — extensional equality, which is what every
            consumer of a policy observes. *)
-        let prev = Lazy.force t.closure in
-        lazy (rounds ~max_rules:t.max_rules ~joins:t.joins (Policy.add a prev) [ a ])
-      else lazy (close ~max_rules:t.max_rules ~joins:t.joins base)
+        let prev, trace = Lazy.force t.closure in
+        lazy
+          (let acc = ref [] in
+           let record d = acc := d :: !acc in
+           let p =
+             rounds ~record ~max_rules:t.max_rules ~joins:t.joins
+               (Policy.add a prev) [ a ]
+           in
+           (p, trace @ List.rev !acc))
+      else lazy (close_trace ~max_rules:t.max_rules ~joins:t.joins base)
     in
     { t with base; closure }
 

@@ -44,6 +44,27 @@ open Relalg
     @raise Invalid_argument when the bound is exceeded. *)
 val close : ?max_rules:int -> joins:Joinpath.Cond.t list -> Policy.t -> Policy.t
 
+(** One recorded application of the merge rule: [derived] is the
+    [\[left.attrs ∪ right.attrs, left.path ∪ right.path ∪ {via}\]]
+    rule, all three on the same server. *)
+type derivation = {
+  derived : Authorization.t;
+  left : Authorization.t;
+  right : Authorization.t;
+  via : Joinpath.Cond.t;
+}
+
+(** [close_trace ~joins policy] — [close], plus the chronological list
+    of merge steps that produced each derived rule. Every premise of a
+    step is a base rule or the [derived] of an {e earlier} step, so the
+    trace replays in one linear pass against the base policy — the
+    evidence consumed by {!Analysis.Certificate}. *)
+val close_trace :
+  ?max_rules:int ->
+  joins:Joinpath.Cond.t list ->
+  Policy.t ->
+  Policy.t * derivation list
+
 (** The seed (naive) engine: every round rescans (all × all) rule
     pairs. Kept as the executable reference — the differential tests
     prove [close ≡ close_naive] on randomized policies, and the chase
@@ -71,6 +92,11 @@ val joins : closed -> Joinpath.Cond.t list
 
 (** The closed policy; computed on first call, cached afterwards. *)
 val closure : closed -> Policy.t
+
+(** The merge steps behind {!closure}, chronological (premises before
+    conclusions); forces the closure. After {!add} on a cached handle
+    the list extends the previous trace with the incremental steps. *)
+val derivations : closed -> derivation list
 
 (** [can_view t profile s] — Definition 3.3 against the cached
     closure. *)

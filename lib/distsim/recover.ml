@@ -10,11 +10,13 @@ type failover = {
   permanent : bool;
   failed_node : int;
   assignment : Planner.Assignment.t;
+  certificate : Analysis.Certificate.plan_cert option;
 }
 
 type reason =
   | No_safe_replan of { dead : Server.t list; failed_at : int }
   | Replan_unsafe of { dead : Server.t list }
+  | Replan_uncertified of { dead : Server.t list; detail : string }
   | Transfer_failed of {
       sender : Server.t;
       receiver : Server.t;
@@ -30,6 +32,7 @@ type recovered = {
   outcome : Engine.outcome;
   log : Network.t;
   assignment : Planner.Assignment.t;
+  certificate : Analysis.Certificate.plan_cert option;
   rescues : Planner.Third_party.rescue list;
   failovers : failover list;
   excluded : Server.t list;
@@ -98,6 +101,32 @@ let execute ?(helpers = []) ?max_failovers ?close_under catalog policy
         (No_safe_replan
            { dead = !excluded; failed_at = f.Planner.Third_party.failed_at })
     | Ok { assignment; rescues } ->
+      let third_party = rescues <> [] in
+      (* Proof-carrying replan: emit a certificate for the assignment
+         and have the independent linear checker validate it before a
+         single message of this attempt is emitted. Open-mode policies
+         are outside the certificate language, so they carry [None]. *)
+      let certified =
+        if Authz.Policy.is_open policy then Ok None
+        else
+          match
+            Analysis.Certificate.emit_plan ~third_party ?closed catalog
+              policy plan assignment
+          with
+          | Error detail -> Error detail
+          | Ok cert -> (
+            let joins =
+              match closed with Some c -> Authz.Chase.joins c | None -> []
+            in
+            match
+              Analysis.Certificate.check_plan ~joins catalog policy plan cert
+            with
+            | [] -> Ok (Some cert)
+            | f :: _ -> Error (Fmt.str "%a" Analysis.Certificate.pp_failure f))
+      in
+      let certificate =
+        match certified with Ok c -> c | Error _ -> None
+      in
       (match pending with
        | None -> ()
        | Some (dead, permanent, failed_node, died_at) ->
@@ -105,9 +134,15 @@ let execute ?(helpers = []) ?max_failovers ?close_under catalog policy
              m "failover %d: %a dead at n%d, replanned without it" died_at
                Server.pp dead failed_node);
          failovers :=
-           { attempt = died_at; dead; permanent; failed_node; assignment }
+           {
+             attempt = died_at;
+             dead;
+             permanent;
+             failed_node;
+             assignment;
+             certificate;
+           }
            :: !failovers);
-      let third_party = rescues <> [] in
       (* Re-prove Definition 4.2 with the independent checker before a
          single message of this attempt is emitted. *)
       (match
@@ -115,6 +150,11 @@ let execute ?(helpers = []) ?max_failovers ?close_under catalog policy
            assignment
        with
        | Error _ -> degraded (Replan_unsafe { dead = !excluded })
+       | Ok _flows when Result.is_error certified ->
+         let detail =
+           match certified with Error d -> d | Ok _ -> assert false
+         in
+         degraded (Replan_uncertified { dead = !excluded; detail })
        | Ok _flows ->
          let network = Network.create () in
          segments := network :: !segments;
@@ -138,6 +178,7 @@ let execute ?(helpers = []) ?max_failovers ?close_under catalog policy
                 outcome = o;
                 log;
                 assignment;
+                certificate;
                 rescues;
                 failovers = List.rev !failovers;
                 excluded = !excluded;
@@ -201,6 +242,10 @@ let pp_reason ppf = function
     Fmt.pf ppf "replan without %a failed the independent safety re-proof"
       Fmt.(list ~sep:comma Server.pp)
       dead
+  | Replan_uncertified { dead; detail } ->
+    Fmt.pf ppf "replan without %a failed certification: %s"
+      Fmt.(list ~sep:comma Server.pp)
+      dead detail
   | Transfer_failed { sender; receiver; node; attempts } ->
     Fmt.pf ppf "link %a -> %a never delivered at n%d (%d attempts)" Server.pp
       sender Server.pp receiver node attempts

@@ -42,6 +42,12 @@ type failover = {
           and was escalated to exclusion *)
   failed_node : int;  (** plan node being executed when it died *)
   assignment : Planner.Assignment.t;  (** the replacement assignment *)
+  certificate : Analysis.Certificate.plan_cert option;
+      (** proof-carrying witness for the replacement, emitted and
+          independently checked before any post-failover message;
+          [None] under an open-mode policy (certificates apply to
+          closed policies only) or when certification failed — the
+          latter always escalates to {!Replan_uncertified} *)
 }
 
 (** Why an execution could not be recovered. *)
@@ -55,6 +61,12 @@ type reason =
           re-proof — by construction this should never happen; it is a
           distinct outcome precisely so that it cannot be confused with
           a legitimate failure *)
+  | Replan_uncertified of { dead : Server.t list; detail : string }
+      (** the replanned assignment passed the safety re-proof but its
+          certificate could not be emitted or checked
+          ({!Analysis.Certificate}) — like {!Replan_unsafe}, an
+          engine-bug tripwire, kept distinct so it cannot be confused
+          with a legitimate failure *)
   | Transfer_failed of {
       sender : Server.t;
       receiver : Server.t;
@@ -76,6 +88,10 @@ type recovered = {
   log : Network.t;
       (** cumulative emissions of {e all} attempts, for {!Audit.run} *)
   assignment : Planner.Assignment.t;  (** the assignment that succeeded *)
+  certificate : Analysis.Certificate.plan_cert option;
+      (** proof-carrying witness for the successful assignment, emitted
+          and checked before its first message; [None] only under an
+          open-mode policy *)
   rescues : Planner.Third_party.rescue list;
   failovers : failover list;  (** empty: recovered without replanning *)
   excluded : Server.t list;  (** servers written off during recovery *)

@@ -4,6 +4,7 @@ type cached = {
   c_plan : Plan.t;
   c_assignment : Planner.Assignment.t;
   c_rescues : Planner.Third_party.rescue list;
+  c_certificate : Analysis.Certificate.plan_cert option;
 }
 
 type stats = {
@@ -16,7 +17,9 @@ type stats = {
 
 type t = {
   catalog : Catalog.t;
-  policy : Authz.Policy.t;
+  policy : Authz.Policy.t;  (* the serving policy: closure when chased *)
+  chase : Authz.Chase.closed option;
+  joins : Joinpath.Cond.t list;
   helpers : Server.t list;
   instances : string -> Relation.t option;
   plan_cache : (string, cached) Hashtbl.t;
@@ -29,17 +32,23 @@ type t = {
 }
 
 let create ~catalog ~policy ?(helpers = []) ?close_under ~instances () =
-  let policy =
-    (* Close once, through a chase handle, and serve every later check
-       (planning, safety proofs, audits) from the stored closure. *)
+  (* Close once, through a chase handle, and serve every later check
+     (planning, safety proofs, audits) from the stored closure. The
+     handle is kept: its recorded derivation trace is what lets plan
+     certificates replay derived witnesses against the base policy. *)
+  let chase, joins, policy =
     match close_under with
     | Some joins when not (Authz.Policy.is_open policy) ->
-      Authz.Chase.closure (Authz.Chase.closed_policy ~joins policy)
-    | _ -> policy
+      let handle = Authz.Chase.closed_policy ~joins policy in
+      (Some handle, joins, Authz.Chase.closure handle)
+    | Some joins -> (None, joins, policy)
+    | None -> (None, [], policy)
   in
   {
     catalog;
     policy;
+    chase;
+    joins;
     helpers;
     instances;
     plan_cache = Hashtbl.create 16;
@@ -73,6 +82,7 @@ let of_text ~schema ~authz ?data ?(helpers = []) () =
 type response = {
   plan : Plan.t;
   assignment : Planner.Assignment.t;
+  certificate : Analysis.Certificate.plan_cert option;
   rescues : Planner.Third_party.rescue list;
   result : Relation.t;
   location : Server.t;
@@ -96,6 +106,7 @@ type error =
       failed_node : int option;
     }
   | Audit_violation of string
+  | Uncertified of string
 
 let pp_error ppf = function
   | Parse_error msg -> Fmt.pf ppf "parse error: %s" msg
@@ -122,11 +133,38 @@ let pp_error ppf = function
          Fmt.(list ~sep:comma (fmt "n%d"))
          (List.map fst ps))
   | Audit_violation msg -> Fmt.pf ppf "AUDIT VIOLATION: %s" msg
+  | Uncertified msg -> Fmt.pf ppf "CERTIFICATION FAILED: %s" msg
 
 let parse t sql =
   match Sql_parser.parse t.catalog sql with
   | Ok q -> Ok q
   | Error e -> Error (Parse_error (Fmt.str "%a" Sql_parser.pp_error e))
+
+(* Proof-carrying planning: emit a certificate for the fresh plan and
+   have the independent checker validate it against the *base* policy
+   (pre-chase when the federation was created with [close_under]) before
+   the plan is cached or a single message is sent. Open-mode policies
+   are outside the certificate language and carry [None]. *)
+let certify_plan t plan assignment rescues =
+  if Authz.Policy.is_open t.policy then Ok None
+  else
+    let third_party = rescues <> [] in
+    match
+      Analysis.Certificate.emit_plan ~third_party ?closed:t.chase t.catalog
+        t.policy plan assignment
+    with
+    | Error detail -> Error (Uncertified detail)
+    | Ok cert -> (
+      let base =
+        match t.chase with Some c -> Authz.Chase.policy c | None -> t.policy
+      in
+      match
+        Analysis.Certificate.check_plan ~joins:t.joins t.catalog base plan
+          cert
+      with
+      | [] -> Ok (Some cert)
+      | f :: _ ->
+        Error (Uncertified (Fmt.str "%a" Analysis.Certificate.pp_failure f)))
 
 let plan_sql t sql =
   match Hashtbl.find_opt t.plan_cache sql with
@@ -142,11 +180,19 @@ let plan_sql t sql =
           Planner.Third_party.plan ~helpers:t.helpers t.catalog t.policy plan
         with
         | Ok { assignment; rescues } ->
-          let cached =
-            { c_plan = plan; c_assignment = assignment; c_rescues = rescues }
-          in
-          Hashtbl.replace t.plan_cache sql cached;
-          Ok (cached, false)
+          (match certify_plan t plan assignment rescues with
+           | Error e -> Error e
+           | Ok certificate ->
+             let cached =
+               {
+                 c_plan = plan;
+                 c_assignment = assignment;
+                 c_rescues = rescues;
+                 c_certificate = certificate;
+               }
+             in
+             Hashtbl.replace t.plan_cache sql cached;
+             Ok (cached, false))
         | Error f ->
           t.infeasible_count <- t.infeasible_count + 1;
           let advice = Planner.Advisor.advise t.catalog t.policy plan in
@@ -191,6 +237,7 @@ let query ?fault t sql =
               {
                 plan = cached.c_plan;
                 assignment = cached.c_assignment;
+                certificate = cached.c_certificate;
                 rescues = cached.c_rescues;
                 result;
                 location;
@@ -212,6 +259,7 @@ let query ?fault t sql =
               {
                 plan = cached.c_plan;
                 assignment = r.assignment;
+                certificate = r.certificate;
                 rescues = r.rescues;
                 result = r.result;
                 location = r.location;

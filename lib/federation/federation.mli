@@ -50,6 +50,14 @@ val of_text :
 type response = {
   plan : Plan.t;
   assignment : Planner.Assignment.t;
+  certificate : Analysis.Certificate.plan_cert option;
+      (** proof-carrying witness for the assignment that answered:
+          emitted at plan time, independently checked against the
+          {e base} (pre-chase) policy before the plan was cached, and —
+          under fault injection — re-emitted and re-checked for the
+          replacement assignment of every failover. [None] only under
+          an open-mode policy, which the certificate language does not
+          cover. *)
   rescues : Planner.Third_party.rescue list;
       (** non-empty when a helper had to step in *)
   result : Relation.t;
@@ -84,6 +92,11 @@ type error =
   | Audit_violation of string
       (** defence in depth: an executed flow failed the runtime audit —
           the response is withheld *)
+  | Uncertified of string
+      (** the plan passed the planner's safety proof but its
+          certificate could not be emitted or independently checked
+          ({!Analysis.Certificate}) — an engine-bug tripwire; the plan
+          is neither cached nor executed *)
 
 val pp_error : error Fmt.t
 

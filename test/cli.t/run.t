@@ -268,3 +268,97 @@ result:
   n3: [SC, NULL]
   n4: [SA, NULL]
   n5: [SB, NULL]
+
+Proof-carrying safety. --certify re-derives the plan's safety evidence
+as a certificate and replays it through the independent linear-time
+checker before reporting; --cert-out persists the certificate as JSON:
+
+  $ cisqp plan -s medical --certify --cert-out cert.json "SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient" > /dev/null
+
+The certify subcommand validates a stored certificate against the
+current policy — the deployment-time counterpart of the planner-side
+check:
+
+  $ cisqp certify -s medical cert.json "SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient"
+  Certificate: OK (3 rule(s), 3 flow(s) checked)
+
+A certificate pinned to a different policy epoch is rejected with
+CISQP050 (exit 1) unless --revalidate replays its evidence against the
+current policy:
+
+  $ sed 's/"epoch":"[a-f0-9]*"/"epoch":"00"/' cert.json > stale.json
+  $ cisqp certify -s medical stale.json "SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient" 2>&1 | sed 's/epoch is [a-f0-9]*/epoch is HEX/'
+  error[CISQP050]: stale certificate: policy epoch is HEX, certificate carries 00
+
+  $ cisqp certify -s medical --revalidate stale.json "SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient"
+  Certificate: OK (3 rule(s), 3 flow(s) checked, revalidated against the current policy)
+
+A forged witness is a semantic failure, not a parse error — repointing
+a flow's evidence at rule #0 trips the subset/path-equality replay:
+
+  $ sed 's/"witness":[0-9]*/"witness":0/' cert.json > forged.json
+  $ cisqp certify -s medical forged.json "SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient" 2>&1 | head -1
+  error[CISQP050] n2: node n2: witness rule names a different server than the receiver
+
+A missing or unreadable certificate is an input error (CISQP051,
+exit 2):
+
+  $ cisqp certify -s medical nonexistent.json "SELECT Patient FROM Hospital"
+  error[CISQP051]: cannot read certificate: nonexistent.json: No such file or directory
+  [2]
+
+Certificates replay the canonical plan shape, so --certify refuses
+--optimize up front as a usage error:
+
+  $ cisqp plan -s medical --certify --optimize "SELECT Patient FROM Hospital"
+  error[CISQP042] option --certify: --certify and --optimize cannot be combined: certificates replay the canonical plan shape derived from the SQL
+  [2]
+
+Usage errors are positioned diagnostics under CISQP042 and exit 2
+uniformly — a missing required flag and an unknown positional alike:
+
+  $ cisqp plan --schema chase.schema "SELECT Ax FROM A"
+  error[CISQP042] option --authz: --schema requires --authz
+  [2]
+
+  $ cisqp repro fig9
+  error[CISQP042] argument 1: unknown figure "fig9" (try: fig1..fig5, fig7, all)
+  [2]
+
+Chase-closed planning certifies too: derived rules are recorded with
+their merge steps and replayed against the pre-chase base policy:
+
+  $ cisqp plan --chase --certify --schema chase.schema --authz chase.authz "SELECT Ax, Cd FROM A JOIN B ON Ab = Bx JOIN C ON Bc = Cx" | tail -1
+  Certificate: OK (4 rule(s), 2 flow(s) checked)
+
+Execution under --certify covers failover: the replacement assignment
+is re-certified before the post-failover run is reported:
+
+  $ cisqp run --schema failover.schema --authz failover.authz --data failover.data --crash SA --certify "SELECT Adata, Bdata FROM A JOIN B ON Ax = Bx" | tail -1
+  Certificate: OK (0 rule(s), 0 flow(s) checked)
+
+The lint --certify pass attaches a checkable join-tree counterexample
+to every CISQP030 leak verdict and renders it for users:
+
+  $ cisqp lint --schema leaky.schema --authz leaky.authz --pass inference --certify "SELECT Customer, Part, RegPart FROM Orders JOIN Registry ON OrderKey = RegOrder" "SELECT Price, RegPart FROM Parts JOIN Registry ON PartNo = RegPart"
+  warning[CISQP030] server S_R: can assemble [{Customer, OrderKey, Part, PartNo, Price, RegOrder, RegPart}, {⟨OrderKey, RegOrder⟩, ⟨Part, PartNo⟩, ⟨PartNo, RegPart⟩}, {}] by joining deliveries #0 from S_O (result of n2), #1 from S_P (result of n2) on ⟨OrderKey, RegOrder⟩, ⟨Part, PartNo⟩, ⟨PartNo, RegPart⟩; no authorization admits it
+  warning[CISQP030] server S_R: can assemble [{Customer, OrderKey, Part, PartNo, Price, RegOrder, RegPart}, {⟨OrderKey, RegOrder⟩, ⟨Part, PartNo⟩}, {}] by joining deliveries #0 from S_O (result of n2), #1 from S_P (result of n2) on ⟨OrderKey, RegOrder⟩, ⟨Part, PartNo⟩; no authorization admits it
+  warning[CISQP030] server S_R: can assemble [{Customer, OrderKey, Part, PartNo, Price, RegOrder, RegPart}, {⟨OrderKey, RegOrder⟩, ⟨PartNo, RegPart⟩}, {}] by joining deliveries #0 from S_O (result of n2), #1 from S_P (result of n2) on ⟨OrderKey, RegOrder⟩, ⟨PartNo, RegPart⟩; no authorization admits it
+  warning[CISQP030] server S_R: can assemble [{Customer, OrderKey, Part, PartNo, Price, RegOrder, RegPart}, {⟨Part, PartNo⟩, ⟨PartNo, RegPart⟩}, {}] by joining deliveries #0 from S_O (result of n2), #1 from S_P (result of n2) on ⟨Part, PartNo⟩, ⟨PartNo, RegPart⟩; no authorization admits it
+  warning[CISQP030] server S_R: can assemble [{Customer, OrderKey, Part, PartNo, Price}, {⟨Part, PartNo⟩}, {}] by joining deliveries #0 from S_O (result of n2), #1 from S_P (result of n2) on ⟨Part, PartNo⟩; no authorization admits it
+  0 error(s), 5 warning(s), 0 info(s)
+  leak witness at S_R: (delivery #0 of [{Customer, OrderKey, Part}, -, {}] from S_O join[
+  ⟨Part, PartNo⟩] delivery #1 of [{PartNo, Price}, -, {}] from S_P)
+  leak witness at S_R: (delivery #1 of [{PartNo, Price}, -, {}] from S_P join[
+  ⟨Part, PartNo⟩] (delivery #0 of [{Customer, OrderKey, Part}, -, {}] from S_O join[
+  ⟨OrderKey, RegOrder⟩] Registry))
+  leak witness at S_R: (delivery #1 of [{PartNo, Price}, -, {}] from S_P join[
+  ⟨Part, PartNo⟩] (delivery #1 of [{PartNo, Price}, -, {}] from S_P join[
+  ⟨PartNo, RegPart⟩] (delivery #0 of [{Customer, OrderKey, Part}, -, {}] from S_O join[
+  ⟨OrderKey, RegOrder⟩] Registry)))
+  leak witness at S_R: (delivery #1 of [{PartNo, Price}, -, {}] from S_P join[
+  ⟨PartNo, RegPart⟩] (delivery #0 of [{Customer, OrderKey, Part}, -, {}] from S_O join[
+  ⟨OrderKey, RegOrder⟩] Registry))
+  leak witness at S_R: (Registry join[⟨PartNo, RegPart⟩] (delivery #0 of 
+  [{Customer, OrderKey, Part}, -, {}] from S_O join[⟨Part, PartNo⟩] delivery #1 of 
+  [{PartNo, Price}, -, {}] from S_P))

@@ -1,0 +1,88 @@
+(* The hand-rolled JSON surfaces: the strict parser of Analysis.Json
+   and the escaping of Diagnostic.to_json, including a property test
+   driving hostile strings through a diagnostic message and back
+   through the parser. *)
+
+module D = Analysis.Diagnostic
+module J = Analysis.Json
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let parse_ok s =
+  match J.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let test_literals () =
+  check Alcotest.bool "null" true (parse_ok "null" = J.Null);
+  check Alcotest.bool "true" true (parse_ok "true" = J.Bool true);
+  check Alcotest.bool "number" true (parse_ok " -12.5e1 " = J.Num (-125.));
+  check Alcotest.bool "string" true (parse_ok {|"a b"|} = J.Str "a b");
+  check Alcotest.bool "array" true
+    (parse_ok "[1,2]" = J.Arr [ J.Num 1.; J.Num 2. ]);
+  check Alcotest.bool "object" true
+    (parse_ok {|{"k":"v"}|} = J.Obj [ ("k", J.Str "v") ])
+
+let test_escapes () =
+  check Alcotest.bool "standard escapes" true
+    (parse_ok {|"a\"b\\c\nd\te"|} = J.Str "a\"b\\c\nd\te");
+  check Alcotest.bool "unicode escape" true
+    (parse_ok {|"\u0041"|} = J.Str "A");
+  check Alcotest.bool "non-ASCII escape decodes to UTF-8" true
+    (parse_ok {|"\u00e9"|} = J.Str "\xc3\xa9")
+
+let test_rejections () =
+  let rejects s =
+    check Alcotest.bool (Fmt.str "rejects %S" s) true
+      (Result.is_error (J.parse s))
+  in
+  rejects "";
+  rejects "nul";
+  rejects "[1,]";
+  rejects "{\"k\":}";
+  rejects "1 2";
+  (* trailing garbage *)
+  rejects "\"unterminated";
+  rejects "\"raw \n newline\"";
+  (* control character in string *)
+  rejects "\"bad \\x escape\"";
+  rejects "{\"dup\" 1}"
+
+let test_round_trip () =
+  let v =
+    J.Obj
+      [
+        ("s", J.Str "quote \" slash \\ ctrl \x01 end");
+        ("n", J.Num 3.);
+        ("l", J.Arr [ J.Null; J.Bool false ]);
+      ]
+  in
+  check Alcotest.bool "print/parse round-trip" true
+    (parse_ok (J.to_string v) = v)
+
+(* Any message — hostile quotes, backslashes, control bytes — must
+   leave Diagnostic.to_json emitting valid JSON that round-trips the
+   message byte-for-byte. *)
+let diag_escaping =
+  QCheck.Test.make ~count:500 ~name:"Diagnostic.to_json escapes any message"
+    QCheck.(string_of_size Gen.(0 -- 60))
+    (fun msg ->
+      let d = D.make "CISQP050" (D.Server "s\"1\\") "%s" msg in
+      match J.parse (D.to_json [ d ]) with
+      | Error e -> QCheck.Test.fail_reportf "invalid JSON: %s" e
+      | Ok v -> (
+        match J.to_list v with
+        | Some [ entry ] ->
+          Option.bind (J.member "message" entry) J.to_str = Some msg
+          && Option.bind (J.member "code" entry) J.to_str = Some "CISQP050"
+        | _ -> QCheck.Test.fail_reportf "expected a one-entry array"))
+
+let suite =
+  [
+    c "literals" `Quick test_literals;
+    c "escapes" `Quick test_escapes;
+    c "rejections" `Quick test_rejections;
+    c "round-trip" `Quick test_round_trip;
+    Helpers.qcheck diag_escaping;
+  ]

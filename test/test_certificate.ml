@@ -1,0 +1,495 @@
+(* Proof-carrying safety: the certificate language and its independent
+   linear-time checker. Genuine certificates — chase traces, plan
+   certificates (base and chase-derived), leak counterexamples,
+   failover replacements, federation responses — must all check; a
+   seeded battery of distinct forgeries must all be rejected, each as
+   a CISQP050. *)
+
+open Relalg
+module C = Analysis.Certificate
+module K = Analysis.Knowledge
+module D = Analysis.Diagnostic
+module M = Scenario.Medical
+
+let c = Alcotest.test_case
+let check = Alcotest.check
+
+let medical_assignment () =
+  let plan = M.example_plan () in
+  match Planner.Safe_planner.plan M.catalog M.policy plan with
+  | Ok r -> (plan, r.Planner.Safe_planner.assignment)
+  | Error f ->
+    Alcotest.failf "planning failed: %a" Planner.Safe_planner.pp_failure f
+
+let medical_cert () =
+  let plan, assignment = medical_assignment () in
+  match C.emit_plan M.catalog M.policy plan assignment with
+  | Ok cert -> (plan, cert)
+  | Error msg -> Alcotest.failf "emission failed: %s" msg
+
+let check_medical ?revalidate plan cert =
+  C.check_plan ?revalidate ~joins:M.join_graph M.catalog M.policy plan cert
+
+let no_failures what fs =
+  check Alcotest.(list string) what []
+    (List.map (fun f -> Fmt.str "%a" C.pp_failure f) fs)
+
+let rejected what fs = check Alcotest.bool what true (fs <> [])
+
+(* A structurally valid authorization the medical policy does not
+   grant: some Figure-3 rule re-targeted at a server that lacks it. *)
+let ungranted () =
+  let servers = [ M.s_i; M.s_h; M.s_n; M.s_d ] in
+  let candidates =
+    List.concat_map
+      (fun (a : Authz.Authorization.t) ->
+        List.map
+          (fun s ->
+            Authz.Authorization.make_exn ~attrs:a.Authz.Authorization.attrs
+              ~path:a.Authz.Authorization.path s)
+          servers)
+      (Authz.Policy.authorizations M.policy)
+  in
+  match
+    List.find_opt (fun a -> not (Authz.Policy.mem a M.policy)) candidates
+  with
+  | Some a -> a
+  | None -> Alcotest.fail "medical policy grants everything everywhere?"
+
+(* ------------------------------------------------------------------ *)
+(* Derivation traces.                                                  *)
+
+let test_chase_trace_checks () =
+  let closure, trace = Authz.Chase.close_trace ~joins:M.join_graph M.policy in
+  check Alcotest.bool "medical chase derives rules" true (trace <> []);
+  let rules = C.rules_of_trace M.policy trace in
+  check Alcotest.int "universe = base + trace"
+    (Authz.Policy.cardinality M.policy + List.length trace)
+    (List.length rules);
+  no_failures "trace replays" (C.check_rules ~joins:M.join_graph M.policy rules);
+  (* Every rule of the closure is somewhere in the universe. *)
+  List.iter
+    (fun a ->
+      check Alcotest.bool "closure rule in universe" true
+        (List.exists
+           (fun (r : C.rule) -> Authz.Authorization.equal r.C.auth a)
+           rules))
+    (Authz.Policy.authorizations closure)
+
+let medical_rules () =
+  let _, trace = Authz.Chase.close_trace ~joins:M.join_graph M.policy in
+  C.rules_of_trace M.policy trace
+
+let composed_index (rules : C.rule list) =
+  match
+    List.mapi (fun i r -> (i, r)) rules
+    |> List.find_opt (fun (_, (r : C.rule)) -> r.C.just <> C.Granted)
+  with
+  | Some (i, _) -> i
+  | None -> Alcotest.fail "no composed rule in the medical trace"
+
+let forge_just rules i just =
+  List.mapi (fun j (r : C.rule) -> if j = i then { r with C.just } else r) rules
+
+let test_forged_premise () =
+  let rules = medical_rules () in
+  let i = composed_index rules in
+  let right, via =
+    match (List.nth rules i).C.just with
+    | C.Composed { right; via; _ } -> (right, via)
+    | C.Granted -> assert false
+  in
+  (* Forgery 1: premise out of range. *)
+  rejected "out-of-range premise rejected"
+    (C.check_rules ~joins:M.join_graph M.policy
+       (forge_just rules i
+          (C.Composed { left = List.length rules; right; via })));
+  (* Forgery 2: forward premise (cites itself) — the single-pass
+     checker must refuse to look ahead. *)
+  rejected "forward premise rejected"
+    (C.check_rules ~joins:M.join_graph M.policy
+       (forge_just rules i (C.Composed { left = i; right; via })))
+
+let test_forged_composition_step () =
+  let rules = medical_rules () in
+  let i = composed_index rules in
+  let left, right =
+    match (List.nth rules i).C.just with
+    | C.Composed { left; right; _ } -> (left, right)
+    | C.Granted -> assert false
+  in
+  (* Forgery 3: a composition step over a condition outside the join
+     graph (Patient–Patient is no line of Figure 1). *)
+  let bogus =
+    Joinpath.Cond.make ~left:[ M.attr "Patient" ] ~right:[ M.attr "Patient" ]
+  in
+  rejected "wrong composition step rejected"
+    (C.check_rules ~joins:M.join_graph M.policy
+       (forge_just rules i (C.Composed { left; right; via = bogus })))
+
+let test_not_granted () =
+  (* Forgery 4: a Granted rule the base policy never granted. *)
+  rejected "ungranted rule rejected"
+    (C.check_rules ~joins:M.join_graph M.policy
+       [ { C.auth = ungranted (); just = C.Granted } ])
+
+(* ------------------------------------------------------------------ *)
+(* Plan certificates.                                                  *)
+
+let test_plan_cert_checks () =
+  let plan, cert = medical_cert () in
+  check Alcotest.bool "flows evidenced" true (cert.C.flows <> []);
+  no_failures "genuine certificate accepted" (check_medical plan cert)
+
+let test_plan_cert_under_chase () =
+  (* Plan against the closure; the certificate must replay any derived
+     witness against the *base* policy via its recorded trace. *)
+  let handle = Authz.Chase.closed_policy ~joins:M.join_graph M.policy in
+  let closure = Authz.Chase.closure handle in
+  let plan = M.example_plan () in
+  let assignment =
+    match Planner.Safe_planner.plan M.catalog closure plan with
+    | Ok r -> r.Planner.Safe_planner.assignment
+    | Error f ->
+      Alcotest.failf "planning failed: %a" Planner.Safe_planner.pp_failure f
+  in
+  match C.emit_plan ~closed:handle M.catalog closure plan assignment with
+  | Error msg -> Alcotest.failf "emission failed: %s" msg
+  | Ok cert ->
+    no_failures "chase-closed certificate accepted against the base"
+      (check_medical plan cert)
+
+let test_json_round_trip () =
+  let plan, cert = medical_cert () in
+  let json = C.plan_to_json cert in
+  let cert' = Helpers.check_ok Fmt.string (C.plan_of_json json) in
+  check Alcotest.string "serialization idempotent" json (C.plan_to_json cert');
+  no_failures "round-tripped certificate accepted" (check_medical plan cert');
+  (* Garbage is a typed parse error, not an exception. *)
+  check Alcotest.bool "garbage rejected" true
+    (Result.is_error (C.plan_of_json "{\"kind\":\"nope\"}"));
+  check Alcotest.bool "non-JSON rejected" true
+    (Result.is_error (C.plan_of_json "not json at all"))
+
+let test_forged_witness () =
+  let plan, cert = medical_cert () in
+  let f0, rest =
+    match cert.C.flows with f :: r -> (f, r) | [] -> Alcotest.fail "no flows"
+  in
+  (* Forgery 5: point a flow's witness at a rule whose evidence (path
+     equality, attribute subset, or server) does not cover the
+     profile. *)
+  let genuine = List.nth cert.C.rules f0.C.witness in
+  let wrong =
+    match
+      List.mapi (fun i r -> (i, r)) cert.C.rules
+      |> List.find_opt (fun (_, (r : C.rule)) ->
+             not (Authz.Authorization.equal r.C.auth genuine.C.auth))
+    with
+    | Some (i, _) -> i
+    | None -> Alcotest.fail "all rules identical?"
+  in
+  rejected "wrong witness rejected"
+    (check_medical plan
+       { cert with C.flows = { f0 with C.witness = wrong } :: rest });
+  (* Forgery 6: witness index out of range. *)
+  rejected "out-of-range witness rejected"
+    (check_medical plan
+       {
+         cert with
+         C.flows = { f0 with C.witness = List.length cert.C.rules } :: rest;
+       })
+
+let test_dropped_and_fabricated_flows () =
+  let plan, cert = medical_cert () in
+  let f0, rest =
+    match cert.C.flows with f :: r -> (f, r) | [] -> Alcotest.fail "no flows"
+  in
+  (* Forgery 7: a flow the plan performs but the certificate hides. *)
+  rejected "dropped flow rejected"
+    (check_medical plan { cert with C.flows = rest });
+  (* Forgery 8: a flow the certificate claims but the plan never
+     performs. *)
+  rejected "fabricated flow rejected"
+    (check_medical plan { cert with C.flows = f0 :: f0 :: rest })
+
+let test_stale_epoch_and_revalidation () =
+  let plan, cert = medical_cert () in
+  (* Forgery 9: stale epoch — strict mode rejects; the revalidation
+     entry point ignores the pin and replays the evidence against the
+     policy it is handed. *)
+  let stale = { cert with C.epoch = "0000" } in
+  rejected "stale epoch rejected" (check_medical plan stale);
+  no_failures "revalidation ignores the pin"
+    (check_medical ~revalidate:true plan stale);
+  (* A policy that still grants every witness revalidates; one missing
+     a witness does not. *)
+  let grown = Authz.Policy.add (ungranted ()) M.policy in
+  check Alcotest.bool "grown policy changes the epoch" true
+    (C.epoch grown <> C.epoch M.policy);
+  no_failures "revalidates against a grown policy"
+    (C.check_plan ~revalidate:true ~joins:M.join_graph M.catalog grown plan
+       cert);
+  rejected "strict check against a grown policy is stale"
+    (C.check_plan ~joins:M.join_graph M.catalog grown plan cert);
+  let witness = List.nth cert.C.rules (List.hd cert.C.flows).C.witness in
+  let shrunk =
+    List.fold_left
+      (fun p a -> Authz.Policy.add a p)
+      Authz.Policy.empty
+      (List.filter
+         (fun a -> not (Authz.Authorization.equal a witness.C.auth))
+         (Authz.Policy.authorizations M.policy))
+  in
+  rejected "revalidation catches a revoked witness"
+    (C.check_plan ~revalidate:true ~joins:M.join_graph M.catalog shrunk plan
+       cert)
+
+let test_open_policy_refused () =
+  let plan, cert = medical_cert () in
+  let open_policy = Authz.Policy.open_policy [] in
+  check Alcotest.bool "open policy cannot anchor a check" true
+    (List.mem C.Open_policy
+       (C.check_plan ~joins:M.join_graph M.catalog open_policy plan cert));
+  let p, a = medical_assignment () in
+  check Alcotest.bool "emission refuses open policies" true
+    (Result.is_error (C.emit_plan M.catalog open_policy p a))
+
+let test_failures_are_cisqp050 () =
+  let plan, cert = medical_cert () in
+  let diags =
+    C.to_diagnostics (check_medical plan { cert with C.epoch = "x" })
+  in
+  check Alcotest.bool "at least one diagnostic" true (diags <> []);
+  List.iter
+    (fun (d : D.t) ->
+      check Alcotest.string "code" "CISQP050" d.D.code;
+      check Alcotest.bool "error severity" true (d.D.severity = D.Error))
+    diags
+
+(* ------------------------------------------------------------------ *)
+(* Leak certificates.                                                  *)
+
+let medical_leak_fixture () =
+  let plan, assignment = medical_assignment () in
+  let flows =
+    Helpers.check_ok Planner.Safety.pp_error
+      (Planner.Safety.flows M.catalog plan assignment)
+  in
+  let deliveries = C.deliveries_of_batches [ flows ] in
+  let cur =
+    K.cursor ~joins:M.join_graph (K.of_flow_batches M.catalog [ flows ])
+  in
+  let snap = K.snapshot cur in
+  (deliveries, cur, K.leaks M.policy snap.K.knowledge)
+
+let test_leak_cert_checks () =
+  let deliveries, cur, leaks = medical_leak_fixture () in
+  check Alcotest.bool "medical run leaks" true (leaks <> []);
+  List.iter
+    (fun (l : K.leak) ->
+      let (it : K.item) = l.K.item in
+      match K.explain cur M.catalog l.K.server it.K.profile with
+      | None -> Alcotest.fail "no counterexample reconstructed"
+      | Some tree ->
+        let cert =
+          {
+            C.epoch = C.epoch M.policy;
+            server = l.K.server;
+            profile = it.K.profile;
+            tree;
+          }
+        in
+        no_failures "counterexample accepted"
+          (C.check_leak ~joins:M.join_graph M.catalog M.policy ~deliveries
+             cert);
+        (* The witness renders for users. *)
+        check Alcotest.bool "rendering is non-empty" true
+          (String.length (Fmt.str "%a" C.pp_tree tree) > 0))
+    leaks
+
+let test_forged_leak_certs () =
+  let deliveries, cur, leaks = medical_leak_fixture () in
+  let l = List.hd leaks in
+  let (it : K.item) = l.K.item in
+  let tree =
+    match K.explain cur M.catalog l.K.server it.K.profile with
+    | Some t -> t
+    | None -> Alcotest.fail "no counterexample"
+  in
+  let cert tree =
+    {
+      C.epoch = C.epoch M.policy;
+      server = l.K.server;
+      profile = it.K.profile;
+      tree;
+    }
+  in
+  let check_it ?revalidate policy c =
+    C.check_leak ?revalidate ~joins:M.join_graph M.catalog policy ~deliveries c
+  in
+  (* Forgery 10: truncated join tree — a subtree alone no longer
+     derives the claimed profile. *)
+  (match tree with
+  | C.Joined { left; _ } ->
+    rejected "truncated tree rejected" (check_it M.policy (cert left))
+  | _ -> Alcotest.fail "leak tree has no join step");
+  (* Forgery 11: a Received leaf citing a delivery that never
+     happened. *)
+  let rec forge_delivery = function
+    | C.Received { sender; profile; _ } ->
+      C.Received { seq = 9999; sender; profile }
+    | C.Joined { via; left; right } ->
+      C.Joined { via; left = forge_delivery left; right = forge_delivery right }
+    | C.Stored _ as t -> t
+  in
+  rejected "forged delivery rejected"
+    (check_it M.policy (cert (forge_delivery tree)));
+  (* No leak, no certificate: once the profile is granted to the
+     server, the 'counterexample' proves nothing. *)
+  let profile = it.K.profile in
+  let granted =
+    Authz.Policy.add
+      (Authz.Authorization.make_exn
+         ~attrs:
+           (Attribute.Set.union profile.Authz.Profile.pi
+              profile.Authz.Profile.sigma)
+         ~path:profile.Authz.Profile.join l.K.server)
+      M.policy
+  in
+  rejected "authorized profile is not a leak"
+    (check_it ~revalidate:true granted (cert tree))
+
+(* ------------------------------------------------------------------ *)
+(* Deliveries mirror Knowledge numbering.                              *)
+
+let test_deliveries_numbering () =
+  let plan, assignment = medical_assignment () in
+  let flows =
+    Helpers.check_ok Planner.Safety.pp_error
+      (Planner.Safety.flows M.catalog plan assignment)
+  in
+  let ds = C.deliveries_of_batches [ flows; flows ] in
+  check Alcotest.int "one delivery per flow"
+    (2 * List.length flows)
+    (List.length ds);
+  List.iteri
+    (fun i (d : C.delivery) -> check Alcotest.int "seq is global" i d.C.d_seq)
+    ds
+
+(* ------------------------------------------------------------------ *)
+(* Recover and Federation carry certificates.                          *)
+
+let test_recover_certifies () =
+  (* Scan seeds for a workload case that fails over, then demand
+     certificates on the final assignment and every failover, all
+     accepted by the checker. *)
+  let open Workload in
+  let found = ref false in
+  let seed = ref 0 in
+  while (not !found) && !seed < 80 do
+    incr seed;
+    let seed = !seed in
+    let rng = Rng.make ~seed:(900_000 + seed) in
+    let relations = 4 + (seed mod 3) in
+    let sys =
+      System_gen.generate ~replication:0.6 rng ~relations ~servers:relations
+        ~extra:2 ~topology:System_gen.Chain
+    in
+    let policy = Authz_gen.generate rng ~density:0.9 sys in
+    match Query_gen.generate_plan rng ~joins:2 sys with
+    | None -> ()
+    | Some plan -> (
+      match
+        Planner.Third_party.plan ~helpers:[] sys.System_gen.catalog policy plan
+      with
+      | Error _ -> ()
+      | Ok _ -> (
+        let instances = Data_gen.instances rng ~rows:8 sys in
+        let fault =
+          Distsim.Fault.random_plan rng ~servers:(System_gen.servers sys)
+        in
+        match
+          Distsim.Recover.execute sys.System_gen.catalog policy ~instances
+            ~fault plan
+        with
+        | Error _ -> ()
+        | Ok r when r.Distsim.Recover.failovers = [] -> ()
+        | Ok r ->
+          found := true;
+          let recheck what = function
+            | None -> Alcotest.failf "missing %s certificate" what
+            | Some cert ->
+              no_failures
+                (what ^ " certificate accepted")
+                (C.check_plan ~joins:sys.System_gen.join_graph
+                   sys.System_gen.catalog policy plan cert)
+          in
+          recheck "final" r.Distsim.Recover.certificate;
+          List.iter
+            (fun (f : Distsim.Recover.failover) ->
+              recheck "failover" f.Distsim.Recover.certificate)
+            r.Distsim.Recover.failovers))
+  done;
+  check Alcotest.bool "found a failover case" true !found
+
+let test_federation_response_certified () =
+  let fed =
+    Federation.create ~catalog:M.catalog ~policy:M.policy
+      ~instances:M.instances ()
+  in
+  let r =
+    Helpers.check_ok Federation.pp_error
+      (Federation.query fed M.example_query_sql)
+  in
+  (match r.Federation.certificate with
+  | None -> Alcotest.fail "response carries no certificate"
+  | Some cert ->
+    no_failures "response certificate accepted"
+      (C.check_plan ~joins:M.join_graph M.catalog M.policy r.Federation.plan
+         cert));
+  (* The cache serves the same certificate. *)
+  let r2 =
+    Helpers.check_ok Federation.pp_error
+      (Federation.query fed M.example_query_sql)
+  in
+  check Alcotest.bool "cached response certified" true
+    (r2.Federation.certificate <> None);
+  (* Chase-closed federations certify against the pre-chase base. *)
+  let fed' =
+    Federation.create ~catalog:M.catalog ~policy:M.policy
+      ~close_under:M.join_graph ~instances:M.instances ()
+  in
+  let r3 =
+    Helpers.check_ok Federation.pp_error
+      (Federation.query fed' M.example_query_sql)
+  in
+  match r3.Federation.certificate with
+  | None -> Alcotest.fail "chased response carries no certificate"
+  | Some cert ->
+    no_failures "chased response certificate accepted against the base"
+      (C.check_plan ~joins:M.join_graph M.catalog M.policy r3.Federation.plan
+         cert)
+
+let suite =
+  [
+    c "chase trace replays" `Quick test_chase_trace_checks;
+    c "forged premises rejected" `Quick test_forged_premise;
+    c "forged composition rejected" `Quick test_forged_composition_step;
+    c "ungranted rule rejected" `Quick test_not_granted;
+    c "plan certificate checks" `Quick test_plan_cert_checks;
+    c "chase-derived witnesses replay" `Quick test_plan_cert_under_chase;
+    c "JSON round-trip" `Quick test_json_round_trip;
+    c "forged witnesses rejected" `Quick test_forged_witness;
+    c "dropped/fabricated flows rejected" `Quick
+      test_dropped_and_fabricated_flows;
+    c "stale epoch and revalidation" `Quick test_stale_epoch_and_revalidation;
+    c "open policies refused" `Quick test_open_policy_refused;
+    c "failures map to CISQP050" `Quick test_failures_are_cisqp050;
+    c "leak counterexamples check" `Quick test_leak_cert_checks;
+    c "forged leak certificates rejected" `Quick test_forged_leak_certs;
+    c "delivery numbering mirrors Knowledge" `Quick test_deliveries_numbering;
+    c "failover replans carry certificates" `Quick test_recover_certifies;
+    c "federation responses carry certificates" `Quick
+      test_federation_response_certified;
+  ]
