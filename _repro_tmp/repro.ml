@@ -1,0 +1,45 @@
+open Relalg
+open Authz
+module K = Analysis.Knowledge
+
+let sv = Server.make "SV"
+let other = Server.make "XT"
+let schema_a = Schema.make "A" ~key:[ "Aa" ] [ "Aa"; "Ax" ]
+let schema_b = Schema.make "B" ~key:[ "By" ] [ "By"; "Bv" ]
+
+let xy_join =
+  Joinpath.Cond.eq
+    (Attribute.make ~relation:"A" "Ax")
+    (Attribute.make ~relation:"B" "By")
+
+let pa = Profile.of_base schema_a
+let pb = Profile.of_base schema_b
+let pj = Profile.join xy_join pa pb
+let msg i = { K.seq = i; sender = other; note = Printf.sprintf "m%d" i }
+
+let verdicts policy (o : K.outcome) =
+  List.sort_uniq compare
+    (List.map (fun (l : K.leak) -> ("CISQP030", Server.to_string l.K.server))
+       (K.leaks policy o.K.knowledge))
+
+let () =
+  (* messages: pa, pb, then the joined profile itself *)
+  let messages = [ (sv, msg 0, pa); (sv, msg 1, pb); (sv, msg 2, pj) ] in
+  let batch =
+    K.saturate ~joins:[ xy_join ]
+      (List.fold_left
+         (fun t (r, s, p) -> K.receive ~receiver:r ~source:s p t)
+         K.empty messages)
+  in
+  let cursor = K.cursor ~joins:[ xy_join ] K.empty in
+  List.iter (fun (r, s, p) -> K.feed cursor ~receiver:r ~source:s p) messages;
+  let incr = K.snapshot cursor in
+  Format.printf "batch verdicts: %d@." (List.length (verdicts Policy.empty batch));
+  Format.printf "cursor verdicts: %d@." (List.length (verdicts Policy.empty incr));
+  let naive =
+    K.saturate_naive ~joins:[ xy_join ]
+      (List.fold_left
+         (fun t (r, s, p) -> K.receive ~receiver:r ~source:s p t)
+         K.empty messages)
+  in
+  Format.printf "naive verdicts: %d@." (List.length (verdicts Policy.empty naive))
