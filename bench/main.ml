@@ -677,15 +677,194 @@ let run_fault_bench () =
     (List.length entries)
 
 (* ------------------------------------------------------------------ *)
+(* Service-layer sweep: prepared-plan cache vs plan-per-call on a
+   Zipf-distributed repeated-query stream, plus a revoke storm. The
+   cached federation parses, canonicalizes and executes; the
+   plan-per-call twin (cache_capacity 0) re-plans, re-emits and
+   re-checks a certificate for every call — the cost the cache
+   amortizes. Written to BENCH_service.json; the sweep asserts the
+   cached service clears 100x served-query throughput at the largest
+   point, and the storm asserts zero stale executions (every served
+   response's certificate re-checks against the current base
+   policy). *)
+
+let run_service_bench () =
+  let module C = Analysis.Certificate in
+  let module F = Federation in
+  let sweep ~relations ~max_path ~joins_per_query ~pool_size ~draws =
+    let rng = Rng.make ~seed:(61 * relations) in
+    let sys =
+      System_gen.generate rng ~relations ~servers:relations ~extra:2
+        ~topology:System_gen.Chain
+    in
+    let policy =
+      Authz_gen.generate
+        (Rng.make ~seed:(relations + 3))
+        ~max_path ~attr_keep:1.0 ~density:1.0 sys
+    in
+    let joins = sys.System_gen.join_graph in
+    (* Tiny instances: the served path is parse + canonical key +
+       execute, so row work must not drown the planning cost the
+       cache removes. *)
+    let instances = Data_gen.instances rng ~rows:2 sys in
+    let mk capacity =
+      F.create ~catalog:sys.System_gen.catalog ~policy ~close_under:joins
+        ~cache_capacity:capacity
+        ~instances:(fun r -> instances r)
+        ()
+    in
+    let cached = mk 256 and per_call = mk 0 in
+    let pool =
+      List.filter_map
+        (fun i ->
+          Option.map Query.to_string
+            (Query_gen.generate
+               (Rng.make ~seed:(1000 + (relations * 100) + i))
+               ~where_prob:0.0 ~joins:joins_per_query sys))
+        (List.init (2 * pool_size) (fun i -> i))
+      |> List.sort_uniq String.compare
+      |> List.filteri (fun i _ -> i < pool_size)
+    in
+    if List.length pool < 2 then failwith "service bench: degenerate pool";
+    (* Warm-up doubles as the differential: both services must agree. *)
+    List.iter
+      (fun sql ->
+        match (F.query cached sql, F.query per_call sql) with
+        | Ok a, Ok b ->
+          if not (Relation.equal a.F.result b.F.result) then
+            failwith "service bench: cached/per-call result drift"
+        | _ -> failwith "service bench: pool query failed")
+      pool;
+    let pool_arr = Array.of_list pool in
+    let zrng = Rng.make ~seed:4242 in
+    let ranks =
+      Array.init draws (fun _ ->
+          Rng.zipf zrng ~s:1.1 ~n:(Array.length pool_arr))
+    in
+    let run fed =
+      let t0 = Unix.gettimeofday () in
+      Array.iter
+        (fun k ->
+          match F.query fed pool_arr.(k) with
+          | Ok _ -> ()
+          | Error _ -> failwith "service bench: query failed mid-stream")
+        ranks;
+      Unix.gettimeofday () -. t0
+    in
+    let cached_dt = run cached in
+    let per_call_dt = run per_call in
+    let speedup = per_call_dt /. cached_dt in
+    let s = F.stats cached in
+    Printf.sprintf
+      {|{"kind":"zipf","relations":%d,"joins_per_query":%d,"pool":%d,"draws":%d,"s":1.1,"cached_seconds":%.9f,"per_call_seconds":%.9f,"cached_qps":%.1f,"per_call_qps":%.1f,"speedup":%.1f,"cache_hits":%d,"queries_served":%d}|}
+      relations joins_per_query (Array.length pool_arr) draws cached_dt
+      per_call_dt
+      (float_of_int draws /. cached_dt)
+      (float_of_int draws /. per_call_dt)
+      speedup s.F.cache_hits s.F.queries_served
+    |> fun entry -> (entry, speedup)
+  in
+  (* Revoke storm: strip and re-grant base rules while serving the
+     pool; every served response must re-prove against the base policy
+     as it stands at serve time. *)
+  let storm ~relations ~rounds =
+    let rng = Rng.make ~seed:(97 * relations) in
+    let sys =
+      System_gen.generate rng ~relations ~servers:relations ~extra:2
+        ~topology:System_gen.Chain
+    in
+    let policy =
+      Authz_gen.generate
+        (Rng.make ~seed:(relations + 7))
+        ~max_path:2 ~attr_keep:1.0 ~density:0.8 sys
+    in
+    let joins = sys.System_gen.join_graph in
+    let instances = Data_gen.instances rng ~rows:2 sys in
+    let svc =
+      F.create ~catalog:sys.System_gen.catalog ~policy ~close_under:joins
+        ~instances:(fun r -> instances r)
+        ()
+    in
+    let pool =
+      List.filter_map
+        (fun i ->
+          Option.map Query.to_string
+            (Query_gen.generate
+               (Rng.make ~seed:(5000 + i))
+               ~where_prob:0.0 ~joins:2 sys))
+        (List.init 8 (fun i -> i))
+      |> List.sort_uniq String.compare
+    in
+    let served = ref 0 and stale = ref 0 and storm_revokes = ref 0 in
+    let serve sql =
+      match F.query svc sql with
+      | Error _ -> ()
+      | Ok r -> (
+        incr served;
+        match r.F.certificate with
+        | None -> incr stale (* closed-mode: a response must carry proof *)
+        | Some cert -> (
+          match
+            C.check_plan ~revalidate:true ~joins sys.System_gen.catalog
+              (F.base_policy svc) r.F.plan cert
+          with
+          | [] -> ()
+          | _ :: _ -> incr stale))
+    in
+    List.iter serve pool;
+    let srng = Rng.make ~seed:77 in
+    for _ = 1 to rounds do
+      match Authz.Policy.authorizations (F.base_policy svc) with
+      | [] -> ()
+      | rules ->
+        let a = Rng.choose srng rules in
+        F.revoke svc a;
+        incr storm_revokes;
+        List.iter serve pool;
+        F.grant svc a;
+        List.iter serve pool
+    done;
+    if !stale > 0 then
+      failwith
+        (Printf.sprintf "service bench: %d STALE EXECUTIONS in storm" !stale);
+    let s = F.stats svc in
+    Printf.sprintf
+      {|{"kind":"revoke-storm","relations":%d,"rounds":%d,"revokes":%d,"queries_served":%d,"stale_executions":%d,"invalidations":%d,"cache_hits":%d,"epoch":%d}|}
+      relations rounds !storm_revokes !served !stale s.F.invalidations
+      s.F.cache_hits s.F.epoch
+  in
+  let z1, _ =
+    sweep ~relations:8 ~max_path:2 ~joins_per_query:5 ~pool_size:8 ~draws:300
+  in
+  let z2, speedup =
+    sweep ~relations:18 ~max_path:3 ~joins_per_query:5 ~pool_size:12
+      ~draws:300
+  in
+  if speedup < 100.0 then
+    failwith
+      (Printf.sprintf
+         "service bench: cached speedup %.1fx below the 100x budget" speedup);
+  let entries = [ z1; z2; storm ~relations:6 ~rounds:25 ] in
+  let oc = open_out "BENCH_service.json" in
+  Printf.fprintf oc {|{"bench":"federation-service","entries":[%s]}|}
+    (String.concat "," entries);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "federation service bench: %d points -> BENCH_service.json@."
+    (List.length entries)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let chase_only = Array.exists (fun a -> a = "chase") Sys.argv in
   let inference_only = Array.exists (fun a -> a = "inference") Sys.argv in
   let certify_only = Array.exists (fun a -> a = "certify") Sys.argv in
+  let service_only = Array.exists (fun a -> a = "service") Sys.argv in
   if chase_only then run_chase_bench ()
   else if inference_only then run_inference_bench ()
   else if certify_only then run_certify_bench ()
+  else if service_only then run_service_bench ()
   else begin
     Fmt.pr "%s@." (Scenario.Paper_figures.all ());
     Tables.run_all ~seeds:(if quick then 40 else 100);
@@ -693,5 +872,6 @@ let () =
     run_chase_bench ();
     run_certify_bench ();
     run_fault_bench ();
+    run_service_bench ();
     if not quick then run_micro ()
   end

@@ -1122,6 +1122,126 @@ let sweep_cmd =
        ~doc:"Feasibility vs authorization density on random systems.")
     Term.(const run $ relations $ joins $ seeds)
 
+(* ------------------------------------------------------------------ *)
+
+(* `cisqp serve` — replay a grant/revoke-interleaved query stream
+   against one long-lived Federation.t, the multi-tenant service layer
+   in miniature. Script lines: `query SQL`, `grant RULE`,
+   `revoke RULE` (Figure-3 notation), `stats`, blank and `#` comments.
+   Exits 1 if any response tripped a safety invariant (audit violation
+   or certificate check failure), else 0. *)
+let serve_cmd =
+  let script_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SCRIPT"
+          ~doc:
+            "Script to replay: one $(b,query)/$(b,grant)/$(b,revoke)/\
+             $(b,stats) command per line.")
+  in
+  let cache_capacity_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:
+            "Prepared-plan cache bound (LRU eviction beyond it); 0 disables \
+             caching (plan-per-call).")
+  in
+  let run fed chase capacity script_path =
+    if capacity < 0 then
+      usage_error (D.Flag "--cache-capacity") "cache capacity must be >= 0";
+    if chase && Authz.Policy.is_open fed.policy then
+      usage_error (D.Flag "--chase") "--chase applies to closed policies only";
+    let service =
+      Federation.create ~catalog:fed.catalog ~policy:fed.policy
+        ~helpers:fed.helpers
+        ?close_under:(if chase then Some fed.joins else None)
+        ~cache_capacity:capacity ~instances:fed.instances ()
+    in
+    let parse_rule lineno what text =
+      match Text.Authz_text.parse fed.catalog text with
+      | Error e ->
+        usage_error (D.Step lineno) "%s: %a" what Text.Line_reader.pp_error e
+      | Ok p ->
+        if Authz.Policy.is_open p then
+          usage_error (D.Step lineno) "%s: DENY rules have no epochs" what;
+        (match Authz.Policy.authorizations p with
+         | [ a ] -> a
+         | rules ->
+           usage_error (D.Step lineno) "%s: expected exactly one rule, got %d"
+             what (List.length rules))
+    in
+    let tripped = ref false in
+    let lines = String.split_on_char '\n' (read_file script_path) in
+    List.iteri
+      (fun i raw ->
+        let lineno = i + 1 in
+        let line = String.trim raw in
+        if line = "" || String.length line >= 1 && line.[0] = '#' then ()
+        else
+          let cmd, rest =
+            match String.index_opt line ' ' with
+            | Some j ->
+              ( String.sub line 0 j,
+                String.trim
+                  (String.sub line j (String.length line - j)) )
+            | None -> (line, "")
+          in
+          match cmd with
+          | "query" ->
+            (match Federation.query service rest with
+             | Ok r ->
+               Fmt.pr "l%d: served %d row(s) at %a (%s, epoch %d)@." lineno
+                 (Relation.cardinality r.result)
+                 Server.pp r.location
+                 (if r.from_cache then "cached" else "planned")
+                 (Federation.epoch service)
+             | Error e ->
+               (match e with
+                | Federation.Audit_violation _ | Federation.Uncertified _ ->
+                  tripped := true
+                | _ -> ());
+               Fmt.pr "l%d: error: %a@." lineno Federation.pp_error e)
+          | "grant" ->
+            let a = parse_rule lineno "grant" rest in
+            (try
+               Federation.grant service a;
+               Fmt.pr "l%d: granted %a (epoch %d)@." lineno
+                 Authz.Authorization.pp a (Federation.epoch service)
+             with Invalid_argument msg -> usage_error (D.Step lineno) "%s" msg)
+          | "revoke" ->
+            let a = parse_rule lineno "revoke" rest in
+            let before = (Federation.stats service).Federation.invalidations in
+            (try
+               Federation.revoke service a;
+               let after =
+                 (Federation.stats service).Federation.invalidations
+               in
+               Fmt.pr "l%d: revoked %a (epoch %d, %d plan(s) invalidated)@."
+                 lineno Authz.Authorization.pp a
+                 (Federation.epoch service)
+                 (after - before)
+             with Invalid_argument msg -> usage_error (D.Step lineno) "%s" msg)
+          | "stats" ->
+            Fmt.pr "l%d:@.%a@." lineno Federation.pp_stats
+              (Federation.stats service)
+          | other ->
+            usage_error (D.Step lineno)
+              "unknown command %S (try: query, grant, revoke, stats)" other)
+      lines;
+    if !tripped then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Replay a grant/revoke-interleaved query stream against one \
+          long-lived federation (plan cache, policy epochs, incremental \
+          re-validation).")
+    Term.(
+      const run $ federation_term $ chase_flag $ cache_capacity_arg
+      $ script_arg)
+
 let () =
   (* Honour CISQP_VERBOSE=1 for engine/network debug traces. *)
   (match Sys.getenv_opt "CISQP_VERBOSE" with
@@ -1140,5 +1260,5 @@ let () =
        (Cmd.group info
           [
             repro_cmd; plan_cmd; run_cmd; advise_cmd; impact_cmd; chase_cmd;
-            certify_cmd; lint_cmd; sweep_cmd;
+            certify_cmd; lint_cmd; serve_cmd; sweep_cmd;
           ]))

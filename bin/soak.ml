@@ -47,6 +47,7 @@ let cases = ref 2000
 let fault_cases = ref 2000
 let knowledge_cases = ref 2000
 let certify_cases = ref 2000
+let service_cases = ref 500
 
 let () =
   let rec parse = function
@@ -62,6 +63,9 @@ let () =
       parse rest
     | "--certify-cases" :: v :: rest ->
       certify_cases := int_of_string v;
+      parse rest
+    | "--service-cases" :: v :: rest ->
+      service_cases := int_of_string v;
       parse rest
     | arg :: _ ->
       Fmt.epr "soak: unknown argument %s@." arg;
@@ -452,11 +456,208 @@ let certify_slice () =
   Fmt.pr "soak (certify): %d cases (%d chase-closed), %d mutation replays@."
     !total !chased !mutated
 
+(* ------------------------------------------------------------------ *)
+(* Service slice: the multi-tenant federation layer under policy churn. *)
+
+(* Each case drives one long-lived cached federation and one
+   plan-per-call twin (cache_capacity 0) through an interleaved
+   grant/revoke/query stream over the same system. The differential:
+   the cache layer must be transparent (same outcome class, same
+   result relation), and — the stale-execution check — every response
+   the cached service serves must carry a certificate that still
+   passes the independent checker against the *current* base policy
+   ([~revalidate:true] skips the epoch pin). A storm phase then
+   revokes every base rule one by one, re-querying the pool after
+   each; every 50th case re-proves the entire cache instead. *)
+let service_slice () =
+  let module C = Analysis.Certificate in
+  let module F = Federation in
+  let total = ref 0
+  and served = ref 0
+  and revokes = ref 0
+  and reproved = ref 0 in
+  let seed = ref 0 in
+  while !total < !service_cases && !seed < 10 * !service_cases do
+    incr seed;
+    let seed = !seed in
+    let rng = Rng.make ~seed:(800_000 + seed) in
+    let topology =
+      match seed mod 3 with
+      | 0 -> System_gen.Chain
+      | 1 -> System_gen.Star
+      | _ -> System_gen.Random { extra_edges = 1 }
+    in
+    let relations = 4 + (seed mod 2) in
+    let sys =
+      System_gen.generate rng ~relations ~servers:relations ~extra:2 ~topology
+    in
+    (* Densities are kept moderate: every revocation forces a closure
+       recompute in *both* federations, and near-saturated policies
+       make that quadratic cost dominate the slice. *)
+    let density = [| 0.45; 0.6; 0.75 |].(seed mod 3) in
+    let policy = Authz_gen.generate rng ~density sys in
+    if not (Authz.Policy.is_open policy) then begin
+      (* A pool of distinct SQL texts; the stream re-draws from it so
+         the cache actually gets hits. WHERE is left out: its
+         canonicalization is pinned by unit tests, and values would
+         have to survive an SQL round-trip here. *)
+      let pool =
+        List.filter_map
+          (fun _ ->
+            Option.map Query.to_string
+              (Query_gen.generate rng ~where_prob:0.0
+                 ~joins:(1 + (seed mod 3))
+                 sys))
+          (List.init 6 (fun i -> i))
+        |> List.sort_uniq String.compare
+      in
+      if pool <> [] then begin
+        incr total;
+        let joins = sys.System_gen.join_graph in
+        let instances = Data_gen.instances rng ~rows:8 sys in
+        let mk capacity =
+          F.create ~catalog:sys.System_gen.catalog ~policy
+            ~close_under:joins ~cache_capacity:capacity
+            ~instances:(fun r -> instances r)
+            ()
+        in
+        let svc = mk 4 (* small: exercises LRU eviction *)
+        and twin = mk 0 in
+        let base_rules () = Authz.Policy.authorizations (F.base_policy svc) in
+        let revoked = ref [] in
+        let classify = function
+          | Ok _ -> "ok"
+          | Error (F.Parse_error _) -> "parse"
+          | Error (F.Infeasible _) -> "infeasible"
+          | Error (F.Execution_error _) -> "exec"
+          | Error (F.Degraded _) -> "degraded"
+          | Error (F.Audit_violation _) -> "audit"
+          | Error (F.Uncertified _) -> "uncertified"
+        in
+        (* Zero stale executions: a served response's proof must still
+           check against the base policy as it stands *now*. *)
+        let check_fresh what (r : F.response) =
+          incr served;
+          match r.F.certificate with
+          | None ->
+            incr failures;
+            Fmt.pr "SERVICE uncertified response at seed %d (%s)@." seed what
+          | Some cert -> (
+            match
+              C.check_plan ~revalidate:true ~joins sys.System_gen.catalog
+                (F.base_policy svc) r.F.plan cert
+            with
+            | [] -> ()
+            | f :: _ ->
+              incr failures;
+              Fmt.pr "SERVICE STALE EXECUTION at seed %d (%s): %a@." seed what
+                C.pp_failure f)
+        in
+        let run_query what sql =
+          let a = F.query svc sql and b = F.query twin sql in
+          if classify a <> classify b then begin
+            incr failures;
+            Fmt.pr
+              "SERVICE cached/plan-per-call drift at seed %d (%s): %s vs %s@."
+              seed what (classify a) (classify b)
+          end;
+          match (a, b) with
+          | Ok ra, Ok rb ->
+            if not (Relation.equal ra.F.result rb.F.result) then begin
+              incr failures;
+              Fmt.pr "SERVICE WRONG RESULT at seed %d (%s)@." seed what
+            end;
+            check_fresh what ra
+          | _ -> ()
+        in
+        (* Interleaved stream. *)
+        for _ = 1 to 20 do
+          let r = Rng.float rng in
+          if r < 0.15 then begin
+            match base_rules () with
+            | [] -> ()
+            | rules ->
+              let a = Rng.choose rng rules in
+              F.revoke svc a;
+              F.revoke twin a;
+              revoked := a :: !revoked;
+              incr revokes
+          end
+          else if r < 0.3 then begin
+            match !revoked with
+            | [] -> ()
+            | a :: rest ->
+              F.grant svc a;
+              F.grant twin a;
+              revoked := rest
+          end
+          else
+            let k = Rng.zipf rng ~s:1.1 ~n:(List.length pool) in
+            run_query "stream" (List.nth pool k)
+        done;
+        if seed mod 50 = 0 then begin
+          (* Full re-proof of everything still cached. *)
+          incr reproved;
+          List.iter
+            (fun (cp : F.cached_plan) ->
+              match cp.F.certificate with
+              | None -> ()
+              | Some cert -> (
+                if cp.F.stamped_at > F.epoch svc then begin
+                  incr failures;
+                  Fmt.pr "SERVICE stamp ahead of epoch at seed %d@." seed
+                end;
+                match
+                  C.check_plan ~revalidate:true ~joins sys.System_gen.catalog
+                    (F.base_policy svc) cp.F.plan cert
+                with
+                | [] -> ()
+                | f :: _ ->
+                  incr failures;
+                  Fmt.pr "SERVICE cached plan fails re-proof at seed %d: %a@."
+                    seed C.pp_failure f))
+            (F.cached_plans svc)
+        end
+        else begin
+          (* Revoke storm: strip base rules one by one, re-drawing
+             from the pool after each revocation. *)
+          let storm = Rng.sample rng 2 (base_rules ()) in
+          List.iter
+            (fun a ->
+              F.revoke svc a;
+              F.revoke twin a;
+              incr revokes;
+              for _ = 1 to 3 do
+                let k = Rng.zipf rng ~s:1.1 ~n:(List.length pool) in
+                run_query "storm" (List.nth pool k)
+              done)
+            storm
+        end;
+        (* Bookkeeping invariants: epochs moved in lockstep, and a
+           degraded run is impossible without fault injection. *)
+        if F.epoch svc <> F.epoch twin then begin
+          incr failures;
+          Fmt.pr "SERVICE epoch drift at seed %d@." seed
+        end;
+        let s = F.stats svc in
+        if s.F.degraded <> 0 then begin
+          incr failures;
+          Fmt.pr "SERVICE spurious degraded count at seed %d@." seed
+        end
+      end
+    end
+  done;
+  Fmt.pr
+    "soak (service): %d cases, %d responses freshness-checked, %d revocations, \
+     %d full cache re-proofs@."
+    !total !served !revokes !reproved
+
 let () =
   clean_slice ();
   fault_slice ();
   knowledge_slice ();
   certify_slice ();
+  service_slice ();
   if !failures = 0 then Fmt.pr "soak: all checks passed@."
   else Fmt.pr "soak: %d FAILURES@." !failures;
   exit (if !failures = 0 then 0 else 1)

@@ -54,7 +54,8 @@ let () =
       let run = Des.simulate tasks in
       let latencies =
         List.init n (fun i ->
-            Des.query_finish run ~prefix:(Printf.sprintf "q%d" i))
+            Option.get
+              (Des.query_finish run ~prefix:(Printf.sprintf "q%d" i)))
       in
       let mean =
         List.fold_left ( +. ) 0.0 latencies /. float_of_int n

@@ -48,6 +48,15 @@ type plan_cert = {
   flows : flow_evidence list;
 }
 
+(* Emission prunes [rules] to exactly the transitive dependency set of
+   the flow witnesses, so the interned ids below are the full support
+   of the certificate: a base-policy revocation can touch the plan's
+   proof iff the revoked rule's id appears here (any Composed rule's
+   premise chain bottoms out in Granted rules that are also listed). *)
+let rule_ids (cert : plan_cert) =
+  List.sort_uniq compare
+    (List.map (fun r -> Policy.Index.rule_id r.auth) cert.rules)
+
 type tree =
   | Stored of { relation : string }
   | Received of { seq : int; sender : Server.t; profile : Profile.t }

@@ -71,6 +71,14 @@ type plan_cert = {
   flows : flow_evidence list;
 }
 
+(** Interned ids ({!Policy.Index.rule_id}) of every rule the
+    certificate's witnesses transitively depend on, sorted. Emission
+    prunes the rule list to exactly this dependency set, and every
+    [Composed] chain bottoms out in [Granted] rules that are also
+    listed — so a base-policy revocation can invalidate the plan's
+    proof only if the revoked rule's id is a member. *)
+val rule_ids : plan_cert -> int list
+
 (** A join tree deriving a profile at one server — the counterexample
     attached to a CISQP030 leak verdict. *)
 type tree =

@@ -178,8 +178,9 @@ type entry = {
 type t = {
   rules : Auth_set.t;
   ids : Int_set.t;  (** hash-consed {!Index.rule_id}s of [rules] *)
-  grants : Attribute.Set.t list Grant_map.t;
-      (** attribute sets granted per (path id, server) *)
+  grants : Authorization.t list Grant_map.t;
+      (** rules granted per (path id, server); [can_view] and
+          [authorizing_rule] both resolve through this index *)
   by_server : Auth_set.t Server.Map.t;
   by_attr : entry list Attr_map.t;
       (** rules per (mentioned attribute, server) *)
@@ -214,8 +215,7 @@ let add (a : Authorization.t) t =
       ids = Int_set.add rule_id t.ids;
       grants =
         Grant_map.update (path_id, a.server)
-          (fun existing ->
-            Some (a.attrs :: Option.value ~default:[] existing))
+          (fun existing -> Some (a :: Option.value ~default:[] existing))
           t.grants;
       by_server =
         Server.Map.update a.server
@@ -252,7 +252,8 @@ let remove (a : Authorization.t) t =
           (fun existing ->
             match
               List.filter
-                (fun attrs -> not (Attribute.Set.equal attrs a.attrs))
+                (fun (r : Authorization.t) ->
+                  not (Attribute.Set.equal r.attrs a.attrs))
                 (Option.value ~default:[] existing)
             with
             | [] -> None
@@ -339,7 +340,10 @@ let can_view t (profile : Profile.t) s =
        | None -> false
        | Some grants ->
          let visible = Profile.visible profile in
-         List.exists (fun attrs -> Attribute.Set.subset visible attrs) grants)
+         List.exists
+           (fun (r : Authorization.t) ->
+             Attribute.Set.subset visible r.attrs)
+           grants)
 
 (* [can_view] for callers (the chase) that already hold the interned
    path id and the visible set of a selection-free profile. Closed
@@ -349,16 +353,27 @@ let admits t s ~path_id visible =
   match Grant_map.find_opt (path_id, s) t.grants with
   | None -> false
   | Some grants ->
-    List.exists (fun attrs -> Attribute.Set.subset visible attrs) grants
+    List.exists
+      (fun (r : Authorization.t) -> Attribute.Set.subset visible r.attrs)
+      grants
+
+(* Shares the grants index with [can_view]: path-id equality prunes to
+   the one bucket whose rules can possibly authorize the flow, instead
+   of scanning every rule granted to the receiving server. *)
+let authorizing_rule_indexed t (profile : Profile.t) s =
+  match Index.find_path profile.join with
+  | None -> None
+  | Some pid ->
+    (match Grant_map.find_opt (pid, s) t.grants with
+     | None -> None
+     | Some grants ->
+       let visible = Profile.visible profile in
+       List.find_opt
+         (fun (r : Authorization.t) -> Attribute.Set.subset visible r.attrs)
+         grants)
 
 let authorizing_rule t (profile : Profile.t) s =
-  if t.open_mode then None
-  else
-    let admits (a : Authorization.t) =
-      Attribute.Set.subset (Profile.visible profile) a.attrs
-      && Joinpath.equal profile.join a.path
-    in
-    List.find_opt admits (view t s)
+  if t.open_mode then None else authorizing_rule_indexed t profile s
 
 let equal a b =
   Bool.equal a.open_mode b.open_mode

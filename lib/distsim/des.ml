@@ -398,8 +398,8 @@ let query_finish run ~prefix =
   match
     List.find_opt (fun s -> s.task.id = root_done) run.schedule
   with
-  | Some s -> s.finish
-  | None -> raise Not_found
+  | Some s -> Some s.finish
+  | None -> None
 
 let pp_run ppf r =
   let pp_task ppf s =

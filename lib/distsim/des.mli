@@ -89,8 +89,9 @@ val tasks_of_execution :
 
 val pp_graph_error : graph_error Fmt.t
 
-(** Completion time of a query's root task within a run.
-    @raise Not_found if the prefix does not appear. *)
-val query_finish : run -> prefix:string -> float
+(** Completion time of a query's root task within a run, or [None] if
+    no task under [prefix] appears in the schedule (same typed-error
+    discipline as {!validate} — no bare exceptions). *)
+val query_finish : run -> prefix:string -> float option
 
 val pp_run : run Fmt.t

@@ -1,41 +1,68 @@
 open Relalg
 
 type cached = {
+  c_key : string;
   c_plan : Plan.t;
   c_assignment : Planner.Assignment.t;
   c_rescues : Planner.Third_party.rescue list;
   c_certificate : Analysis.Certificate.plan_cert option;
+  c_trace : Planner.Safe_planner.trace option;
+  c_rule_ids : int list;
+      (* interned ids of every base/derived rule the certificate's
+         witnesses depend on — the revocation sensitivity set *)
+  mutable c_epoch : int;  (* service epoch at last validation *)
+  mutable c_used : int;  (* logical tick of last use, for LRU *)
 }
 
 type stats = {
   queries_served : int;
   infeasible : int;
+  degraded : int;
   cache_hits : int;
+  evictions : int;
+  invalidations : int;
+  epoch : int;
   total_messages : int;
   total_bytes : int;
 }
 
 type t = {
   catalog : Catalog.t;
-  policy : Authz.Policy.t;  (* the serving policy: closure when chased *)
-  chase : Authz.Chase.closed option;
+  mutable policy : Authz.Policy.t;  (* the serving policy: closure when chased *)
+  mutable chase : Authz.Chase.closed option;
   joins : Joinpath.Cond.t list;
   helpers : Server.t list;
   instances : string -> Relation.t option;
+  cache_capacity : int;  (* 0 disables caching: plan-per-call mode *)
   plan_cache : (string, cached) Hashtbl.t;
+  sql_memo : (string, string) Hashtbl.t;
+      (* raw SQL text -> canonical key: pure parse memoization for the
+         hot path. Never goes stale — the catalog is fixed, so a text
+         always parses to the same canonical key regardless of policy
+         epoch — but it is bounded (see [memo_remember]). *)
+  mutable service_epoch : int;
+  mutable last_revoke_epoch : int;
+  mutable tick : int;
   mutable audit_entries : Distsim.Audit.entry list;  (* newest first *)
   mutable queries_served : int;
   mutable infeasible_count : int;
+  mutable degraded_count : int;
   mutable cache_hits : int;
+  mutable evictions : int;
+  mutable invalidations : int;
   mutable total_messages : int;
   mutable total_bytes : int;
 }
 
-let create ~catalog ~policy ?(helpers = []) ?close_under ~instances () =
+let create ~catalog ~policy ?(helpers = []) ?close_under ?(cache_capacity = 256)
+    ~instances () =
+  if cache_capacity < 0 then
+    invalid_arg "Federation.create: negative cache_capacity";
   (* Close once, through a chase handle, and serve every later check
      (planning, safety proofs, audits) from the stored closure. The
      handle is kept: its recorded derivation trace is what lets plan
-     certificates replay derived witnesses against the base policy. *)
+     certificates replay derived witnesses against the base policy,
+     and [grant]/[revoke] extend or recompute it incrementally. *)
   let chase, joins, policy =
     match close_under with
     | Some joins when not (Authz.Policy.is_open policy) ->
@@ -51,16 +78,24 @@ let create ~catalog ~policy ?(helpers = []) ?close_under ~instances () =
     joins;
     helpers;
     instances;
+    cache_capacity;
     plan_cache = Hashtbl.create 16;
+    sql_memo = Hashtbl.create 16;
+    service_epoch = 0;
+    last_revoke_epoch = 0;
+    tick = 0;
     audit_entries = [];
     queries_served = 0;
     infeasible_count = 0;
+    degraded_count = 0;
     cache_hits = 0;
+    evictions = 0;
+    invalidations = 0;
     total_messages = 0;
     total_bytes = 0;
   }
 
-let of_text ~schema ~authz ?data ?(helpers = []) () =
+let of_text ~schema ~authz ?data ?(helpers = []) ?cache_capacity () =
   let ( let* ) = Result.bind in
   let lift what r =
     Result.map_error
@@ -77,7 +112,7 @@ let of_text ~schema ~authz ?data ?(helpers = []) () =
   Ok
     (create ~catalog:sys.catalog ~policy
        ~helpers:(List.map Server.make helpers)
-       ~instances ())
+       ?cache_capacity ~instances ())
 
 type response = {
   plan : Plan.t;
@@ -140,6 +175,125 @@ let parse t sql =
   | Ok q -> Ok q
   | Error e -> Error (Parse_error (Fmt.str "%a" Sql_parser.pp_error e))
 
+(* ------------------------------------------------------------------ *)
+(* The service layer: epochs, the canonical-keyed LRU plan cache, and
+   grant/revoke with incremental re-validation. *)
+
+let epoch t = t.service_epoch
+
+let base_policy t =
+  match t.chase with Some c -> Authz.Chase.policy c | None -> t.policy
+
+let serving_policy t = t.policy
+let join_graph t = t.joins
+let catalog t = t.catalog
+
+let touch t c =
+  t.tick <- t.tick + 1;
+  c.c_used <- t.tick
+
+(* [find_valid] is the epoch gate: it runs before a single message of
+   an execution is sent. An entry stamped at the current epoch is
+   served as-is; one that only missed {e grants} is re-stamped lazily
+   (the closure only grew, so its recorded proof still replays); one
+   from behind the last revocation is dropped and re-planned — though
+   [revoke] eagerly removes or re-stamps every entry, so this last arm
+   is defence in depth, not the normal path. A stale plan is never
+   executed. *)
+let find_valid t key =
+  match Hashtbl.find_opt t.plan_cache key with
+  | None -> None
+  | Some c ->
+    if c.c_epoch = t.service_epoch then Some c
+    else if c.c_epoch >= t.last_revoke_epoch then begin
+      c.c_epoch <- t.service_epoch;
+      Some c
+    end
+    else begin
+      Hashtbl.remove t.plan_cache key;
+      t.invalidations <- t.invalidations + 1;
+      None
+    end
+
+let cache_insert t key c =
+  if t.cache_capacity > 0 then begin
+    if
+      Hashtbl.length t.plan_cache >= t.cache_capacity
+      && not (Hashtbl.mem t.plan_cache key)
+    then begin
+      (* LRU eviction: drop the least-recently-used entry. *)
+      let victim =
+        Hashtbl.fold
+          (fun k c acc ->
+            match acc with
+            | Some (_, used) when used <= c.c_used -> acc
+            | _ -> Some (k, c.c_used))
+          t.plan_cache None
+      in
+      match victim with
+      | Some (k, _) ->
+        Hashtbl.remove t.plan_cache k;
+        t.evictions <- t.evictions + 1
+      | None -> ()
+    end;
+    Hashtbl.replace t.plan_cache key c
+  end
+
+let grant t auth =
+  if Authz.Policy.is_open t.policy then
+    invalid_arg "Federation.grant: open-mode (DENY) policies have no epochs";
+  (match t.chase with
+   | Some h ->
+     (* Semi-naive frontier extension through the shared handle: the
+        recorded trace keeps growing, so certificates emitted after
+        this grant can cite rules derived from it. *)
+     let h = Authz.Chase.add auth h in
+     t.chase <- Some h;
+     t.policy <- Authz.Chase.closure h
+   | None -> t.policy <- Authz.Policy.add auth t.policy);
+  t.service_epoch <- t.service_epoch + 1
+(* Cached plans survive a grant untouched: the closure only grows, so
+   every recorded proof still replays. They re-stamp lazily at their
+   next lookup ([find_valid]). *)
+
+let revoke t auth =
+  if Authz.Policy.is_open t.policy then
+    invalid_arg "Federation.revoke: open-mode (DENY) policies have no epochs";
+  let dead = Authz.Policy.Index.rule_id auth in
+  (match t.chase with
+   | Some h ->
+     let h = Authz.Chase.revoke auth h in
+     t.chase <- Some h;
+     t.policy <- Authz.Chase.closure h
+   | None -> t.policy <- Authz.Policy.remove auth t.policy);
+  t.service_epoch <- t.service_epoch + 1;
+  t.last_revoke_epoch <- t.service_epoch;
+  (* Incremental invalidation: a cached proof can only break if it
+     cites the revoked rule — every Composed chain bottoms out in
+     Granted base rules that are also listed in [c_rule_ids], so plans
+     whose support avoids [dead] keep replaying against the shrunk
+     base and are re-stamped in place. Uncertified entries (open-mode
+     leftovers) have no proof to re-check and are dropped. *)
+  let doomed =
+    Hashtbl.fold
+      (fun key c acc ->
+        let cites =
+          match c.c_certificate with
+          | Some _ -> List.mem dead c.c_rule_ids
+          | None -> true
+        in
+        if cites then key :: acc
+        else begin
+          c.c_epoch <- t.service_epoch;
+          acc
+        end)
+      t.plan_cache []
+  in
+  List.iter (Hashtbl.remove t.plan_cache) doomed;
+  t.invalidations <- t.invalidations + List.length doomed
+
+(* ------------------------------------------------------------------ *)
+
 (* Proof-carrying planning: emit a certificate for the fresh plan and
    have the independent checker validate it against the *base* policy
    (pre-chase when the federation was created with [close_under]) before
@@ -155,54 +309,104 @@ let certify_plan t plan assignment rescues =
     with
     | Error detail -> Error (Uncertified detail)
     | Ok cert -> (
-      let base =
-        match t.chase with Some c -> Authz.Chase.policy c | None -> t.policy
-      in
       match
-        Analysis.Certificate.check_plan ~joins:t.joins t.catalog base plan
-          cert
+        Analysis.Certificate.check_plan ~joins:t.joins t.catalog
+          (base_policy t) plan cert
       with
       | [] -> Ok (Some cert)
       | f :: _ ->
         Error (Uncertified (Fmt.str "%a" Analysis.Certificate.pp_failure f)))
 
-let plan_sql t sql =
-  match Hashtbl.find_opt t.plan_cache sql with
-  | Some cached ->
-    t.cache_hits <- t.cache_hits + 1;
-    Ok (cached, true)
+(* The planner trace that [explain] serves for a cached plan. The
+   third-party planner reports no trace, so it is re-derived — and kept
+   only when it describes the very assignment the cache will execute,
+   otherwise [explain] falls back to a fresh plan. *)
+let trace_for t plan assignment rescues =
+  let helpers = if rescues = [] then [] else t.helpers in
+  match
+    Planner.Safe_planner.plan ~helpers ?closed:t.chase t.catalog t.policy plan
+  with
+  | Ok { Planner.Safe_planner.assignment = a; trace }
+    when Planner.Assignment.equal a assignment -> Some trace
+  | Ok _ | Error _ -> None
+
+(* Remember a successful parse, bounded at 8 texts per cache slot so a
+   stream of unique spellings cannot grow the memo without bound. *)
+let memo_remember t sql key =
+  if t.cache_capacity > 0 then begin
+    if Hashtbl.length t.sql_memo >= 8 * t.cache_capacity then
+      Hashtbl.reset t.sql_memo;
+    Hashtbl.replace t.sql_memo sql key
+  end
+
+let plan_query t ?sql query =
+  let key = Query.canonical query in
+  Option.iter (fun sql -> memo_remember t sql key) sql;
+  match find_valid t key with
+  | Some c ->
+    touch t c;
+    Ok (c, true)
   | None ->
-    (match parse t sql with
-     | Error e -> Error e
-     | Ok query ->
-       let plan = Query.to_plan query in
-       (match
-          Planner.Third_party.plan ~helpers:t.helpers t.catalog t.policy plan
-        with
-        | Ok { assignment; rescues } ->
-          (match certify_plan t plan assignment rescues with
-           | Error e -> Error e
-           | Ok certificate ->
-             let cached =
-               {
-                 c_plan = plan;
-                 c_assignment = assignment;
-                 c_rescues = rescues;
-                 c_certificate = certificate;
-               }
-             in
-             Hashtbl.replace t.plan_cache sql cached;
-             Ok (cached, false))
-        | Error f ->
-          t.infeasible_count <- t.infeasible_count + 1;
-          let advice = Planner.Advisor.advise t.catalog t.policy plan in
-          Error
-            (Infeasible
-               { failed_at = f.Planner.Third_party.failed_at; advice })))
+    let plan = Query.to_plan query in
+    (match
+       Planner.Third_party.plan ~helpers:t.helpers ?closed:t.chase t.catalog
+         t.policy plan
+     with
+     | Ok { assignment; rescues } ->
+       (match certify_plan t plan assignment rescues with
+        | Error e -> Error e
+        | Ok certificate ->
+          let c =
+            {
+              c_key = key;
+              c_plan = plan;
+              c_assignment = assignment;
+              c_rescues = rescues;
+              c_certificate = certificate;
+              c_trace = trace_for t plan assignment rescues;
+              c_rule_ids =
+                (match certificate with
+                 | Some cert -> Analysis.Certificate.rule_ids cert
+                 | None -> []);
+              c_epoch = t.service_epoch;
+              c_used = 0;
+            }
+          in
+          touch t c;
+          cache_insert t key c;
+          Ok (c, false))
+     | Error f ->
+       t.infeasible_count <- t.infeasible_count + 1;
+       let advice = Planner.Advisor.advise t.catalog t.policy plan in
+       Error
+         (Infeasible { failed_at = f.Planner.Third_party.failed_at; advice }))
+
+let plan_sql t sql =
+  (* Fast path: a text seen before maps straight to its canonical key,
+     skipping the parser; if its entry is gone (evicted, invalidated)
+     we must re-parse to re-plan anyway. *)
+  match Hashtbl.find_opt t.sql_memo sql with
+  | Some key
+    when match Hashtbl.find_opt t.plan_cache key with
+         | Some c -> c.c_epoch >= t.last_revoke_epoch
+         | None -> false -> (
+    match find_valid t key with
+    | Some c ->
+      touch t c;
+      Ok (c, true)
+    | None -> (
+      match parse t sql with
+      | Error e -> Error e
+      | Ok query -> plan_query t ~sql query))
+  | _ -> (
+    match parse t sql with
+    | Error e -> Error e
+    | Ok query -> plan_query t ~sql query)
 
 (* Audit a log (defence in depth) and, on success, fold it into the
-   federation's compliance record and traffic counters. *)
-let admit t network k =
+   federation's compliance record and traffic counters. A cache hit is
+   counted only here — when the response is actually served. *)
+let admit t ~from_cache network k =
   match Distsim.Audit.run t.policy network with
   | Error violations ->
     Error
@@ -213,6 +417,7 @@ let admit t network k =
   | Ok entries ->
     t.audit_entries <- List.rev_append entries t.audit_entries;
     t.queries_served <- t.queries_served + 1;
+    if from_cache then t.cache_hits <- t.cache_hits + 1;
     let messages = Distsim.Network.message_count network in
     let bytes = Distsim.Network.total_bytes network in
     t.total_messages <- t.total_messages + messages;
@@ -233,7 +438,7 @@ let query ?fault t sql =
         | Error e ->
           Error (Execution_error (Fmt.str "%a" Distsim.Engine.pp_error e))
         | Ok { result; location; network; _ } ->
-          admit t network (fun ~messages ~bytes ->
+          admit t ~from_cache network (fun ~messages ~bytes ->
               {
                 plan = cached.c_plan;
                 assignment = cached.c_assignment;
@@ -255,7 +460,7 @@ let query ?fault t sql =
             ~instances:t.instances ~fault cached.c_plan
         with
         | Ok (r : Distsim.Recover.recovered) ->
-          admit t r.log (fun ~messages ~bytes ->
+          admit t ~from_cache r.log (fun ~messages ~bytes ->
               {
                 plan = cached.c_plan;
                 assignment = r.assignment;
@@ -280,6 +485,7 @@ let query ?fault t sql =
                      violations))
            | Ok entries ->
              t.audit_entries <- List.rev_append entries t.audit_entries;
+             t.degraded_count <- t.degraded_count + 1;
              Error
                (Degraded
                   {
@@ -293,12 +499,52 @@ let explain t sql =
   match parse t sql with
   | Error e -> Error e
   | Ok query ->
-    let plan = Query.to_plan query in
-    (match Planner.Safe_planner.plan ~helpers:t.helpers t.catalog t.policy plan with
-     | Ok { trace; _ } -> Ok trace
-     | Error f ->
-       let advice = Planner.Advisor.advise t.catalog t.policy plan in
-       Error (Infeasible { failed_at = f.Planner.Safe_planner.failed_at; advice }))
+    let fresh () =
+      let plan = Query.to_plan query in
+      match
+        Planner.Safe_planner.plan ~helpers:t.helpers ?closed:t.chase t.catalog
+          t.policy plan
+      with
+      | Ok { trace; _ } -> Ok trace
+      | Error f ->
+        let advice = Planner.Advisor.advise t.catalog t.policy plan in
+        Error
+          (Infeasible { failed_at = f.Planner.Safe_planner.failed_at; advice })
+    in
+    (* Serve the explain from the cached, epoch-valid plan when one
+       exists, so the trace always describes the assignment [query]
+       would actually execute. *)
+    (match find_valid t (Query.canonical query) with
+     | Some ({ c_trace = Some trace; _ } as c) ->
+       touch t c;
+       Ok trace
+     | Some _ | None -> fresh ())
+
+type cached_plan = {
+  key : string;
+  plan : Plan.t;
+  assignment : Planner.Assignment.t;
+  certificate : Analysis.Certificate.plan_cert option;
+  stamped_at : int;
+}
+
+let cached_plans t =
+  let entries =
+    Hashtbl.fold
+      (fun _ c acc ->
+        ( c.c_key,
+          {
+            key = c.c_key;
+            plan = c.c_plan;
+            assignment = c.c_assignment;
+            certificate = c.c_certificate;
+            stamped_at = c.c_epoch;
+          } )
+        :: acc)
+      t.plan_cache []
+  in
+  List.map snd
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) entries)
 
 let audit_log t = List.rev t.audit_entries
 
@@ -306,13 +552,19 @@ let stats t =
   {
     queries_served = t.queries_served;
     infeasible = t.infeasible_count;
+    degraded = t.degraded_count;
     cache_hits = t.cache_hits;
+    evictions = t.evictions;
+    invalidations = t.invalidations;
+    epoch = t.service_epoch;
     total_messages = t.total_messages;
     total_bytes = t.total_bytes;
   }
 
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf
-    "@[<v>queries served: %d@,infeasible:     %d@,plan-cache hits: %d@,\
-     messages:       %d@,bytes:          %d@]"
-    s.queries_served s.infeasible s.cache_hits s.total_messages s.total_bytes
+    "@[<v>queries served: %d@,infeasible:     %d@,degraded:       %d@,\
+     plan-cache hits: %d@,evictions:      %d@,invalidations:  %d@,\
+     policy epoch:   %d@,messages:       %d@,bytes:          %d@]"
+    s.queries_served s.infeasible s.degraded s.cache_hits s.evictions
+    s.invalidations s.epoch s.total_messages s.total_bytes

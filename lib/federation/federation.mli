@@ -8,6 +8,19 @@
     entries of everything it ever executed — the compliance log an
     operator would keep.
 
+    {b The service layer.} A federation is multi-tenant: the policy
+    changes while queries are in flight. {!grant} and {!revoke} bump an
+    integer {e policy epoch} through the shared {!Authz.Chase.closed}
+    handle; prepared plans are cached under a {e canonical} query key
+    ({!Relalg.Query.canonical}) and stamped with the epoch that proved
+    them. On a grant, cached plans survive (the closure only grows) and
+    re-stamp lazily; on a revoke, exactly the plans whose certificate
+    cites the revoked rule (by interned rule id —
+    {!Analysis.Certificate.rule_ids}) are invalidated and re-proved on
+    next use, while the rest are re-stamped in place. The epoch gate
+    runs at {!query} time before any message is sent, so a stale plan
+    is never executed.
+
     {[
       let fed =
         Federation.create ~catalog ~policy ~instances ()
@@ -26,12 +39,18 @@ type t
     execute a join; [close_under] (default none) closes the policy
     under the chase over the given join graph before serving queries
     (Section 3.2 assumes policies chase-closed — EXP-F' measures what
-    raw policies lose). *)
+    raw policies lose). [cache_capacity] (default [256]) bounds the
+    prepared-plan cache, evicting least-recently-used entries; [0]
+    disables caching entirely (plan-per-call — the differential
+    baseline of the soak and bench harnesses).
+
+    @raise Invalid_argument if [cache_capacity < 0]. *)
 val create :
   catalog:Catalog.t ->
   policy:Authz.Policy.t ->
   ?helpers:Server.t list ->
   ?close_under:Joinpath.Cond.t list ->
+  ?cache_capacity:int ->
   instances:(string -> Relation.t option) ->
   unit ->
   t
@@ -44,6 +63,7 @@ val of_text :
   authz:string ->
   ?data:string ->
   ?helpers:string list ->
+  ?cache_capacity:int ->
   unit ->
   (t, string) result
 
@@ -100,24 +120,86 @@ type error =
 
 val pp_error : error Fmt.t
 
-(** Serve one SQL query. Plans are cached per SQL string; execution and
-    auditing always run. [fault] runs the query under fault injection
-    via {!Distsim.Recover.execute}: message-level faults are absorbed
-    by retransmission, dead servers by safe replanning; the cumulative
-    log of every attempt is audited and accumulated. *)
+(** Serve one SQL query. Plans are cached under the canonical query
+    key and validated against the current policy epoch before any
+    message is sent; execution and auditing always run. [fault] runs
+    the query under fault injection via {!Distsim.Recover.execute}:
+    message-level faults are absorbed by retransmission, dead servers
+    by safe replanning; the cumulative log of every attempt is audited
+    and accumulated. *)
 val query : ?fault:Distsim.Fault.plan -> t -> string -> (response, error) result
 
-(** Planner trace for a query, without executing it. *)
+(** Planner trace for a query, without executing it. Served from the
+    cached, epoch-valid plan when one exists, so the trace describes
+    the assignment {!query} would actually execute. *)
 val explain : t -> string -> (Planner.Safe_planner.trace, error) result
+
+(** {1 The service layer: grant, revoke, epochs} *)
+
+(** [grant t a] adds authorization [a] to the base policy and bumps the
+    policy epoch. Under [close_under] the shared chase handle is
+    extended semi-naively ({!Authz.Chase.add}). Cached plans all stay
+    valid — the closure only grows — and are lazily re-stamped at their
+    next use.
+
+    @raise Invalid_argument on an open-mode (DENY) policy, which has no
+    epochs. *)
+val grant : t -> Authz.Authorization.t -> unit
+
+(** [revoke t a] removes [a] from the base policy, bumps the epoch and
+    incrementally re-validates the plan cache: exactly the entries
+    whose certificate cites [a] (or a rule derived from it — both by
+    interned rule id, see {!Analysis.Certificate.rule_ids}) are
+    invalidated, to be re-planned and re-proved on next use; every
+    other entry's proof still replays against the shrunk base policy
+    and is re-stamped in place.
+
+    @raise Invalid_argument on an open-mode (DENY) policy. *)
+val revoke : t -> Authz.Authorization.t -> unit
+
+(** Current policy epoch: 0 at creation, +1 per {!grant}/{!revoke}. *)
+val epoch : t -> int
+
+(** The base (pre-chase) policy certificates are checked against. *)
+val base_policy : t -> Authz.Policy.t
+
+(** The serving policy: the chase closure when created with
+    [close_under], the base policy otherwise. *)
+val serving_policy : t -> Authz.Policy.t
+
+(** The join graph the policy was closed under (empty without
+    [close_under]). *)
+val join_graph : t -> Joinpath.Cond.t list
+
+val catalog : t -> Catalog.t
+
+(** One prepared plan as cached, for audit tooling: [stamped_at] is the
+    epoch the entry was last validated at. *)
+type cached_plan = {
+  key : string;  (** canonical query key *)
+  plan : Plan.t;
+  assignment : Planner.Assignment.t;
+  certificate : Analysis.Certificate.plan_cert option;
+  stamped_at : int;
+}
+
+(** Current cache contents, sorted by key — the hook the soak harness
+    uses to re-prove every cached plan against the current base
+    policy. *)
+val cached_plans : t -> cached_plan list
 
 (** All audit entries accumulated across successful executions, oldest
     first. *)
 val audit_log : t -> Distsim.Audit.entry list
 
 type stats = {
-  queries_served : int;
+  queries_served : int;  (** responses actually served *)
   infeasible : int;
-  cache_hits : int;
+  degraded : int;  (** fault-injected runs that could not be recovered *)
+  cache_hits : int;  (** counted only when the response was served *)
+  evictions : int;  (** LRU evictions under [cache_capacity] *)
+  invalidations : int;  (** entries dropped by {!revoke}'s re-validation *)
+  epoch : int;  (** current policy epoch *)
   total_messages : int;
   total_bytes : int;
 }

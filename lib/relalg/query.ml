@@ -163,6 +163,34 @@ let to_algebra ?(push_selections = true) t =
 let to_plan ?push_selections t =
   Plan.of_algebra (to_algebra ?push_selections t)
 
+(* Canonical cache key. Two queries that parse to the same [t] up to
+   the order of the SELECT list and of the WHERE conjuncts render to
+   the same string: projection is a set in [to_algebra] and WHERE is a
+   commutative conjunction, so both are sorted here; the FROM/JOIN
+   order is kept (it fixes the left-deep plan shape) with each ON
+   condition already orientation-normalised by [make]. Keyword case
+   and whitespace never reach [t] at all. *)
+let canonical t =
+  let attr a = Fmt.str "%a" Attribute.pp_qualified a in
+  let select =
+    List.sort_uniq String.compare (List.map attr t.select)
+  in
+  let join (schema, cond) =
+    Fmt.str "%s ON %a" (Schema.name schema) Joinpath.Cond.pp cond
+  in
+  let where =
+    List.sort_uniq String.compare
+      (List.map (Fmt.str "%a" Predicate.pp) (conjuncts t.where))
+  in
+  Fmt.str "π{%s} %s%s%s"
+    (String.concat "," select)
+    (Schema.name t.base)
+    (String.concat ""
+       (List.map (fun j -> " ⋈ " ^ join j) t.joins))
+    (match where with
+     | [] -> ""
+     | ws -> " σ{" ^ String.concat " ∧ " ws ^ "}")
+
 let pp ppf t =
   let pp_join ppf (schema, cond) =
     Fmt.pf ppf "JOIN %s ON %a" (Schema.name schema) Joinpath.Cond.pp_sql cond

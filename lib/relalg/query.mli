@@ -54,6 +54,12 @@ val to_algebra : ?push_selections:bool -> t -> Algebra.t
 (** [to_plan q] is [Plan.of_algebra (to_algebra q)]. *)
 val to_plan : ?push_selections:bool -> t -> Plan.t
 
+(** Canonical key for plan caching: queries equal up to SELECT-list
+    order, WHERE-conjunct order, join-condition orientation, keyword
+    case and whitespace share one key. The FROM/JOIN order is
+    significant (it fixes the left-deep plan shape). *)
+val canonical : t -> string
+
 (** SQL rendering. *)
 val pp : t Fmt.t
 

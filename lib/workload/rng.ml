@@ -30,3 +30,20 @@ let shuffle t xs =
 let sample t k xs =
   let shuffled = shuffle t xs in
   List.filteri (fun i _ -> i < k) shuffled
+
+let zipf t ~s ~n =
+  if n <= 1 then 0
+  else begin
+    (* Inverse-CDF over the truncated harmonic weights; n is the size
+       of a query pool here, so the linear scan is fine. *)
+    let w = Array.init n (fun k -> 1.0 /. (float_of_int (k + 1) ** s)) in
+    let total = Array.fold_left ( +. ) 0.0 w in
+    let u = Random.State.float t total in
+    let rec go k acc =
+      if k >= n - 1 then n - 1
+      else
+        let acc = acc +. w.(k) in
+        if u < acc then k else go (k + 1) acc
+    in
+    go 0 0.0
+  end

@@ -32,3 +32,8 @@ val shuffle : t -> 'a list -> 'a list
 
 (** [sample t k xs] — [k] distinct elements (all of [xs] if shorter). *)
 val sample : t -> int -> 'a list -> 'a list
+
+(** [zipf t ~s ~n] — a rank in [\[0, n)] drawn from the truncated Zipf
+    distribution with exponent [s] (P(k) ∝ 1/(k+1){^s}): rank 0 is the
+    hottest. Models the repeated-query skew of a service workload. *)
+val zipf : t -> s:float -> n:int -> int

@@ -362,3 +362,52 @@ to every CISQP030 leak verdict and renders it for users:
   leak witness at S_R: (Registry join[⟨PartNo, RegPart⟩] (delivery #0 of 
   [{Customer, OrderKey, Part}, -, {}] from S_O join[⟨Part, PartNo⟩] delivery #1 of 
   [{PartNo, Price}, -, {}] from S_P))
+
+The serve subcommand replays a grant/revoke/query script against a
+live federation: variant spellings of a query share one cached plan
+(canonical key), a revocation bumps the policy epoch and invalidates
+exactly the plans whose certificate cites the revoked rule, and the
+re-granted rule restores feasibility with a fresh plan — the stale one
+is never executed:
+
+  $ cat > serve.script <<EOF
+  > # prepared-plan service: epochs, grant/revoke, cache
+  > query SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient
+  > query select Plan, Patient, Physician, HealthAid from Insurance join Nat_registry on Holder=Citizen join Hospital on Citizen=Patient
+  > revoke [{Holder, Plan}, -] -> S_N
+  > query SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient
+  > grant [{Holder, Plan}, -] -> S_N
+  > query SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient
+  > stats
+  > EOF
+  $ cisqp serve -s medical serve.script
+  l2: served 3 row(s) at S_H (planned, epoch 0)
+  l3: served 3 row(s) at S_H (cached, epoch 0)
+  l4: revoked [{Holder, Plan}, -] -> S_N (epoch 1, 1 plan(s) invalidated)
+  l5: error: no safe execution exists (blocked at n2); it would become feasible with:
+  grant:
+    [{Citizen}, -] -> S_I
+  l6: granted [{Holder, Plan}, -] -> S_N (epoch 2)
+  l7: served 3 row(s) at S_H (planned, epoch 2)
+  l8:
+  queries served: 3
+  infeasible:     1
+  degraded:       0
+  plan-cache hits: 1
+  evictions:      0
+  invalidations:  1
+  policy epoch:   2
+  messages:       9
+  bytes:          288
+
+A bad script line is a usage error (CISQP042, exit 2), located at its
+line number:
+
+  $ cat > bad.script <<EOF
+  > query SELECT Holder, Plan FROM Insurance
+  > revoke DENY [{Holder}, -] -> S_N
+  > EOF
+  $ cisqp serve -s medical bad.script
+  l1: served 5 row(s) at S_I (planned, epoch 0)
+  error[CISQP042] step 2: revoke: DENY rules have no epochs
+  [2]

@@ -148,7 +148,9 @@ let test_medical_tasks () =
   check Alcotest.bool "positive makespan" true (run.Des.makespan > 0.0);
   checkf "root completion = makespan"
     run.Des.makespan
-    (Des.query_finish run ~prefix:"q")
+    (Option.get (Des.query_finish run ~prefix:"q"));
+  check Alcotest.bool "unknown prefix is None" true
+    (Des.query_finish run ~prefix:"no-such-query" = None)
 
 let test_des_dominates_analytic () =
   (* The DES serialises per-server work that the analytic model
@@ -185,7 +187,9 @@ let test_concurrent_queries_contend () =
   (* All queries complete. *)
   List.iter
     (fun i ->
-      let f = Des.query_finish eight ~prefix:(Printf.sprintf "q%d" i) in
+      let f =
+        Option.get (Des.query_finish eight ~prefix:(Printf.sprintf "q%d" i))
+      in
       check Alcotest.bool "finished within makespan" true
         (f <= eight.Des.makespan +. 1e-9))
     [ 1; 2; 3; 4; 5; 6; 7; 8 ];
@@ -214,7 +218,7 @@ let test_staggered_releases () =
   in
   let run = Des.simulate tasks in
   checkf "last query unimpeded" (2.0 *. gap +. solo.Des.makespan)
-    (Des.query_finish run ~prefix:"q2")
+    (Option.get (Des.query_finish run ~prefix:"q2"))
 
 let test_coordinator_tasks () =
   let module R = Scenario.Research in
