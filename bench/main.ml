@@ -853,6 +853,268 @@ let run_service_bench () =
   Fmt.pr "federation service bench: %d points -> BENCH_service.json@."
     (List.length entries)
 
+(* Resilience sweep: a flaky victim server at increasing fault rates,
+   served by a breaker-enabled federation vs an identical twin with
+   breakers disabled. The victim is a primary whose relations are
+   replicated elsewhere, so quarantining it leaves a safe reroute.
+   With breakers, the first few crashes trip the victim's breaker and
+   every later query plans around the quarantine from the cache — no
+   retries, no replans. Without, every faulty query rediscovers the
+   crash at execution time and pays a full failover replan +
+   re-certification. Written to BENCH_health.json; asserts the
+   breaker-enabled service clears 5x served-query throughput at the
+   highest fault rate, that every response served while a quarantine
+   was active carries a certificate that re-proves (revalidate mode)
+   against the live base policy — zero stale epochs, zero uncertified
+   post-quarantine executions — and that no outcome is ever untyped. *)
+
+let run_health_bench () =
+  let module C = Analysis.Certificate in
+  let module F = Federation in
+  let rng = Rng.make ~seed:505 in
+  let sys =
+    System_gen.generate rng ~relations:12 ~servers:4 ~extra:2
+      ~topology:System_gen.Chain
+  in
+  let servers = Array.of_list (System_gen.servers sys) in
+  (* Replicate every relation at the next server round-robin: whichever
+     server ends up quarantined, every relation keeps a live replica
+     elsewhere, so a safe reroute always exists. *)
+  let catalog =
+    List.fold_left
+      (fun cat (schema : Schema.t) ->
+        let name = schema.Schema.name in
+        match Catalog.server_of cat name with
+        | Error _ -> cat
+        | Ok primary ->
+          let i = ref 0 in
+          Array.iteri
+            (fun j s -> if Server.equal s primary then i := j)
+            servers;
+          let at = servers.((!i + 1) mod Array.length servers) in
+          (match Catalog.replicate cat name ~at with
+           | Ok cat -> cat
+           | Error _ -> cat))
+      sys.System_gen.catalog
+      (Catalog.schemas sys.System_gen.catalog)
+  in
+  let policy =
+    Authz_gen.generate
+      (Rng.make ~seed:506)
+      ~max_path:3 ~attr_keep:1.0 ~density:1.0 sys
+  in
+  let joins = sys.System_gen.join_graph in
+  let instances = Data_gen.instances rng ~rows:2 sys in
+  let mk ~breaker =
+    F.create ~catalog ~policy ~close_under:joins ~breaker
+      ~health_config:
+        (Distsim.Health.config ~failure_threshold:2 ~cooldown:500 ~window:8 ())
+      ~instances:(fun r -> instances r)
+      ()
+  in
+  let pool =
+    List.filter_map
+      (fun i ->
+        Option.map Query.to_string
+          (Query_gen.generate
+             (Rng.make ~seed:(7000 + i))
+             ~where_prob:0.0 ~joins:4 sys))
+      (List.init 10 (fun i -> i))
+    |> List.sort_uniq String.compare
+  in
+  if List.length pool < 2 then failwith "health bench: degenerate pool";
+  let pool_arr = Array.of_list pool in
+  let draws = 200 in
+  (* Pick the victim empirically: the server the warmed plans bind most
+     often — crashing it is guaranteed to hurt. *)
+  let victim =
+    let probe = mk ~breaker:true in
+    let tally = Hashtbl.create 8 in
+    let bump s =
+      Hashtbl.replace tally (Server.name s)
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tally (Server.name s)))
+    in
+    Array.iter
+      (fun sql ->
+        match F.query probe sql with
+        | Error _ -> ()
+        | Ok r ->
+          List.iter
+            (fun (_, (e : Planner.Assignment.executor)) ->
+              bump e.Planner.Assignment.master;
+              Option.iter bump e.Planner.Assignment.slave;
+              Option.iter bump e.Planner.Assignment.coordinator)
+            (Planner.Assignment.bindings r.F.assignment))
+      pool_arr;
+    let best = ref (Array.get servers 0) and best_n = ref (-1) in
+    Array.iter
+      (fun s ->
+        let n = Option.value ~default:0 (Hashtbl.find_opt tally (Server.name s)) in
+        if n > !best_n then begin
+          best := s;
+          best_n := n
+        end)
+      servers;
+    !best
+  in
+  let sweep_rate rate =
+    let enabled = mk ~breaker:true and disabled = mk ~breaker:false in
+    (* Clean warm-up: both caches hold certified victim-routed plans. *)
+    Array.iter
+      (fun sql ->
+        match (F.query enabled sql, F.query disabled sql) with
+        | Ok a, Ok b ->
+          if not (Relation.equal a.F.result b.F.result) then
+            failwith "health bench: enabled/disabled result drift"
+        | _ -> failwith "health bench: warm-up query failed")
+      pool_arr;
+    let zr = Rng.make ~seed:(9000 + int_of_float (rate *. 100.)) in
+    let ranks =
+      Array.init draws (fun _ -> Rng.zipf zr ~s:1.1 ~n:(Array.length pool_arr))
+    in
+    let faulty = Array.init draws (fun _ -> Rng.float zr < rate) in
+    let run svc =
+      let ok = ref 0
+      and degraded = ref 0
+      and steps = ref []
+      and post = ref [] in
+      let fseed = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      Array.iteri
+        (fun i k ->
+          let fault =
+            if faulty.(i) then begin
+              incr fseed;
+              Some
+                (Distsim.Fault.make
+                   ~crashes:[ Distsim.Fault.crash victim ~at:1 ]
+                   ~max_retries:2 ~seed:!fseed ())
+            end
+            else None
+          in
+          let quarantine_active = F.quarantined_servers svc <> [] in
+          match F.query ?fault svc pool_arr.(k) with
+          | Ok r ->
+            incr ok;
+            steps := r.F.steps :: !steps;
+            if quarantine_active then post := r :: !post
+          | Error (F.Degraded _ | F.Infeasible _) -> incr degraded
+          | Error e ->
+            failwith
+              (Fmt.str "health bench: untyped outcome mid-stream: %a"
+                 F.pp_error e))
+        ranks;
+      let dt = Unix.gettimeofday () -. t0 in
+      (dt, !ok, !degraded, List.rev !steps, List.rev !post)
+    in
+    let e_dt, e_ok, e_deg, e_steps, e_post = run enabled in
+    let d_dt, d_ok, d_deg, _, d_post = run disabled in
+    if d_post <> [] then
+      failwith "health bench: breaker-disabled twin reported a quarantine";
+    (* Post-quarantine safety: every response served while the victim
+       was quarantined re-proves against the live base policy. *)
+    let uncertified = ref 0 in
+    List.iter
+      (fun (r : F.response) ->
+        match r.F.certificate with
+        | None -> incr uncertified
+        | Some cert -> (
+          match
+            C.check_plan ~revalidate:true ~joins catalog
+              (F.base_policy enabled) r.F.plan cert
+          with
+          | [] -> ()
+          | _ :: _ -> incr uncertified))
+      e_post;
+    if !uncertified > 0 then
+      failwith
+        (Printf.sprintf
+           "health bench: %d UNCERTIFIED post-quarantine executions"
+           !uncertified);
+    let p99 l =
+      match List.sort compare l with
+      | [] -> 0
+      | sorted ->
+        let n = List.length sorted in
+        List.nth sorted (min (n - 1) (n * 99 / 100))
+    in
+    let p99_steps = p99 e_steps in
+    let stats = F.stats enabled in
+    let speedup = d_dt /. e_dt in
+    let entry =
+      Printf.sprintf
+        {|{"kind":"flaky-sweep","fault_rate":%.2f,"draws":%d,"enabled_seconds":%.9f,"disabled_seconds":%.9f,"enabled_qps":%.1f,"disabled_qps":%.1f,"speedup":%.1f,"enabled_ok":%d,"enabled_degraded":%d,"disabled_ok":%d,"disabled_degraded":%d,"breaker_opens":%d,"quarantined":%d,"p99_steps":%d,"post_quarantine_checked":%d,"uncertified_post_quarantine":%d}|}
+        rate draws e_dt d_dt
+        (float_of_int draws /. e_dt)
+        (float_of_int draws /. d_dt)
+        speedup e_ok e_deg d_ok d_deg stats.F.breaker_opens stats.F.quarantined
+        p99_steps (List.length e_post) !uncertified
+    in
+    (entry, speedup)
+  in
+  let rates = [ 0.0; 0.25; 0.5; 1.0 ] in
+  let points = List.map sweep_rate rates in
+  let _, top_speedup = List.nth points (List.length points - 1) in
+  if top_speedup < 5.0 then
+    failwith
+      (Printf.sprintf
+         "health bench: breaker speedup %.1fx below the 5x budget at full \
+          fault rate"
+         top_speedup);
+  (* Deadline-hit profile: the budget a clean run needs, doubled, and
+     the fraction of queries that meet it per fault rate under the
+     breaker-enabled service. *)
+  let deadline_profile =
+    let clean = mk ~breaker:true in
+    let clean_steps =
+      Array.to_list pool_arr
+      |> List.filter_map (fun sql ->
+             match F.query clean sql with
+             | Ok r -> Some r.F.steps
+             | Error _ -> None)
+    in
+    (* Just above what the slowest clean run needs: cached, rerouted
+       serving stays inside it; a failover that has to rediscover the
+       crash at execution time does not. *)
+    let budget = 2 + List.fold_left max 1 clean_steps in
+    List.map
+      (fun rate ->
+        let svc = mk ~breaker:true in
+        Array.iter (fun sql -> ignore (F.query svc sql)) pool_arr;
+        let zr = Rng.make ~seed:(9500 + int_of_float (rate *. 100.)) in
+        let hit = ref 0 and missed = ref 0 in
+        for i = 1 to draws / 2 do
+          let k = Rng.zipf zr ~s:1.1 ~n:(Array.length pool_arr) in
+          let fault =
+            if Rng.float zr < rate then
+              Some
+                (Distsim.Fault.make
+                   ~crashes:[ Distsim.Fault.crash victim ~at:1 ]
+                   ~max_retries:2 ~seed:i ())
+            else None
+          in
+          match F.query ?fault ~deadline:budget svc pool_arr.(k) with
+          | Ok _ -> incr hit
+          | Error (F.Deadline_exceeded _) -> incr missed
+          | Error _ -> ()
+        done;
+        Printf.sprintf
+          {|{"kind":"deadline-hit","fault_rate":%.2f,"deadline_steps":%d,"hit":%d,"missed":%d,"hit_rate":%.3f}|}
+          rate budget !hit !missed
+          (float_of_int !hit /. float_of_int (max 1 (!hit + !missed))))
+      rates
+  in
+  let entries = List.map fst points @ deadline_profile in
+  let oc = open_out "BENCH_health.json" in
+  Printf.fprintf oc {|{"bench":"service-resilience","entries":[%s]}|}
+    (String.concat "," entries);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr
+    "service resilience bench: %d points -> BENCH_health.json (top speedup \
+     %.1fx)@."
+    (List.length entries) top_speedup
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -861,10 +1123,12 @@ let () =
   let inference_only = Array.exists (fun a -> a = "inference") Sys.argv in
   let certify_only = Array.exists (fun a -> a = "certify") Sys.argv in
   let service_only = Array.exists (fun a -> a = "service") Sys.argv in
+  let health_only = Array.exists (fun a -> a = "health") Sys.argv in
   if chase_only then run_chase_bench ()
   else if inference_only then run_inference_bench ()
   else if certify_only then run_certify_bench ()
   else if service_only then run_service_bench ()
+  else if health_only then run_health_bench ()
   else begin
     Fmt.pr "%s@." (Scenario.Paper_figures.all ());
     Tables.run_all ~seeds:(if quick then 40 else 100);
@@ -873,5 +1137,6 @@ let () =
     run_certify_bench ();
     run_fault_bench ();
     run_service_bench ();
+    run_health_bench ();
     if not quick then run_micro ()
   end

@@ -122,6 +122,17 @@ let usage_error loc fmt =
       exit 2)
     fmt
 
+(* Service-option errors (non-positive deadlines/quotas) get their own
+   code so operators can distinguish a misconfigured resilience knob
+   from general bad usage; same positioned one-line format, same
+   exit 2. *)
+let service_error loc fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "%a@." D.pp (D.make "CISQP043" loc "%s" msg);
+      exit 2)
+    fmt
+
 (* Resolve the federation from flags: files override the scenario. *)
 let federation_of scenario schema authz data extra_helpers =
   match schema with
@@ -445,6 +456,14 @@ let run_cmd =
       & info [ "retries" ] ~docv:"N"
           ~doc:"Retransmission attempts after the first (default 5).")
   in
+  let deadline_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "deadline" ] ~docv:"N"
+          ~doc:
+            "Logical-step budget for the execution; exceeding it abandons \
+             the query with a typed deadline-exceeded outcome.")
+  in
   let parse_crash spec =
     match String.index_opt spec '@' with
     | None -> Distsim.Fault.crash (Server.make spec) ~at:0
@@ -480,10 +499,10 @@ let run_cmd =
         violations
   in
   let run_faulty fed handle plan fault ~third_party ~makespan ~certify
-      cert_out =
+      ~deadline cert_out =
     let helpers = if third_party then fed.helpers else [] in
     match
-      Distsim.Recover.execute ~helpers fed.catalog fed.policy
+      Distsim.Recover.execute ~helpers ?deadline fed.catalog fed.policy
         ~instances:fed.instances ~fault plan
     with
     | Error (d : Distsim.Recover.degraded) ->
@@ -524,11 +543,16 @@ let run_cmd =
           plan r.Distsim.Recover.assignment cert_out
   in
   let run fed sql third_party no_semijoins optimize chase certify cert_out
-      makespan crashes drop corrupt fault_seed retries =
+      makespan crashes drop corrupt fault_seed retries deadline =
     if certify && optimize then
       usage_error (D.Flag "--certify")
         "--certify and --optimize cannot be combined: certificates replay \
          the canonical plan shape derived from the SQL";
+    (match deadline with
+     | Some d when d <= 0 ->
+       service_error (D.Flag "--deadline")
+         "expected a positive logical-step budget, got %d" d
+     | _ -> ());
     let fed, handle = with_chase chase fed in
     let query = parse_query fed sql in
     match fault_of crashes drop corrupt fault_seed retries with
@@ -537,13 +561,13 @@ let run_cmd =
          planning flags of the clean path do not apply. *)
       let plan = Query.to_plan query in
       run_faulty fed handle plan fault ~third_party ~makespan ~certify
-        cert_out
+        ~deadline cert_out
     | None ->
       let plan, assignment, _ =
         plan_query fed query ~third_party ~no_semijoins ~optimize
       in
       (match
-         Distsim.Engine.execute ~third_party fed.catalog
+         Distsim.Engine.execute ~third_party ?deadline fed.catalog
            ~instances:fed.instances plan assignment
        with
        | Error e -> die "execution error: %a" Distsim.Engine.pp_error e
@@ -573,7 +597,7 @@ let run_cmd =
       const run $ federation_term $ sql_arg $ third_party_flag
       $ no_semijoins_flag $ optimize_flag $ chase_flag $ certify_flag
       $ cert_out_arg $ makespan_flag $ crash_arg $ drop_arg $ corrupt_arg
-      $ fault_seed_arg $ retries_arg)
+      $ fault_seed_arg $ retries_arg $ deadline_arg)
 
 let advise_cmd =
   let run fed sql =
@@ -1127,9 +1151,10 @@ let sweep_cmd =
 (* `cisqp serve` — replay a grant/revoke-interleaved query stream
    against one long-lived Federation.t, the multi-tenant service layer
    in miniature. Script lines: `query SQL`, `grant RULE`,
-   `revoke RULE` (Figure-3 notation), `stats`, blank and `#` comments.
-   Exits 1 if any response tripped a safety invariant (audit violation
-   or certificate check failure), else 0. *)
+   `revoke RULE` (Figure-3 notation), `stats`, `deadline N|off`,
+   `quota TENANT RATE [BURST]`, `tenant NAME|off`, `health`, blank and
+   `#` comments. Exits 1 if any response tripped a safety invariant
+   (audit violation or certificate check failure), else 0. *)
 let serve_cmd =
   let script_arg =
     Arg.(
@@ -1138,7 +1163,8 @@ let serve_cmd =
       & info [] ~docv:"SCRIPT"
           ~doc:
             "Script to replay: one $(b,query)/$(b,grant)/$(b,revoke)/\
-             $(b,stats) command per line.")
+             $(b,stats)/$(b,deadline)/$(b,quota)/$(b,tenant)/$(b,health) \
+             command per line.")
   in
   let cache_capacity_arg =
     Arg.(
@@ -1148,17 +1174,49 @@ let serve_cmd =
             "Prepared-plan cache bound (LRU eviction beyond it); 0 disables \
              caching (plan-per-call).")
   in
-  let run fed chase capacity script_path =
+  let deadline_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "deadline" ] ~docv:"N"
+          ~doc:
+            "Default per-query deadline in logical steps (the $(b,deadline) \
+             script line overrides it).")
+  in
+  let quota_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "quota" ] ~docv:"RATE"
+          ~doc:
+            "Service-wide admission rate in requests per tick (token \
+             bucket); requests beyond it are shed with a typed rejection.")
+  in
+  let run fed chase capacity deadline quota script_path =
     if capacity < 0 then
       usage_error (D.Flag "--cache-capacity") "cache capacity must be >= 0";
     if chase && Authz.Policy.is_open fed.policy then
       usage_error (D.Flag "--chase") "--chase applies to closed policies only";
+    (match deadline with
+     | Some d when d <= 0 ->
+       service_error (D.Flag "--deadline")
+         "expected a positive logical-step budget, got %d" d
+     | _ -> ());
+    (match quota with
+     | Some r when r <= 0.0 ->
+       service_error (D.Flag "--quota")
+         "expected a positive admission rate, got %g" r
+     | _ -> ());
     let service =
       Federation.create ~catalog:fed.catalog ~policy:fed.policy
         ~helpers:fed.helpers
         ?close_under:(if chase then Some fed.joins else None)
         ~cache_capacity:capacity ~instances:fed.instances ()
     in
+    Option.iter
+      (fun rate ->
+        Federation.set_admission service ~rate ~burst:(Float.max 1.0 rate))
+      quota;
+    let cur_deadline = ref deadline in
+    let cur_tenant = ref None in
     let parse_rule lineno what text =
       match Text.Authz_text.parse fed.catalog text with
       | Error e ->
@@ -1190,7 +1248,10 @@ let serve_cmd =
           in
           match cmd with
           | "query" ->
-            (match Federation.query service rest with
+            (match
+               Federation.query ?deadline:!cur_deadline ?tenant:!cur_tenant
+                 service rest
+             with
              | Ok r ->
                Fmt.pr "l%d: served %d row(s) at %a (%s, epoch %d)@." lineno
                  (Relation.cardinality r.result)
@@ -1226,9 +1287,69 @@ let serve_cmd =
           | "stats" ->
             Fmt.pr "l%d:@.%a@." lineno Federation.pp_stats
               (Federation.stats service)
+          | "deadline" ->
+            (match rest with
+             | "off" ->
+               cur_deadline := None;
+               Fmt.pr "l%d: deadline off@." lineno
+             | n -> (
+               match int_of_string_opt n with
+               | Some d when d > 0 ->
+                 cur_deadline := Some d;
+                 Fmt.pr "l%d: deadline %d step(s)@." lineno d
+               | _ ->
+                 service_error (D.Step lineno)
+                   "deadline: expected a positive step budget or 'off', got %S"
+                   n))
+          | "quota" ->
+            (match String.split_on_char ' ' rest with
+             | tenant :: rate :: burst
+               when tenant <> ""
+                    && (burst = [] || List.length burst = 1) -> (
+               let rate_f = float_of_string_opt rate in
+               let burst_f =
+                 match burst with
+                 | [] ->
+                   Option.map (fun r -> Float.max 1.0 r) rate_f
+                 | [ b ] -> float_of_string_opt b
+                 | _ -> None
+               in
+               match (rate_f, burst_f) with
+               | Some r, Some b when r >= 0.0 && b > 0.0 ->
+                 Federation.set_quota service tenant ~rate:r ~burst:b;
+                 Fmt.pr "l%d: quota %s: %g/tick (burst %g)@." lineno tenant r
+                   b
+               | _ ->
+                 service_error (D.Step lineno)
+                   "quota: expected TENANT RATE [BURST] with RATE >= 0 and \
+                    BURST > 0")
+             | _ ->
+               service_error (D.Step lineno)
+                 "quota: expected TENANT RATE [BURST]")
+          | "tenant" ->
+            (match rest with
+             | "off" ->
+               cur_tenant := None;
+               Fmt.pr "l%d: tenant off@." lineno
+             | "" ->
+               service_error (D.Step lineno)
+                 "tenant: expected a tenant name or 'off'"
+             | name ->
+               cur_tenant := Some name;
+               Fmt.pr "l%d: tenant %s@." lineno name)
+          | "health" ->
+            let snaps = Federation.health_report service in
+            Fmt.pr "l%d: %d server(s), %d quarantined@." lineno
+              (List.length snaps)
+              (List.length (Federation.quarantined_servers service));
+            List.iter
+              (fun s -> Fmt.pr "  %a@." Distsim.Health.pp_snapshot s)
+              snaps
           | other ->
             usage_error (D.Step lineno)
-              "unknown command %S (try: query, grant, revoke, stats)" other)
+              "unknown command %S (try: query, grant, revoke, stats, \
+               deadline, quota, tenant, health)"
+              other)
       lines;
     if !tripped then exit 1
   in
@@ -1237,10 +1358,10 @@ let serve_cmd =
        ~doc:
          "Replay a grant/revoke-interleaved query stream against one \
           long-lived federation (plan cache, policy epochs, incremental \
-          re-validation).")
+          re-validation, deadlines, quotas, per-server health).")
     Term.(
       const run $ federation_term $ chase_flag $ cache_capacity_arg
-      $ script_arg)
+      $ deadline_arg $ quota_arg $ script_arg)
 
 let () =
   (* Honour CISQP_VERBOSE=1 for engine/network debug traces. *)

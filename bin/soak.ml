@@ -33,6 +33,14 @@
    reject. The fault slice additionally asserts every recovered run
    and every failover carries a certificate that re-checks.
 
+   Health slice (--health-cases, default 300): the resilience
+   differential — replicated federations with circuit breakers enabled
+   under repeated victim crashes; responses rerouted around the
+   quarantine must equal the centralized reference, never bind a
+   quarantined executor, and re-prove their certificates against the
+   live base policy; shed/quota rejections stay typed and off the audit
+   log; blown deadlines surface as the typed error.
+
    Exits non-zero on any failure. Slower than the unit suite; run on
    demand (`dune exec bin/soak.exe -- --cases N --fault-cases M
    --knowledge-cases K --certify-cases C`) or bounded via
@@ -48,6 +56,7 @@ let fault_cases = ref 2000
 let knowledge_cases = ref 2000
 let certify_cases = ref 2000
 let service_cases = ref 500
+let health_cases = ref 300
 
 let () =
   let rec parse = function
@@ -66,6 +75,9 @@ let () =
       parse rest
     | "--service-cases" :: v :: rest ->
       service_cases := int_of_string v;
+      parse rest
+    | "--health-cases" :: v :: rest ->
+      health_cases := int_of_string v;
       parse rest
     | arg :: _ ->
       Fmt.epr "soak: unknown argument %s@." arg;
@@ -533,6 +545,8 @@ let service_slice () =
           | Error (F.Degraded _) -> "degraded"
           | Error (F.Audit_violation _) -> "audit"
           | Error (F.Uncertified _) -> "uncertified"
+          | Error (F.Rejected _) -> "rejected"
+          | Error (F.Deadline_exceeded _) -> "deadline"
         in
         (* Zero stale executions: a served response's proof must still
            check against the base policy as it stands *now*. *)
@@ -652,12 +666,216 @@ let service_slice () =
      %d full cache re-proofs@."
     !total !served !revokes !reproved
 
+(* ------------------------------------------------------------------ *)
+(* Health slice.                                                       *)
+
+(* The resilience differential (--health-cases, default 300): random
+   replicated federations served with circuit breakers enabled, under
+   repeated crash-injected queries against a chosen victim server.
+   Checks: every [Ok] response — including those replanned around an
+   open breaker's quarantine — still equals the centralized reference
+   and carries a certificate that re-proves (revalidate mode) against
+   the *base* policy as it stands now; shed and quota rejections are
+   typed and leave the audit log untouched; a blown deadline surfaces
+   as the typed [Deadline_exceeded], never as a silent wrong answer;
+   and no response is ever served by a currently-quarantined master. *)
+let health_slice () =
+  let module C = Analysis.Certificate in
+  let module F = Federation in
+  let total = ref 0
+  and served = ref 0
+  and rerouted = ref 0
+  and shed_checked = ref 0
+  and deadline_checked = ref 0 in
+  let seed = ref 0 in
+  while !total < !health_cases && !seed < 10 * !health_cases do
+    incr seed;
+    let seed = !seed in
+    let rng = Rng.make ~seed:(600_000 + seed) in
+    let topology =
+      match seed mod 3 with
+      | 0 -> System_gen.Chain
+      | 1 -> System_gen.Star
+      | _ -> System_gen.Random { extra_edges = 1 }
+    in
+    let relations = 4 + (seed mod 2) in
+    (* Heavy replication: quarantining a server must leave the planner
+       a replica to reroute to, or the case degenerates to Infeasible
+       (still typed, still checked, just less interesting). *)
+    let sys =
+      System_gen.generate ~replication:0.7 rng ~relations ~servers:relations
+        ~extra:2 ~topology
+    in
+    let density = [| 0.5; 0.65; 0.8 |].(seed mod 3) in
+    let policy = Authz_gen.generate rng ~density sys in
+    if not (Authz.Policy.is_open policy) then begin
+      let pool =
+        List.filter_map
+          (fun _ ->
+            Option.map Query.to_string
+              (Query_gen.generate rng ~where_prob:0.0
+                 ~joins:(1 + (seed mod 2))
+                 sys))
+          (List.init 5 (fun i -> i))
+        |> List.sort_uniq String.compare
+      in
+      let servers = System_gen.servers sys in
+      if pool <> [] && List.length servers >= 2 then begin
+        incr total;
+        let joins = sys.System_gen.join_graph in
+        let instances = Data_gen.instances rng ~rows:8 sys in
+        let svc =
+          F.create ~catalog:sys.System_gen.catalog ~policy ~close_under:joins
+            ~cache_capacity:4
+            ~health_config:
+              (Distsim.Health.config ~failure_threshold:2 ~cooldown:6
+                 ~window:8 ())
+            ~instances:(fun r -> instances r)
+            ()
+        in
+        let victim = Rng.choose rng servers in
+        let victim_fault i =
+          Distsim.Fault.make
+            ~crashes:[ Distsim.Fault.crash victim ~at:1 ]
+            ~max_retries:2
+            ~seed:((600_000 + seed) * 31)
+            ()
+          |> fun p -> if i mod 2 = 0 then p else { p with max_retries = 1 }
+        in
+        let check_response what (r : F.response) =
+          incr served;
+          let reference = Distsim.Engine.centralized ~instances r.F.plan in
+          if not (Relation.equal r.F.result reference) then begin
+            incr failures;
+            Fmt.pr "HEALTH WRONG RESULT at seed %d (%s)@." seed what
+          end;
+          (* No response may be served by a quarantined executor. *)
+          let quarantined = F.quarantined_servers svc in
+          let uses s = List.exists (Server.equal s) quarantined in
+          List.iter
+            (fun (_, (e : Planner.Assignment.executor)) ->
+              let bad =
+                uses e.Planner.Assignment.master
+                || Option.fold ~none:false ~some:uses
+                     e.Planner.Assignment.slave
+                || Option.fold ~none:false ~some:uses
+                     e.Planner.Assignment.coordinator
+              in
+              if bad then begin
+                incr failures;
+                Fmt.pr "HEALTH QUARANTINED EXECUTOR at seed %d (%s)@." seed
+                  what
+              end)
+            (Planner.Assignment.bindings r.F.assignment);
+          match r.F.certificate with
+          | None ->
+            incr failures;
+            Fmt.pr "HEALTH uncertified response at seed %d (%s)@." seed what
+          | Some cert -> (
+            match
+              C.check_plan ~revalidate:true ~joins sys.System_gen.catalog
+                (F.base_policy svc) r.F.plan cert
+            with
+            | [] -> ()
+            | f :: _ ->
+              incr failures;
+              Fmt.pr "HEALTH STALE/UNSAFE plan at seed %d (%s): %a@." seed
+                what C.pp_failure f)
+        in
+        (* Crash-injected stream: repeated victim crashes trip the
+           breaker; later queries plan around the quarantine. *)
+        for i = 1 to 8 do
+          let sql = List.nth pool (Rng.zipf rng ~s:1.1 ~n:(List.length pool)) in
+          let before_quarantine = F.quarantined_servers svc <> [] in
+          match F.query ~fault:(victim_fault i) svc sql with
+          | Ok r ->
+            if before_quarantine then incr rerouted;
+            check_response
+              (if before_quarantine then "rerouted" else "stream")
+              r
+          | Error (F.Degraded _ | F.Infeasible _ | F.Deadline_exceeded _) ->
+            () (* typed degradation is the contract, not a failure *)
+          | Error (F.Rejected _) ->
+            incr failures;
+            Fmt.pr "HEALTH spurious rejection at seed %d@." seed
+          | Error e ->
+            incr failures;
+            Fmt.pr "HEALTH unexpected error at seed %d: %a@." seed
+              F.pp_error e
+        done;
+        (* Breaker accounting must be visible in stats. *)
+        let s = F.stats svc in
+        if s.F.quarantined <> List.length (F.quarantined_servers svc) then begin
+          incr failures;
+          Fmt.pr "HEALTH stats/quarantine drift at seed %d@." seed
+        end;
+        (* Shed and quota rejections: typed, and the rejected call
+           leaves the audit log untouched (nothing was planned, nothing
+           was emitted). The first probe burns the burst token — its
+           outcome may be anything the planner says under quarantine. *)
+        incr shed_checked;
+        F.set_admission svc ~rate:0.0 ~burst:1.0;
+        ignore (F.query svc (List.hd pool));
+        let audit_before = List.length (F.audit_log svc) in
+        (match F.query svc (List.hd pool) with
+         | Error (F.Rejected { reason = F.Overload }) -> ()
+         | _ ->
+           incr failures;
+           Fmt.pr "HEALTH admission failed to shed at seed %d@." seed);
+        if List.length (F.audit_log svc) <> audit_before then begin
+          incr failures;
+          Fmt.pr "HEALTH shed request reached the audit log at seed %d@." seed
+        end;
+        F.clear_admission svc;
+        F.set_quota svc "soak-tenant" ~rate:0.0 ~burst:1.0;
+        ignore (F.query ~tenant:"soak-tenant" svc (List.hd pool));
+        let audit_before = List.length (F.audit_log svc) in
+        (match F.query ~tenant:"soak-tenant" svc (List.hd pool) with
+         | Error (F.Rejected { reason = F.Quota { tenant } })
+           when tenant = "soak-tenant" ->
+           ()
+         | _ ->
+           incr failures;
+           Fmt.pr "HEALTH quota failed to reject at seed %d@." seed);
+        if List.length (F.audit_log svc) <> audit_before then begin
+          incr failures;
+          Fmt.pr "HEALTH quota-rejected request reached the audit log at \
+                  seed %d@."
+            seed
+        end;
+        F.clear_quota svc "soak-tenant";
+        (* A 1-step deadline on a multi-node plan must blow, typed. *)
+        incr deadline_checked;
+        (match F.query ~deadline:1 svc (List.hd pool) with
+         | Ok r when r.F.steps <= 1 -> ()
+         | Ok _ ->
+           incr failures;
+           Fmt.pr "HEALTH over-budget response served at seed %d@." seed
+         | Error (F.Deadline_exceeded { spent; budget }) ->
+           if spent <= budget then begin
+             incr failures;
+             Fmt.pr "HEALTH deadline miss without overspend at seed %d@." seed
+           end
+         | Error (F.Infeasible _ | F.Degraded _) -> ()
+         | Error e ->
+           incr failures;
+           Fmt.pr "HEALTH unexpected deadline-path error at seed %d: %a@."
+             seed F.pp_error e)
+      end
+    end
+  done;
+  Fmt.pr
+    "soak (health): %d cases, %d responses checked (%d rerouted past a \
+     quarantine), %d shed/quota probes, %d deadline probes@."
+    !total !served !rerouted !shed_checked !deadline_checked
+
 let () =
   clean_slice ();
   fault_slice ();
   knowledge_slice ();
   certify_slice ();
   service_slice ();
+  health_slice ();
   if !failures = 0 then Fmt.pr "soak: all checks passed@."
   else Fmt.pr "soak: %d FAILURES@." !failures;
   exit (if !failures = 0 then 0 else 1)

@@ -41,6 +41,7 @@ let registry =
     ("CISQP040", Error, "malformed query SQL");
     ("CISQP041", Error, "invalid command-line option value");
     ("CISQP042", Error, "invalid command-line usage");
+    ("CISQP043", Error, "invalid service option: deadline and quota values must be positive");
     ("CISQP050", Error, "certificate check failed: evidence does not prove the verdict");
     ("CISQP051", Error, "certificate missing, unreadable or stale");
   ]

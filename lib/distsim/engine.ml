@@ -10,6 +10,7 @@ type outcome = {
   location : Server.t;
   network : Network.t;
   node_rows : (int * int) list;
+  steps : int;
 }
 
 type error =
@@ -22,6 +23,7 @@ type error =
       node : int;
       attempts : int;
     }
+  | Deadline_exceeded of { node : int; spent : int; budget : int }
 
 let pp_error ppf = function
   | Structure e -> Planner.Safety.pp_error ppf e
@@ -32,6 +34,9 @@ let pp_error ppf = function
   | Transfer_failed { sender; receiver; node; attempts } ->
     Fmt.pf ppf "transfer %a -> %a at n%d failed after %d attempts" Server.pp
       sender Server.pp receiver node attempts
+  | Deadline_exceeded { node; spent; budget } ->
+    Fmt.pf ppf "deadline exceeded at n%d (%d steps spent, budget %d)" node
+      spent budget
 
 exception Fail of error
 
@@ -46,12 +51,35 @@ type piece = {
   profile : Profile.t;
 }
 
-let execute ?(third_party = false) ?fault ?network ?observe catalog ~instances
-    plan assignment =
+let execute ?(third_party = false) ?fault ?network ?deadline ?observe catalog
+    ~instances plan assignment =
   let network =
     match network with Some n -> n | None -> Network.create ()
   in
   let rows = ref [] in
+  (* The query's time budget, in the same logical steps the injector
+     counts (one compute, one transmission attempt or one backoff wait
+     each cost one step). With an injector we charge against its step
+     counter — so retries and backoff chains eat the budget — and
+     without one we keep a local counter charging one step per compute
+     and one per send, so deadlines bite on the clean path too. *)
+  let start_steps = match fault with Some f -> Fault.steps f | None -> 0 in
+  let local_steps = ref 0 in
+  let spent () =
+    match fault with Some f -> Fault.steps f - start_steps | None -> !local_steps
+  in
+  let check_deadline node =
+    match deadline with
+    | None -> ()
+    | Some budget ->
+      let s = spent () in
+      if s > budget then
+        raise (Fail (Deadline_exceeded { node; spent = s; budget }))
+  in
+  let charge node =
+    incr local_steps;
+    check_deadline node
+  in
   let exec_of (n : Plan.node) =
     match Assignment.find_opt assignment n.id with
     | Some e -> e
@@ -63,19 +91,21 @@ let execute ?(third_party = false) ?fault ?network ?observe catalog ~instances
      typed error the supervisor turns into a failover. *)
   let ensure_up server node =
     match fault with
-    | None -> ()
+    | None -> charge node
     | Some f ->
       (match Fault.compute f ~server ~node with
-       | Fault.Up -> ()
+       | Fault.Up -> check_deadline node
        | Fault.Permanent ->
          raise (Fail (Server_down { server; node; permanent = true }))
        | Fault.Transient ->
+         check_deadline node;
          let max_retries = (Fault.plan_of f).Fault.max_retries in
          let rec retry attempt =
            if attempt > max_retries then
              raise (Fail (Server_down { server; node; permanent = false }))
            else begin
              ignore (Fault.wait f ~attempt);
+             check_deadline node;
              match Fault.status f server with
              | Fault.Up -> ()
              | Fault.Permanent ->
@@ -94,6 +124,7 @@ let execute ?(third_party = false) ?fault ?network ?observe catalog ~instances
   let xmit ~node ~sender ~receiver ~profile ~purpose ~note data =
     match fault with
     | None ->
+      charge node;
       Network.send network ~sender ~receiver ~profile ~purpose ~note data
     | Some f ->
       let max_attempts = 1 + (Fault.plan_of f).Fault.max_retries in
@@ -134,9 +165,11 @@ let execute ?(third_party = false) ?fault ?network ?observe catalog ~instances
               (Fail (Transfer_failed { sender; receiver; node; attempts = k }))
           else begin
             ignore (Fault.wait f ~attempt:k);
+            check_deadline node;
             attempt (k + 1)
           end
       in
+      check_deadline node;
       attempt 1
   in
   let rec go (n : Plan.node) : piece =
@@ -385,6 +418,7 @@ let execute ?(third_party = false) ?fault ?network ?observe catalog ~instances
         location = piece.at;
         network;
         node_rows = List.sort (fun (a, _) (b, _) -> Int.compare a b) !rows;
+        steps = spent ();
       }
   | exception Fail e -> Error e
 

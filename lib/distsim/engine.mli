@@ -26,6 +26,10 @@ type outcome = {
   node_rows : (int * int) list;
       (** cardinality of each node's result, by node id — consumed by
           {!Timing} *)
+  steps : int;
+      (** logical steps this execution consumed (injector steps under
+          fault injection; one per compute/send otherwise) — what a
+          [deadline] is charged against *)
 }
 
 type error =
@@ -45,6 +49,10 @@ type error =
     }
       (** fault injection: the link kept dropping or corrupting the
           message and the retry budget ran out *)
+  | Deadline_exceeded of { node : int; spent : int; budget : int }
+      (** the query's logical-time budget ran out at node [node]: the
+          execution was abandoned rather than retried forever. Always
+          typed — never a silent partial answer. *)
 
 (** Alias of {!Planner.Assignment}, for the signature below. *)
 module Assignment = Planner.Assignment
@@ -65,6 +73,13 @@ val pp_error : error Fmt.t
     [network] (default a fresh log) lets a supervisor accumulate the
     emissions of several execution attempts into one auditable log.
 
+    [deadline] (default none) bounds the query's logical time: when
+    the steps consumed by this execution exceed the budget — retries,
+    backoff waits and outage probes included — it aborts with
+    [Deadline_exceeded]. Under an injector the budget is charged
+    against the injector's step counter from the moment [execute] is
+    entered; without one, one step per compute and one per send.
+
     [observe] (default none) is called with each completed node's id
     and value — the hook {!Recover} uses to salvage partial results
     from an execution that later dies. *)
@@ -72,6 +87,7 @@ val execute :
   ?third_party:bool ->
   ?fault:Fault.t ->
   ?network:Network.t ->
+  ?deadline:int ->
   ?observe:(int -> Relation.t -> unit) ->
   Catalog.t ->
   instances:(string -> Relation.t option) ->

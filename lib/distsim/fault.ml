@@ -29,13 +29,16 @@ type plan = {
   max_retries : int;
   backoff_base : float;
   backoff_factor : float;
+  backoff_ceiling : float;
 }
 
 let make ?(crashes = []) ?(default_link = perfect_link) ?(links = [])
-    ?(max_retries = 5) ?(backoff_base = 1e-3) ?(backoff_factor = 2.0) ~seed ()
-    =
+    ?(max_retries = 5) ?(backoff_base = 1e-3) ?(backoff_factor = 2.0)
+    ?(backoff_ceiling = 60.0) ~seed () =
+  if backoff_ceiling <= 0.0 then
+    invalid_arg "Fault.make: backoff_ceiling must be positive";
   { seed; crashes; default_link; links; max_retries; backoff_base;
-    backoff_factor }
+    backoff_factor; backoff_ceiling }
 
 let reliable = make ~seed:0 ()
 
@@ -108,7 +111,7 @@ type event =
       attempt : int;
       verdict : verdict;
     }
-  | Waited of { step : int; attempt : int; delay : float }
+  | Waited of { step : int; attempt : int; delay : float; clamped : bool }
   | Outage of { step : int; server : Server.t; node : int; permanent : bool }
 
 type t = {
@@ -177,11 +180,21 @@ let transmission t ~sender ~receiver ~attempt =
   record t (Attempted { step = t.step; sender; receiver; attempt; verdict });
   verdict
 
+(* Cumulative backoff is clamped at the plan's ceiling: once the
+   injector has accrued [backoff_ceiling] seconds of simulated waiting,
+   further waits cost zero additional delay (the retry chain still
+   advances steps, so it still terminates by the retry budget). Without
+   the clamp a pathological retry plan — large base or factor, many
+   transfers — grows logical time without bound and starves the DES
+   downstream of it. A clamped wait is flagged in the schedule. *)
 let wait t ~attempt =
   t.step <- t.step + 1;
-  let delay = backoff t.plan attempt in
+  let raw = backoff t.plan attempt in
+  let budget = Float.max 0.0 (t.plan.backoff_ceiling -. t.delay) in
+  let delay = Float.min raw budget in
+  let clamped = delay < raw in
   t.delay <- t.delay +. delay;
-  record t (Waited { step = t.step; attempt; delay });
+  record t (Waited { step = t.step; attempt; delay; clamped });
   delay
 
 let pp_verdict ppf = function
@@ -193,8 +206,9 @@ let pp_event ppf = function
   | Attempted { step; sender; receiver; attempt; verdict } ->
     Fmt.pf ppf "step %d: attempt %d %a -> %a: %a" step attempt Server.pp
       sender Server.pp receiver pp_verdict verdict
-  | Waited { step; attempt; delay } ->
-    Fmt.pf ppf "step %d: backoff before retry %d (%g s)" step attempt delay
+  | Waited { step; attempt; delay; clamped } ->
+    Fmt.pf ppf "step %d: backoff before retry %d (%g s%s)" step attempt delay
+      (if clamped then ", clamped at ceiling" else "")
   | Outage { step; server; node; permanent } ->
     Fmt.pf ppf "step %d: %a down at n%d (%s)" step Server.pp server node
       (if permanent then "permanent" else "transient")

@@ -56,6 +56,11 @@ type plan = {
   max_retries : int;  (** retransmission attempts after the first *)
   backoff_base : float;  (** seconds before the first retry *)
   backoff_factor : float;  (** multiplier per further retry *)
+  backoff_ceiling : float;
+      (** cap on {e cumulative} backoff seconds per injector — once
+          reached, further waits cost zero simulated time (and are
+          flagged [clamped] in the schedule), so a pathological retry
+          plan cannot grow logical time without bound *)
 }
 
 (** No crashes, perfect links: running under [reliable] is
@@ -69,6 +74,7 @@ val make :
   ?max_retries:int ->
   ?backoff_base:float ->
   ?backoff_factor:float ->
+  ?backoff_ceiling:float ->
   seed:int ->
   unit ->
   plan
@@ -127,7 +133,9 @@ val transmission :
   t -> sender:Server.t -> receiver:Server.t -> attempt:int -> verdict
 
 (** Backoff before retry [attempt]: advances one step, accrues the
-    delay, records a schedule entry, and returns the waited seconds. *)
+    delay (clamped so cumulative delay never exceeds the plan's
+    [backoff_ceiling]), records a schedule entry, and returns the
+    waited seconds. *)
 val wait : t -> attempt:int -> float
 
 (** {1 The retry schedule}
@@ -143,7 +151,9 @@ type event =
       attempt : int;
       verdict : verdict;
     }
-  | Waited of { step : int; attempt : int; delay : float }
+  | Waited of { step : int; attempt : int; delay : float; clamped : bool }
+      (** [clamped] — the raw exponential delay was cut down (possibly
+          to zero) by the plan's cumulative [backoff_ceiling] *)
   | Outage of { step : int; server : Server.t; node : int; permanent : bool }
 
 val events : t -> event list

@@ -1,0 +1,100 @@
+(** Per-server health tracking and circuit breakers.
+
+    The federation's resilience layer ({!Federation}) feeds this module
+    the audit-visible outcomes of each query — every delivered, dropped
+    or corrupted message from the {!Network} log, plus explicit failure
+    reports for servers a recovery excluded — and consults it to decide
+    which servers are currently {e quarantined}.
+
+    Each server carries a breaker with the classic three-state machine:
+
+    - [Closed] — healthy; failures are counted, and
+      [failure_threshold] {e consecutive} failures trip the breaker.
+    - [Open {until}] — quarantined until logical tick [until]. A
+      quarantined server is excluded from planning (via the
+      [?excluded] parameter of {!Planner.Third_party.plan}), so no new
+      plan routes through it, and every substitute assignment is
+      re-certified before any message — the breaker changes {e where}
+      queries run, never {e whether} the safety proof happens.
+    - [Half_open] — the cooldown lapsed; the next plan may route
+      through the server as a probe. One success closes the breaker
+      (the server is re-admitted), one failure re-opens it.
+
+    Time is the caller's logical clock (the federation uses its
+    per-request tick counter), so behaviour is deterministic and
+    replayable: there are no wall-clock reads. Open breakers lapse to
+    [Half_open] {e lazily}, the first time they are consulted at or
+    past their expiry — mirroring the lazy epoch re-stamping of the
+    plan cache. *)
+
+open Relalg
+
+type config = {
+  failure_threshold : int;
+      (** consecutive failures that trip a closed breaker *)
+  cooldown : int;  (** ticks an opened breaker stays open *)
+  window : int;  (** rolling-window size for the health report *)
+}
+
+(** [{failure_threshold = 3; cooldown = 8; window = 16}] *)
+val default_config : config
+
+(** Validating constructor — all fields must be positive. *)
+val config :
+  ?failure_threshold:int -> ?cooldown:int -> ?window:int -> unit -> config
+
+type state =
+  | Closed
+  | Open of { until : int }  (** quarantined until tick [until] *)
+  | Half_open  (** probing: one success re-admits, one failure re-opens *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** Record one failure attributed to [server] at tick [now]. May trip
+    the breaker (Closed with threshold reached, or a failed Half_open
+    probe) or extend an already-open cooldown. *)
+val record_failure : t -> now:int -> Server.t -> unit
+
+(** Record one success for [server] at tick [now]. Resets the
+    consecutive-failure count; closes a [Half_open] breaker. *)
+val record_success : t -> now:int -> Server.t -> unit
+
+(** Walk a message log and feed it to the breakers: a [Delivered]
+    message is a success for its receiver (its [attempt] count feeds
+    the latency proxy), a [Dropped] or [Corrupted] one a failure. *)
+val observe_log : t -> now:int -> Network.t -> unit
+
+(** Breaker state of [server] at tick [now] (resolving a lapsed
+    cooldown to [Half_open]). Unobserved servers are [Closed]. *)
+val state : t -> now:int -> Server.t -> state
+
+(** Servers whose breaker is [Open] at tick [now], sorted by name.
+    [Half_open] servers are {e not} listed — they are admissible as
+    probes. *)
+val quarantined : t -> now:int -> Server.t list
+
+(** Total number of Closed/Half_open -> Open transitions so far. *)
+val breaker_opens : t -> int
+
+type snapshot = {
+  subject : Server.t;
+  condition : state;
+  ok : int;  (** lifetime successes *)
+  failed : int;  (** lifetime failures *)
+  recent_failures : int;  (** failures within the rolling window *)
+  mean_attempts : float;
+      (** mean delivery attempt number — a latency proxy: 1.0 means no
+          retransmissions were ever needed *)
+}
+
+(** Per-server snapshots at tick [now], sorted by server name. *)
+val report : t -> now:int -> snapshot list
+
+val pp_state : state Fmt.t
+val pp_snapshot : snapshot Fmt.t
+
+(** Renders the last-resolved state of every breaker; does not advance
+    the lazy Open -> Half_open transitions. *)
+val pp : t Fmt.t

@@ -24,6 +24,7 @@ type reason =
       attempts : int;
     }
   | Failover_limit of { dead : Server.t list }
+  | Deadline_exceeded of { spent : int; budget : int }
   | Execution_failed of string
 
 type recovered = {
@@ -39,6 +40,7 @@ type recovered = {
   attempts : int;
   retries : int;
   delay : float;
+  steps : int;
   schedule : Fault.event list;
 }
 
@@ -54,17 +56,24 @@ type degraded = {
 
 type outcome = (recovered, degraded) result
 
-let execute ?(helpers = []) ?max_failovers ?close_under catalog policy
-    ~instances ~fault plan =
+let execute ?(helpers = []) ?max_failovers ?close_under ?closed ?deadline
+    ?(excluded = []) ?seed catalog policy ~instances ~fault plan =
   let injector = Fault.start fault in
-  (* One chase handle for the whole recovery: its closure is computed
-     lazily on first use and then shared by the planner of every
-     failover attempt and by every independent safety re-proof, instead
-     of re-closing the policy per attempt. *)
+  (* One chase handle for the whole recovery: either the caller's
+     long-lived handle (the federation shares its service handle, so
+     grants already chased there are visible here) or one built from
+     [close_under]; its closure is computed lazily on first use and
+     then shared by the planner of every failover attempt and by every
+     independent safety re-proof, instead of re-closing the policy per
+     attempt. When a handle is given, [policy] must be the {e base}
+     policy it closes over — certificates check against the base. *)
   let closed =
-    Option.map
-      (fun joins -> Authz.Chase.closed_policy ~joins policy)
-      close_under
+    match closed with
+    | Some _ as c -> c
+    | None ->
+      Option.map
+        (fun joins -> Authz.Chase.closed_policy ~joins policy)
+        close_under
   in
   let max_failovers =
     match max_failovers with
@@ -74,7 +83,11 @@ let execute ?(helpers = []) ?max_failovers ?close_under catalog policy
   let segments = ref [] in
   (* newest first *)
   let failovers = ref [] in
-  let excluded = ref [] in
+  (* [excluded] may arrive non-empty: quarantined servers the caller's
+     circuit breakers have already ruled out. They count against the
+     failover limit exactly like servers that died during this query. *)
+  let pre_excluded = List.length excluded in
+  let excluded = ref excluded in
   let merged () = Network.concat (List.rev !segments) in
   let degraded ?failed_node ?(partial = []) reason =
     Error
@@ -88,10 +101,32 @@ let execute ?(helpers = []) ?max_failovers ?close_under catalog policy
         schedule = Fault.events injector;
       }
   in
+  let over_deadline () =
+    match deadline with
+    | Some budget when Fault.steps injector > budget -> Some budget
+    | _ -> None
+  in
   (* [pending] carries the death that triggered this replan; the
      failover record is completed once the replacement assignment
      exists. *)
   let rec attempt i ~pending =
+    match over_deadline () with
+    | Some budget ->
+      (* The budget ran out before this attempt could even replan:
+         abandon rather than plan work we cannot run. *)
+      degraded (Deadline_exceeded { spent = Fault.steps injector; budget })
+    | None ->
+      (match (seed, i, pending) with
+       | Some (assignment, certificate, rescues), 1, None ->
+         (* The caller seeded attempt 1 with an assignment it already
+            certified (the federation's plan cache, whose epoch gate
+            just passed): execute it directly, exactly as the clean
+            path executes cached plans without a fresh proof. Any
+            failover replans — and re-proves — from scratch. *)
+         run i ~assignment ~certificate ~rescues
+           ~third_party:(rescues <> [])
+       | _ -> replan i ~pending)
+  and replan i ~pending =
     match
       Planner.Third_party.plan ~excluded:!excluded ?closed ~helpers catalog
         policy plan
@@ -155,53 +190,61 @@ let execute ?(helpers = []) ?max_failovers ?close_under catalog policy
            match certified with Error d -> d | Ok _ -> assert false
          in
          degraded (Replan_uncertified { dead = !excluded; detail })
-       | Ok _flows ->
-         let network = Network.create () in
-         segments := network :: !segments;
-         let partial = ref [] in
-         let observe id value =
-           partial := (id, value) :: List.remove_assoc id !partial
-         in
-         let done_so_far () =
-           List.sort (fun (a, _) (b, _) -> Int.compare a b) !partial
-         in
-         (match
-            Engine.execute ~third_party ~fault:injector ~network ~observe
-              catalog ~instances plan assignment
-          with
-          | Ok (o : Engine.outcome) ->
-            let log = merged () in
-            Ok
-              {
-                result = o.Engine.result;
-                location = o.Engine.location;
-                outcome = o;
-                log;
-                assignment;
-                certificate;
-                rescues;
-                failovers = List.rev !failovers;
-                excluded = !excluded;
-                attempts = i;
-                retries = Network.retransmissions log;
-                delay = Fault.total_delay injector;
-                schedule = Fault.events injector;
-              }
-          | Error (Engine.Server_down { server; node; permanent }) ->
-            if List.length !excluded >= max_failovers then
-              degraded ~failed_node:node ~partial:(done_so_far ())
-                (Failover_limit { dead = !excluded @ [ server ] })
-            else begin
-              excluded := !excluded @ [ server ];
-              attempt (i + 1) ~pending:(Some (server, permanent, node, i))
-            end
-          | Error (Engine.Transfer_failed { sender; receiver; node; attempts })
-            ->
-            degraded ~failed_node:node ~partial:(done_so_far ())
-              (Transfer_failed { sender; receiver; node; attempts })
-          | Error e ->
-            degraded ~partial:(done_so_far ())
-              (Execution_failed (Fmt.str "%a" Engine.pp_error e))))
+       | Ok _flows -> run i ~assignment ~certificate ~rescues ~third_party)
+  and run i ~assignment ~certificate ~rescues ~third_party =
+    let network = Network.create () in
+    segments := network :: !segments;
+    let partial = ref [] in
+    let observe id value =
+      partial := (id, value) :: List.remove_assoc id !partial
+    in
+    let done_so_far () =
+      List.sort (fun (a, _) (b, _) -> Int.compare a b) !partial
+    in
+    let remaining =
+      Option.map (fun b -> max 0 (b - Fault.steps injector)) deadline
+    in
+    match
+      Engine.execute ~third_party ~fault:injector ~network ?deadline:remaining
+        ~observe catalog ~instances plan assignment
+    with
+    | Ok (o : Engine.outcome) ->
+      let log = merged () in
+      Ok
+        {
+          result = o.Engine.result;
+          location = o.Engine.location;
+          outcome = o;
+          log;
+          assignment;
+          certificate;
+          rescues;
+          failovers = List.rev !failovers;
+          excluded = !excluded;
+          attempts = i;
+          retries = Network.retransmissions log;
+          delay = Fault.total_delay injector;
+          steps = Fault.steps injector;
+          schedule = Fault.events injector;
+        }
+    | Error (Engine.Server_down { server; node; permanent }) ->
+      if List.length !excluded - pre_excluded >= max_failovers then
+        degraded ~failed_node:node ~partial:(done_so_far ())
+          (Failover_limit { dead = !excluded @ [ server ] })
+      else begin
+        excluded := !excluded @ [ server ];
+        attempt (i + 1) ~pending:(Some (server, permanent, node, i))
+      end
+    | Error (Engine.Transfer_failed { sender; receiver; node; attempts }) ->
+      degraded ~failed_node:node ~partial:(done_so_far ())
+        (Transfer_failed { sender; receiver; node; attempts })
+    | Error (Engine.Deadline_exceeded { node; _ }) ->
+      let budget = match deadline with Some b -> b | None -> 0 in
+      degraded ~failed_node:node ~partial:(done_so_far ())
+        (Deadline_exceeded { spent = Fault.steps injector; budget })
+    | Error e ->
+      degraded ~partial:(done_so_far ())
+        (Execution_failed (Fmt.str "%a" Engine.pp_error e))
   in
   attempt 1 ~pending:None
 
@@ -253,6 +296,9 @@ let pp_reason ppf = function
     Fmt.pf ppf "failover limit reached; dead: %a"
       Fmt.(list ~sep:comma Server.pp)
       dead
+  | Deadline_exceeded { spent; budget } ->
+    Fmt.pf ppf "deadline exceeded: %d logical steps spent, budget %d" spent
+      budget
   | Execution_failed msg -> Fmt.pf ppf "execution failed: %s" msg
 
 let pp_outcome ppf = function

@@ -75,6 +75,10 @@ type reason =
     }  (** a link never delivered within the retry budget *)
   | Failover_limit of { dead : Server.t list }
       (** more servers died than the supervisor may exclude *)
+  | Deadline_exceeded of { spent : int; budget : int }
+      (** the query's logical-time budget ran out — mid-execution or
+          before a replan could even start. The work done so far is in
+          [partial]; the answer is abandoned, never guessed. *)
   | Execution_failed of string
       (** non-fault engine error (structural, missing instance) *)
 
@@ -98,6 +102,7 @@ type recovered = {
   attempts : int;  (** execution attempts, [1 + List.length failovers] *)
   retries : int;  (** retransmitted messages across the whole log *)
   delay : float;  (** simulated seconds spent in backoffs *)
+  steps : int;  (** logical steps the whole recovery consumed *)
   schedule : Fault.event list;  (** the injector's deterministic record *)
 }
 
@@ -119,14 +124,42 @@ type outcome = (recovered, degraded) result
     [plan] under [fault]. [helpers] are offered to the planner (initial
     plan and every replan alike); [max_failovers] (default: the number
     of servers in the catalog) bounds how many servers may be excluded
-    before giving up. [close_under] makes planning and every safety
-    re-proof chase-aware: the policy is closed under the given join
-    graph {e once}, through a single {!Authz.Chase.closed} handle
-    shared by all failover attempts. *)
+    {e during this recovery} before giving up. [close_under] makes
+    planning and every safety re-proof chase-aware: the policy is
+    closed under the given join graph {e once}, through a single
+    {!Authz.Chase.closed} handle shared by all failover attempts.
+
+    [closed] (takes precedence over [close_under]) shares a caller's
+    long-lived chase handle instead; [policy] must then be the base
+    policy the handle closes over, since certificates are checked
+    against the base.
+
+    [deadline] bounds the whole recovery — every attempt's computes,
+    sends, retries and backoff waits charge one shared budget of
+    injector steps; when it runs out the recovery degrades with a
+    typed {!Deadline_exceeded}, whether mid-execution or between
+    attempts.
+
+    [excluded] pre-excludes servers (e.g. quarantined by circuit
+    breakers) from the initial plan and every replan; they do not
+    count against [max_failovers].
+
+    [seed] supplies attempt 1 with an assignment (+ certificate +
+    rescues) the caller already certified — e.g. a federation's cached
+    plan whose epoch gate just passed — skipping the initial replan
+    and re-proof, exactly as the clean path executes cached plans.
+    Failovers still replan and re-prove from scratch. *)
 val execute :
   ?helpers:Server.t list ->
   ?max_failovers:int ->
   ?close_under:Joinpath.Cond.t list ->
+  ?closed:Authz.Chase.closed ->
+  ?deadline:int ->
+  ?excluded:Server.t list ->
+  ?seed:
+    Planner.Assignment.t
+    * Analysis.Certificate.plan_cert option
+    * Planner.Third_party.rescue list ->
   Catalog.t ->
   Authz.Policy.t ->
   instances:(string -> Relation.t option) ->

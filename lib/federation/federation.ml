@@ -10,7 +10,11 @@ type cached = {
   c_rule_ids : int list;
       (* interned ids of every base/derived rule the certificate's
          witnesses depend on — the revocation sensitivity set *)
+  c_servers : Server.t list;
+      (* every server the assignment routes through — the quarantine
+         sensitivity set *)
   mutable c_epoch : int;  (* service epoch at last validation *)
+  mutable c_health : int;  (* health epoch at last validation *)
   mutable c_used : int;  (* logical tick of last use, for LRU *)
 }
 
@@ -24,6 +28,11 @@ type stats = {
   epoch : int;
   total_messages : int;
   total_bytes : int;
+  shed : int;
+  quota_rejections : int;
+  breaker_opens : int;
+  quarantined : int;
+  deadline_exceeded : int;
 }
 
 type t = {
@@ -44,6 +53,17 @@ type t = {
   mutable last_revoke_epoch : int;
   mutable tick : int;
   mutable audit_entries : Distsim.Audit.entry list;  (* newest first *)
+  (* --- resilience layer --- *)
+  health : Distsim.Health.t;
+  breaker : bool;
+  mutable health_epoch : int;
+      (* bumped whenever the quarantine set changes; cached plans carry
+         the health epoch they were last checked against, mirroring the
+         lazy policy-epoch re-stamping *)
+  mutable quarantine : Server.t list;  (* sorted by name *)
+  mutable clock : int;  (* one tick per request: the breakers' clock *)
+  mutable admission : Workload.Bucket.t option;
+  quotas : (string, Workload.Bucket.t) Hashtbl.t;  (* per-tenant *)
   mutable queries_served : int;
   mutable infeasible_count : int;
   mutable degraded_count : int;
@@ -52,10 +72,13 @@ type t = {
   mutable invalidations : int;
   mutable total_messages : int;
   mutable total_bytes : int;
+  mutable shed_count : int;
+  mutable quota_rejections : int;
+  mutable deadline_exceeded_count : int;
 }
 
 let create ~catalog ~policy ?(helpers = []) ?close_under ?(cache_capacity = 256)
-    ~instances () =
+    ?(breaker = true) ?health_config ~instances () =
   if cache_capacity < 0 then
     invalid_arg "Federation.create: negative cache_capacity";
   (* Close once, through a chase handle, and serve every later check
@@ -85,6 +108,13 @@ let create ~catalog ~policy ?(helpers = []) ?close_under ?(cache_capacity = 256)
     last_revoke_epoch = 0;
     tick = 0;
     audit_entries = [];
+    health = Distsim.Health.create ?config:health_config ();
+    breaker;
+    health_epoch = 0;
+    quarantine = [];
+    clock = 0;
+    admission = None;
+    quotas = Hashtbl.create 4;
     queries_served = 0;
     infeasible_count = 0;
     degraded_count = 0;
@@ -93,6 +123,9 @@ let create ~catalog ~policy ?(helpers = []) ?close_under ?(cache_capacity = 256)
     invalidations = 0;
     total_messages = 0;
     total_bytes = 0;
+    shed_count = 0;
+    quota_rejections = 0;
+    deadline_exceeded_count = 0;
   }
 
 let of_text ~schema ~authz ?data ?(helpers = []) ?cache_capacity () =
@@ -125,7 +158,12 @@ type response = {
   bytes : int;
   from_cache : bool;
   failovers : Distsim.Recover.failover list;
+  steps : int;
 }
+
+type reject_reason =
+  | Overload
+  | Quota of { tenant : string }
 
 type error =
   | Parse_error of string
@@ -142,6 +180,8 @@ type error =
     }
   | Audit_violation of string
   | Uncertified of string
+  | Rejected of { reason : reject_reason }
+  | Deadline_exceeded of { spent : int; budget : int }
 
 let pp_error ppf = function
   | Parse_error msg -> Fmt.pf ppf "parse error: %s" msg
@@ -169,6 +209,13 @@ let pp_error ppf = function
          (List.map fst ps))
   | Audit_violation msg -> Fmt.pf ppf "AUDIT VIOLATION: %s" msg
   | Uncertified msg -> Fmt.pf ppf "CERTIFICATION FAILED: %s" msg
+  | Rejected { reason = Overload } ->
+    Fmt.pf ppf "rejected: admission control shed the request (overload)"
+  | Rejected { reason = Quota { tenant } } ->
+    Fmt.pf ppf "rejected: tenant %s is over quota" tenant
+  | Deadline_exceeded { spent; budget } ->
+    Fmt.pf ppf "deadline exceeded: %d logical steps spent, budget %d" spent
+      budget
 
 let parse t sql =
   match Sql_parser.parse t.catalog sql with
@@ -192,6 +239,64 @@ let touch t c =
   t.tick <- t.tick + 1;
   c.c_used <- t.tick
 
+(* Every server an assignment routes data through — master, slave and
+   coordinator of every node — deduplicated. The quarantine gate
+   intersects this set with the quarantined servers. *)
+let servers_of assignment =
+  let add s acc = if List.exists (Server.equal s) acc then acc else s :: acc in
+  List.fold_left
+    (fun acc (_, (e : Planner.Assignment.executor)) ->
+      let acc = add e.Planner.Assignment.master acc in
+      let acc =
+        match e.Planner.Assignment.slave with
+        | Some s -> add s acc
+        | None -> acc
+      in
+      match e.Planner.Assignment.coordinator with
+      | Some s -> add s acc
+      | None -> acc)
+    []
+    (Planner.Assignment.bindings assignment)
+
+(* Re-read the breakers and, if the quarantine set changed (a breaker
+   opened, or a cooldown lapsed into a half-open probe), bump the
+   health epoch so cached plans re-validate lazily — the same
+   mechanics as the policy epoch. *)
+let refresh_quarantine t =
+  if t.breaker then begin
+    let q = Distsim.Health.quarantined t.health ~now:t.clock in
+    let same =
+      List.length q = List.length t.quarantine
+      && List.for_all2 Server.equal q t.quarantine
+    in
+    if not same then begin
+      t.quarantine <- q;
+      t.health_epoch <- t.health_epoch + 1
+    end
+  end
+
+(* The health gate, run after the epoch gate: an entry checked at the
+   current health epoch is served; otherwise it is re-validated against
+   the quarantine set — plans routing through a quarantined server are
+   dropped (to be re-planned around it), the rest re-stamp in place.
+   Mirrors the lazy policy-epoch re-stamping of [find_valid]. *)
+let health_valid t key c =
+  (not t.breaker) || c.c_health = t.health_epoch
+  ||
+  if
+    List.exists
+      (fun q -> List.exists (Server.equal q) c.c_servers)
+      t.quarantine
+  then begin
+    Hashtbl.remove t.plan_cache key;
+    t.invalidations <- t.invalidations + 1;
+    false
+  end
+  else begin
+    c.c_health <- t.health_epoch;
+    true
+  end
+
 (* [find_valid] is the epoch gate: it runs before a single message of
    an execution is sent. An entry stamped at the current epoch is
    served as-is; one that only missed {e grants} is re-stamped lazily
@@ -199,21 +304,41 @@ let touch t c =
    from behind the last revocation is dropped and re-planned — though
    [revoke] eagerly removes or re-stamps every entry, so this last arm
    is defence in depth, not the normal path. A stale plan is never
-   executed. *)
+   executed, and (second gate) neither is one routing through a
+   quarantined server. *)
 let find_valid t key =
-  match Hashtbl.find_opt t.plan_cache key with
-  | None -> None
-  | Some c ->
-    if c.c_epoch = t.service_epoch then Some c
-    else if c.c_epoch >= t.last_revoke_epoch then begin
-      c.c_epoch <- t.service_epoch;
-      Some c
-    end
-    else begin
-      Hashtbl.remove t.plan_cache key;
-      t.invalidations <- t.invalidations + 1;
-      None
-    end
+  let epoch_valid =
+    match Hashtbl.find_opt t.plan_cache key with
+    | None -> None
+    | Some c ->
+      if c.c_epoch = t.service_epoch then Some c
+      else if c.c_epoch >= t.last_revoke_epoch then begin
+        c.c_epoch <- t.service_epoch;
+        Some c
+      end
+      else begin
+        Hashtbl.remove t.plan_cache key;
+        t.invalidations <- t.invalidations + 1;
+        None
+      end
+  in
+  match epoch_valid with
+  | Some c when health_valid t key c -> Some c
+  | Some _ | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Admission control and per-tenant quotas: deterministic token buckets
+   refilled by the federation's request clock. *)
+
+let set_admission t ~rate ~burst =
+  t.admission <- Some (Workload.Bucket.create ~rate ~burst)
+
+let clear_admission t = t.admission <- None
+
+let set_quota t tenant ~rate ~burst =
+  Hashtbl.replace t.quotas tenant (Workload.Bucket.create ~rate ~burst)
+
+let clear_quota t tenant = Hashtbl.remove t.quotas tenant
 
 let cache_insert t key c =
   if t.cache_capacity > 0 then begin
@@ -349,8 +474,8 @@ let plan_query t ?sql query =
   | None ->
     let plan = Query.to_plan query in
     (match
-       Planner.Third_party.plan ~helpers:t.helpers ?closed:t.chase t.catalog
-         t.policy plan
+       Planner.Third_party.plan ~excluded:t.quarantine ~helpers:t.helpers
+         ?closed:t.chase t.catalog t.policy plan
      with
      | Ok { assignment; rescues } ->
        (match certify_plan t plan assignment rescues with
@@ -368,7 +493,9 @@ let plan_query t ?sql query =
                 (match certificate with
                  | Some cert -> Analysis.Certificate.rule_ids cert
                  | None -> []);
+              c_servers = servers_of assignment;
               c_epoch = t.service_epoch;
+              c_health = t.health_epoch;
               c_used = 0;
             }
           in
@@ -424,76 +551,160 @@ let admit t ~from_cache network k =
     t.total_bytes <- t.total_bytes + bytes;
     Ok (k ~messages ~bytes)
 
-let query ?fault t sql =
-  match plan_sql t sql with
-  | Error e -> Error e
-  | Ok (cached, from_cache) ->
-    (match fault with
-     | None ->
-       let third_party = cached.c_rescues <> [] in
-       (match
-          Distsim.Engine.execute ~third_party t.catalog ~instances:t.instances
-            cached.c_plan cached.c_assignment
-        with
-        | Error e ->
-          Error (Execution_error (Fmt.str "%a" Distsim.Engine.pp_error e))
-        | Ok { result; location; network; _ } ->
-          admit t ~from_cache network (fun ~messages ~bytes ->
-              {
-                plan = cached.c_plan;
-                assignment = cached.c_assignment;
-                certificate = cached.c_certificate;
-                rescues = cached.c_rescues;
-                result;
-                location;
-                messages;
-                bytes;
-                from_cache;
-                failovers = [];
-              }))
-     | Some fault ->
-       (* The supervisor replans as servers die, so the cached
-          assignment only seeds the first attempt implicitly; what we
-          report is the assignment that actually answered. *)
-       (match
-          Distsim.Recover.execute ~helpers:t.helpers t.catalog t.policy
-            ~instances:t.instances ~fault cached.c_plan
-        with
-        | Ok (r : Distsim.Recover.recovered) ->
-          admit t ~from_cache r.log (fun ~messages ~bytes ->
-              {
-                plan = cached.c_plan;
-                assignment = r.assignment;
-                certificate = r.certificate;
-                rescues = r.rescues;
-                result = r.result;
-                location = r.location;
-                messages;
-                bytes;
-                from_cache;
-                failovers = r.failovers;
-              })
-        | Error (d : Distsim.Recover.degraded) ->
-          (* Even a failed run's emissions belong in the compliance
-             log; an audit violation still takes precedence. *)
-          (match Distsim.Audit.run t.policy d.log with
-           | Error violations ->
-             Error
-               (Audit_violation
-                  (Fmt.str "%a"
-                     Fmt.(list ~sep:(any "; ") Distsim.Audit.pp_violation)
-                     violations))
-           | Ok entries ->
-             t.audit_entries <- List.rev_append entries t.audit_entries;
-             t.degraded_count <- t.degraded_count + 1;
-             Error
-               (Degraded
+(* Failures the breakers learn from a recovery: every server the
+   supervisor wrote off during {e this} query (quarantined servers it
+   started from don't re-count), plus whatever the message log shows. *)
+let feed_breakers t ~newly_dead log =
+  if t.breaker then begin
+    Distsim.Health.observe_log t.health ~now:t.clock log;
+    List.iter
+      (fun s ->
+        if not (List.exists (Server.equal s) t.quarantine) then
+          Distsim.Health.record_failure t.health ~now:t.clock s)
+      newly_dead
+  end
+
+let query ?fault ?deadline ?tenant t sql =
+  (match deadline with
+   | Some d when d <= 0 ->
+     invalid_arg "Federation.query: deadline must be positive"
+   | _ -> ());
+  (* One tick per request: the deterministic clock the breakers and
+     token buckets run on. *)
+  t.clock <- t.clock + 1;
+  (* Admission control runs before the parser: a shed request consumes
+     nothing — no parse, no plan, no message, no audit entry. *)
+  let admitted =
+    match t.admission with
+    | None -> true
+    | Some b -> Workload.Bucket.try_take b ~now:t.clock
+  in
+  if not admitted then begin
+    t.shed_count <- t.shed_count + 1;
+    Error (Rejected { reason = Overload })
+  end
+  else
+    let within_quota, tenant_name =
+      match tenant with
+      | None -> (true, "")
+      | Some name -> (
+        match Hashtbl.find_opt t.quotas name with
+        | None -> (true, name)
+        | Some b -> (Workload.Bucket.try_take b ~now:t.clock, name))
+    in
+    if not within_quota then begin
+      t.quota_rejections <- t.quota_rejections + 1;
+      Error (Rejected { reason = Quota { tenant = tenant_name } })
+    end
+    else begin
+      refresh_quarantine t;
+      match plan_sql t sql with
+      | Error e -> Error e
+      | Ok (cached, from_cache) ->
+        (match fault with
+         | None ->
+           let third_party = cached.c_rescues <> [] in
+           (match
+              Distsim.Engine.execute ~third_party ?deadline t.catalog
+                ~instances:t.instances cached.c_plan cached.c_assignment
+            with
+            | Error (Distsim.Engine.Deadline_exceeded { spent; budget; _ }) ->
+              t.deadline_exceeded_count <- t.deadline_exceeded_count + 1;
+              Error (Deadline_exceeded { spent; budget })
+            | Error e ->
+              Error (Execution_error (Fmt.str "%a" Distsim.Engine.pp_error e))
+            | Ok { result; location; network; steps; _ } ->
+              if t.breaker then
+                Distsim.Health.observe_log t.health ~now:t.clock network;
+              admit t ~from_cache network (fun ~messages ~bytes ->
                   {
-                    reason = d.reason;
-                    failovers = List.length d.failovers;
-                    partial = d.partial;
-                    failed_node = d.failed_node;
-                  }))))
+                    plan = cached.c_plan;
+                    assignment = cached.c_assignment;
+                    certificate = cached.c_certificate;
+                    rescues = cached.c_rescues;
+                    result;
+                    location;
+                    messages;
+                    bytes;
+                    from_cache;
+                    failovers = [];
+                    steps;
+                  }))
+         | Some fault ->
+           (* The epoch and health gates just passed, so the cached
+              assignment — certified when it was planned — seeds the
+              supervisor's first attempt directly; any failover replans
+              around the union of the quarantine and whatever dies, and
+              is re-certified before its first message. The policy we
+              hand over is the {e base} policy (with the shared chase
+              handle), because certificates check against the base. *)
+           (match
+              Distsim.Recover.execute ~helpers:t.helpers ?closed:t.chase
+                ?deadline ~excluded:t.quarantine
+                ~seed:(cached.c_assignment, cached.c_certificate,
+                       cached.c_rescues)
+                t.catalog (base_policy t) ~instances:t.instances ~fault
+                cached.c_plan
+            with
+            | Ok (r : Distsim.Recover.recovered) ->
+              feed_breakers t
+                ~newly_dead:r.Distsim.Recover.excluded
+                r.Distsim.Recover.log;
+              refresh_quarantine t;
+              (* A response that needed a failover was not served by
+                 the cached plan — the cache produced the seed attempt,
+                 but what answered was a fresh replan. Count the hit
+                 only when the cached assignment itself answered, so
+                 [cache_hits] and failover work stay disjoint. *)
+              admit t ~from_cache:(from_cache && r.failovers = []) r.log
+                (fun ~messages ~bytes ->
+                  {
+                    plan = cached.c_plan;
+                    assignment = r.assignment;
+                    certificate = r.certificate;
+                    rescues = r.rescues;
+                    result = r.result;
+                    location = r.location;
+                    messages;
+                    bytes;
+                    from_cache = from_cache && r.failovers = [];
+                    failovers = r.failovers;
+                    steps = r.steps;
+                  })
+            | Error (d : Distsim.Recover.degraded) ->
+              feed_breakers t
+                ~newly_dead:d.Distsim.Recover.excluded
+                d.Distsim.Recover.log;
+              refresh_quarantine t;
+              (* Even a failed run's emissions belong in the compliance
+                 log; an audit violation still takes precedence. *)
+              (match Distsim.Audit.run t.policy d.log with
+               | Error violations ->
+                 Error
+                   (Audit_violation
+                      (Fmt.str "%a"
+                         Fmt.(list ~sep:(any "; ") Distsim.Audit.pp_violation)
+                         violations))
+               | Ok entries ->
+                 t.audit_entries <- List.rev_append entries t.audit_entries;
+                 (match d.reason with
+                  | Distsim.Recover.Deadline_exceeded { spent; budget } ->
+                    (* Disjoint from [degraded]: a deadline miss is its
+                       own outcome, not a recovery failure. *)
+                    t.deadline_exceeded_count <-
+                      t.deadline_exceeded_count + 1;
+                    Error (Deadline_exceeded { spent; budget })
+                  | _ ->
+                    t.degraded_count <- t.degraded_count + 1;
+                    Error
+                      (Degraded
+                         {
+                           reason = d.reason;
+                           failovers = List.length d.failovers;
+                           partial = d.partial;
+                           failed_node = d.failed_node;
+                         })))))
+    end
 
 let explain t sql =
   match parse t sql with
@@ -548,6 +759,19 @@ let cached_plans t =
 
 let audit_log t = List.rev t.audit_entries
 
+(* ------------------------------------------------------------------ *)
+(* Health introspection, for the CLI's [health] script line and the
+   harnesses. *)
+
+let quarantined_servers t = t.quarantine
+let breaker_enabled t = t.breaker
+
+let health_report t =
+  let snaps = Distsim.Health.report t.health ~now:t.clock in
+  (* [report] resolves lapsed cooldowns, so re-sync the quarantine. *)
+  refresh_quarantine t;
+  snaps
+
 let stats t =
   {
     queries_served = t.queries_served;
@@ -559,12 +783,20 @@ let stats t =
     epoch = t.service_epoch;
     total_messages = t.total_messages;
     total_bytes = t.total_bytes;
+    shed = t.shed_count;
+    quota_rejections = t.quota_rejections;
+    breaker_opens = Distsim.Health.breaker_opens t.health;
+    quarantined = List.length t.quarantine;
+    deadline_exceeded = t.deadline_exceeded_count;
   }
 
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf
     "@[<v>queries served: %d@,infeasible:     %d@,degraded:       %d@,\
      plan-cache hits: %d@,evictions:      %d@,invalidations:  %d@,\
-     policy epoch:   %d@,messages:       %d@,bytes:          %d@]"
+     policy epoch:   %d@,messages:       %d@,bytes:          %d@,\
+     shed:           %d@,quota rejects:  %d@,breaker opens:  %d@,\
+     quarantined:    %d@,deadline misses: %d@]"
     s.queries_served s.infeasible s.degraded s.cache_hits s.evictions
-    s.invalidations s.epoch s.total_messages s.total_bytes
+    s.invalidations s.epoch s.total_messages s.total_bytes s.shed
+    s.quota_rejections s.breaker_opens s.quarantined s.deadline_exceeded

@@ -44,6 +44,13 @@ type t
     disables caching entirely (plan-per-call — the differential
     baseline of the soak and bench harnesses).
 
+    [breaker] (default [true]) enables per-server circuit breakers:
+    failures observed in message logs and recoveries trip a breaker
+    ({!Distsim.Health}), quarantined servers are excluded from
+    planning, and plans routing through them are invalidated — the
+    baseline for the health bench disables it. [health_config] tunes
+    the breakers (failure threshold, cooldown, rolling window).
+
     @raise Invalid_argument if [cache_capacity < 0]. *)
 val create :
   catalog:Catalog.t ->
@@ -51,6 +58,8 @@ val create :
   ?helpers:Server.t list ->
   ?close_under:Joinpath.Cond.t list ->
   ?cache_capacity:int ->
+  ?breaker:bool ->
+  ?health_config:Distsim.Health.config ->
   instances:(string -> Relation.t option) ->
   unit ->
   t
@@ -84,11 +93,21 @@ type response = {
   location : Server.t;
   messages : int;  (** transfers this execution performed *)
   bytes : int;
-  from_cache : bool;  (** the plan (not the result) was cached *)
+  from_cache : bool;
+      (** the plan (not the result) was cached {e and} answered as-is —
+          a response that needed a failover replan is not a cache hit *)
   failovers : Distsim.Recover.failover list;
       (** non-empty: the answer is correct but came the hard way — one
           replan per server that died under fault injection *)
+  steps : int;
+      (** logical steps the execution consumed — what a [deadline] is
+          charged against *)
 }
+
+(** Why admission control refused a request. *)
+type reject_reason =
+  | Overload  (** the service-wide admission bucket was empty *)
+  | Quota of { tenant : string }  (** the tenant's quota bucket was empty *)
 
 type error =
   | Parse_error of string
@@ -117,17 +136,41 @@ type error =
           certificate could not be emitted or independently checked
           ({!Analysis.Certificate}) — an engine-bug tripwire; the plan
           is neither cached nor executed *)
+  | Rejected of { reason : reject_reason }
+      (** load shedding, always typed, never a silent drop: the
+          request was refused {e before} parsing — it consumed no
+          planning work and emitted no message (the audit log is
+          untouched) *)
+  | Deadline_exceeded of { spent : int; budget : int }
+      (** the query's logical-time budget ran out mid-execution; the
+          run was abandoned, its emissions audited, and the outcome
+          typed — disjoint from [Degraded] *)
 
 val pp_error : error Fmt.t
 
 (** Serve one SQL query. Plans are cached under the canonical query
-    key and validated against the current policy epoch before any
+    key and validated against the current policy epoch — and, with
+    breakers enabled, against the current quarantine set — before any
     message is sent; execution and auditing always run. [fault] runs
     the query under fault injection via {!Distsim.Recover.execute}:
     message-level faults are absorbed by retransmission, dead servers
-    by safe replanning; the cumulative log of every attempt is audited
-    and accumulated. *)
-val query : ?fault:Distsim.Fault.plan -> t -> string -> (response, error) result
+    by safe replanning seeded with the cached (already certified)
+    assignment; the cumulative log of every attempt is audited,
+    accumulated, and fed to the circuit breakers.
+
+    [deadline] bounds the query in logical steps (see
+    {!Distsim.Engine.execute}); a blown budget returns a typed
+    {!Deadline_exceeded}. [tenant] names the tenant for per-tenant
+    quota accounting ({!set_quota}).
+
+    @raise Invalid_argument if [deadline <= 0]. *)
+val query :
+  ?fault:Distsim.Fault.plan ->
+  ?deadline:int ->
+  ?tenant:string ->
+  t ->
+  string ->
+  (response, error) result
 
 (** Planner trace for a query, without executing it. Served from the
     cached, epoch-valid plan when one exists, so the trace describes
@@ -192,16 +235,53 @@ val cached_plans : t -> cached_plan list
     first. *)
 val audit_log : t -> Distsim.Audit.entry list
 
+(** {1 The resilience layer: admission, quotas, breakers} *)
+
+(** Install service-wide admission control: a token bucket refilled
+    [rate] tokens per request tick, holding at most [burst]. When it
+    runs dry, requests are shed with [Rejected {reason = Overload}] —
+    typed, before parsing, never silent. *)
+val set_admission : t -> rate:float -> burst:float -> unit
+
+val clear_admission : t -> unit
+
+(** Install (or replace) [tenant]'s quota bucket. Queries carrying
+    [?tenant] draw from it; exhaustion returns
+    [Rejected {reason = Quota _}]. Tenants without a bucket are
+    unthrottled. *)
+val set_quota : t -> string -> rate:float -> burst:float -> unit
+
+val clear_quota : t -> string -> unit
+
+(** Currently quarantined servers (open breakers), sorted by name. *)
+val quarantined_servers : t -> Server.t list
+
+val breaker_enabled : t -> bool
+
+(** Per-server breaker snapshots at the current request tick. Resolves
+    lapsed cooldowns (Open -> Half_open) and re-syncs the quarantine,
+    exactly as the next query would. *)
+val health_report : t -> Distsim.Health.snapshot list
+
 type stats = {
   queries_served : int;  (** responses actually served *)
   infeasible : int;
   degraded : int;  (** fault-injected runs that could not be recovered *)
-  cache_hits : int;  (** counted only when the response was served *)
+  cache_hits : int;
+      (** counted only when the response was served by the cached
+          assignment itself — disjoint from failover/degraded work *)
   evictions : int;  (** LRU evictions under [cache_capacity] *)
-  invalidations : int;  (** entries dropped by {!revoke}'s re-validation *)
+  invalidations : int;
+      (** entries dropped by {!revoke}'s re-validation or the
+          quarantine gate *)
   epoch : int;  (** current policy epoch *)
   total_messages : int;
   total_bytes : int;
+  shed : int;  (** requests refused by admission control *)
+  quota_rejections : int;  (** requests refused by a tenant quota *)
+  breaker_opens : int;  (** breaker trips since creation *)
+  quarantined : int;  (** servers currently quarantined *)
+  deadline_exceeded : int;  (** queries abandoned over their deadline *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,39 @@
+type t = {
+  rate : float;
+  burst : float;
+  mutable tokens : float;
+  mutable last : int;
+}
+
+let create ~rate ~burst =
+  if rate < 0.0 then invalid_arg "Bucket.create: rate must be non-negative";
+  if burst <= 0.0 then invalid_arg "Bucket.create: burst must be positive";
+  { rate; burst; tokens = burst; last = 0 }
+
+let rate t = t.rate
+let burst t = t.burst
+
+(* Ticks only move forward: a caller handing us an older clock (e.g. a
+   fresh federation reusing a bucket) refills nothing rather than
+   crediting negative time. *)
+let refill t ~now =
+  if now > t.last then begin
+    t.tokens <-
+      Float.min t.burst (t.tokens +. (t.rate *. float_of_int (now - t.last)));
+    t.last <- now
+  end
+
+let try_take ?(cost = 1.0) t ~now =
+  refill t ~now;
+  if t.tokens >= cost then begin
+    t.tokens <- t.tokens -. cost;
+    true
+  end
+  else false
+
+let level t ~now =
+  refill t ~now;
+  t.tokens
+
+let pp ppf t =
+  Fmt.pf ppf "%.2f tokens (rate %g/tick, burst %g)" t.tokens t.rate t.burst

@@ -1,0 +1,28 @@
+(** Deterministic token bucket over an integer logical clock.
+
+    The federation's admission control and per-tenant quotas are token
+    buckets refilled by {e request ticks}, not wall-clock time — the
+    same discipline as the rest of the simulator, so admission
+    decisions replay byte-identically. A bucket starts full (at
+    [burst]), refills [rate] tokens per tick elapsed since it was last
+    consulted, caps at [burst], and serves a request iff at least its
+    [cost] (default 1) is available. *)
+
+type t
+
+(** @raise Invalid_argument if [rate < 0] or [burst <= 0]. *)
+val create : rate:float -> burst:float -> t
+
+val rate : t -> float
+val burst : t -> float
+
+(** Refill for the ticks elapsed since the last consultation, then
+    take [cost] (default 1.0) tokens if available. [false] = rejected;
+    rejected requests consume nothing. Clocks never run backwards: an
+    older [now] refills nothing. *)
+val try_take : ?cost:float -> t -> now:int -> bool
+
+(** Current token level after refilling to [now]. *)
+val level : t -> now:int -> float
+
+val pp : t Fmt.t

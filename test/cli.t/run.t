@@ -399,6 +399,11 @@ is never executed:
   policy epoch:   2
   messages:       9
   bytes:          288
+  shed:           0
+  quota rejects:  0
+  breaker opens:  0
+  quarantined:    0
+  deadline misses: 0
 
 A bad script line is a usage error (CISQP042, exit 2), located at its
 line number:
@@ -410,4 +415,72 @@ line number:
   $ cisqp serve -s medical bad.script
   l1: served 5 row(s) at S_I (planned, epoch 0)
   error[CISQP042] step 2: revoke: DENY rules have no epochs
+  [2]
+
+The resilience layer drives from the same script language: a deadline
+too tight for the three-join plan fails typed (and is counted, disjoint
+from degradations), a zero-rate tenant quota admits its burst token and
+then rejects — always naming the tenant — and the health line reports
+every breaker closed on a fault-free run:
+
+  $ cat > resilience.script <<EOF
+  > deadline 2
+  > query SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient
+  > deadline off
+  > query SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient
+  > quota alice 0 1
+  > tenant alice
+  > query SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient
+  > query SELECT Patient, Physician, Plan, HealthAid FROM Insurance JOIN Nat_registry ON Holder=Citizen JOIN Hospital ON Citizen=Patient
+  > tenant off
+  > health
+  > stats
+  > EOF
+  $ cisqp serve -s medical resilience.script
+  l1: deadline 2 step(s)
+  l2: error: deadline exceeded: 3 logical steps spent, budget 2
+  l3: deadline off
+  l4: served 3 row(s) at S_H (cached, epoch 0)
+  l5: quota alice: 0/tick (burst 1)
+  l6: tenant alice
+  l7: served 3 row(s) at S_H (cached, epoch 0)
+  l8: error: rejected: tenant alice is over quota
+  l9: tenant off
+  l10: 2 server(s), 0 quarantined
+    S_H: closed, 2 ok / 0 failed (0 recent), mean attempts 1.00
+    S_N: closed, 4 ok / 0 failed (0 recent), mean attempts 1.00
+  l11:
+  queries served: 2
+  infeasible:     0
+  degraded:       0
+  plan-cache hits: 2
+  evictions:      0
+  invalidations:  0
+  policy epoch:   0
+  messages:       6
+  bytes:          192
+  shed:           0
+  quota rejects:  1
+  breaker opens:  0
+  quarantined:    0
+  deadline misses: 1
+
+A non-positive deadline or quota is a service-option error: the
+positioned CISQP043 diagnostic and the usage exit code, on the flag
+and in the script:
+
+  $ cisqp serve -s medical --deadline 0 resilience.script
+  error[CISQP043] option --deadline: expected a positive logical-step budget, got 0
+  [2]
+  $ cisqp serve -s medical --quota=-1 resilience.script
+  error[CISQP043] option --quota: expected a positive admission rate, got -1
+  [2]
+  $ cat > badservice.script <<EOF
+  > deadline nope
+  > EOF
+  $ cisqp serve -s medical badservice.script
+  error[CISQP043] step 1: deadline: expected a positive step budget or 'off', got "nope"
+  [2]
+  $ cisqp run -s medical --deadline=-3 "SELECT Holder FROM Insurance"
+  error[CISQP043] option --deadline: expected a positive logical-step budget, got -3
   [2]
