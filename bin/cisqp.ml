@@ -464,6 +464,25 @@ let run_cmd =
             "Logical-step budget for the execution; exceeding it abandons \
              the query with a typed deadline-exceeded outcome.")
   in
+  let executor_arg =
+    Arg.(
+      value
+      & opt (enum [ ("naive", `Naive); ("batch", `Batch) ]) `Naive
+      & info [ "executor" ] ~docv:"NAME"
+          ~doc:
+            "Physical executor for every operator: $(b,naive) (the \
+             tuple-at-a-time reference) or $(b,batch) (the columnar batch \
+             executor). Results are identical.")
+  in
+  let bloom_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "bloom" ] ~docv:"BITS"
+          ~doc:
+            "Ship semi-join reducers as Bloom filters of $(docv) bits per \
+             key instead of the projected join column. The result stays \
+             exact; only the wire bytes change.")
+  in
   let parse_crash spec =
     match String.index_opt spec '@' with
     | None -> Distsim.Fault.crash (Server.make spec) ~at:0
@@ -499,11 +518,11 @@ let run_cmd =
         violations
   in
   let run_faulty fed handle plan fault ~third_party ~makespan ~certify
-      ~deadline cert_out =
+      ~deadline ~executor ~bloom cert_out =
     let helpers = if third_party then fed.helpers else [] in
     match
-      Distsim.Recover.execute ~helpers ?deadline fed.catalog fed.policy
-        ~instances:fed.instances ~fault plan
+      Distsim.Recover.execute ~helpers ~executor ?bloom ?deadline fed.catalog
+        fed.policy ~instances:fed.instances ~fault plan
     with
     | Error (d : Distsim.Recover.degraded) ->
       List.iter
@@ -543,7 +562,8 @@ let run_cmd =
           plan r.Distsim.Recover.assignment cert_out
   in
   let run fed sql third_party no_semijoins optimize chase certify cert_out
-      makespan crashes drop corrupt fault_seed retries deadline =
+      makespan crashes drop corrupt fault_seed retries deadline exec_choice
+      bloom =
     if certify && optimize then
       usage_error (D.Flag "--certify")
         "--certify and --optimize cannot be combined: certificates replay \
@@ -553,6 +573,16 @@ let run_cmd =
        service_error (D.Flag "--deadline")
          "expected a positive logical-step budget, got %d" d
      | _ -> ());
+    (match bloom with
+     | Some b when b < 1 ->
+       service_error (D.Flag "--bloom")
+         "expected at least 1 bit per key, got %d" b
+     | _ -> ());
+    let executor =
+      match exec_choice with
+      | `Naive -> (module Relalg.Exec.Reference : Relalg.Exec.S)
+      | `Batch -> (module Relalg.Batch.Exec : Relalg.Exec.S)
+    in
     let fed, handle = with_chase chase fed in
     let query = parse_query fed sql in
     match fault_of crashes drop corrupt fault_seed retries with
@@ -561,14 +591,14 @@ let run_cmd =
          planning flags of the clean path do not apply. *)
       let plan = Query.to_plan query in
       run_faulty fed handle plan fault ~third_party ~makespan ~certify
-        ~deadline cert_out
+        ~deadline ~executor ~bloom cert_out
     | None ->
       let plan, assignment, _ =
         plan_query fed query ~third_party ~no_semijoins ~optimize
       in
       (match
-         Distsim.Engine.execute ~third_party ?deadline fed.catalog
-           ~instances:fed.instances plan assignment
+         Distsim.Engine.execute ~third_party ~executor ?bloom ?deadline
+           fed.catalog ~instances:fed.instances plan assignment
        with
        | Error e -> die "execution error: %a" Distsim.Engine.pp_error e
        | Ok ({ result; location; network; _ } as outcome) ->
@@ -597,7 +627,7 @@ let run_cmd =
       const run $ federation_term $ sql_arg $ third_party_flag
       $ no_semijoins_flag $ optimize_flag $ chase_flag $ certify_flag
       $ cert_out_arg $ makespan_flag $ crash_arg $ drop_arg $ corrupt_arg
-      $ fault_seed_arg $ retries_arg $ deadline_arg)
+      $ fault_seed_arg $ retries_arg $ deadline_arg $ executor_arg $ bloom_arg)
 
 let advise_cmd =
   let run fed sql =

@@ -5,6 +5,12 @@
    output passes the independent safety checker, distributed execution
    equals centralized evaluation, and the runtime audit is clean.
 
+   Executor slice (--exec-cases, default 500): the physical-executor
+   differential — each safely planned case re-runs under the columnar
+   batch executor, under Bloom-reduced semi-joins, and under both;
+   every variant must equal the centralized reference, audit clean,
+   and exchange exactly as many messages as the reference run.
+
    Fault slice (--fault-cases, default 1000): the same differential
    under seeded fault injection — crash windows, lossy and corrupting
    links — run through the recovery supervisor. A recovered run must
@@ -57,6 +63,7 @@ let knowledge_cases = ref 2000
 let certify_cases = ref 2000
 let service_cases = ref 500
 let health_cases = ref 300
+let exec_cases = ref 500
 
 let () =
   let rec parse = function
@@ -78,6 +85,9 @@ let () =
       parse rest
     | "--health-cases" :: v :: rest ->
       health_cases := int_of_string v;
+      parse rest
+    | "--exec-cases" :: v :: rest ->
+      exec_cases := int_of_string v;
       parse rest
     | arg :: _ ->
       Fmt.epr "soak: unknown argument %s@." arg;
@@ -142,6 +152,85 @@ let clean_slice () =
             end))
   done;
   Fmt.pr "soak (clean): %d cases, %d planned@." !total !planned
+
+(* ------------------------------------------------------------------ *)
+(* Executor slice: reference vs batch vs batch+bloom on random
+   federations. All three runs of each case must produce the
+   centralized reference answer, leave a clean audit, and — since the
+   executor changes only the physical operators and the Bloom variant
+   only the wire representation — exchange exactly as many messages as
+   the reference run. *)
+
+let exec_slice () =
+  let total = ref 0 in
+  for seed = 1 to !exec_cases do
+    let rng = Rng.make ~seed:(300_000 + seed) in
+    let topology =
+      match seed mod 3 with
+      | 0 -> System_gen.Chain
+      | 1 -> System_gen.Star
+      | _ -> System_gen.Random { extra_edges = 2 }
+    in
+    let relations = 4 + (seed mod 4) in
+    let sys =
+      System_gen.generate rng ~relations ~servers:relations ~extra:2 ~topology
+    in
+    let density = [| 0.4; 0.6; 0.9 |].(seed mod 3) in
+    let policy = Authz_gen.generate rng ~density sys in
+    match Query_gen.generate_plan rng ~joins:(2 + (seed mod 3)) sys with
+    | None -> ()
+    | Some plan -> (
+      match Planner.Safe_planner.plan sys.catalog policy plan with
+      | Error _ -> ()
+      | Ok { assignment; _ } ->
+        incr total;
+        let instances = Data_gen.instances rng ~rows:12 sys in
+        let reference = Distsim.Engine.centralized ~instances plan in
+        let bloom_bits = [| 2; 4; 8; 16 |].(seed mod 4) in
+        let variants =
+          [
+            ("batch", Some (module Batch.Exec : Exec.S), None);
+            ("bloom", Some (module Batch.Exec : Exec.S), Some bloom_bits);
+            ("naive+bloom", None, Some bloom_bits);
+          ]
+        in
+        let baseline_messages = ref None in
+        (match Distsim.Engine.execute sys.catalog ~instances plan assignment with
+         | Error e ->
+           incr failures;
+           Fmt.pr "EXEC baseline error at seed %d: %a@." seed
+             Distsim.Engine.pp_error e
+         | Ok { network; _ } ->
+           baseline_messages := Some (Distsim.Network.message_count network));
+        List.iter
+          (fun (what, executor, bloom) ->
+            match
+              Distsim.Engine.execute ?executor ?bloom sys.catalog ~instances
+                plan assignment
+            with
+            | Error e ->
+              incr failures;
+              Fmt.pr "EXEC %s error at seed %d: %a@." what seed
+                Distsim.Engine.pp_error e
+            | Ok { result; network; _ } ->
+              if not (Relation.equal result reference) then begin
+                incr failures;
+                Fmt.pr "EXEC %s WRONG RESULT at seed %d@." what seed
+              end;
+              if not (Distsim.Audit.is_clean policy network) then begin
+                incr failures;
+                Fmt.pr "EXEC %s AUDIT failure at seed %d@." what seed
+              end;
+              if
+                !baseline_messages
+                <> Some (Distsim.Network.message_count network)
+              then begin
+                incr failures;
+                Fmt.pr "EXEC %s protocol drift at seed %d@." what seed
+              end)
+          variants)
+  done;
+  Fmt.pr "soak (exec): %d cases x 3 executor variants@." !total
 
 (* ------------------------------------------------------------------ *)
 (* Fault slice.                                                        *)
@@ -871,6 +960,7 @@ let health_slice () =
 
 let () =
   clean_slice ();
+  exec_slice ();
   fault_slice ();
   knowledge_slice ();
   certify_slice ();

@@ -200,8 +200,7 @@ let tasks_of_execution ?(prefix = "q") ?(release = 0.0)
     let l = model.Timing.link msg.sender msg.receiver in
     let wire (a : Network.message) =
       l.Timing.latency
-      +. (float_of_int (Relation.byte_size a.Network.data)
-         /. l.Timing.bandwidth)
+      +. (float_of_int (Network.wire_bytes a) /. l.Timing.bandwidth)
     in
     let chain =
       List.filter

@@ -51,8 +51,14 @@ type piece = {
   profile : Profile.t;
 }
 
-let execute ?(third_party = false) ?fault ?network ?deadline ?observe catalog
-    ~instances plan assignment =
+let execute ?(third_party = false)
+    ?(executor = (module Exec.Reference : Exec.S)) ?bloom ?fault ?network
+    ?deadline ?observe catalog ~instances plan assignment =
+  let module E = (val executor : Exec.S) in
+  (match bloom with
+  | Some b when b < 1 ->
+    invalid_arg "Engine.execute: bloom bits per key must be >= 1"
+  | _ -> ());
   let network =
     match network with Some n -> n | None -> Network.create ()
   in
@@ -121,11 +127,13 @@ let execute ?(third_party = false) ?fault ?network ?deadline ?observe catalog
      the audit sees dropped and corrupted attempts too — and retries
      re-emit the same data under the same profile after a deterministic
      backoff. *)
-  let xmit ~node ~sender ~receiver ~profile ~purpose ~note data =
+  let xmit ?(payload = Network.Rows) ~node ~sender ~receiver ~profile ~purpose
+      ~note data =
     match fault with
     | None ->
       charge node;
-      Network.send network ~sender ~receiver ~profile ~purpose ~note data
+      Network.send network ~payload ~sender ~receiver ~profile ~purpose ~note
+        data
     | Some f ->
       let max_attempts = 1 + (Fault.plan_of f).Fault.max_retries in
       let rec attempt k =
@@ -150,16 +158,16 @@ let execute ?(third_party = false) ?fault ?network ?deadline ?observe catalog
         in
         match verdict with
         | `Deliver ->
-          Network.send network ~attempt:k ~sender ~receiver ~profile ~purpose
-            ~note data
+          Network.send network ~attempt:k ~payload ~sender ~receiver ~profile
+            ~purpose ~note data
         | (`Mute | `Lost | `Corrupt) as v ->
           (if v <> `Mute then
              let delivery =
                if v = `Corrupt then Network.Corrupted else Network.Dropped
              in
              ignore
-               (Network.send network ~attempt:k ~delivery ~sender ~receiver
-                  ~profile ~purpose ~note data));
+               (Network.send network ~attempt:k ~delivery ~payload ~sender
+                  ~receiver ~profile ~purpose ~note data));
           if k >= max_attempts then
             raise
               (Fail (Transfer_failed { sender; receiver; node; attempts = k }))
@@ -216,7 +224,7 @@ let execute ?(third_party = false) ?fault ?network ?deadline ?observe catalog
                    { node = n.id; expected = child.at; got = master })));
       ensure_up master n.id;
       {
-        value = Relation.project attrs child.value;
+        value = E.project attrs child.value;
         at = master;
         profile = Profile.project attrs child.profile;
       }
@@ -230,7 +238,7 @@ let execute ?(third_party = false) ?fault ?network ?deadline ?observe catalog
                    { node = n.id; expected = child.at; got = master })));
       ensure_up master n.id;
       {
-        value = Relation.select pred child.value;
+        value = E.select pred child.value;
         at = master;
         profile = Profile.select (Predicate.attributes pred) child.profile;
       }
@@ -240,7 +248,7 @@ let execute ?(third_party = false) ?fault ?network ?deadline ?observe catalog
       let cond = Planner.Safety.oriented_cond cond l in
       let profile = Profile.join cond lp.profile rp.profile in
       let join_here lpiece rpiece =
-        Relation.equi_join cond lpiece.value rpiece.value
+        E.equi_join cond lpiece.value rpiece.value
       in
       if Server.equal lp.at rp.at && Server.equal master lp.at then
         (* Fully local. *)
@@ -249,35 +257,94 @@ let execute ?(third_party = false) ?fault ?network ?deadline ?observe catalog
         (* [semi ~m ~o ~mj] runs the five-step protocol of Figure 5
            with [m] the master-side piece (joining on its [mj]
            attributes) and [o] the other (slave-side) piece. *)
-        let semi ~slave ~(m : piece) ~(o : piece) ~mj ~oj =
+        let semi ~slave ~(m : piece) ~(o : piece) ~mj ~oj ~left_is_master =
           (* Step 1: master projects its join attributes. *)
           let mj_set = Attribute.Set.of_list mj in
-          let r_j = Relation.project mj_set m.value in
+          let r_j = E.project mj_set m.value in
           let p_j = Profile.project mj_set m.profile in
-          (* Step 2: ship them to the slave. *)
-          let r_j =
-            xmit ~node:n.id ~sender:master ~receiver:slave ~profile:p_j
-              ~purpose:(Network.Join_attributes { join = n.id })
-              ~note:(Printf.sprintf "join attributes for n%d" n.id)
-              r_j
-          in
-          (* Step 3: slave joins them with its operand. *)
-          ensure_up slave n.id;
-          let sided_cond = Joinpath.Cond.make ~left:mj ~right:oj in
-          let r_jlr = Relation.equi_join sided_cond r_j o.value in
           let p_jlr = Profile.join cond p_j o.profile in
-          (* Step 4: ship the reduced operand back to the master. *)
-          let r_jlr =
-            xmit ~node:n.id ~sender:slave ~receiver:master
-              ~profile:p_jlr
-              ~purpose:(Network.Semijoin_result { join = n.id })
-              ~note:(Printf.sprintf "semi-join result for n%d" n.id)
-              r_jlr
-          in
-          (* Step 5: the master completes with a natural join. *)
-          let value = Relation.natural_join r_jlr m.value in
-          (* Restore the canonical header/profile of the node. *)
-          { value; at = master; profile }
+          match bloom with
+          | None ->
+            (* Step 2: ship them to the slave. *)
+            let r_j =
+              xmit ~node:n.id ~sender:master ~receiver:slave ~profile:p_j
+                ~purpose:(Network.Join_attributes { join = n.id })
+                ~note:(Printf.sprintf "join attributes for n%d" n.id)
+                r_j
+            in
+            (* Step 3: slave joins them with its operand. *)
+            ensure_up slave n.id;
+            let sided_cond = Joinpath.Cond.make ~left:mj ~right:oj in
+            let r_jlr = E.equi_join sided_cond r_j o.value in
+            (* Step 4: ship the reduced operand back to the master. *)
+            let r_jlr =
+              xmit ~node:n.id ~sender:slave ~receiver:master
+                ~profile:p_jlr
+                ~purpose:(Network.Semijoin_result { join = n.id })
+                ~note:(Printf.sprintf "semi-join result for n%d" n.id)
+                r_jlr
+            in
+            (* Step 5: the master completes with a natural join. *)
+            let value = E.natural_join r_jlr m.value in
+            (* Restore the canonical header/profile of the node. *)
+            { value; at = master; profile }
+          | Some bits_per_key ->
+            (* Bloom variant: steps 1-2 ship a filter summarising the
+               projected column instead of the column itself. The
+               message still records [r_j] as its data — that is the
+               information the filter discloses, so profile and audit
+               accounting are unchanged — but only the filter's bits
+               cross the wire ({!Network.wire_bytes}). *)
+            let filter =
+              Bloom.of_keys ~bits_per_key
+                (List.map
+                   (fun tu -> Tuple.values_of tu mj)
+                   (Relation.tuples r_j))
+            in
+            ignore
+              (xmit ~node:n.id
+                 ~payload:
+                   (Network.Filter
+                      { bits = Bloom.bits filter; hashes = Bloom.hashes filter })
+                 ~sender:master ~receiver:slave ~profile:p_j
+                 ~purpose:(Network.Join_attributes { join = n.id })
+                 ~note:(Printf.sprintf "join-attribute Bloom filter for n%d" n.id)
+                 r_j);
+            (* Step 3: slave keeps the rows whose keys may match. False
+               positives survive here — they inflate the ship-back, and
+               the step-5 join at the master discards them; the result
+               is exact either way. *)
+            ensure_up slave n.id;
+            let reduced =
+              Relation.make (Relation.header o.value)
+                (List.filter
+                   (fun tu -> Bloom.mem filter (Tuple.values_of tu oj))
+                   (Relation.tuples o.value))
+            in
+            (* Step 4: ship the reduced operand back. Its header is the
+               slave operand's alone — no copy of [mj] rides along as in
+               the exact path — so its profile keeps the join/sigma
+               information of [p_jlr] (the reduction does disclose the
+               join) over the slave's own attributes, exactly like the
+               coordinator protocol's reduced operand. *)
+            let p_red =
+              Profile.make ~pi:o.profile.Profile.pi
+                ~join:p_jlr.Profile.join ~sigma:p_jlr.Profile.sigma
+            in
+            let reduced =
+              xmit ~node:n.id ~sender:slave ~receiver:master ~profile:p_red
+                ~purpose:(Network.Semijoin_result { join = n.id })
+                ~note:(Printf.sprintf "semi-join result for n%d" n.id)
+                reduced
+            in
+            (* Step 5: the reduced operand carries only the slave's
+               attributes (no [mj] copy to merge on), so the master
+               completes with the sided equi-join. *)
+            let value =
+              if left_is_master then E.equi_join cond m.value reduced
+              else E.equi_join cond reduced m.value
+            in
+            { value; at = master; profile }
         in
         let regular ~(m : piece) ~(o : piece) ~left_is_master =
           let shipped =
@@ -288,8 +355,8 @@ let execute ?(third_party = false) ?fault ?network ?deadline ?observe catalog
               o.value
           in
           let value =
-            if left_is_master then Relation.equi_join cond m.value shipped
-            else Relation.equi_join cond shipped m.value
+            if left_is_master then E.equi_join cond m.value shipped
+            else E.equi_join cond shipped m.value
           in
           { value; at = master; profile }
         in
@@ -314,21 +381,20 @@ let execute ?(third_party = false) ?fault ?network ?deadline ?observe catalog
               ~profile:(Profile.project mj_set m.profile)
               ~purpose:(Network.Join_attributes { join = n.id })
               ~note:(Printf.sprintf "master join attributes for n%d" n.id)
-              (Relation.project mj_set m.value)
+              (E.project mj_set m.value)
           in
           let o_keys =
             xmit ~node:n.id ~sender:o.at ~receiver:t
               ~profile:(Profile.project oj_set o.profile)
               ~purpose:(Network.Join_attributes { join = n.id })
               ~note:(Printf.sprintf "other join attributes for n%d" n.id)
-              (Relation.project oj_set o.value)
+              (E.project oj_set o.value)
           in
           ensure_up t n.id;
           let matched_at_t =
-            Relation.project oj_set
-              (Relation.equi_join
-                 (Joinpath.Cond.make ~left:mj ~right:oj)
-                 m_keys o_keys)
+            E.project oj_set
+              (E.equi_join (Joinpath.Cond.make ~left:mj ~right:oj) m_keys
+                 o_keys)
           in
           let matched =
             xmit ~node:n.id ~sender:t ~receiver:o.at
@@ -339,9 +405,7 @@ let execute ?(third_party = false) ?fault ?network ?deadline ?observe catalog
           in
           ensure_up o.at n.id;
           let reduced =
-            Relation.semi_join
-              (Joinpath.Cond.make ~left:oj ~right:oj)
-              o.value matched
+            E.semi_join (Joinpath.Cond.make ~left:oj ~right:oj) o.value matched
           in
           let reduced =
             xmit ~node:n.id ~sender:o.at ~receiver:master
@@ -351,8 +415,8 @@ let execute ?(third_party = false) ?fault ?network ?deadline ?observe catalog
               reduced
           in
           let value =
-            if left_master then Relation.equi_join cond m.value reduced
-            else Relation.equi_join cond reduced m.value
+            if left_master then E.equi_join cond m.value reduced
+            else E.equi_join cond reduced m.value
           in
           { value; at = master; profile }
         in
@@ -379,7 +443,7 @@ let execute ?(third_party = false) ?fault ?network ?deadline ?observe catalog
               raise
                 (Fail
                    (Structure (Planner.Safety.Slave_not_other_operand n.id)));
-            semi ~slave ~m:lp ~o:rp ~mj:jl ~oj:jr)
+            semi ~slave ~m:lp ~o:rp ~mj:jl ~oj:jr ~left_is_master:true)
         else if Server.equal master rp.at then (
           match exec.Assignment.slave with
           | None -> regular ~m:rp ~o:lp ~left_is_master:false
@@ -388,7 +452,7 @@ let execute ?(third_party = false) ?fault ?network ?deadline ?observe catalog
               raise
                 (Fail
                    (Structure (Planner.Safety.Slave_not_other_operand n.id)));
-            semi ~slave ~m:rp ~o:lp ~mj:jr ~oj:jl)
+            semi ~slave ~m:rp ~o:lp ~mj:jr ~oj:jl ~left_is_master:false)
         else if third_party && exec.Assignment.slave = None then (
           (* Proxy join: both operands ship their results. *)
           let lv =
@@ -405,7 +469,7 @@ let execute ?(third_party = false) ?fault ?network ?deadline ?observe catalog
               ~note:(Printf.sprintf "right operand for proxy n%d" n.id)
               rp.value
           in
-          { value = Relation.equi_join cond lv rv; at = master; profile })
+          { value = E.equi_join cond lv rv; at = master; profile })
         else
           raise
             (Fail (Structure (Planner.Safety.Master_not_an_operand n.id)))

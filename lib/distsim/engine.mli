@@ -63,6 +63,22 @@ val pp_error : error Fmt.t
     [instances] maps base-relation names to their stored instances.
     [third_party] (default [false]) accepts proxy joins.
 
+    [executor] (default {!Relalg.Exec.Reference}) selects the physical
+    operators every node runs through — pass [(module
+    Relalg.Batch.Exec)] for the columnar batch executor. Results,
+    profiles and the message log are identical by contract (the
+    differential suite enforces it).
+
+    [bloom] (default none: exact semi-joins) makes semi-join steps 1–2
+    ship a [bits]-bits-per-key Bloom filter of the master's join column
+    instead of the column itself ({!Relalg.Bloom}). False positives
+    only inflate the step-4 ship-back — the step-5 join at the master
+    discards them, so the result is exact — while the step-2 message is
+    priced at the filter's bits ({!Network.wire_bytes}). The message
+    still records the projected column and its profile, so audit
+    accounting is unchanged.
+    @raise Invalid_argument if [bloom] is [< 1].
+
     [fault] (default none) runs the execution under a fault injector:
     every compute step checks the server's crash windows and every
     transfer becomes a bounded retransmission loop — each attempt
@@ -85,6 +101,8 @@ val pp_error : error Fmt.t
     from an execution that later dies. *)
 val execute :
   ?third_party:bool ->
+  ?executor:(module Exec.S) ->
+  ?bloom:int ->
   ?fault:Fault.t ->
   ?network:Network.t ->
   ?deadline:int ->

@@ -17,17 +17,27 @@ type delivery =
   | Dropped
   | Corrupted
 
+type payload =
+  | Rows
+  | Filter of { bits : int; hashes : int }
+
 type message = {
   seq : int;
   sender : Server.t;
   receiver : Server.t;
   data : Relation.t;
+  payload : payload;
   profile : Profile.t;
   purpose : purpose;
   note : string;
   attempt : int;
   delivery : delivery;
 }
+
+let wire_bytes m =
+  match m.payload with
+  | Rows -> Relation.byte_size m.data
+  | Filter { bits; _ } -> (bits + 7) / 8
 
 let join_of = function
   | Full_operand { join }
@@ -41,14 +51,25 @@ type t = { mutable log : message list (* reversed *) }
 
 let create () = { log = [] }
 
-let send t ?(attempt = 1) ?(delivery = Delivered) ~sender ~receiver ~profile
-    ~purpose ~note data =
+let send t ?(attempt = 1) ?(delivery = Delivered) ?(payload = Rows) ~sender
+    ~receiver ~profile ~purpose ~note data =
   let seq = List.length t.log in
   Log.debug (fun m ->
       m "#%d %a -> %a: %d tuples (%s)" seq Server.pp sender Server.pp receiver
         (Relation.cardinality data) note);
   t.log <-
-    { seq; sender; receiver; data; profile; purpose; note; attempt; delivery }
+    {
+      seq;
+      sender;
+      receiver;
+      data;
+      payload;
+      profile;
+      purpose;
+      note;
+      attempt;
+      delivery;
+    }
     :: t.log;
   data
 
@@ -83,8 +104,7 @@ let concat ts =
 let total_tuples t =
   List.fold_left (fun acc m -> acc + Relation.cardinality m.data) 0 t.log
 
-let total_bytes t =
-  List.fold_left (fun acc m -> acc + Relation.byte_size m.data) 0 t.log
+let total_bytes t = List.fold_left (fun acc m -> acc + wire_bytes m) 0 t.log
 
 let traffic_matrix t =
   let tbl = Hashtbl.create 8 in
@@ -92,7 +112,7 @@ let traffic_matrix t =
     (fun m ->
       let key = (m.sender, m.receiver) in
       let prev = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
-      Hashtbl.replace tbl key (prev + Relation.byte_size m.data))
+      Hashtbl.replace tbl key (prev + wire_bytes m))
     t.log;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun ((a1, b1), _) ((a2, b2), _) ->
@@ -111,10 +131,15 @@ let pp_message ppf m =
     if m.attempt > 1 || m.delivery <> Delivered then
       Fmt.pf ppf " [attempt %d, %a]" m.attempt pp_delivery m.delivery
   in
-  Fmt.pf ppf "#%d %a -> %a: %d tuples, %d bytes (%s)%a %a" m.seq Server.pp
+  let pp_payload ppf m =
+    match m.payload with
+    | Rows -> ()
+    | Filter { bits; hashes } ->
+      Fmt.pf ppf " as a Bloom filter (%d bits, %d hashes)" bits hashes
+  in
+  Fmt.pf ppf "#%d %a -> %a: %d tuples, %d bytes (%s)%a%a %a" m.seq Server.pp
     m.sender Server.pp m.receiver
     (Relation.cardinality m.data)
-    (Relation.byte_size m.data)
-    m.note pp_fate m Profile.pp m.profile
+    (wire_bytes m) m.note pp_payload m pp_fate m Profile.pp m.profile
 
 let pp ppf t = Fmt.(list ~sep:(any "@\n") pp_message) ppf (messages t)

@@ -35,11 +35,22 @@ type delivery =
   | Dropped  (** lost in transit (or the receiver was down) *)
   | Corrupted  (** arrived damaged; discarded by the receiver *)
 
+(** Wire representation of the message. [Rows] ships the relation
+    itself; [Filter] ships a Bloom filter summarising its join column
+    (semi-join step 2 under [--bloom]) — [data] still records the
+    projected column the filter was built from, because that is the
+    information the filter discloses (its profile, and what the audit
+    checks), but only [bits] actually cross the wire. *)
+type payload =
+  | Rows
+  | Filter of { bits : int; hashes : int }
+
 type message = {
   seq : int;  (** send order, from 0 *)
   sender : Server.t;
   receiver : Server.t;
   data : Relation.t;
+  payload : payload;
   profile : Profile.t;
   purpose : purpose;
   note : string;  (** human-readable step, e.g. ["semi-join at n1"] *)
@@ -47,17 +58,25 @@ type message = {
   delivery : delivery;
 }
 
+(** Bytes the message occupies on the wire: {!Relation.byte_size} of
+    [data] for [Rows], [bits/8] rounded up for [Filter]. All byte
+    accounting ({!total_bytes}, {!traffic_matrix}, {!Timing}) prices
+    messages through this. *)
+val wire_bytes : message -> int
+
 type t
 
 val create : unit -> t
 
 (** Record a transfer; returns the sent data unchanged so sends chain
-    naturally inside expressions. [attempt] defaults to [1] and
-    [delivery] to [Delivered] — fault-free code never mentions them. *)
+    naturally inside expressions. [attempt] defaults to [1], [delivery]
+    to [Delivered] and [payload] to [Rows] — fault-free row-shipping
+    code never mentions them. *)
 val send :
   t ->
   ?attempt:int ->
   ?delivery:delivery ->
+  ?payload:payload ->
   sender:Server.t ->
   receiver:Server.t ->
   profile:Profile.t ->

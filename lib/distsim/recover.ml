@@ -56,8 +56,9 @@ type degraded = {
 
 type outcome = (recovered, degraded) result
 
-let execute ?(helpers = []) ?max_failovers ?close_under ?closed ?deadline
-    ?(excluded = []) ?seed catalog policy ~instances ~fault plan =
+let execute ?(helpers = []) ?executor ?bloom ?max_failovers ?close_under
+    ?closed ?deadline ?(excluded = []) ?seed catalog policy ~instances ~fault
+    plan =
   let injector = Fault.start fault in
   (* One chase handle for the whole recovery: either the caller's
      long-lived handle (the federation shares its service handle, so
@@ -205,8 +206,8 @@ let execute ?(helpers = []) ?max_failovers ?close_under ?closed ?deadline
       Option.map (fun b -> max 0 (b - Fault.steps injector)) deadline
     in
     match
-      Engine.execute ~third_party ~fault:injector ~network ?deadline:remaining
-        ~observe catalog ~instances plan assignment
+      Engine.execute ~third_party ?executor ?bloom ~fault:injector ~network
+        ?deadline:remaining ~observe catalog ~instances plan assignment
     with
     | Ok (o : Engine.outcome) ->
       let log = merged () in
@@ -253,8 +254,7 @@ let wire_time (model : Timing.model) network =
     (fun acc (m : Network.message) ->
       let l = model.Timing.link m.Network.sender m.Network.receiver in
       acc +. l.Timing.latency
-      +. (float_of_int (Relation.byte_size m.Network.data)
-         /. l.Timing.bandwidth))
+      +. (float_of_int (Network.wire_bytes m) /. l.Timing.bandwidth))
     0.0
     (Network.messages network)
 

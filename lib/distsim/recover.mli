@@ -148,9 +148,14 @@ type outcome = (recovered, degraded) result
     rescues) the caller already certified — e.g. a federation's cached
     plan whose epoch gate just passed — skipping the initial replan
     and re-proof, exactly as the clean path executes cached plans.
-    Failovers still replan and re-prove from scratch. *)
+    Failovers still replan and re-prove from scratch.
+
+    [executor] and [bloom] are passed to every {!Engine.execute}
+    attempt unchanged (see there). *)
 val execute :
   ?helpers:Server.t list ->
+  ?executor:(module Relalg.Exec.S) ->
+  ?bloom:int ->
   ?max_failovers:int ->
   ?close_under:Joinpath.Cond.t list ->
   ?closed:Authz.Chase.closed ->

@@ -35,7 +35,7 @@ let makespan ?(backoff = fun _ -> 0.0) model plan assignment
     let link = model.link m.sender m.receiver in
     let one (a : Network.message) =
       link.latency
-      +. (float_of_int (Relation.byte_size a.data) /. link.bandwidth)
+      +. (float_of_int (Network.wire_bytes a) /. link.bandwidth)
     in
     let chain =
       List.filter

@@ -38,7 +38,7 @@ let rec relations = function
    by the left operand and its right attributes by the right one; since
    paths are orientation-insensitive, we accept the flipped spelling and
    normalise it. *)
-let orient_cond cond ~left_out ~right_out =
+let oriented_cond cond ~left_out ~right_out =
   let sided c =
     List.for_all (fun a -> Attribute.Set.mem a left_out) (Joinpath.Cond.left c)
     && List.for_all
@@ -72,30 +72,31 @@ let validate e =
       if not (Attribute.Set.is_empty overlap) then
         Error (Overlapping_operands overlap)
       else (
-        match orient_cond cond ~left_out ~right_out with
+        match oriented_cond cond ~left_out ~right_out with
         | Some _ -> Ok ()
         | None -> Error (Join_attributes_misplaced cond))
   in
   go e
 
-let eval ~lookup e =
+let eval ?(executor = (module Exec.Reference : Exec.S)) ~lookup e =
+  let module E = (val executor : Exec.S) in
   (match validate e with
    | Ok () -> ()
    | Error err -> invalid_arg (Fmt.str "Algebra.eval: %a" pp_error err));
   let rec go = function
     | Relation schema -> lookup schema
-    | Project (attrs, e) -> Relation.project attrs (go e)
-    | Select (pred, e) -> Relation.select pred (go e)
+    | Project (attrs, e) -> E.project attrs (go e)
+    | Select (pred, e) -> E.select pred (go e)
     | Join (cond, l, r) ->
       let lv = go l and rv = go r in
       let cond =
         match
-          orient_cond cond ~left_out:(output l) ~right_out:(output r)
+          oriented_cond cond ~left_out:(output l) ~right_out:(output r)
         with
         | Some c -> c
         | None -> assert false (* validated above *)
       in
-      Relation.equi_join cond lv rv
+      E.equi_join cond lv rv
   in
   go e
 

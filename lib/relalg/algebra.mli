@@ -29,11 +29,28 @@ val relations : t -> string list
     operand, right by the right), operands attribute-disjoint. *)
 val validate : t -> (unit, error) result
 
+(** [oriented_cond cond ~left_out ~right_out] is [cond] spelled with
+    its left attributes drawn from [left_out] and its right from
+    [right_out] — the condition itself if already sided, its flip if
+    the flipped spelling is, [None] otherwise. Evaluators (this
+    module's [eval], {!Batch.eval}, the distributed engine) use it to
+    normalise orientation-insensitive plan conditions before a
+    physical join. *)
+val oriented_cond :
+  Joinpath.Cond.t ->
+  left_out:Attribute.Set.t ->
+  right_out:Attribute.Set.t ->
+  Joinpath.Cond.t option
+
 (** [eval ~lookup e] evaluates [e] bottom-up on the instances provided
     by [lookup] (one call per leaf). This is the centralized reference
     semantics that the distributed engine is tested against.
+    [executor] selects the physical operators (default
+    {!Exec.Reference}; pass [(module Batch.Exec)] for the columnar
+    executor — results are identical by contract).
     @raise Invalid_argument on expressions that do not {!validate}. *)
-val eval : lookup:(Schema.t -> Relation.t) -> t -> Relation.t
+val eval :
+  ?executor:(module Exec.S) -> lookup:(Schema.t -> Relation.t) -> t -> Relation.t
 
 (** Number of [Join] nodes. *)
 val join_count : t -> int

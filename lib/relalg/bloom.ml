@@ -1,0 +1,56 @@
+type t = {
+  m : int; (* bits *)
+  k : int; (* hash functions *)
+  words : int array;
+}
+
+let word_bits = Sys.int_size
+
+(* Two FNV-style mixes over the per-value hashes. Building on
+   Value.hash (not the polymorphic hash of the constructors) keeps
+   probes consistent with Value.equal: Int 3 and Float 3. are equal
+   values and land on the same bits. *)
+let h1_of key =
+  List.fold_left
+    (fun acc v -> (acc * 0x01000193) lxor Value.hash v)
+    0x811c9dc5 key
+  land max_int
+
+let h2_of key =
+  List.fold_left
+    (fun acc v -> (acc * 0x5bd1e995) lxor (Value.hash v + 0x9e3779b9))
+    0x01000193 key
+  land max_int
+
+let bit_index t h1 h2 i =
+  (* Double hashing; the stride is forced odd so it never degenerates
+     to probing one bit. *)
+  (h1 + (i * ((2 * h2) + 1))) land max_int mod t.m
+
+let set_bit t j = t.words.(j / word_bits) <- t.words.(j / word_bits) lor (1 lsl (j mod word_bits))
+let get_bit t j = t.words.(j / word_bits) land (1 lsl (j mod word_bits)) <> 0
+
+let add t key =
+  let h1 = h1_of key and h2 = h2_of key in
+  for i = 0 to t.k - 1 do
+    set_bit t (bit_index t h1 h2 i)
+  done
+
+let mem t key =
+  let h1 = h1_of key and h2 = h2_of key in
+  let rec go i = i >= t.k || (get_bit t (bit_index t h1 h2 i) && go (i + 1)) in
+  go 0
+
+let of_keys ~bits_per_key keys =
+  if bits_per_key < 1 then
+    invalid_arg "Bloom.of_keys: bits_per_key must be >= 1";
+  let n = max 1 (List.length keys) in
+  let m = max word_bits (bits_per_key * n) in
+  let k = max 1 (int_of_float (ceil (float_of_int bits_per_key *. log 2.))) in
+  let t = { m; k; words = Array.make ((m + word_bits - 1) / word_bits) 0 } in
+  List.iter (add t) keys;
+  t
+
+let bits t = t.m
+let hashes t = t.k
+let byte_size t = (t.m + 7) / 8

@@ -1,0 +1,17 @@
+module type S = sig
+  val name : string
+  val project : Attribute.Set.t -> Relation.t -> Relation.t
+  val select : Predicate.t -> Relation.t -> Relation.t
+  val equi_join : Joinpath.Cond.t -> Relation.t -> Relation.t -> Relation.t
+  val semi_join : Joinpath.Cond.t -> Relation.t -> Relation.t -> Relation.t
+  val natural_join : Relation.t -> Relation.t -> Relation.t
+end
+
+module Reference : S = struct
+  let name = "naive"
+  let project = Relation.project
+  let select = Relation.select
+  let equi_join = Relation.equi_join
+  let semi_join = Relation.semi_join
+  let natural_join = Relation.natural_join
+end

@@ -1,0 +1,31 @@
+(** Executor signature — the physical operators behind the algebra.
+
+    Every evaluator in the system ({!Algebra.eval} centrally, the
+    distributed engine node-by-node) runs queries through exactly five
+    physical operators. This module names that contract so an executor
+    can be selected {e per run}: the tuple-at-a-time reference
+    ({!Reference}, the operators of {!module:Relation} unchanged) or
+    the columnar batch executor ([Batch.Exec]). Both implement the same
+    set semantics — the batch executor is differentially tested against
+    the reference, which is kept verbatim as its twin. *)
+
+module type S = sig
+  val name : string
+
+  (** Each operator has the contract of its {!module:Relation}
+      namesake, [Invalid_argument] conditions included. *)
+
+  val project : Attribute.Set.t -> Relation.t -> Relation.t
+
+  val select : Predicate.t -> Relation.t -> Relation.t
+
+  val equi_join : Joinpath.Cond.t -> Relation.t -> Relation.t -> Relation.t
+
+  val semi_join : Joinpath.Cond.t -> Relation.t -> Relation.t -> Relation.t
+
+  val natural_join : Relation.t -> Relation.t -> Relation.t
+end
+
+(** The sorted-set, tuple-at-a-time operators of {!module:Relation} —
+    the reference twin every other executor is tested against. *)
+module Reference : S

@@ -42,9 +42,19 @@ let rec attributes = function
     Attribute.Set.union (attributes p) (attributes q)
   | Not p -> attributes p
 
+let negate_comparison = function
+  | Eq -> Neq
+  | Neq -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+(* NULL is uniformly non-matching: a comparison with a NULL operand is
+   false whatever the operator — including NULL = NULL and NULL <= NULL
+   (reflexivity does not extend to the absent value). *)
 let compare_values c va vb =
   match va, vb with
-  | Value.Null, Value.Null -> c = Eq
   | Value.Null, _ | _, Value.Null -> false
   | _ ->
     let k = Value.compare va vb in
@@ -56,6 +66,10 @@ let compare_values c va vb =
      | Gt -> k > 0
      | Ge -> k >= 0)
 
+(* Negation is pushed down to the atoms (De Morgan, with each
+   comparison operator flipped), so a NULL-bearing row fails [Not p]
+   exactly as it fails [p]: boolean negation of an atom would promote
+   "no match because NULL" into a match. *)
 let rec eval lookup = function
   | True -> true
   | Cmp (a, c, op) ->
@@ -64,7 +78,17 @@ let rec eval lookup = function
     compare_values c va vb
   | And (p, q) -> eval lookup p && eval lookup q
   | Or (p, q) -> eval lookup p || eval lookup q
-  | Not p -> not (eval lookup p)
+  | Not p -> eval_negated lookup p
+
+and eval_negated lookup = function
+  | True -> false
+  | Cmp (a, c, op) ->
+    let va = lookup a in
+    let vb = match op with Const v -> v | Attr b -> lookup b in
+    compare_values (negate_comparison c) va vb
+  | And (p, q) -> eval_negated lookup p || eval_negated lookup q
+  | Or (p, q) -> eval_negated lookup p && eval_negated lookup q
+  | Not p -> eval lookup p
 
 let rec pp ppf = function
   | True -> Fmt.string ppf "TRUE"

@@ -41,6 +41,8 @@ let byte_size t =
   Tuple_set.fold (fun tu acc -> acc + Tuple.byte_width tu) t.tuples 0
 
 let project attrs t =
+  if Attribute.Set.is_empty attrs then
+    invalid_arg "Relation.project: empty attribute set";
   let header_set = attribute_set t in
   if not (Attribute.Set.subset attrs header_set) then
     invalid_arg

@@ -29,7 +29,9 @@ val byte_size : t -> int
 
 (** [project attrs t] is [π_attrs(t)] (set semantics: duplicates
     collapse). Header keeps the original attribute order.
-    @raise Invalid_argument if [attrs] is not a subset of the header. *)
+    @raise Invalid_argument if [attrs] is empty (a header-less relation
+    is not a value — {!make} rejects it, so projection must too) or not
+    a subset of the header. *)
 val project : Attribute.Set.t -> t -> t
 
 (** [select pred t] is [σ_pred(t)].

@@ -12,24 +12,61 @@ let type_rank = function
   | Float _ -> 3
   | String _ -> 4
 
+(* Exact numeric comparison of an [Int] with a [Float]. Rounding [x]
+   through [float_of_int] loses precision above 2^53, making distinct
+   values compare equal (e.g. 9007199254740993 vs 9007199254740992.0),
+   which breaks Tuple.merge conflict detection and set dedup — so we
+   never compare through a rounded conversion. Every float with
+   |y| >= 2^52 is an integer, so a finite non-integer float is exactly
+   representable and any int of magnitude >= 2^52 dominates it; integer
+   floats within the int range are compared as ints. *)
+let two_52 = 4_503_599_627_370_496 (* 2^52 *)
+
+(* [max_int] (2^62 - 1 on 64-bit) is not a float, so its conversion
+   rounds UP to 2^62: any float >= [max_int_f] strictly exceeds every
+   int. [min_int] (-2^62) is exact. Together they gate [Float.to_int]
+   to the range where it is defined. *)
+let max_int_f = float_of_int max_int
+let min_int_f = float_of_int min_int
+
+let compare_int_float x y =
+  if Float.is_nan y then 1 (* totality: nan below every Int, as below every Float *)
+  else if y = Float.infinity then -1
+  else if y = Float.neg_infinity then 1
+  else if Float.is_integer y then
+    if y >= max_int_f then -1 (* beyond max_int *)
+    else if y < min_int_f then 1 (* below min_int *)
+    else Int.compare x (Float.to_int y)
+  else if x >= two_52 then 1 (* non-integer y has |y| < 2^52 *)
+  else if x <= -two_52 then -1
+  else Float.compare (float_of_int x) y
+
 let compare a b =
   match a, b with
   | Null, Null -> 0
   | Bool x, Bool y -> Bool.compare x y
   | Int x, Int y -> Int.compare x y
   | Float x, Float y -> Float.compare x y
-  | Int x, Float y -> Float.compare (float_of_int x) y
-  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Int x, Float y -> compare_int_float x y
+  | Float x, Int y -> -compare_int_float y x
   | String x, String y -> String.compare x y
   | (Null | Bool _ | Int _ | Float _ | String _), _ ->
     Int.compare (type_rank a) (type_rank b)
 
 let equal a b = compare a b = 0
 
+(* [Int x] can only be [equal] to a [Float] when x is exactly
+   representable as a float, so hashing representable ints through
+   their float image and the rest through the int keeps [hash]
+   compatible with the exact [equal]. *)
 let hash = function
   | Null -> 17
   | Bool b -> if b then 31 else 37
-  | Int i -> Hashtbl.hash (float_of_int i)
+  | Int i ->
+    let f = float_of_int i in
+    if f >= min_int_f && f < max_int_f && Float.to_int f = i then
+      Hashtbl.hash f
+    else Hashtbl.hash i
   | Float f -> Hashtbl.hash f
   | String s -> Hashtbl.hash s
 

@@ -16,12 +16,23 @@ type t =
     by a fixed type rank ([Null < Bool < Int < Float < String]), except
     that [Int] and [Float] compare numerically against each other, as an
     equi-join between an integer and a float column should behave
-    arithmetically. *)
+    arithmetically.
+
+    The cross-type comparison is {e exact}: an [Int] is never rounded
+    through [float_of_int], so [Int 9007199254740993] (2{^53}+1) is
+    strictly greater than [Float 9007199254740992.] even though the two
+    are indistinguishable after conversion. [Int x = Float y] holds
+    exactly when [y] is an integral float and [y = x] as mathematical
+    integers. [nan] orders below every value of numeric type (matching
+    [Float.compare]). *)
 val compare : t -> t -> int
 
 val equal : t -> t -> bool
 
-(** [hash v] is compatible with {!equal}. *)
+(** [hash v] is compatible with {!equal}: ints exactly representable as
+    floats hash like their float image (so [Int 3] and [Float 3.] — which
+    are [equal] — collide), while ints above 2{^53} that no float equals
+    hash on their own. *)
 val hash : t -> int
 
 (** Name of the runtime type, e.g. ["int"]. *)

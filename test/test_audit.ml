@@ -184,6 +184,7 @@ let test_reason_rendering () =
           sender = M.s_i;
           receiver = M.s_n;
           data;
+          payload = Network.Rows;
           profile = Authz.Profile.of_base M.insurance;
           purpose = Network.Full_operand { join = 0 };
           note = "test";

@@ -28,6 +28,46 @@ let test_selection_shrinks () =
   in
   checkf "half survive" 50.0 (Cost.node_rows model (Plan.root plan))
 
+(* Regression (NULL semantics): the estimate is a fraction of the
+   operand — it must bound the *actual* selected cardinality of both
+   executors under the two-valued NULL contract, where a selection and
+   its negation no longer cover NULL rows. Before the fix, [Not]
+   promoted unknown to true, so σ_¬p could exceed what a
+   fraction-of-rows model admits for complementary predicates. *)
+let test_estimate_bounds_null_selection () =
+  let schema = Schema.make "T" ~key:[ "X" ] [ "X"; "Y" ] in
+  let x = Attribute.make ~relation:"T" "X" in
+  let y = Attribute.make ~relation:"T" "Y" in
+  let r =
+    Relation.of_rows schema
+      [
+        [ Int 0; Null ];
+        [ Int 1; Null ];
+        [ Int 2; Null ];
+        [ Int 3; Int 1 ];
+      ]
+  in
+  let p = Predicate.Cmp (y, Predicate.Le, Const (Value.Int 5)) in
+  List.iter
+    (fun pred ->
+      let naive = Relation.select pred r in
+      check Helpers.relation
+        (Fmt.str "executors agree on %a" Predicate.pp pred)
+        naive
+        (Batch.Exec.select pred r);
+      let rows = float_of_int (Relation.cardinality r) in
+      let plan =
+        Plan.of_algebra (Algebra.Select (pred, Algebra.Relation schema))
+      in
+      let est = Cost.node_rows (Cost.uniform ~card:rows) (Plan.root plan) in
+      check Alcotest.bool "estimate within [0, rows]" true
+        (est >= 0.0 && est <= rows))
+    [ p; Predicate.Not p; Predicate.Cmp (x, Predicate.Eq, Const Value.Null) ];
+  (* The two selections together cover only the NULL-free rows. *)
+  check Alcotest.int "σ_p + σ_¬p misses the NULL rows" 1
+    (Relation.cardinality (Relation.select p r)
+    + Relation.cardinality (Relation.select (Predicate.Not p) r))
+
 let medical_assignment () =
   match Safe_planner.plan M.catalog M.policy (M.example_plan ()) with
   | Ok r -> r.assignment
@@ -146,6 +186,8 @@ let suite =
   [
     c "node_rows" `Quick test_node_rows;
     c "selection selectivity" `Quick test_selection_shrinks;
+    c "estimate bounds NULL selections in both executors" `Quick
+      test_estimate_bounds_null_selection;
     c "flow bytes per payload kind" `Quick test_flow_bytes;
     c "assignment cost totals the flows" `Quick test_assignment_cost_total;
     c "semi-join wins under selective joins" `Quick

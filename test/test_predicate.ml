@@ -48,9 +48,24 @@ let test_null_semantics () =
       check Alcotest.bool "null comparisons are false" false
         (Predicate.eval null_lookup (p op)))
     [ Predicate.Eq; Neq; Lt; Le; Gt; Ge ];
-  let null_eq_null = Predicate.Cmp (a, Eq, Const Value.Null) in
-  check Alcotest.bool "null = null" true
-    (Predicate.eval null_lookup null_eq_null)
+  (* Regression: NULL = NULL evaluated true while NULL <= NULL was
+     false; the contract is now uniform — NULL matches nothing. *)
+  let null_vs_null op = Predicate.Cmp (a, op, Const Value.Null) in
+  List.iter
+    (fun op ->
+      check Alcotest.bool "null vs null is false" false
+        (Predicate.eval null_lookup (null_vs_null op)))
+    [ Predicate.Eq; Neq; Lt; Le; Gt; Ge ];
+  (* Regression: [Not] promoted "unknown because NULL" to a match. *)
+  List.iter
+    (fun op ->
+      check Alcotest.bool "negated null comparison is still false" false
+        (Predicate.eval null_lookup (Predicate.Not (p op))))
+    [ Predicate.Eq; Neq; Lt; Le; Gt; Ge ];
+  check Alcotest.bool "double negation over null is false" false
+    (Predicate.eval null_lookup (Predicate.Not (Not (p Eq))));
+  check Alcotest.bool "De Morgan keeps null non-matching" false
+    (Predicate.eval null_lookup (Predicate.Not (And (p Eq, Or (p Lt, p Ge)))))
 
 let test_boolean_connectives () =
   let t = Predicate.True in

@@ -44,9 +44,17 @@ let test_project () =
   in
   check Alcotest.int "duplicate values collapse" 1
     (Relation.cardinality (Relation.project (Attribute.Set.singleton a) dup_vals));
-  match Relation.project (Attribute.Set.singleton l) r with
+  (match Relation.project (Attribute.Set.singleton l) r with
   | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "projection out of header accepted"
+  | _ -> Alcotest.fail "projection out of header accepted");
+  (* Regression: an empty attribute set used to silently build a
+     header-less relation whose every downstream use was nonsense; it
+     is now a positioned [Invalid_argument]. *)
+  match Relation.project Attribute.Set.empty r with
+  | exception Invalid_argument msg ->
+    check Alcotest.bool "names the operation" true
+      (Helpers.contains ~sub:"Relation.project" msg)
+  | _ -> Alcotest.fail "empty projection accepted"
 
 let test_select () =
   let p = Predicate.Cmp (a, Predicate.Ge, Const (i 20)) in

@@ -84,6 +84,68 @@ let prop_not_complements =
       let no = Relation.cardinality (Relation.select (Predicate.Not p) r) in
       yes + no = Relation.cardinality r)
 
+(* NULL laws — the two-valued contract of {!Predicate.eval}. The
+   partition law above holds only on NULL-free instances; with NULLs a
+   row may satisfy neither σ_p nor σ_¬p, but never both, and a NULL on
+   the tested attribute always fails. *)
+let arb_nullable_rel =
+  let vcell =
+    QCheck.Gen.(
+      frequency
+        [ (3, map (fun x -> Value.Int x) (int_bound 6)); (1, return Value.Null) ])
+  in
+  QCheck.make
+    ~print:(fun r -> Relation.to_string r)
+    QCheck.Gen.(
+      map
+        (fun rows ->
+          Relation.of_rows r_schema
+            (List.mapi (fun i (y, z) -> [ Value.Int i; y; z ]) rows))
+        (list_size (0 -- 15) (pair vcell vcell)))
+
+let prop_null_never_matches =
+  QCheck.Test.make ~name:"NULL fails every comparison" ~count:300
+    QCheck.(pair arb_nullable_rel arb_pred)
+    (fun (r, p) ->
+      let tested =
+        match p with Predicate.Cmp (attr, _, _) -> attr | _ -> assert false
+      in
+      let survivors pred = Relation.tuples (Relation.select pred r) in
+      List.for_all
+        (fun tu -> Tuple.find tu tested <> Value.Null)
+        (survivors p @ survivors (Predicate.Not p)))
+
+let prop_not_disjoint_under_nulls =
+  QCheck.Test.make ~name:"σ_p and σ_¬p stay disjoint under NULLs" ~count:300
+    QCheck.(pair arb_nullable_rel arb_pred)
+    (fun (r, p) ->
+      let yes = Relation.select p r and no = Relation.select (Predicate.Not p) r in
+      let agree =
+        List.filter
+          (fun tu -> List.exists (Tuple.equal tu) (Relation.tuples no))
+          (Relation.tuples yes)
+      in
+      agree = []
+      && Relation.cardinality yes + Relation.cardinality no
+         <= Relation.cardinality r)
+
+let prop_double_negation =
+  QCheck.Test.make ~name:"σ_¬¬p = σ_p (NULLs included)" ~count:300
+    QCheck.(pair arb_nullable_rel arb_pred)
+    (fun (r, p) ->
+      Relation.equal (Relation.select p r)
+        (Relation.select (Predicate.Not (Predicate.Not p)) r))
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"σ_¬(p∧q) = σ_¬p∨¬q (NULLs included)" ~count:300
+    QCheck.(triple arb_nullable_rel arb_pred arb_pred)
+    (fun (r, p, q) ->
+      Relation.equal
+        (Relation.select (Predicate.Not (Predicate.And (p, q))) r)
+        (Relation.select
+           (Predicate.Or (Predicate.Not p, Predicate.Not q))
+           r))
+
 (* Join algebra over two disjoint schemas. *)
 let s_schema = Schema.make "PS" ~key:[ "L" ] [ "L"; "C" ]
 let l_attr = Attribute.make ~relation:"PS" "L"
@@ -139,6 +201,10 @@ let suite =
     qc prop_project_monotone_cardinality;
     qc prop_project_select_pushdown;
     qc prop_not_complements;
+    qc prop_null_never_matches;
+    qc prop_not_disjoint_under_nulls;
+    qc prop_double_negation;
+    qc prop_de_morgan;
     qc prop_join_commutes_mod_header;
     qc prop_semi_join_via_projection;
     qc prop_join_select_pushdown;

@@ -27,6 +27,37 @@ let test_compare_cross_type () =
   check Alcotest.bool "int < string" true
     (Value.compare (Int 999) (String "") < 0)
 
+(* Regression: Int-vs-Float comparison used to go through
+   [float_of_int], which collapses distinct integers above 2^53 onto
+   the same float — e.g. 2^53 and 2^53 + 1 both compared equal to
+   [Float 9007199254740992.]. The comparison is now exact. *)
+let test_compare_precision () =
+  let two_53 = 9_007_199_254_740_992 in
+  let f = Value.Float 9007199254740992.0 in
+  check Alcotest.int "2^53 = float 2^53" 0 (Value.compare (Int two_53) f);
+  check Alcotest.bool "2^53 + 1 > float 2^53" true
+    (Value.compare (Int (two_53 + 1)) f > 0);
+  check Alcotest.bool "float 2^53 < 2^53 + 1" true
+    (Value.compare f (Int (two_53 + 1)) < 0);
+  check Alcotest.bool "2^53 - 1 < float 2^53" true
+    (Value.compare (Int (two_53 - 1)) f < 0);
+  (* The int range ends at 2^62 - 1; floats at and beyond 2^62 (which
+     is what [float_of_int max_int] rounds up to) dominate every int,
+     and [min_int] = -2^62 is exactly representable. *)
+  check Alcotest.bool "max_int < float 2^62" true
+    (Value.compare (Int max_int) (Float (float_of_int max_int)) < 0);
+  check Alcotest.int "min_int = float -2^62" 0
+    (Value.compare (Int min_int) (Float (float_of_int min_int)));
+  check Alcotest.bool "min_int > float -2^63" true
+    (Value.compare (Int min_int) (Float (-9.223372036854775808e18)) > 0);
+  (* Non-finite floats sit at the numeric extremes; nan below all. *)
+  check Alcotest.bool "int < inf" true
+    (Value.compare (Int max_int) (Float infinity) < 0);
+  check Alcotest.bool "int > -inf" true
+    (Value.compare (Int min_int) (Float neg_infinity) > 0);
+  check Alcotest.bool "int > nan" true
+    (Value.compare (Int min_int) (Float nan) > 0)
+
 let test_equal_hash_compatible () =
   let pairs = [ (Value.Int 3, Value.Float 3.0); (Int 7, Int 7) ] in
   List.iter
@@ -61,28 +92,56 @@ let test_pp () =
   check Alcotest.string "string quoted" "'x'" (Value.to_string (String "x"));
   check Alcotest.string "null caps" "NULL" (Value.to_string Null)
 
+(* Deliberately boundary-heavy: integers around 2^52/2^53 and the int
+   range ends, floats that are images of those integers, non-finite
+   floats — the inputs the exact Int/Float comparison must order
+   consistently. *)
 let arb_value =
+  let two_53 = 9_007_199_254_740_992 in
+  let boundary_ints =
+    [
+      0; 1; -1; two_53; two_53 + 1; two_53 - 1; -two_53; -two_53 - 1;
+      max_int; max_int - 1; min_int; min_int + 1;
+    ]
+  in
   QCheck.(
     oneof
       [
         always Value.Null;
         map (fun b -> Value.Bool b) bool;
         map (fun i -> Value.Int i) small_signed_int;
+        map (fun i -> Value.Int i) (oneofl boundary_ints);
+        map (fun i -> Value.Float (float_of_int i)) (oneofl boundary_ints);
         map (fun f -> Value.Float f) (float_bound_exclusive 1000.0);
+        oneofl
+          [ Value.Float infinity; Value.Float neg_infinity; Value.Float nan ];
         map (fun s -> Value.String s) small_printable_string;
       ])
 
+let sign c = compare c 0
+
 let prop_compare_antisym =
-  QCheck.Test.make ~name:"value compare antisymmetric" ~count:500
+  QCheck.Test.make ~name:"value compare antisymmetric" ~count:2000
     QCheck.(pair arb_value arb_value)
-    (fun (a, b) -> Value.compare a b = -Value.compare b a)
+    (fun (a, b) -> sign (Value.compare a b) = -sign (Value.compare b a))
 
 let prop_compare_refl =
-  QCheck.Test.make ~name:"value compare reflexive" ~count:200 arb_value
+  QCheck.Test.make ~name:"value compare reflexive" ~count:500 arb_value
     (fun a -> Value.compare a a = 0)
 
+let prop_compare_trans =
+  QCheck.Test.make ~name:"value compare transitive" ~count:2000
+    QCheck.(triple arb_value arb_value arb_value)
+    (fun (a, b, c) ->
+      (* Sort the triple by [compare]; a lawful total order must then
+         order the extremes consistently. *)
+      let a, b = if Value.compare a b <= 0 then (a, b) else (b, a) in
+      let b, c = if Value.compare b c <= 0 then (b, c) else (c, b) in
+      let a = if Value.compare a b <= 0 then a else b in
+      Value.compare a c <= 0)
+
 let prop_equal_hash =
-  QCheck.Test.make ~name:"equal values hash equally" ~count:500
+  QCheck.Test.make ~name:"equal values hash equally" ~count:2000
     QCheck.(pair arb_value arb_value)
     (fun (a, b) ->
       QCheck.assume (Value.equal a b);
@@ -93,6 +152,7 @@ let suite =
     c "compare within types" `Quick test_compare_same_type;
     c "compare int/float numerically" `Quick test_compare_numeric_mix;
     c "compare across types by rank" `Quick test_compare_cross_type;
+    c "compare int/float exactly above 2^53" `Quick test_compare_precision;
     c "equal implies same hash" `Quick test_equal_hash_compatible;
     c "of_literal" `Quick test_of_literal;
     c "byte_width" `Quick test_byte_width;
@@ -100,5 +160,6 @@ let suite =
     c "pretty-printing" `Quick test_pp;
     Helpers.qcheck prop_compare_antisym;
     Helpers.qcheck prop_compare_refl;
+    Helpers.qcheck prop_compare_trans;
     Helpers.qcheck prop_equal_hash;
   ]
